@@ -1,0 +1,184 @@
+//! Uniform dispatch over the five approaches compared in the paper's
+//! evaluation, and the support matrix of Table II.
+
+use std::fmt;
+
+use tp_core::error::Result;
+use tp_core::ops::{self, SetOp};
+use tp_core::relation::TpRelation;
+
+use crate::oip::OipConfig;
+use crate::{norm, oip, ti, tpdb};
+
+/// The five approaches of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Approach {
+    /// This paper's lineage-aware window advancer.
+    Lawa,
+    /// Normalization (Dignös et al. \[2\], \[3\]).
+    Norm,
+    /// Grounding + deduplication (Dylla et al. \[1\]).
+    Tpdb,
+    /// Overlap Interval Partition join (Dignös et al. \[13\]).
+    Oip,
+    /// Timeline Index join (Kaufmann et al. \[12\]).
+    Ti,
+}
+
+impl Approach {
+    /// All approaches, in the paper's Table II order.
+    pub const ALL: [Approach; 5] = [
+        Approach::Lawa,
+        Approach::Norm,
+        Approach::Tpdb,
+        Approach::Oip,
+        Approach::Ti,
+    ];
+
+    /// Display name used in figures and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Approach::Lawa => "LAWA",
+            Approach::Norm => "NORM",
+            Approach::Tpdb => "TPDB",
+            Approach::Oip => "OIP",
+            Approach::Ti => "TI",
+        }
+    }
+
+    /// Whether the approach supports the operation (Table II).
+    pub fn supports(&self, op: SetOp) -> bool {
+        match self {
+            Approach::Lawa | Approach::Norm => true,
+            Approach::Tpdb => matches!(op, SetOp::Union | SetOp::Intersect),
+            Approach::Oip | Approach::Ti => matches!(op, SetOp::Intersect),
+        }
+    }
+
+    /// Runs `r op s` with this approach. Unsupported combinations return
+    /// [`tp_core::error::Error::Unsupported`]. OIP runs with its default
+    /// configuration; use [`crate::oip::set_op`] directly to tune it.
+    pub fn run(&self, op: SetOp, r: &TpRelation, s: &TpRelation) -> Result<TpRelation> {
+        match self {
+            Approach::Lawa => Ok(ops::apply(op, r, s)),
+            Approach::Norm => Ok(norm::set_op(op, r, s)),
+            Approach::Tpdb => tpdb::set_op(op, r, s),
+            Approach::Oip => oip::set_op(op, r, s, OipConfig::default()),
+            Approach::Ti => ti::set_op(op, r, s),
+        }
+    }
+}
+
+impl fmt::Display for Approach {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Renders Table II: which approach supports which TP set operation.
+pub fn support_matrix() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<10} {:>8} {:>8} {:>8}", "Approach", "r∪Tps", "r−Tps", "r∩Tps");
+    for a in Approach::ALL {
+        let mark = |op| if a.supports(op) { "yes" } else { "no" };
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>8} {:>8}",
+            a.name(),
+            mark(SetOp::Union),
+            mark(SetOp::Except),
+            mark(SetOp::Intersect)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_core::fact::Fact;
+    use tp_core::interval::Interval;
+    use tp_core::relation::VarTable;
+    use tp_core::snapshot::set_op_by_snapshots;
+
+    fn sample() -> (TpRelation, TpRelation) {
+        let mut vars = VarTable::new();
+        let r = TpRelation::base(
+            "r",
+            vec![
+                (Fact::single("milk"), Interval::at(2, 10), 0.3),
+                (Fact::single("chips"), Interval::at(4, 7), 0.8),
+            ],
+            &mut vars,
+        )
+        .unwrap();
+        let s = TpRelation::base(
+            "s",
+            vec![
+                (Fact::single("milk"), Interval::at(1, 4), 0.6),
+                (Fact::single("chips"), Interval::at(5, 9), 0.7),
+            ],
+            &mut vars,
+        )
+        .unwrap();
+        (r, s)
+    }
+
+    #[test]
+    fn table2_support_matrix() {
+        // Exactly the paper's Table II.
+        assert!(Approach::Lawa.supports(SetOp::Union));
+        assert!(Approach::Lawa.supports(SetOp::Except));
+        assert!(Approach::Lawa.supports(SetOp::Intersect));
+        assert!(Approach::Norm.supports(SetOp::Union));
+        assert!(Approach::Norm.supports(SetOp::Except));
+        assert!(Approach::Norm.supports(SetOp::Intersect));
+        assert!(Approach::Tpdb.supports(SetOp::Union));
+        assert!(!Approach::Tpdb.supports(SetOp::Except));
+        assert!(Approach::Tpdb.supports(SetOp::Intersect));
+        assert!(!Approach::Oip.supports(SetOp::Union));
+        assert!(!Approach::Oip.supports(SetOp::Except));
+        assert!(Approach::Oip.supports(SetOp::Intersect));
+        assert!(!Approach::Ti.supports(SetOp::Union));
+        assert!(!Approach::Ti.supports(SetOp::Except));
+        assert!(Approach::Ti.supports(SetOp::Intersect));
+    }
+
+    #[test]
+    fn run_matches_supports() {
+        let (r, s) = sample();
+        for a in Approach::ALL {
+            for op in SetOp::ALL {
+                let res = a.run(op, &r, &s);
+                assert_eq!(res.is_ok(), a.supports(op), "{a} {op}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_supported_paths_agree_with_oracle() {
+        let (r, s) = sample();
+        for a in Approach::ALL {
+            for op in SetOp::ALL {
+                if !a.supports(op) {
+                    continue;
+                }
+                let got = a.run(op, &r, &s).unwrap().canonicalized();
+                let want = set_op_by_snapshots(op, &r, &s).canonicalized();
+                assert_eq!(got, want, "{a} {op}");
+            }
+        }
+    }
+
+    #[test]
+    fn support_matrix_renders() {
+        let m = support_matrix();
+        assert!(m.contains("LAWA"));
+        assert!(m.contains("TPDB"));
+        // TPDB row: union yes, except no.
+        let tpdb_line = m.lines().find(|l| l.starts_with("TPDB")).unwrap();
+        assert!(tpdb_line.contains("yes"));
+        assert!(tpdb_line.contains("no"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # tp-baselines — the competing approaches of the paper's evaluation
+//!
+//! Reimplementations of the four baseline approaches against which the paper
+//! compares LAWA (§VII, Table II), built from scratch on the [`tp_relalg`]
+//! substrate (standing in for the PostgreSQL executor the authors used):
+//!
+//! | approach | module | `∪Tp` | `−Tp` | `∩Tp` | character |
+//! |---|---|---|---|---|---|
+//! | NORM | [`norm`] | ✓ | ✓ | ✓ | quadratic normalization via inequality outer joins |
+//! | TPDB | [`tpdb`] | ✓ | ✗ | ✓ | Allen-rule grounding joins + deduplication |
+//! | OIP  | [`oip`]  | ✗ | ✗ | ✓ | overlap interval partition join |
+//! | TI   | [`ti`]   | ✗ | ✗ | ✓ | timeline index merge join + lookups |
+//!
+//! Every baseline is *semantically* equivalent to LAWA on the operations it
+//! supports (asserted against the snapshot oracle in tests); what differs —
+//! and what the benchmark harness measures — is the work they do to get
+//! there.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approach;
+pub mod common;
+pub mod norm;
+pub mod oip;
+pub mod sweep;
+pub mod ti;
+pub mod tpdb;
+
+pub use approach::{support_matrix, Approach};
+pub use oip::{OipConfig, OipMode};

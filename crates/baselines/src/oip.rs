@@ -1,0 +1,302 @@
+//! OIP — the Overlap Interval Partition join baseline (Dignös et al.,
+//! paper ref \[13\]).
+//!
+//! OIP splits the time domain into granules of equal size. A tuple spanning
+//! granules `[first, last]` is assigned to the partition identified by
+//! `(duration class d = last − first, offset o = first)` — the smallest
+//! granule-aligned range into which it fits. The join proceeds in two
+//! phases, exactly as the paper describes:
+//!
+//! 1. *identify overlapping partitions* (fast): for every partition of `r`
+//!    and every duration class of `s`, the overlapping `s` partitions are
+//!    found by offset arithmetic and hash lookups — no tuple is touched;
+//! 2. *join the tuples of overlapping partitions* (slow): a nested loop over
+//!    the two member lists, checking actual interval overlap (and, in
+//!    [`OipMode::EqualityFilter`], fact equality).
+//!
+//! Phase 2 is what makes OIP sensitive to the workload: a high overlapping
+//! factor or long intervals concentrate many tuples in few partitions and
+//! the nested loops grow quadratically (Fig. 8 and Fig. 9a), while a huge
+//! number of fact groups makes the per-group partitioning overhead dominate
+//! (Fig. 9b).
+//!
+//! OIP targets pure overlap joins; it computes `∩Tp` but supports neither
+//! `∪Tp` nor `−Tp` (Table II).
+
+use std::collections::HashMap;
+
+use tp_core::error::{Error, Result};
+use tp_core::fact::Fact;
+use tp_core::interval::TimePoint;
+use tp_core::ops::SetOp;
+use tp_core::relation::TpRelation;
+use tp_core::tuple::TpTuple;
+
+use crate::common::intersection_output;
+
+/// How OIP handles the fact-equality condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OipMode {
+    /// Partition-join each fact group separately (the paper's setup).
+    FactGrouped,
+    /// Single partition join; fact equality checked per tuple pair.
+    EqualityFilter,
+}
+
+/// Configuration of the OIP join.
+#[derive(Debug, Clone, Copy)]
+pub struct OipConfig {
+    /// Granule size in time points. `None` picks the average interval
+    /// length of the inputs — the regime in which most tuples span one or
+    /// two granules and partitions stay small.
+    pub granule_size: Option<i64>,
+    /// Fact-equality handling.
+    pub mode: OipMode,
+}
+
+impl Default for OipConfig {
+    fn default() -> Self {
+        OipConfig {
+            granule_size: None,
+            mode: OipMode::FactGrouped,
+        }
+    }
+}
+
+/// An OIP partition table: tuples grouped by `(duration class, offset)`.
+struct OipIndex {
+    /// `(d, o)` → member tuple indices.
+    map: HashMap<(i64, i64), Vec<usize>>,
+    /// The distinct duration classes present, ascending.
+    classes: Vec<i64>,
+}
+
+impl OipIndex {
+    fn build(tuples: &[&TpTuple], lo: TimePoint, granule: i64) -> Self {
+        let mut map: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        for (i, t) in tuples.iter().enumerate() {
+            let first = (t.interval.start() - lo).div_euclid(granule);
+            let last = (t.interval.end() - 1 - lo).div_euclid(granule);
+            map.entry((last - first, first)).or_default().push(i);
+        }
+        let mut classes: Vec<i64> = map.keys().map(|&(d, _)| d).collect();
+        classes.sort_unstable();
+        classes.dedup();
+        OipIndex { map, classes }
+    }
+}
+
+fn partition_join(
+    r_tuples: &[&TpTuple],
+    s_tuples: &[&TpTuple],
+    check_fact: bool,
+    config: &OipConfig,
+    out: &mut Vec<TpTuple>,
+) {
+    if r_tuples.is_empty() || s_tuples.is_empty() {
+        return;
+    }
+    let mut lo = TimePoint::MAX;
+    let mut hi = TimePoint::MIN;
+    let mut total_len: i128 = 0;
+    for t in r_tuples.iter().chain(s_tuples.iter()) {
+        lo = lo.min(t.interval.start());
+        hi = hi.max(t.interval.end());
+        total_len += t.interval.duration() as i128;
+    }
+    let n = r_tuples.len() + s_tuples.len();
+    let granule = config
+        .granule_size
+        .unwrap_or((total_len / n as i128) as i64)
+        .max(1);
+    debug_assert!(lo < hi);
+    let r_idx = OipIndex::build(r_tuples, lo, granule);
+    let s_idx = OipIndex::build(s_tuples, lo, granule);
+
+    // Phase 1: overlapping partitions by offset arithmetic (fast).
+    // Phase 2: nested loop over member lists (slow).
+    for (&(dr, or), r_members) in &r_idx.map {
+        for &ds in &s_idx.classes {
+            // s partitions of class ds overlapping granules [or, or+dr]
+            // have offsets in [or − ds, or + dr].
+            for os in (or - ds)..=(or + dr) {
+                let Some(s_members) = s_idx.map.get(&(ds, os)) else {
+                    continue;
+                };
+                for &i in r_members {
+                    for &j in s_members {
+                        let rt = r_tuples[i];
+                        let st = s_tuples[j];
+                        if check_fact && rt.fact != st.fact {
+                            continue;
+                        }
+                        if let Some(tuple) = intersection_output(rt, st) {
+                            out.push(tuple);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `r ∩Tp s` with the OIP partition join.
+pub fn intersect(r: &TpRelation, s: &TpRelation, config: OipConfig) -> TpRelation {
+    let mut out = Vec::new();
+    match config.mode {
+        OipMode::EqualityFilter => {
+            let r_refs: Vec<&TpTuple> = r.iter().collect();
+            let s_refs: Vec<&TpTuple> = s.iter().collect();
+            partition_join(&r_refs, &s_refs, true, &config, &mut out);
+        }
+        OipMode::FactGrouped => {
+            // Split each input by fact, join group-wise, merge the results —
+            // the per-group partitioning overhead the paper observes when
+            // the number of facts approaches the relation size.
+            let mut r_groups: HashMap<&Fact, Vec<&TpTuple>> = HashMap::new();
+            for t in r.iter() {
+                r_groups.entry(&t.fact).or_default().push(t);
+            }
+            let mut s_groups: HashMap<&Fact, Vec<&TpTuple>> = HashMap::new();
+            for t in s.iter() {
+                s_groups.entry(&t.fact).or_default().push(t);
+            }
+            for (fact, r_refs) in &r_groups {
+                if let Some(s_refs) = s_groups.get(fact) {
+                    partition_join(r_refs, s_refs, false, &config, &mut out);
+                }
+            }
+        }
+    }
+    let rel: TpRelation = out.into_iter().collect();
+    rel.canonicalized()
+}
+
+/// Computes `r op s` with OIP. Only `∩Tp` is supported (Table II).
+pub fn set_op(op: SetOp, r: &TpRelation, s: &TpRelation, config: OipConfig) -> Result<TpRelation> {
+    match op {
+        SetOp::Intersect => Ok(intersect(r, s, config)),
+        SetOp::Union => Err(Error::Unsupported {
+            approach: "OIP",
+            operation: "union",
+        }),
+        SetOp::Except => Err(Error::Unsupported {
+            approach: "OIP",
+            operation: "except",
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_core::interval::Interval;
+    use tp_core::lineage::{Lineage, TupleId};
+    use tp_core::relation::VarTable;
+    use tp_core::snapshot::set_op_by_snapshots;
+
+    fn rel(prefix: &str, rows: Vec<(&str, i64, i64)>, vars: &mut VarTable) -> TpRelation {
+        TpRelation::base(
+            prefix,
+            rows.into_iter()
+                .map(|(f, s, e)| (Fact::single(f), Interval::at(s, e), 0.5)),
+            vars,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn oip_matches_oracle_both_modes_various_granules() {
+        let mut vars = VarTable::new();
+        let r = rel(
+            "r",
+            vec![("milk", 2, 10), ("chips", 4, 7), ("dates", 1, 3)],
+            &mut vars,
+        );
+        let s = rel(
+            "s",
+            vec![("milk", 1, 4), ("milk", 6, 8), ("chips", 4, 5), ("chips", 7, 9)],
+            &mut vars,
+        );
+        let want = set_op_by_snapshots(SetOp::Intersect, &r, &s).canonicalized();
+        for mode in [OipMode::FactGrouped, OipMode::EqualityFilter] {
+            for granule_size in [None, Some(1), Some(2), Some(5), Some(100)] {
+                let got = intersect(&r, &s, OipConfig { granule_size, mode });
+                assert_eq!(got.canonicalized(), want, "mode {mode:?} g={granule_size:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn oip_matches_lawa_on_random_data() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut vars = VarTable::new();
+        let gen = |rng: &mut StdRng, prefix: &str, vars: &mut VarTable| {
+            let mut rows = Vec::new();
+            for f in 0..5i64 {
+                let mut cursor = 0i64;
+                for _ in 0..30 {
+                    let start = cursor + rng.random_range(0..4);
+                    let end = start + rng.random_range(1..20);
+                    cursor = end;
+                    rows.push((Fact::single(f), Interval::at(start, end), 0.5));
+                }
+            }
+            TpRelation::base(prefix, rows, vars).unwrap()
+        };
+        let r = gen(&mut rng, "r", &mut vars);
+        let s = gen(&mut rng, "s", &mut vars);
+        let want = tp_core::ops::intersect(&r, &s).canonicalized();
+        let got = intersect(&r, &s, OipConfig::default()).canonicalized();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn oip_rejects_union_and_except() {
+        let r = TpRelation::new();
+        assert!(matches!(
+            set_op(SetOp::Union, &r, &r, OipConfig::default()),
+            Err(Error::Unsupported { .. })
+        ));
+        assert!(matches!(
+            set_op(SetOp::Except, &r, &r, OipConfig::default()),
+            Err(Error::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn oip_empty_inputs() {
+        let mut vars = VarTable::new();
+        let r = rel("r", vec![("x", 1, 5)], &mut vars);
+        let empty = TpRelation::new();
+        assert!(intersect(&r, &empty, OipConfig::default()).is_empty());
+        assert!(intersect(&empty, &r, OipConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn index_groups_by_duration_class_and_offset() {
+        let t1 = TpTuple::new("x", Lineage::var(TupleId(0)), Interval::at(0, 3));
+        let t2 = TpTuple::new("x", Lineage::var(TupleId(1)), Interval::at(4, 6));
+        let t3 = TpTuple::new("y", Lineage::var(TupleId(2)), Interval::at(0, 30));
+        let refs: Vec<&TpTuple> = vec![&t1, &t2, &t3];
+        let idx = OipIndex::build(&refs, 0, 10);
+        // t1 and t2 fit in granule 0 (class 0, offset 0); t3 spans 0..2
+        // (class 2, offset 0).
+        assert_eq!(idx.map.len(), 2);
+        assert_eq!(idx.map[&(0, 0)].len(), 2);
+        assert_eq!(idx.map[&(2, 0)].len(), 1);
+        assert_eq!(idx.classes, vec![0, 2]);
+    }
+
+    #[test]
+    fn negative_time_points_are_handled() {
+        let mut vars = VarTable::new();
+        let r = rel("r", vec![("x", -10, -2)], &mut vars);
+        let s = rel("s", vec![("x", -5, 3)], &mut vars);
+        let got = intersect(&r, &s, OipConfig::default());
+        assert_eq!(got.len(), 1);
+        assert_eq!(got.tuples()[0].interval, Interval::at(-5, -2));
+    }
+}

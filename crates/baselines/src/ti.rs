@@ -1,0 +1,236 @@
+//! TI — the Timeline Index baseline (Kaufmann et al., paper refs \[12\],
+//! \[16\]).
+//!
+//! The Timeline Index of a relation maps every interval start/end point to
+//! the list of tuple ids starting or ending there, in time order. The
+//! Timeline Join merges the two indexes while maintaining the sets of
+//! *active* tuple ids per relation; whenever a tuple of one relation starts,
+//! it is paired with every active tuple of the other. The join itself never
+//! touches tuple payloads — but forming output tuples requires **fetching
+//! the original tuples** for every candidate pair, both to apply the
+//! fact-equality filter and to build the output, which is exactly the
+//! lookup cost the paper blames for TI's performance (§VII-B and the WebKit
+//! discussion in §VII-C).
+//!
+//! TI computes `∩Tp` only (Table II).
+
+use tp_core::error::{Error, Result};
+use tp_core::interval::TimePoint;
+use tp_core::ops::SetOp;
+use tp_core::relation::TpRelation;
+
+use crate::common::intersection_output;
+
+/// One entry of a timeline index: a time point plus the ids of tuples
+/// starting/ending there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEntry {
+    /// The indexed time point.
+    pub at: TimePoint,
+    /// Tuple ids whose interval starts at `at`.
+    pub starts: Vec<usize>,
+    /// Tuple ids whose interval ends at `at`.
+    pub ends: Vec<usize>,
+}
+
+/// The Timeline Index: entries sorted by time.
+#[derive(Debug, Clone, Default)]
+pub struct TimelineIndex {
+    entries: Vec<TimelineEntry>,
+}
+
+impl TimelineIndex {
+    /// Builds the index of a relation in `O(n log n)`.
+    pub fn build(rel: &TpRelation) -> Self {
+        use std::collections::BTreeMap;
+        let mut map: BTreeMap<TimePoint, (Vec<usize>, Vec<usize>)> = BTreeMap::new();
+        for (i, t) in rel.iter().enumerate() {
+            map.entry(t.interval.start()).or_default().0.push(i);
+            map.entry(t.interval.end()).or_default().1.push(i);
+        }
+        TimelineIndex {
+            entries: map
+                .into_iter()
+                .map(|(at, (starts, ends))| TimelineEntry { at, starts, ends })
+                .collect(),
+        }
+    }
+
+    /// The index entries, in time order.
+    pub fn entries(&self) -> &[TimelineEntry] {
+        &self.entries
+    }
+}
+
+/// The Timeline Join: merges two indexes, maintaining active-id sets, and
+/// pairs each starting tuple with the active tuples of the other side.
+/// Returns candidate `(r idx, s idx)` pairs — *before* the fact filter,
+/// because the index carries no payloads.
+pub fn timeline_join_pairs(ri: &TimelineIndex, si: &TimelineIndex) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    let mut active_r: Vec<usize> = Vec::new();
+    let mut active_s: Vec<usize> = Vec::new();
+    let (re, se) = (ri.entries(), si.entries());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < re.len() || j < se.len() {
+        // Merge by time; at equal time points, process end lists before
+        // start lists on both sides (half-open intervals: a tuple ending at
+        // t does not overlap one starting at t).
+        let tr = re.get(i).map(|e| e.at).unwrap_or(TimePoint::MAX);
+        let ts = se.get(j).map(|e| e.at).unwrap_or(TimePoint::MAX);
+        let t = tr.min(ts);
+        if tr == t {
+            for &id in &re[i].ends {
+                active_r.retain(|&x| x != id);
+            }
+        }
+        if ts == t {
+            for &id in &se[j].ends {
+                active_s.retain(|&x| x != id);
+            }
+        }
+        if tr == t {
+            for &id in &re[i].starts {
+                for &sid in &active_s {
+                    pairs.push((id, sid));
+                }
+                active_r.push(id);
+            }
+            i += 1;
+        }
+        if ts == t {
+            for &id in &se[j].starts {
+                for &rid in &active_r {
+                    pairs.push((rid, id));
+                }
+                active_s.push(id);
+            }
+            j += 1;
+        }
+    }
+    pairs
+}
+
+/// `r ∩Tp s` with the Timeline Join: build indexes, merge-join them, then
+/// fetch the original tuples of every candidate pair for the fact filter and
+/// output formation.
+pub fn intersect(r: &TpRelation, s: &TpRelation) -> TpRelation {
+    let ri = TimelineIndex::build(r);
+    let si = TimelineIndex::build(s);
+    let pairs = timeline_join_pairs(&ri, &si);
+    let mut out = Vec::new();
+    for (i, j) in pairs {
+        // The expensive lookup: fetch payloads to filter and to build output.
+        let rt = &r.tuples()[i];
+        let st = &s.tuples()[j];
+        if rt.fact != st.fact {
+            continue;
+        }
+        if let Some(tuple) = intersection_output(rt, st) {
+            out.push(tuple);
+        }
+    }
+    let rel: TpRelation = out.into_iter().collect();
+    rel.canonicalized()
+}
+
+/// Computes `r op s` with TI. Only `∩Tp` is supported (Table II).
+pub fn set_op(op: SetOp, r: &TpRelation, s: &TpRelation) -> Result<TpRelation> {
+    match op {
+        SetOp::Intersect => Ok(intersect(r, s)),
+        SetOp::Union => Err(Error::Unsupported {
+            approach: "TI",
+            operation: "union",
+        }),
+        SetOp::Except => Err(Error::Unsupported {
+            approach: "TI",
+            operation: "except",
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_core::fact::Fact;
+    use tp_core::interval::Interval;
+    use tp_core::relation::VarTable;
+    use tp_core::snapshot::set_op_by_snapshots;
+
+    fn rel(prefix: &str, rows: Vec<(&str, i64, i64)>, vars: &mut VarTable) -> TpRelation {
+        TpRelation::base(
+            prefix,
+            rows.into_iter()
+                .map(|(f, s, e)| (Fact::single(f), Interval::at(s, e), 0.5)),
+            vars,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn index_orders_events() {
+        let mut vars = VarTable::new();
+        let r = rel("r", vec![("a", 1, 4), ("b", 2, 4)], &mut vars);
+        let idx = TimelineIndex::build(&r);
+        let times: Vec<i64> = idx.entries().iter().map(|e| e.at).collect();
+        assert_eq!(times, vec![1, 2, 4]);
+        assert_eq!(idx.entries()[2].ends.len(), 2);
+    }
+
+    #[test]
+    fn timeline_join_finds_overlaps_only() {
+        let mut vars = VarTable::new();
+        let r = rel("r", vec![("a", 1, 4), ("a", 6, 9)], &mut vars);
+        let s = rel("s", vec![("a", 3, 7), ("a", 9, 12)], &mut vars);
+        let pairs = timeline_join_pairs(&TimelineIndex::build(&r), &TimelineIndex::build(&s));
+        let mut pairs = pairs;
+        pairs.sort();
+        // [1,4)x[3,7) and [6,9)x[3,7); [9,12) touches [6,9) only at 9 (no overlap).
+        assert_eq!(pairs, vec![(0, 0), (1, 0)]);
+    }
+
+    #[test]
+    fn adjacent_intervals_do_not_pair() {
+        let mut vars = VarTable::new();
+        let r = rel("r", vec![("a", 1, 5)], &mut vars);
+        let s = rel("s", vec![("a", 5, 9)], &mut vars);
+        assert!(timeline_join_pairs(&TimelineIndex::build(&r), &TimelineIndex::build(&s))
+            .is_empty());
+    }
+
+    #[test]
+    fn ti_matches_oracle() {
+        let mut vars = VarTable::new();
+        let r = rel(
+            "r",
+            vec![("milk", 2, 10), ("chips", 4, 7), ("dates", 1, 3)],
+            &mut vars,
+        );
+        let s = rel(
+            "s",
+            vec![("milk", 1, 4), ("milk", 6, 8), ("chips", 4, 5), ("chips", 7, 9)],
+            &mut vars,
+        );
+        let got = intersect(&r, &s).canonicalized();
+        let want = set_op_by_snapshots(SetOp::Intersect, &r, &s).canonicalized();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn ti_pairs_across_facts_then_filters() {
+        // The index pairs by time only; the fact filter happens at lookup.
+        let mut vars = VarTable::new();
+        let r = rel("r", vec![("a", 1, 5)], &mut vars);
+        let s = rel("s", vec![("b", 2, 4)], &mut vars);
+        let pairs = timeline_join_pairs(&TimelineIndex::build(&r), &TimelineIndex::build(&s));
+        assert_eq!(pairs.len(), 1); // candidate produced...
+        assert!(intersect(&r, &s).is_empty()); // ...then rejected
+    }
+
+    #[test]
+    fn ti_rejects_union_and_except() {
+        let r = TpRelation::new();
+        assert!(set_op(SetOp::Union, &r, &r).is_err());
+        assert!(set_op(SetOp::Except, &r, &r).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Criterion wrapper of Fig. 7a/7b/7c: the three TP set operations on the
+//! smaller synthetic datasets (single fact, overlap ≈ 0.6), all applicable
+//! approaches. Sizes are kept tiny so `cargo bench` terminates quickly; the
+//! `experiments` binary runs the full sweeps.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tp_baselines::Approach;
+use tp_core::ops::SetOp;
+use tp_core::relation::VarTable;
+use tp_workloads::SynthConfig;
+
+fn bench_fig7(c: &mut Criterion) {
+    for (op, approaches) in [
+        (
+            SetOp::Intersect,
+            vec![Approach::Lawa, Approach::Oip, Approach::Ti, Approach::Tpdb, Approach::Norm],
+        ),
+        (SetOp::Except, vec![Approach::Lawa, Approach::Norm]),
+        (
+            SetOp::Union,
+            vec![Approach::Lawa, Approach::Tpdb, Approach::Norm],
+        ),
+    ] {
+        let mut group = c.benchmark_group(format!("fig07/{}", op.name()));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(900));
+        for size in [500usize, 2_000] {
+            let mut vars = VarTable::new();
+            let (r, s) = tp_workloads::synth::generate(
+                &SynthConfig::single_fact(size, size as u64),
+                &mut vars,
+            );
+            for a in &approaches {
+                // Quadratic approaches only at the small size.
+                if matches!(a, Approach::Norm | Approach::Tpdb) && size > 500 {
+                    continue;
+                }
+                group.bench_with_input(
+                    BenchmarkId::new(a.name(), size),
+                    &size,
+                    |b, _| b.iter(|| a.run(op, &r, &s).expect("supported").len()),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

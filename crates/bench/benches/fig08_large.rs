@@ -1,0 +1,36 @@
+//! Criterion wrapper of Fig. 8: TP set intersection on the larger synthetic
+//! datasets — LAWA vs OIP, the only two approaches that scale past a few
+//! hundred thousand tuples.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tp_baselines::Approach;
+use tp_core::ops::SetOp;
+use tp_core::relation::VarTable;
+use tp_workloads::SynthConfig;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08/intersect");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for size in [50_000usize, 200_000] {
+        let mut vars = VarTable::new();
+        let (r, s) = tp_workloads::synth::generate(
+            &SynthConfig::single_fact(size, size as u64),
+            &mut vars,
+        );
+        group.throughput(Throughput::Elements(2 * size as u64));
+        for a in [Approach::Lawa, Approach::Oip] {
+            group.bench_with_input(BenchmarkId::new(a.name(), size), &size, |b, _| {
+                b.iter(|| a.run(SetOp::Intersect, &r, &s).expect("supported").len())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

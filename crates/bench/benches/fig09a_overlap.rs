@@ -1,0 +1,38 @@
+//! Criterion wrapper of Fig. 9a: robustness of TP set intersection against
+//! the overlapping factor. LAWA should be flat; OIP should climb as
+//! partitions densify.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tp_baselines::Approach;
+use tp_core::ops::SetOp;
+use tp_core::relation::VarTable;
+use tp_workloads::SynthConfig;
+
+fn bench_fig9a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig09a/overlap");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    let tuples = 50_000;
+    for factor in [0.03f64, 0.4, 0.8] {
+        let mut vars = VarTable::new();
+        let (r, s) = tp_workloads::synth::generate(
+            &SynthConfig::table3_preset(factor, tuples, 31),
+            &mut vars,
+        );
+        for a in [Approach::Lawa, Approach::Oip] {
+            group.bench_with_input(
+                BenchmarkId::new(a.name(), format!("{factor}")),
+                &factor,
+                |b, _| b.iter(|| a.run(SetOp::Intersect, &r, &s).expect("supported").len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9a);
+criterion_main!(benches);

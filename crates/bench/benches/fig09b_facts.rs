@@ -1,0 +1,42 @@
+//! Criterion wrapper of Fig. 9b: robustness of TP set intersection against
+//! the number of distinct facts — LAWA flat, the baselines drifting in both
+//! directions (OIP pays per-group setup with many facts; the joins pay
+//! unselective predicates with few facts).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tp_baselines::Approach;
+use tp_core::ops::SetOp;
+use tp_core::relation::VarTable;
+use tp_workloads::SynthConfig;
+
+fn bench_fig9b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig09b/facts");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    let tuples = 1_000;
+    for facts in [1usize, 10, 500] {
+        let mut vars = VarTable::new();
+        let (r, s) = tp_workloads::synth::generate(
+            &SynthConfig::with_facts(tuples, facts, 47),
+            &mut vars,
+        );
+        for a in Approach::ALL {
+            if !a.supports(SetOp::Intersect) {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(a.name(), format!("{facts}F")),
+                &facts,
+                |b, _| b.iter(|| a.run(SetOp::Intersect, &r, &s).expect("supported").len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9b);
+criterion_main!(benches);

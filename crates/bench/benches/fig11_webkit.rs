@@ -1,0 +1,52 @@
+//! Criterion wrapper of Fig. 11a–c: the three TP set operations over the
+//! (simulated) WebKit dataset — many facts, bursty commits — and its shifted
+//! counterpart.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tp_baselines::Approach;
+use tp_core::ops::SetOp;
+use tp_core::relation::VarTable;
+use tp_workloads::{shifted_copy, WebkitConfig};
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut vars = VarTable::new();
+    let r = tp_workloads::webkit::generate(
+        &WebkitConfig {
+            files: 1_500,
+            tuples: 5_000,
+            ..Default::default()
+        },
+        &mut vars,
+    );
+    let s = shifted_copy(&r, "s", 10_000, 5, &mut vars);
+    let r_small: tp_core::relation::TpRelation = r.iter().take(500).cloned().collect();
+    let s_small: tp_core::relation::TpRelation = s.iter().take(500).cloned().collect();
+
+    for op in SetOp::ALL {
+        let mut group = c.benchmark_group(format!("fig11/{}", op.name()));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_secs(1));
+        for a in Approach::ALL {
+            if !a.supports(op) {
+                continue;
+            }
+            let quadratic = matches!(a, Approach::Norm | Approach::Tpdb);
+            let (rr, ss, n) = if quadratic {
+                (&r_small, &s_small, 500)
+            } else {
+                (&r, &s, 5_000)
+            };
+            group.bench_with_input(BenchmarkId::new(a.name(), n), &n, |b, _| {
+                b.iter(|| a.run(op, rr, ss).expect("supported").len())
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! A tiny catalog tying named TP relations to a shared variable table.
+
+use std::collections::BTreeMap;
+
+use crate::error::{Error, Result};
+use crate::fact::Fact;
+use crate::interval::Interval;
+use crate::relation::{TpRelation, VarTable};
+
+/// An in-memory TP database: named duplicate-free relations plus the
+/// [`VarTable`] holding the marginal probability and label of every base
+/// tuple.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    vars: VarTable,
+    relations: BTreeMap<String, TpRelation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a base relation. Each row `(fact, interval, p)` becomes a
+    /// fresh lineage variable labelled `{name}{i}` (1-based), matching the
+    /// paper's `a1`, `a2`, … convention. Fails if the rows are not
+    /// duplicate-free or a probability is outside `(0, 1]`.
+    pub fn add_base_relation(
+        &mut self,
+        name: impl Into<String>,
+        rows: impl IntoIterator<Item = (Fact, Interval, f64)>,
+    ) -> Result<()> {
+        let name = name.into();
+        let rel = TpRelation::base(&name, rows, &mut self.vars)?;
+        self.relations.insert(name, rel);
+        Ok(())
+    }
+
+    /// Inserts an already-built (e.g. derived) relation after validating the
+    /// duplicate-free requirement.
+    pub fn add_relation(&mut self, name: impl Into<String>, rel: TpRelation) -> Result<()> {
+        rel.check_duplicate_free()?;
+        self.relations.insert(name.into(), rel);
+        Ok(())
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: &str) -> Result<&TpRelation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| Error::UnknownRelation(name.to_string()))
+    }
+
+    /// Names of the stored relations, sorted.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(|s| s.as_str())
+    }
+
+    /// The variable table (probabilities + labels of base tuples).
+    pub fn vars(&self) -> &VarTable {
+        &self.vars
+    }
+
+    /// Mutable access to the variable table (for registering extra
+    /// variables, e.g. when mixing in hand-built relations).
+    pub fn vars_mut(&mut self) -> &mut VarTable {
+        &mut self.vars
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut db = Database::new();
+        db.add_base_relation(
+            "a",
+            vec![(Fact::single("milk"), Interval::at(2, 10), 0.3)],
+        )
+        .unwrap();
+        assert_eq!(db.relation("a").unwrap().len(), 1);
+        assert!(matches!(
+            db.relation("zz"),
+            Err(Error::UnknownRelation(_))
+        ));
+        assert_eq!(db.relation_names().collect::<Vec<_>>(), vec!["a"]);
+    }
+
+    #[test]
+    fn labels_follow_relation_name() {
+        let mut db = Database::new();
+        db.add_base_relation(
+            "c",
+            vec![
+                (Fact::single("milk"), Interval::at(1, 4), 0.6),
+                (Fact::single("milk"), Interval::at(6, 8), 0.7),
+            ],
+        )
+        .unwrap();
+        let rel = db.relation("c").unwrap();
+        let first_var = rel.tuples()[0].lineage.vars().into_iter().next().unwrap();
+        assert_eq!(db.vars().label(first_var), "c1");
+    }
+
+    #[test]
+    fn base_relation_validation_propagates() {
+        let mut db = Database::new();
+        let err = db.add_base_relation(
+            "a",
+            vec![
+                (Fact::single("x"), Interval::at(1, 5), 0.5),
+                (Fact::single("x"), Interval::at(3, 8), 0.5),
+            ],
+        );
+        assert!(matches!(err, Err(Error::DuplicateFact { .. })));
+        let err = db.add_base_relation(
+            "b",
+            vec![(Fact::single("x"), Interval::at(1, 5), 1.5)],
+        );
+        assert!(matches!(err, Err(Error::InvalidProbability(_))));
+    }
+
+    #[test]
+    fn add_relation_validates() {
+        use crate::lineage::{Lineage, TupleId};
+        use crate::tuple::TpTuple;
+        let mut db = Database::new();
+        let bad: TpRelation = vec![
+            TpTuple::new("x", Lineage::var(TupleId(0)), Interval::at(1, 5)),
+            TpTuple::new("x", Lineage::var(TupleId(1)), Interval::at(2, 6)),
+        ]
+        .into_iter()
+        .collect();
+        assert!(db.add_relation("bad", bad).is_err());
+    }
+}

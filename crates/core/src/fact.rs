@@ -1,0 +1,121 @@
+//! Facts — the conventional attribute part `F = (A1, …, Am)` of a TP tuple.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// The conventional attributes of a tuple, e.g. `('milk')` in the paper's
+/// supermarket scenario.
+///
+/// A fact is an ordered sequence of [`Value`]s shared behind an `Arc`, so
+/// cloning a fact into output tuples and windows is O(1). Facts are totally
+/// ordered lexicographically — the first component of the `(F, Ts)` sort
+/// order required by LAWA.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fact(Arc<[Value]>);
+
+impl Fact {
+    /// Creates a fact from attribute values.
+    pub fn new(values: impl Into<Vec<Value>>) -> Self {
+        Fact(Arc::from(values.into().into_boxed_slice()))
+    }
+
+    /// Convenience constructor for the common single-attribute case.
+    pub fn single(value: impl Into<Value>) -> Self {
+        Fact::new(vec![value.into()])
+    }
+
+    /// The attribute values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Number of attributes (arity of the schema's fact part).
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Value of attribute `i`, if present.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.0.get(i)
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.len() == 1 {
+            return write!(f, "{}", self.0[0]);
+        }
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<&str> for Fact {
+    fn from(s: &str) -> Self {
+        Fact::single(s)
+    }
+}
+
+impl From<i64> for Fact {
+    fn from(v: i64) -> Self {
+        Fact::single(v)
+    }
+}
+
+impl From<Vec<Value>> for Fact {
+    fn from(v: Vec<Value>) -> Self {
+        Fact::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facts_compare_lexicographically() {
+        let a = Fact::new(vec![Value::str("a"), Value::int(1)]);
+        let b = Fact::new(vec![Value::str("a"), Value::int(2)]);
+        let c = Fact::new(vec![Value::str("b")]);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn single_and_from() {
+        assert_eq!(Fact::from("milk"), Fact::single("milk"));
+        assert_eq!(Fact::from(7), Fact::single(7i64));
+    }
+
+    #[test]
+    fn display_single_vs_composite() {
+        assert_eq!(Fact::single("milk").to_string(), "'milk'");
+        let f = Fact::new(vec![Value::str("milk"), Value::int(2)]);
+        assert_eq!(f.to_string(), "('milk', 2)");
+    }
+
+    #[test]
+    fn accessors() {
+        let f = Fact::new(vec![Value::str("x"), Value::int(3)]);
+        assert_eq!(f.arity(), 2);
+        assert_eq!(f.get(1), Some(&Value::int(3)));
+        assert_eq!(f.get(2), None);
+        assert_eq!(f.values().len(), 2);
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let f = Fact::single("milk");
+        let g = f.clone();
+        assert_eq!(f, g);
+        assert!(Arc::ptr_eq(&f.0, &g.0));
+    }
+}

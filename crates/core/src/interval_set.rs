@@ -1,0 +1,272 @@
+//! Sets of disjoint, coalesced intervals.
+//!
+//! Several pieces of the system reason about *coverage* — which time points
+//! a fact occupies in a relation: the duplicate-free requirement says each
+//! fact's tuples form such a set, the workload statistics need per-fact
+//! coverage, and the set-operation semantics of Definition 3 become plain
+//! set algebra on coverages once lineage is ignored. [`IntervalSet`] is that
+//! abstraction: an ordered list of pairwise disjoint, non-adjacent
+//! intervals, closed under union, intersection and difference.
+
+use std::fmt;
+
+use crate::interval::{Interval, TimePoint};
+
+/// An ordered set of disjoint, maximal (non-adjacent) intervals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntervalSet {
+    /// Sorted, disjoint, non-adjacent.
+    items: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from arbitrary intervals, merging overlaps and
+    /// adjacencies.
+    pub fn from_intervals(intervals: impl IntoIterator<Item = Interval>) -> Self {
+        let mut items: Vec<Interval> = intervals.into_iter().collect();
+        items.sort_by_key(|i| (i.start(), i.end()));
+        let mut out: Vec<Interval> = Vec::with_capacity(items.len());
+        for iv in items {
+            match out.last_mut() {
+                Some(last) if iv.start() <= last.end() => {
+                    if iv.end() > last.end() {
+                        *last = Interval::at(last.start(), iv.end());
+                    }
+                }
+                _ => out.push(iv),
+            }
+        }
+        IntervalSet { items: out }
+    }
+
+    /// The member intervals, sorted and disjoint.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.items
+    }
+
+    /// Whether the set covers no time point.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of maximal intervals.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Total number of covered time points.
+    pub fn covered_points(&self) -> i64 {
+        self.items.iter().map(|i| i.duration()).sum()
+    }
+
+    /// Whether the set covers time point `t`.
+    pub fn contains(&self, t: TimePoint) -> bool {
+        // Binary search on start points.
+        let idx = self.items.partition_point(|i| i.start() <= t);
+        idx > 0 && self.items[idx - 1].contains(t)
+    }
+
+    /// Inserts an interval, merging as needed.
+    pub fn insert(&mut self, iv: Interval) {
+        // Simplicity over micro-optimization: rebuild locally around the
+        // affected range.
+        let mut items = std::mem::take(&mut self.items);
+        items.push(iv);
+        *self = IntervalSet::from_intervals(items);
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        IntervalSet::from_intervals(self.items.iter().chain(other.items.iter()).copied())
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.items.len() && j < other.items.len() {
+            let a = self.items[i];
+            let b = other.items[j];
+            if let Some(iv) = a.intersect(&b) {
+                out.push(iv);
+            }
+            if a.end() <= b.end() {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet { items: out }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let mut j = 0usize; // first b not entirely before the current a
+        for &a in &self.items {
+            let mut cursor = a.start();
+            while j < other.items.len() && other.items[j].end() <= a.start() {
+                j += 1;
+            }
+            let mut k = j;
+            while k < other.items.len() && other.items[k].start() < a.end() {
+                let b = other.items[k];
+                if b.start() > cursor {
+                    out.push(Interval::at(cursor, b.start()));
+                }
+                cursor = cursor.max(b.end());
+                if cursor >= a.end() {
+                    break;
+                }
+                k += 1;
+            }
+            if cursor < a.end() {
+                out.push(Interval::at(cursor, a.end()));
+            }
+        }
+        IntervalSet { items: out }
+    }
+
+    /// The coverage of a fact within a relation: the (already disjoint)
+    /// intervals of every tuple carrying `fact`, coalesced.
+    pub fn coverage_of(rel: &crate::relation::TpRelation, fact: &crate::fact::Fact) -> IntervalSet {
+        IntervalSet::from_intervals(
+            rel.iter()
+                .filter(|t| &t.fact == fact)
+                .map(|t| t.interval),
+        )
+    }
+}
+
+impl fmt::Display for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, iv) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{iv}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Interval> for IntervalSet {
+    fn from_iter<I: IntoIterator<Item = Interval>>(iter: I) -> Self {
+        IntervalSet::from_intervals(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(pairs: &[(i64, i64)]) -> IntervalSet {
+        IntervalSet::from_intervals(pairs.iter().map(|&(s, e)| Interval::at(s, e)))
+    }
+
+    #[test]
+    fn construction_merges_overlaps_and_adjacency() {
+        let s = set(&[(5, 8), (1, 3), (3, 5), (10, 12)]);
+        assert_eq!(s.intervals(), &[Interval::at(1, 8), Interval::at(10, 12)]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.covered_points(), 9);
+    }
+
+    #[test]
+    fn contains_via_binary_search() {
+        let s = set(&[(1, 4), (10, 12)]);
+        assert!(s.contains(1));
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        assert!(s.contains(11));
+        assert!(!s.contains(9));
+        assert!(!s.contains(-5));
+        assert!(!IntervalSet::new().contains(0));
+    }
+
+    #[test]
+    fn insert_merges() {
+        let mut s = set(&[(1, 3), (7, 9)]);
+        s.insert(Interval::at(3, 7));
+        assert_eq!(s.intervals(), &[Interval::at(1, 9)]);
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let a = set(&[(1, 5), (8, 12)]);
+        let b = set(&[(3, 9), (11, 15)]);
+        assert_eq!(a.union(&b), set(&[(1, 15)]));
+        assert_eq!(a.intersect(&b), set(&[(3, 5), (8, 9), (11, 12)]));
+        assert_eq!(a.difference(&b), set(&[(1, 3), (9, 11)]));
+        assert_eq!(b.difference(&a), set(&[(5, 8), (12, 15)]));
+    }
+
+    #[test]
+    fn difference_with_containment() {
+        let a = set(&[(0, 10)]);
+        let b = set(&[(2, 3), (5, 7)]);
+        assert_eq!(a.difference(&b), set(&[(0, 2), (3, 5), (7, 10)]));
+        assert!(b.difference(&a).is_empty());
+        assert_eq!(a.difference(&IntervalSet::new()), a);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(set(&[(1, 3), (5, 6)]).to_string(), "{[1,3), [5,6)}");
+        assert_eq!(IntervalSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn pointwise_consistency_randomized() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..50 {
+            let gen = |rng: &mut StdRng| {
+                let n = rng.random_range(0..8usize);
+                IntervalSet::from_intervals((0..n).map(|_| {
+                    let s = rng.random_range(0..30i64);
+                    Interval::at(s, s + rng.random_range(1..6i64))
+                }))
+            };
+            let a = gen(&mut rng);
+            let b = gen(&mut rng);
+            let u = a.union(&b);
+            let i = a.intersect(&b);
+            let d = a.difference(&b);
+            for t in -2..40 {
+                assert_eq!(u.contains(t), a.contains(t) || b.contains(t), "∪ at {t}");
+                assert_eq!(i.contains(t), a.contains(t) && b.contains(t), "∩ at {t}");
+                assert_eq!(d.contains(t), a.contains(t) && !b.contains(t), "∖ at {t}");
+            }
+            // Results are canonical: disjoint and non-adjacent.
+            for s in [&u, &i, &d] {
+                for w in s.intervals().windows(2) {
+                    assert!(w[0].end() < w[1].start());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_of_fact() {
+        use crate::lineage::{Lineage, TupleId};
+        use crate::relation::TpRelation;
+        use crate::tuple::TpTuple;
+        let rel: TpRelation = vec![
+            TpTuple::new("a", Lineage::var(TupleId(0)), Interval::at(1, 3)),
+            TpTuple::new("a", Lineage::var(TupleId(1)), Interval::at(3, 6)),
+            TpTuple::new("b", Lineage::var(TupleId(2)), Interval::at(0, 9)),
+        ]
+        .into_iter()
+        .collect();
+        let cov = IntervalSet::coverage_of(&rel, &crate::fact::Fact::single("a"));
+        assert_eq!(cov.intervals(), &[Interval::at(1, 6)]);
+    }
+}

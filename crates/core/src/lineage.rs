@@ -1,0 +1,410 @@
+//! Data lineage: Boolean formulas over base-tuple identifiers.
+//!
+//! A lineage expression λ consists of tuple identifiers (Boolean random
+//! variables, assumed independent) and the connectives ¬, ∧, ∨ (§III). For a
+//! base tuple, λ is the atomic variable of the tuple itself; for result
+//! tuples, λ is built by the lineage-concatenation functions of Table I:
+//!
+//! ```text
+//! and(λ1, λ2)    = (λ1) ∧ (λ2)
+//! andNot(λ1, λ2) = (λ1)            if λ2 = null
+//!                  (λ1) ∧ ¬(λ2)    otherwise
+//! or(λ1, λ2)     = (λ1)            if λ2 = null
+//!                  (λ2)            if λ1 = null
+//!                  (λ1) ∨ (λ2)     otherwise
+//! ```
+//!
+//! "null" (no tuple valid) is modelled as `Option::None`; the functions are
+//! [`Lineage::and`], [`Lineage::and_not`] and [`Lineage::or_opt`].
+//!
+//! Equivalence of lineage expressions — needed by change preservation
+//! (Def. 2) — is checked *syntactically* (structural equality), exactly as
+//! the paper's implementation does (footnote 1: logical equivalence of
+//! Boolean formulas is co-NP-complete).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a base tuple, acting as an independent Boolean random
+/// variable in lineage formulas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TupleId(pub u64);
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A Boolean lineage formula.
+///
+/// Children are `Arc`-shared: cloning a lineage (which happens for every
+/// window and every output tuple) is a refcount bump. Connectives are binary,
+/// mirroring the shape produced by the Table I concatenation functions, so
+/// that structural equality between independently computed results (LAWA vs.
+/// the snapshot oracle vs. the baselines) is meaningful.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Lineage {
+    /// An atomic base-tuple variable.
+    Var(TupleId),
+    /// Negation ¬λ.
+    Not(Arc<Lineage>),
+    /// Conjunction (λ1) ∧ (λ2).
+    And(Arc<Lineage>, Arc<Lineage>),
+    /// Disjunction (λ1) ∨ (λ2).
+    Or(Arc<Lineage>, Arc<Lineage>),
+}
+
+impl Lineage {
+    /// The atomic lineage of a base tuple.
+    pub fn var(id: TupleId) -> Self {
+        Lineage::Var(id)
+    }
+
+    /// ¬λ.
+    pub fn negate(self) -> Self {
+        Lineage::Not(Arc::new(self))
+    }
+
+    /// Table I `and`: `(λ1) ∧ (λ2)`. Used by `∩Tp`.
+    pub fn and(l1: &Lineage, l2: &Lineage) -> Lineage {
+        Lineage::And(Arc::new(l1.clone()), Arc::new(l2.clone()))
+    }
+
+    /// Table I `andNot`: `(λ1)` if λ2 is null, else `(λ1) ∧ ¬(λ2)`.
+    /// Used by `−Tp`.
+    pub fn and_not(l1: &Lineage, l2: Option<&Lineage>) -> Lineage {
+        match l2 {
+            None => l1.clone(),
+            Some(l2) => Lineage::And(
+                Arc::new(l1.clone()),
+                Arc::new(Lineage::Not(Arc::new(l2.clone()))),
+            ),
+        }
+    }
+
+    /// Table I `or`: null-tolerant disjunction. Returns `None` only when
+    /// both operands are null. Used by `∪Tp`.
+    pub fn or_opt(l1: Option<&Lineage>, l2: Option<&Lineage>) -> Option<Lineage> {
+        match (l1, l2) {
+            (None, None) => None,
+            (Some(l1), None) => Some(l1.clone()),
+            (None, Some(l2)) => Some(l2.clone()),
+            (Some(l1), Some(l2)) => Some(Lineage::Or(
+                Arc::new(l1.clone()),
+                Arc::new(l2.clone()),
+            )),
+        }
+    }
+
+    /// Plain binary disjunction (both operands present).
+    pub fn or(l1: &Lineage, l2: &Lineage) -> Lineage {
+        Lineage::Or(Arc::new(l1.clone()), Arc::new(l2.clone()))
+    }
+
+    /// Collects the distinct variables of the formula, in ascending order.
+    pub fn vars(&self) -> BTreeSet<TupleId> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<TupleId>) {
+        match self {
+            Lineage::Var(id) => {
+                out.insert(*id);
+            }
+            Lineage::Not(c) => c.collect_vars(out),
+            Lineage::And(a, b) | Lineage::Or(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Total number of variable *occurrences* (with multiplicity).
+    pub fn var_occurrences(&self) -> usize {
+        match self {
+            Lineage::Var(_) => 1,
+            Lineage::Not(c) => c.var_occurrences(),
+            Lineage::And(a, b) | Lineage::Or(a, b) => {
+                a.var_occurrences() + b.var_occurrences()
+            }
+        }
+    }
+
+    /// Whether the formula is in one-occurrence form (1OF): no tuple
+    /// identifier occurs more than once (§V-B). Marginal probabilities of
+    /// 1OF formulas over independent variables are computable in linear time
+    /// (Corollary 1).
+    pub fn is_one_occurrence_form(&self) -> bool {
+        fn rec(l: &Lineage, seen: &mut BTreeSet<TupleId>) -> bool {
+            match l {
+                Lineage::Var(id) => seen.insert(*id),
+                Lineage::Not(c) => rec(c, seen),
+                Lineage::And(a, b) | Lineage::Or(a, b) => rec(a, seen) && rec(b, seen),
+            }
+        }
+        let mut seen = BTreeSet::new();
+        rec(self, &mut seen)
+    }
+
+    /// Number of nodes in the formula tree.
+    pub fn size(&self) -> usize {
+        match self {
+            Lineage::Var(_) => 1,
+            Lineage::Not(c) => 1 + c.size(),
+            Lineage::And(a, b) | Lineage::Or(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// Evaluates the formula under a truth assignment of the variables.
+    pub fn eval(&self, assignment: &impl Fn(TupleId) -> bool) -> bool {
+        match self {
+            Lineage::Var(id) => assignment(*id),
+            Lineage::Not(c) => !c.eval(assignment),
+            Lineage::And(a, b) => a.eval(assignment) && b.eval(assignment),
+            Lineage::Or(a, b) => a.eval(assignment) || b.eval(assignment),
+        }
+    }
+
+    /// Substitutes a truth value for a variable and simplifies constants
+    /// away. Returns `Ok(simplified)` or `Err(value)` when the whole formula
+    /// collapses to the constant `value`. Used by Shannon expansion in
+    /// [`crate::prob`].
+    pub fn condition(&self, var: TupleId, value: bool) -> std::result::Result<Lineage, bool> {
+        match self {
+            Lineage::Var(id) => {
+                if *id == var {
+                    Err(value)
+                } else {
+                    Ok(self.clone())
+                }
+            }
+            Lineage::Not(c) => match c.condition(var, value) {
+                Ok(l) => Ok(Lineage::Not(Arc::new(l))),
+                Err(v) => Err(!v),
+            },
+            Lineage::And(a, b) => match (a.condition(var, value), b.condition(var, value)) {
+                (Err(false), _) | (_, Err(false)) => Err(false),
+                (Err(true), Ok(l)) | (Ok(l), Err(true)) => Ok(l),
+                (Err(true), Err(true)) => Err(true),
+                (Ok(l), Ok(r)) => Ok(Lineage::And(Arc::new(l), Arc::new(r))),
+            },
+            Lineage::Or(a, b) => match (a.condition(var, value), b.condition(var, value)) {
+                (Err(true), _) | (_, Err(true)) => Err(true),
+                (Err(false), Ok(l)) | (Ok(l), Err(false)) => Ok(l),
+                (Err(false), Err(false)) => Err(false),
+                (Ok(l), Ok(r)) => Ok(Lineage::Or(Arc::new(l), Arc::new(r))),
+            },
+        }
+    }
+
+    /// Renders the formula with a custom variable labeller (e.g. the paper's
+    /// `a1`, `c2` names from a [`crate::relation::VarTable`]).
+    pub fn display_with<'a, F>(&'a self, label: F) -> LineageDisplay<'a, F>
+    where
+        F: Fn(TupleId) -> String,
+    {
+        LineageDisplay { lineage: self, label }
+    }
+}
+
+impl fmt::Display for Lineage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_with(|id| format!("t{}", id.0)))
+    }
+}
+
+/// Display adapter produced by [`Lineage::display_with`].
+pub struct LineageDisplay<'a, F> {
+    lineage: &'a Lineage,
+    label: F,
+}
+
+impl<F> LineageDisplay<'_, F>
+where
+    F: Fn(TupleId) -> String,
+{
+    fn fmt_rec(&self, l: &Lineage, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
+        // Precedence: Not > And > Or. Parenthesize when a child binds looser
+        // than its parent, matching the paper's rendering c1∧¬(a1∨b1).
+        let prec = match l {
+            Lineage::Var(_) => 3,
+            Lineage::Not(_) => 2,
+            Lineage::And(_, _) => 1,
+            Lineage::Or(_, _) => 0,
+        };
+        let needs_parens = prec < parent;
+        if needs_parens {
+            write!(f, "(")?;
+        }
+        match l {
+            Lineage::Var(id) => write!(f, "{}", (self.label)(*id))?,
+            Lineage::Not(c) => {
+                write!(f, "¬")?;
+                self.fmt_rec(c, f, 2)?;
+            }
+            Lineage::And(a, b) => {
+                self.fmt_rec(a, f, 1)?;
+                write!(f, "∧")?;
+                self.fmt_rec(b, f, 1)?;
+            }
+            Lineage::Or(a, b) => {
+                self.fmt_rec(a, f, 0)?;
+                write!(f, "∨")?;
+                self.fmt_rec(b, f, 0)?;
+            }
+        }
+        if needs_parens {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl<F> fmt::Display for LineageDisplay<'_, F>
+where
+    F: Fn(TupleId) -> String,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_rec(self.lineage, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u64) -> Lineage {
+        Lineage::var(TupleId(i))
+    }
+
+    #[test]
+    fn table1_and() {
+        let l = Lineage::and(&v(1), &v(2));
+        assert_eq!(l.to_string(), "t1∧t2");
+    }
+
+    #[test]
+    fn table1_and_not_with_null() {
+        // andNot(λ1, null) = λ1
+        assert_eq!(Lineage::and_not(&v(1), None), v(1));
+        // andNot(λ1, λ2) = λ1 ∧ ¬λ2
+        assert_eq!(Lineage::and_not(&v(1), Some(&v(2))).to_string(), "t1∧¬t2");
+    }
+
+    #[test]
+    fn table1_or_null_cases() {
+        assert_eq!(Lineage::or_opt(None, None), None);
+        assert_eq!(Lineage::or_opt(Some(&v(1)), None), Some(v(1)));
+        assert_eq!(Lineage::or_opt(None, Some(&v(2))), Some(v(2)));
+        assert_eq!(
+            Lineage::or_opt(Some(&v(1)), Some(&v(2))).unwrap().to_string(),
+            "t1∨t2"
+        );
+    }
+
+    #[test]
+    fn paper_example_rendering() {
+        // c2 ∧ ¬(a1 ∨ b1) from Fig. 1c.
+        let c2 = v(6);
+        let a1 = v(1);
+        let b1 = v(4);
+        let l = Lineage::and_not(&c2, Lineage::or_opt(Some(&a1), Some(&b1)).as_ref());
+        let rendered = l
+            .display_with(|id| match id.0 {
+                1 => "a1".into(),
+                4 => "b1".into(),
+                6 => "c2".into(),
+                _ => unreachable!(),
+            })
+            .to_string();
+        assert_eq!(rendered, "c2∧¬(a1∨b1)");
+    }
+
+    #[test]
+    fn vars_and_occurrences() {
+        let l = Lineage::and(&Lineage::or(&v(1), &v(2)), &v(1));
+        assert_eq!(
+            l.vars().into_iter().collect::<Vec<_>>(),
+            vec![TupleId(1), TupleId(2)]
+        );
+        assert_eq!(l.var_occurrences(), 3);
+        assert_eq!(l.size(), 5);
+    }
+
+    #[test]
+    fn one_occurrence_form_detection() {
+        assert!(v(1).is_one_occurrence_form());
+        assert!(Lineage::and(&v(1), &v(2)).is_one_occurrence_form());
+        assert!(Lineage::and_not(&v(1), Some(&Lineage::or(&v(2), &v(3))))
+            .is_one_occurrence_form());
+        // Repeated variable => not 1OF.
+        assert!(!Lineage::and(&v(1), &v(1)).is_one_occurrence_form());
+        assert!(!Lineage::or(&Lineage::and(&v(1), &v(2)), &v(2)).is_one_occurrence_form());
+    }
+
+    #[test]
+    fn eval_truth_tables() {
+        let l = Lineage::and_not(&v(1), Some(&v(2)));
+        let assign = |a: bool, b: bool| move |id: TupleId| if id.0 == 1 { a } else { b };
+        assert!(l.eval(&assign(true, false)));
+        assert!(!l.eval(&assign(true, true)));
+        assert!(!l.eval(&assign(false, false)));
+
+        let l = Lineage::or(&v(1), &v(2));
+        assert!(l.eval(&assign(false, true)));
+        assert!(!l.eval(&assign(false, false)));
+    }
+
+    #[test]
+    fn condition_simplifies() {
+        // (t1 ∧ t2) | t1=true  =>  t2
+        let l = Lineage::and(&v(1), &v(2));
+        assert_eq!(l.condition(TupleId(1), true), Ok(v(2)));
+        // (t1 ∧ t2) | t1=false =>  false
+        assert_eq!(l.condition(TupleId(1), false), Err(false));
+        // (t1 ∨ t2) | t1=true  =>  true
+        let l = Lineage::or(&v(1), &v(2));
+        assert_eq!(l.condition(TupleId(1), true), Err(true));
+        // ¬t1 | t1=false => true
+        assert_eq!(v(1).negate().condition(TupleId(1), false), Err(true));
+        // unrelated var untouched
+        assert_eq!(v(1).condition(TupleId(9), true), Ok(v(1)));
+    }
+
+    #[test]
+    fn condition_nested() {
+        // t1 ∧ ¬(t2 ∨ t3) | t2=false => t1 ∧ ¬t3
+        let l = Lineage::and_not(&v(1), Some(&Lineage::or(&v(2), &v(3))));
+        let got = l.condition(TupleId(2), false).unwrap();
+        assert_eq!(got, Lineage::and_not(&v(1), Some(&v(3))));
+        // ... | t2=true => false
+        assert_eq!(l.condition(TupleId(2), true), Err(false));
+    }
+
+    #[test]
+    fn structural_equality_is_syntactic() {
+        // t1 ∨ t2 and t2 ∨ t1 are logically equivalent but syntactically
+        // different — the paper's implementation (and ours) treats them as
+        // different lineages.
+        assert_ne!(Lineage::or(&v(1), &v(2)), Lineage::or(&v(2), &v(1)));
+        assert_eq!(Lineage::or(&v(1), &v(2)), Lineage::or(&v(1), &v(2)));
+    }
+
+    #[test]
+    fn display_parenthesization() {
+        // Or under And gets parens; And under Or does not need them.
+        let or_under_and = Lineage::and(&Lineage::or(&v(1), &v(2)), &v(3));
+        assert_eq!(or_under_and.to_string(), "(t1∨t2)∧t3");
+        let and_under_or = Lineage::or(&Lineage::and(&v(1), &v(2)), &v(3));
+        assert_eq!(and_under_or.to_string(), "t1∧t2∨t3");
+        let not_var = v(1).negate();
+        assert_eq!(not_var.to_string(), "¬t1");
+        let not_of_and = Lineage::and(&v(1), &v(2)).negate();
+        assert_eq!(not_of_and.to_string(), "¬(t1∧t2)");
+    }
+}

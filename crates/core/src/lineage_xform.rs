@@ -1,0 +1,181 @@
+//! Lineage transformations: negation normal form and conservative
+//! simplification.
+//!
+//! The set operators never rewrite lineage — change preservation compares
+//! formulas *syntactically*, so rewriting mid-pipeline would change
+//! coalescing behaviour. These transformations are for the consumers of
+//! lineage: probability engines (NNF is the usual entry format for
+//! knowledge-compilation backends) and applications that display or store
+//! formulas and want them small.
+
+use std::sync::Arc;
+
+use crate::lineage::Lineage;
+
+impl Lineage {
+    /// Rewrites the formula into negation normal form: negations appear only
+    /// directly above variables (De Morgan + double-negation elimination).
+    /// The result is logically equivalent.
+    pub fn to_nnf(&self) -> Lineage {
+        fn rec(l: &Lineage, negated: bool) -> Lineage {
+            match l {
+                Lineage::Var(id) => {
+                    if negated {
+                        Lineage::Not(Arc::new(Lineage::Var(*id)))
+                    } else {
+                        Lineage::Var(*id)
+                    }
+                }
+                Lineage::Not(c) => rec(c, !negated),
+                Lineage::And(a, b) => {
+                    let (la, lb) = (rec(a, negated), rec(b, negated));
+                    if negated {
+                        Lineage::Or(Arc::new(la), Arc::new(lb))
+                    } else {
+                        Lineage::And(Arc::new(la), Arc::new(lb))
+                    }
+                }
+                Lineage::Or(a, b) => {
+                    let (la, lb) = (rec(a, negated), rec(b, negated));
+                    if negated {
+                        Lineage::And(Arc::new(la), Arc::new(lb))
+                    } else {
+                        Lineage::Or(Arc::new(la), Arc::new(lb))
+                    }
+                }
+            }
+        }
+        rec(self, false)
+    }
+
+    /// Conservative simplification: removes double negations and collapses
+    /// syntactically identical operands of a connective (idempotence:
+    /// `λ ∧ λ → λ`, `λ ∨ λ → λ`). Logically equivalent to the input; does
+    /// *not* attempt equivalence reasoning (co-NP-complete, footnote 1).
+    pub fn simplify(&self) -> Lineage {
+        match self {
+            Lineage::Var(_) => self.clone(),
+            Lineage::Not(c) => match c.simplify() {
+                Lineage::Not(inner) => (*inner).clone(),
+                other => Lineage::Not(Arc::new(other)),
+            },
+            Lineage::And(a, b) => {
+                let (sa, sb) = (a.simplify(), b.simplify());
+                if sa == sb {
+                    sa
+                } else {
+                    Lineage::And(Arc::new(sa), Arc::new(sb))
+                }
+            }
+            Lineage::Or(a, b) => {
+                let (sa, sb) = (a.simplify(), b.simplify());
+                if sa == sb {
+                    sa
+                } else {
+                    Lineage::Or(Arc::new(sa), Arc::new(sb))
+                }
+            }
+        }
+    }
+
+    /// Whether negations occur only directly above variables.
+    pub fn is_nnf(&self) -> bool {
+        match self {
+            Lineage::Var(_) => true,
+            Lineage::Not(c) => matches!(**c, Lineage::Var(_)),
+            Lineage::And(a, b) | Lineage::Or(a, b) => a.is_nnf() && b.is_nnf(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::TupleId;
+    use crate::relation::VarTable;
+
+    fn v(i: u64) -> Lineage {
+        Lineage::var(TupleId(i))
+    }
+
+    fn vt(n: u64) -> VarTable {
+        let mut vt = VarTable::new();
+        for i in 0..n {
+            vt.register(format!("t{i}"), 0.3 + 0.1 * (i % 7) as f64).unwrap();
+        }
+        vt
+    }
+
+    #[test]
+    fn nnf_pushes_negation_to_leaves() {
+        // ¬(t0 ∧ (t1 ∨ ¬t2)) → ¬t0 ∨ (¬t1 ∧ t2)
+        let l = Lineage::and(&v(0), &Lineage::or(&v(1), &v(2).negate())).negate();
+        let nnf = l.to_nnf();
+        assert!(nnf.is_nnf());
+        assert_eq!(nnf.to_string(), "¬t0∨¬t1∧t2");
+    }
+
+    #[test]
+    fn nnf_preserves_semantics() {
+        let vars = vt(4);
+        let cases = [
+            Lineage::and_not(&v(0), Some(&Lineage::or(&v(1), &v(2)))),
+            Lineage::or(&Lineage::and(&v(0), &v(1)), &v(2)).negate().negate(),
+            Lineage::and(&v(0), &v(0)).negate(),
+            v(3).negate(),
+        ];
+        for l in cases {
+            let nnf = l.to_nnf();
+            assert!(nnf.is_nnf(), "{nnf}");
+            // Same truth table over all 2^4 worlds.
+            for world in 0u32..16 {
+                let assign = |id: TupleId| world >> id.0 & 1 == 1;
+                assert_eq!(l.eval(&assign), nnf.eval(&assign), "{l} vs {nnf} @ {world:b}");
+            }
+            // Same probability.
+            let p1 = crate::prob::exact(&l, &vars).unwrap();
+            let p2 = crate::prob::exact(&nnf, &vars).unwrap();
+            assert!((p1 - p2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn simplify_removes_double_negation_and_idempotence() {
+        assert_eq!(v(0).negate().negate().simplify(), v(0));
+        assert_eq!(Lineage::and(&v(0), &v(0)).simplify(), v(0));
+        assert_eq!(Lineage::or(&v(1), &v(1)).simplify(), v(1));
+        // Nested: ¬¬(t0 ∨ t0) → t0
+        let l = Lineage::or(&v(0), &v(0)).negate().negate();
+        assert_eq!(l.simplify(), v(0));
+        // Non-identical operands untouched.
+        let l = Lineage::and(&v(0), &v(1));
+        assert_eq!(l.simplify(), l);
+    }
+
+    #[test]
+    fn simplify_preserves_semantics() {
+        let vars = vt(3);
+        let l = Lineage::and(
+            &Lineage::or(&v(0), &v(0)),
+            &Lineage::and(&v(1), &v(2)).negate().negate(),
+        );
+        let s = l.simplify();
+        assert!(s.size() < l.size());
+        for world in 0u32..8 {
+            let assign = |id: TupleId| world >> id.0 & 1 == 1;
+            assert_eq!(l.eval(&assign), s.eval(&assign));
+        }
+        let p1 = crate::prob::exact(&l, &vars).unwrap();
+        let p2 = crate::prob::exact(&s, &vars).unwrap();
+        assert!((p1 - p2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn is_nnf_detection() {
+        assert!(v(0).is_nnf());
+        assert!(v(0).negate().is_nnf());
+        assert!(Lineage::and(&v(0).negate(), &v(1)).is_nnf());
+        assert!(!Lineage::and(&v(0), &v(1)).negate().is_nnf());
+        assert!(!v(0).negate().negate().is_nnf());
+    }
+}

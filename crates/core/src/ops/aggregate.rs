@@ -1,0 +1,187 @@
+//! Temporal-probabilistic aggregation: expected counts over time.
+//!
+//! Temporal aggregation is the operation the Timeline Index was originally
+//! built for (paper ref [12]) and part of the "full relational algebra" the
+//! paper leaves as future work. Under the possible-worlds semantics the
+//! *count* of facts valid at a time point is a random variable; its
+//! expectation is the sum of the marginal probabilities of the lineages
+//! valid there (linearity of expectation — no independence needed).
+//!
+//! [`expected_count`] computes that expectation as a step function over
+//! time: a sweep over start/end events maintains the running sum of
+//! marginals, emitting one segment per change — `O(n log n)` after the
+//! per-tuple probability valuations.
+
+use std::collections::BTreeMap;
+
+use crate::error::Result;
+use crate::interval::{Interval, TimePoint};
+use crate::relation::{TpRelation, VarTable};
+
+/// One step of the expected-count function: over `interval`, the expected
+/// number of valid facts is `expected`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountStep {
+    /// The time segment.
+    pub interval: Interval,
+    /// Expected number of facts valid during the segment.
+    pub expected: f64,
+}
+
+/// E[count of facts valid at t] as a step function, covering exactly the
+/// time points where the expectation is non-zero.
+pub fn expected_count(rel: &TpRelation, vars: &VarTable) -> Result<Vec<CountStep>> {
+    // Marginal per tuple, then a delta sweep.
+    let mut deltas: BTreeMap<TimePoint, f64> = BTreeMap::new();
+    for t in rel.iter() {
+        let p = crate::prob::marginal(&t.lineage, vars)?;
+        *deltas.entry(t.interval.start()).or_default() += p;
+        *deltas.entry(t.interval.end()).or_default() -= p;
+    }
+    let mut out = Vec::new();
+    let mut running = 0.0f64;
+    let mut prev: Option<TimePoint> = None;
+    for (&at, &d) in &deltas {
+        if let Some(p) = prev {
+            // Floating-point dust from the running sum must not emit
+            // spurious segments.
+            if running.abs() > 1e-12 {
+                out.push(CountStep {
+                    interval: Interval::at(p, at),
+                    expected: running,
+                });
+            }
+        }
+        running += d;
+        prev = Some(at);
+    }
+    debug_assert!(running.abs() < 1e-9, "deltas must cancel");
+    // Merge numerically identical adjacent steps (e.g. a tuple ending and an
+    // equally probable one starting at the same point).
+    let mut merged: Vec<CountStep> = Vec::with_capacity(out.len());
+    for step in out {
+        match merged.last_mut() {
+            Some(last)
+                if last.interval.end() == step.interval.start()
+                    && (last.expected - step.expected).abs() < 1e-12 =>
+            {
+                last.interval = last.interval.hull(&step.interval);
+            }
+            _ => merged.push(step),
+        }
+    }
+    Ok(merged)
+}
+
+/// `E[count]` at a single time point — the aggregation analogue of the
+/// timeslice operator.
+pub fn expected_count_at(rel: &TpRelation, vars: &VarTable, at: TimePoint) -> Result<f64> {
+    let mut sum = 0.0;
+    for t in rel.iter() {
+        if t.interval.contains(at) {
+            sum += crate::prob::marginal(&t.lineage, vars)?;
+        }
+    }
+    Ok(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::Fact;
+
+    fn setup() -> (TpRelation, VarTable) {
+        let mut vars = VarTable::new();
+        let rel = TpRelation::base(
+            "r",
+            vec![
+                (Fact::single("a"), Interval::at(1, 5), 0.5),
+                (Fact::single("b"), Interval::at(3, 7), 0.25),
+                (Fact::single("c"), Interval::at(10, 12), 1.0),
+            ],
+            &mut vars,
+        )
+        .unwrap();
+        (rel, vars)
+    }
+
+    #[test]
+    fn step_function_shape() {
+        let (rel, vars) = setup();
+        let steps = expected_count(&rel, &vars).unwrap();
+        let described: Vec<(i64, i64, f64)> = steps
+            .iter()
+            .map(|s| (s.interval.start(), s.interval.end(), s.expected))
+            .collect();
+        assert_eq!(
+            described,
+            vec![
+                (1, 3, 0.5),
+                (3, 5, 0.75),
+                (5, 7, 0.25),
+                (10, 12, 1.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn point_queries_agree_with_steps() {
+        let (rel, vars) = setup();
+        let steps = expected_count(&rel, &vars).unwrap();
+        for t in 0..14 {
+            let direct = expected_count_at(&rel, &vars, t).unwrap();
+            let via_steps = steps
+                .iter()
+                .find(|s| s.interval.contains(t))
+                .map(|s| s.expected)
+                .unwrap_or(0.0);
+            assert!((direct - via_steps).abs() < 1e-12, "t={t}");
+        }
+    }
+
+    #[test]
+    fn empty_relation_has_no_steps() {
+        let vars = VarTable::new();
+        assert!(expected_count(&TpRelation::new(), &vars).unwrap().is_empty());
+    }
+
+    #[test]
+    fn works_on_derived_relations() {
+        // Expected count over a union: lineage marginals, not stored p.
+        let mut vars = VarTable::new();
+        let r = TpRelation::base(
+            "r",
+            vec![(Fact::single("x"), Interval::at(1, 5), 0.5)],
+            &mut vars,
+        )
+        .unwrap();
+        let s = TpRelation::base(
+            "s",
+            vec![(Fact::single("x"), Interval::at(3, 8), 0.5)],
+            &mut vars,
+        )
+        .unwrap();
+        let u = crate::ops::union(&r, &s);
+        let steps = expected_count(&u, &vars).unwrap();
+        // [1,3): 0.5; [3,5): 1-(0.5)(0.5)=0.75; [5,8): 0.5.
+        assert_eq!(steps.len(), 3);
+        assert!((steps[1].expected - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_probability_handover_merges_steps() {
+        let mut vars = VarTable::new();
+        let rel = TpRelation::base(
+            "r",
+            vec![
+                (Fact::single("a"), Interval::at(1, 4), 0.5),
+                (Fact::single("a"), Interval::at(4, 9), 0.5),
+            ],
+            &mut vars,
+        )
+        .unwrap();
+        let steps = expected_count(&rel, &vars).unwrap();
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].interval, Interval::at(1, 9));
+    }
+}

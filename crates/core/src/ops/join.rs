@@ -1,0 +1,268 @@
+//! Temporal-probabilistic equi-join — another step toward the "full
+//! relational algebra" of the paper's future work.
+//!
+//! `r ⋈Tp s` pairs tuples whose facts agree on the join attributes and
+//! whose intervals overlap. The output tuple carries the concatenation of
+//! both facts (join attributes once), the interval intersection, and the
+//! lineage conjunction `and(λr, λs)` — the same lineage rule as `∩Tp`,
+//! which is exactly the special case of joining on *all* attributes.
+//!
+//! Duplicate-freeness is preserved by construction: two output tuples with
+//! the same combined fact stem from the same `(r fact, s fact)` pair, whose
+//! source tuples are disjoint per relation, so the pairwise interval
+//! intersections are disjoint too.
+//!
+//! The implementation groups by join key and merges the per-key interval
+//! chains with a two-pointer sweep: `O(n log n + output)`.
+
+use std::collections::HashMap;
+
+use crate::fact::Fact;
+use crate::lineage::Lineage;
+use crate::relation::TpRelation;
+use crate::tuple::TpTuple;
+use crate::value::Value;
+
+/// `r ⋈Tp s` on `r_cols` = `s_cols` (attribute-position lists of equal
+/// length). The output fact layout is: `r`'s attributes in order, followed
+/// by `s`'s non-join attributes in order.
+pub fn join(r: &TpRelation, s: &TpRelation, r_cols: &[usize], s_cols: &[usize]) -> TpRelation {
+    assert_eq!(r_cols.len(), s_cols.len(), "join key arity mismatch");
+
+    let key_of = |fact: &Fact, cols: &[usize]| -> Option<Vec<Value>> {
+        cols.iter().map(|&c| fact.get(c).cloned()).collect()
+    };
+
+    // Group both sides by join key; tuples with missing key attributes
+    // never join (SQL-like semantics for malformed facts).
+    let mut s_groups: HashMap<Vec<Value>, Vec<&TpTuple>> = HashMap::new();
+    for t in s.iter() {
+        if let Some(key) = key_of(&t.fact, s_cols) {
+            s_groups.entry(key).or_default().push(t);
+        }
+    }
+    let mut r_groups: HashMap<Vec<Value>, Vec<&TpTuple>> = HashMap::new();
+    for t in r.iter() {
+        if let Some(key) = key_of(&t.fact, r_cols) {
+            r_groups.entry(key).or_default().push(t);
+        }
+    }
+
+    let mut out: Vec<TpTuple> = Vec::new();
+    for (key, r_members) in &r_groups {
+        let Some(s_members) = s_groups.get(key) else {
+            continue;
+        };
+        // Sub-group by the full fact pair: within one (r fact, s fact)
+        // combination the interval chains are disjoint and sorted, so a
+        // two-pointer merge finds the overlaps in linear time.
+        let mut r_by_fact: HashMap<&Fact, Vec<&TpTuple>> = HashMap::new();
+        for t in r_members {
+            r_by_fact.entry(&t.fact).or_default().push(t);
+        }
+        let mut s_by_fact: HashMap<&Fact, Vec<&TpTuple>> = HashMap::new();
+        for t in s_members {
+            s_by_fact.entry(&t.fact).or_default().push(t);
+        }
+        for (rf, r_chain) in &mut r_by_fact {
+            r_chain.sort_by_key(|t| t.interval.start());
+            for (sf, s_chain) in &mut s_by_fact {
+                s_chain.sort_by_key(|t| t.interval.start());
+                let combined = combine_facts(rf, sf, s_cols);
+                merge_chains(r_chain, s_chain, &combined, &mut out);
+            }
+        }
+    }
+    let rel: TpRelation = out.into_iter().collect();
+    rel.canonicalized()
+}
+
+/// Natural-join shorthand: join on the shared attribute *positions*
+/// `0..min(arity)` when both relations have single-attribute facts — the
+/// common "same fact key" case.
+pub fn join_on_first(r: &TpRelation, s: &TpRelation) -> TpRelation {
+    join(r, s, &[0], &[0])
+}
+
+fn combine_facts(rf: &Fact, sf: &Fact, s_cols: &[usize]) -> Fact {
+    let mut values: Vec<Value> = rf.values().to_vec();
+    for (i, v) in sf.values().iter().enumerate() {
+        if !s_cols.contains(&i) {
+            values.push(v.clone());
+        }
+    }
+    Fact::new(values)
+}
+
+fn merge_chains(
+    r_chain: &[&TpTuple],
+    s_chain: &[&TpTuple],
+    fact: &Fact,
+    out: &mut Vec<TpTuple>,
+) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < r_chain.len() && j < s_chain.len() {
+        let a = r_chain[i];
+        let b = s_chain[j];
+        if let Some(overlap) = a.interval.intersect(&b.interval) {
+            out.push(TpTuple::new(
+                fact.clone(),
+                Lineage::and(&a.lineage, &b.lineage),
+                overlap,
+            ));
+        }
+        if a.interval.end() <= b.interval.end() {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Interval;
+    use crate::relation::VarTable;
+
+    /// products(product, supplier) × orders(product, customer).
+    fn setup() -> (TpRelation, TpRelation, VarTable) {
+        let mut vars = VarTable::new();
+        let pf = |p: &str, x: &str| Fact::new(vec![Value::str(p), Value::str(x)]);
+        let products = TpRelation::base(
+            "p",
+            vec![
+                (pf("milk", "alpco"), Interval::at(1, 6), 0.9),
+                (pf("milk", "bmilk"), Interval::at(4, 9), 0.8),
+                (pf("chips", "crisp"), Interval::at(0, 5), 0.7),
+            ],
+            &mut vars,
+        )
+        .unwrap();
+        let orders = TpRelation::base(
+            "o",
+            vec![
+                (pf("milk", "carol"), Interval::at(2, 7), 0.6),
+                (pf("soda", "dave"), Interval::at(0, 9), 0.5),
+            ],
+            &mut vars,
+        )
+        .unwrap();
+        (products, orders, vars)
+    }
+
+    #[test]
+    fn equi_join_combines_facts_and_intersects_intervals() {
+        let (products, orders, _) = setup();
+        let out = join(&products, &orders, &[0], &[0]).canonicalized();
+        // milk×carol joins with both suppliers; soda matches nothing.
+        assert_eq!(out.len(), 2);
+        for t in out.iter() {
+            assert_eq!(t.fact.arity(), 3); // product, supplier, customer
+            assert_eq!(t.fact.get(0), Some(&Value::str("milk")));
+        }
+        let intervals: Vec<Interval> = out.iter().map(|t| t.interval).collect();
+        assert!(intervals.contains(&Interval::at(2, 6))); // alpco ∩ carol
+        assert!(intervals.contains(&Interval::at(4, 7))); // bmilk ∩ carol
+    }
+
+    #[test]
+    fn join_output_is_duplicate_free_and_1of() {
+        let (products, orders, _) = setup();
+        let out = join(&products, &orders, &[0], &[0]);
+        assert!(out.check_duplicate_free().is_ok());
+        assert!(out.iter().all(|t| t.lineage.is_one_occurrence_form()));
+    }
+
+    #[test]
+    fn join_on_all_attributes_equals_intersection() {
+        // Joining single-attribute relations on their whole fact reproduces
+        // ∩Tp (modulo the identical fact layout).
+        let mut vars = VarTable::new();
+        let r = TpRelation::base(
+            "r",
+            vec![
+                (Fact::single("x"), Interval::at(1, 6), 0.5),
+                (Fact::single("y"), Interval::at(0, 3), 0.5),
+            ],
+            &mut vars,
+        )
+        .unwrap();
+        let s = TpRelation::base(
+            "s",
+            vec![
+                (Fact::single("x"), Interval::at(4, 9), 0.5),
+                (Fact::single("z"), Interval::at(0, 3), 0.5),
+            ],
+            &mut vars,
+        )
+        .unwrap();
+        let via_join = join_on_first(&r, &s).canonicalized();
+        let via_intersect = crate::ops::intersect(&r, &s).canonicalized();
+        assert_eq!(via_join.len(), via_intersect.len());
+        for (a, b) in via_join.iter().zip(via_intersect.iter()) {
+            assert_eq!(a.fact, b.fact);
+            assert_eq!(a.interval, b.interval);
+            assert_eq!(a.lineage, b.lineage);
+        }
+    }
+
+    #[test]
+    fn join_against_pairwise_oracle() {
+        // Ground truth: enumerate all pairs, filter by key + overlap.
+        let (products, orders, _) = setup();
+        let mut expected = 0usize;
+        for a in products.iter() {
+            for b in orders.iter() {
+                if a.fact.get(0) == b.fact.get(0) && a.interval.overlaps(&b.interval) {
+                    expected += 1;
+                }
+            }
+        }
+        assert_eq!(join(&products, &orders, &[0], &[0]).len(), expected);
+    }
+
+    #[test]
+    fn empty_and_disjoint_inputs() {
+        let (products, _, mut vars) = setup();
+        let empty = TpRelation::new();
+        assert!(join(&products, &empty, &[0], &[0]).is_empty());
+        assert!(join(&empty, &products, &[0], &[0]).is_empty());
+        let disjoint = TpRelation::base(
+            "d",
+            vec![(
+                Fact::new(vec![Value::str("tea"), Value::str("eve")]),
+                Interval::at(0, 9),
+                0.5,
+            )],
+            &mut vars,
+        )
+        .unwrap();
+        assert!(join(&products, &disjoint, &[0], &[0]).is_empty());
+    }
+
+    #[test]
+    fn multi_column_join_keys() {
+        let mut vars = VarTable::new();
+        let f = |a: i64, b: i64, c: &str| Fact::new(vec![Value::int(a), Value::int(b), Value::str(c)]);
+        let r = TpRelation::base(
+            "r",
+            vec![
+                (f(1, 2, "r1"), Interval::at(0, 10), 0.5),
+                (f(1, 3, "r2"), Interval::at(0, 10), 0.5),
+            ],
+            &mut vars,
+        )
+        .unwrap();
+        let s = TpRelation::base(
+            "s",
+            vec![(f(1, 2, "s1"), Interval::at(5, 15), 0.5)],
+            &mut vars,
+        )
+        .unwrap();
+        let out = join(&r, &s, &[0, 1], &[0, 1]);
+        assert_eq!(out.len(), 1); // only the (1,2) keys match
+        assert_eq!(out.tuples()[0].interval, Interval::at(5, 10));
+        assert_eq!(out.tuples()[0].fact.arity(), 4); // a, b, r-tag, s-tag
+    }
+}

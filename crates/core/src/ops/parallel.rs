@@ -1,0 +1,190 @@
+//! Fact-partitioned parallel execution of the TP set operations.
+//!
+//! LAWA processes facts strictly one after another — windows never span two
+//! facts — so the sorted inputs can be cut at fact boundaries and each chunk
+//! swept independently. This module does exactly that with scoped threads:
+//! both relations are split at the same fact pivots (every fact's tuples end
+//! up in exactly one chunk pair), each chunk pair runs the sequential
+//! operator, and the outputs concatenate in order, preserving the canonical
+//! `(F, Ts)` output ordering and all model invariants.
+//!
+//! The paper's experiments are single-threaded; this is a production
+//! extension whose equivalence with the sequential operators is asserted by
+//! tests. Speedups require enough distinct facts to balance the chunks —
+//! the single-fact synthetic workload of Fig. 7 cannot parallelize.
+
+use crate::fact::Fact;
+use crate::ops::{self, SetOp};
+use crate::relation::TpRelation;
+use crate::tuple::TpTuple;
+
+/// Computes `r op s` with up to `threads` worker threads, partitioning by
+/// fact. Falls back to the sequential operator when `threads <= 1` or there
+/// is nothing to split.
+pub fn apply_parallel(op: SetOp, r: &TpRelation, s: &TpRelation, threads: usize) -> TpRelation {
+    if threads <= 1 || r.len() + s.len() < 2 {
+        return ops::apply(op, r, s);
+    }
+    let r_sorted = r.sorted();
+    let s_sorted = s.sorted();
+
+    // Pivot facts: cut both inputs at the same fact boundaries. Pivots are
+    // drawn from the concatenated fact population so chunks are balanced by
+    // tuple count, then deduplicated.
+    let mut pivots: Vec<&Fact> = Vec::new();
+    {
+        let total = r_sorted.len() + s_sorted.len();
+        let per_chunk = total.div_ceil(threads);
+        let mut facts: Vec<&Fact> = r_sorted
+            .iter()
+            .map(|t| &t.fact)
+            .chain(s_sorted.iter().map(|t| &t.fact))
+            .collect();
+        facts.sort();
+        for chunk_end in (per_chunk..total).step_by(per_chunk) {
+            pivots.push(facts[chunk_end]);
+        }
+        pivots.dedup();
+    }
+
+    // Split a sorted tuple list at the pivot facts: chunk k holds facts in
+    // [pivot_{k-1}, pivot_k).
+    let split = |tuples: &[TpTuple]| -> Vec<(usize, usize)> {
+        let mut bounds = Vec::with_capacity(pivots.len() + 1);
+        let mut start = 0usize;
+        for pivot in &pivots {
+            let end = start + tuples[start..].partition_point(|t| t.fact < **pivot);
+            bounds.push((start, end));
+            start = end;
+        }
+        bounds.push((start, tuples.len()));
+        bounds
+    };
+    let r_bounds = split(r_sorted.tuples());
+    let s_bounds = split(s_sorted.tuples());
+    debug_assert_eq!(r_bounds.len(), s_bounds.len());
+
+    let chunks: Vec<(&[TpTuple], &[TpTuple])> = r_bounds
+        .iter()
+        .zip(&s_bounds)
+        .map(|(&(rs, re), &(ss, se))| (&r_sorted.tuples()[rs..re], &s_sorted.tuples()[ss..se]))
+        .collect();
+
+    let results: Vec<TpRelation> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|(rc, sc)| {
+                scope.spawn(move || {
+                    let rr: TpRelation = rc.iter().cloned().collect();
+                    let sr: TpRelation = sc.iter().cloned().collect();
+                    ops::apply(op, &rr, &sr)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    let mut out: Vec<TpTuple> = Vec::new();
+    for rel in results {
+        out.extend(rel.into_tuples());
+    }
+    TpRelation::from_tuples_unchecked(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Interval;
+    use crate::relation::VarTable;
+
+    fn many_fact_pair() -> (TpRelation, TpRelation) {
+        let mut vars = VarTable::new();
+        let mut rows_r = Vec::new();
+        let mut rows_s = Vec::new();
+        for f in 0..37i64 {
+            for k in 0..5i64 {
+                rows_r.push((Fact::single(f), Interval::at(10 * k, 10 * k + 6), 0.5));
+                rows_s.push((Fact::single(f), Interval::at(10 * k + 3, 10 * k + 9), 0.5));
+            }
+        }
+        (
+            TpRelation::base("r", rows_r, &mut vars).unwrap(),
+            TpRelation::base("s", rows_s, &mut vars).unwrap(),
+        )
+    }
+
+    #[test]
+    fn parallel_equals_sequential_for_all_ops_and_thread_counts() {
+        let (r, s) = many_fact_pair();
+        for op in SetOp::ALL {
+            let sequential = ops::apply(op, &r, &s).canonicalized();
+            for threads in [1, 2, 3, 4, 8, 64] {
+                let parallel = apply_parallel(op, &r, &s, threads).canonicalized();
+                assert_eq!(parallel, sequential, "op {op}, {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn output_order_is_already_canonical() {
+        let (r, s) = many_fact_pair();
+        let out = apply_parallel(SetOp::Union, &r, &s, 4);
+        assert!(out.is_sorted_by_fact_start());
+        assert!(out.satisfies_change_preservation());
+    }
+
+    #[test]
+    fn single_fact_degrades_gracefully() {
+        // Nothing to split: one chunk does all the work, result unchanged.
+        let mut vars = VarTable::new();
+        let r = TpRelation::base(
+            "r",
+            vec![(Fact::single("x"), Interval::at(1, 9), 0.5)],
+            &mut vars,
+        )
+        .unwrap();
+        let s = TpRelation::base(
+            "s",
+            vec![(Fact::single("x"), Interval::at(4, 12), 0.5)],
+            &mut vars,
+        )
+        .unwrap();
+        let out = apply_parallel(SetOp::Intersect, &r, &s, 8);
+        assert_eq!(out, ops::intersect(&r, &s));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty = TpRelation::new();
+        assert!(apply_parallel(SetOp::Union, &empty, &empty, 4).is_empty());
+        let (r, _) = many_fact_pair();
+        assert_eq!(
+            apply_parallel(SetOp::Union, &r, &empty, 4).canonicalized(),
+            r.canonicalized()
+        );
+    }
+
+    #[test]
+    fn skewed_fact_sizes_cover_all_tuples() {
+        // One huge fact plus many tiny ones: no tuple may be lost at chunk
+        // boundaries.
+        let mut vars = VarTable::new();
+        let mut rows_r = Vec::new();
+        for k in 0..200i64 {
+            rows_r.push((Fact::single(0i64), Interval::at(2 * k, 2 * k + 1), 0.5));
+        }
+        for f in 1..20i64 {
+            rows_r.push((Fact::single(f), Interval::at(0, 5), 0.5));
+        }
+        let r = TpRelation::base("r", rows_r, &mut vars).unwrap();
+        let s = TpRelation::base(
+            "s",
+            vec![(Fact::single(0i64), Interval::at(0, 400), 0.5)],
+            &mut vars,
+        )
+        .unwrap();
+        let sequential = ops::union(&r, &s).canonicalized();
+        let parallel = apply_parallel(SetOp::Union, &r, &s, 6).canonicalized();
+        assert_eq!(parallel, sequential);
+    }
+}

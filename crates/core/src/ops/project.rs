@@ -1,0 +1,245 @@
+//! Duplicate-eliminating TP projection — a step toward the "full relational
+//! algebra" the paper lists as future work.
+//!
+//! Projecting a duplicate-free TP relation onto a subset of its fact
+//! attributes can create duplicates: two tuples whose facts agree on the
+//! projected attributes may overlap in time. The sequenced TP semantics
+//! resolves them exactly like a union of their timelines would: per
+//! projected fact, time is cut at every contributing boundary, the lineages
+//! of all tuples valid over a segment are disjoined (`∨`), and adjacent
+//! segments with equivalent lineage are coalesced (Def. 2).
+//!
+//! The implementation is a per-fact sweep over start/end events —
+//! `O(n log n)` overall — and is validated against a per-time-point oracle
+//! in the tests.
+
+use std::collections::BTreeMap;
+
+use crate::fact::Fact;
+use crate::interval::{Interval, TimePoint};
+use crate::lineage::Lineage;
+use crate::relation::TpRelation;
+use crate::tuple::TpTuple;
+use crate::value::Value;
+
+/// π over fact attributes: keeps the attribute positions in `cols` (in the
+/// given order), merging time-overlapping results per Definition 2/3.
+///
+/// Attribute positions past a fact's arity project to nothing for that
+/// tuple's fact part (facts of mixed arity are allowed in the model; the
+/// projected fact simply skips missing positions).
+pub fn project(rel: &TpRelation, cols: &[usize]) -> TpRelation {
+    let projected_fact = |fact: &Fact| -> Fact {
+        let values: Vec<Value> = cols
+            .iter()
+            .filter_map(|&i| fact.get(i).cloned())
+            .collect();
+        Fact::new(values)
+    };
+
+    // Group contributing tuples by projected fact.
+    let mut groups: BTreeMap<Fact, Vec<&TpTuple>> = BTreeMap::new();
+    for t in rel.iter() {
+        groups.entry(projected_fact(&t.fact)).or_default().push(t);
+    }
+
+    let mut out: Vec<TpTuple> = Vec::new();
+    for (fact, members) in groups {
+        sweep_group(fact, &members, &mut out);
+    }
+    TpRelation::from_tuples_unchecked(out)
+}
+
+/// Sweeps one projected-fact group: at every boundary the set of valid
+/// tuples changes; the segment lineage is the `∨` of the valid lineages (in
+/// deterministic input order); equal adjacent segments coalesce.
+fn sweep_group(fact: Fact, members: &[&TpTuple], out: &mut Vec<TpTuple>) {
+    // Event list: (time, +tuple index) / (time, -tuple index).
+    let mut events: Vec<(TimePoint, bool, usize)> = Vec::with_capacity(2 * members.len());
+    for (i, t) in members.iter().enumerate() {
+        events.push((t.interval.start(), true, i));
+        events.push((t.interval.end(), false, i));
+    }
+    // Ends before starts at equal time points (half-open semantics).
+    events.sort_by_key(|&(at, is_start, idx)| (at, is_start, idx));
+
+    let mut active: Vec<usize> = Vec::new(); // insertion-ordered member idxs
+    let mut run: Option<(TimePoint, Lineage)> = None;
+    let mut ei = 0usize;
+    while ei < events.len() {
+        let at = events[ei].0;
+        // Apply all events at `at`.
+        while ei < events.len() && events[ei].0 == at {
+            let (_, is_start, idx) = events[ei];
+            if is_start {
+                active.push(idx);
+            } else {
+                active.retain(|&x| x != idx);
+            }
+            ei += 1;
+        }
+        // Lineage of the segment starting at `at`. Members are disjoined in
+        // ascending member order for determinism.
+        let new_lineage: Option<Lineage> = {
+            let mut sorted: Vec<usize> = active.clone();
+            sorted.sort_unstable();
+            sorted.iter().fold(None, |acc, &i| {
+                Lineage::or_opt(acc.as_ref(), Some(&members[i].lineage))
+            })
+        };
+        run = match (run, new_lineage) {
+            (None, None) => None,
+            (None, Some(l)) => Some((at, l)),
+            (Some((start, l)), None) => {
+                out.push(TpTuple::new(fact.clone(), l, Interval::at(start, at)));
+                None
+            }
+            (Some((start, l)), Some(l2)) => {
+                if l == l2 {
+                    Some((start, l))
+                } else {
+                    out.push(TpTuple::new(fact.clone(), l, Interval::at(start, at)));
+                    Some((at, l2))
+                }
+            }
+        };
+    }
+    debug_assert!(run.is_none(), "all tuples end, the last event closes the run");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::TupleId;
+    use crate::relation::VarTable;
+
+    fn v(i: u64) -> Lineage {
+        Lineage::var(TupleId(i))
+    }
+
+    /// (product, store) inventory: projecting away the store merges the
+    /// per-store timelines.
+    fn inventory() -> TpRelation {
+        let f = |p: &str, s: i64| Fact::new(vec![Value::str(p), Value::int(s)]);
+        vec![
+            TpTuple::new(f("milk", 1), v(0), Interval::at(1, 5)),
+            TpTuple::new(f("milk", 2), v(1), Interval::at(3, 8)),
+            TpTuple::new(f("chips", 1), v(2), Interval::at(2, 4)),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn projection_merges_overlapping_timelines() {
+        let out = project(&inventory(), &[0]).canonicalized();
+        let expected = vec![
+            TpTuple::new("chips", v(2), Interval::at(2, 4)),
+            TpTuple::new("milk", v(0), Interval::at(1, 3)),
+            TpTuple::new("milk", Lineage::or(&v(0), &v(1)), Interval::at(3, 5)),
+            TpTuple::new("milk", v(1), Interval::at(5, 8)),
+        ];
+        assert_eq!(out.tuples(), expected.as_slice());
+        assert!(out.check_duplicate_free().is_ok());
+        assert!(out.satisfies_change_preservation());
+    }
+
+    #[test]
+    fn identity_projection_on_duplicate_free_input() {
+        let rel = inventory();
+        let out = project(&rel, &[0, 1]);
+        assert_eq!(out.canonicalized(), rel.canonicalized());
+    }
+
+    #[test]
+    fn projection_to_empty_fact_merges_everything() {
+        // π∅ collapses all facts into one timeline (the "is anything valid"
+        // question).
+        let rel = inventory();
+        let out = project(&rel, &[]);
+        assert!(out.iter().all(|t| t.fact.arity() == 0));
+        // Coverage = union of all input coverage: [1,8).
+        assert_eq!(out.time_range(), Some(Interval::at(1, 8)));
+        assert!(out.check_duplicate_free().is_ok());
+    }
+
+    #[test]
+    fn projection_reorders_attributes() {
+        let rel = inventory();
+        let out = project(&rel, &[1, 0]);
+        assert!(out
+            .iter()
+            .all(|t| t.fact.get(0).unwrap().as_int().is_some()));
+    }
+
+    #[test]
+    fn adjacent_tuples_with_same_projection_do_not_merge_lineage() {
+        // Two adjacent tuples collapse to adjacent output tuples with
+        // *different* lineage — change preservation keeps them apart.
+        let f = |p: &str, s: i64| Fact::new(vec![Value::str(p), Value::int(s)]);
+        let rel: TpRelation = vec![
+            TpTuple::new(f("milk", 1), v(0), Interval::at(1, 4)),
+            TpTuple::new(f("milk", 2), v(1), Interval::at(4, 9)),
+        ]
+        .into_iter()
+        .collect();
+        let out = project(&rel, &[0]).canonicalized();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.tuples()[0].interval, Interval::at(1, 4));
+        assert_eq!(out.tuples()[1].interval, Interval::at(4, 9));
+    }
+
+    #[test]
+    fn projection_matches_pointwise_oracle() {
+        // Randomized check against the literal semantics: at every time
+        // point, the projected fact is valid iff some contributing tuple is,
+        // and the lineage is the ∨ of the valid contributors.
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..30 {
+            let mut vars = VarTable::new();
+            let mut rows = Vec::new();
+            for p in 0..3i64 {
+                for s in 0..3i64 {
+                    let mut cursor = rng.random_range(0..5i64);
+                    for _ in 0..rng.random_range(0..3usize) {
+                        let start = cursor + rng.random_range(0..4i64);
+                        let end = start + rng.random_range(1..6i64);
+                        cursor = end;
+                        rows.push((
+                            Fact::new(vec![Value::int(p), Value::int(s)]),
+                            Interval::at(start, end),
+                            0.5,
+                        ));
+                    }
+                }
+            }
+            let rel = TpRelation::base("r", rows, &mut vars).unwrap();
+            let out = project(&rel, &[0]);
+            assert!(out.check_duplicate_free().is_ok());
+            assert!(out.satisfies_change_preservation());
+            for p in 0..3i64 {
+                let pf = Fact::single(p);
+                for t in 0..40i64 {
+                    let contributors: Vec<&TpTuple> = rel
+                        .iter()
+                        .filter(|x| x.fact.get(0) == Some(&Value::int(p)) && x.interval.contains(t))
+                        .collect();
+                    let got = out
+                        .iter()
+                        .find(|x| x.fact == pf && x.interval.contains(t));
+                    assert_eq!(got.is_some(), !contributors.is_empty(), "p={p} t={t}");
+                    if let Some(got) = got {
+                        // Same variables (lineage = ∨ of contributors).
+                        let mut want_vars = std::collections::BTreeSet::new();
+                        for c in &contributors {
+                            want_vars.extend(c.lineage.vars());
+                        }
+                        assert_eq!(got.lineage.vars(), want_vars, "p={p} t={t}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! TP selection σ over the fact attributes.
+//!
+//! Selection on the conventional attributes is snapshot-reducible "for free":
+//! it neither splits intervals nor touches lineage, so it simply filters
+//! tuples. The paper uses it in Example 4 (`σF='milk'(c) −Tp σF='milk'(a)`).
+
+use crate::fact::Fact;
+use crate::relation::TpRelation;
+use crate::value::Value;
+
+/// σ_pred(r): keeps the tuples whose fact satisfies `pred`.
+///
+/// The output of a selection over a duplicate-free relation is trivially
+/// duplicate-free (filtering cannot introduce overlaps).
+pub fn select(rel: &TpRelation, pred: impl Fn(&Fact) -> bool) -> TpRelation {
+    rel.iter()
+        .filter(|t| pred(&t.fact))
+        .cloned()
+        .collect()
+}
+
+/// σ_{A_i = v}(r): equality selection on attribute position `attr`.
+///
+/// Tuples whose fact has no attribute `attr` never match.
+pub fn select_attr_eq(rel: &TpRelation, attr: usize, value: &Value) -> TpRelation {
+    select(rel, |f| f.get(attr) == Some(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Interval;
+    use crate::lineage::{Lineage, TupleId};
+    use crate::tuple::TpTuple;
+
+    fn rel() -> TpRelation {
+        vec![
+            TpTuple::new("milk", Lineage::var(TupleId(0)), Interval::at(1, 4)),
+            TpTuple::new("milk", Lineage::var(TupleId(1)), Interval::at(6, 8)),
+            TpTuple::new("chips", Lineage::var(TupleId(2)), Interval::at(4, 5)),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn select_filters_by_fact() {
+        let milk = Fact::single("milk");
+        let out = select(&rel(), |f| *f == milk);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|t| t.fact == milk));
+    }
+
+    #[test]
+    fn select_preserves_lineage_and_intervals() {
+        let out = select(&rel(), |_| true);
+        assert_eq!(out, rel());
+    }
+
+    #[test]
+    fn select_attr_eq_matches_position() {
+        let out = select_attr_eq(&rel(), 0, &Value::str("chips"));
+        assert_eq!(out.len(), 1);
+        // Out-of-range attribute matches nothing.
+        assert!(select_attr_eq(&rel(), 3, &Value::str("chips")).is_empty());
+    }
+
+    #[test]
+    fn select_nothing() {
+        assert!(select(&rel(), |_| false).is_empty());
+    }
+}

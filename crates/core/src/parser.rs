@@ -1,0 +1,477 @@
+//! A small parser for textual TP set queries.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query   := term (("union" | "∪" | "except" | "minus" | "−" | "\") term)*
+//! term    := factor (("intersect" | "∩") factor)*
+//! factor  := IDENT
+//!          | "(" query ")"
+//!          | ("pi" | "π") "[" NUM ("," NUM)* "]" "(" query ")"
+//!          | ("sigma" | "σ") "[" "f" NUM "=" VALUE "]" "(" query ")"
+//! IDENT   := [A-Za-z_][A-Za-z0-9_]*
+//! VALUE   := \'string\' | integer | float | "true" | "false"
+//! ```
+//!
+//! `intersect` binds tighter than `union`/`except`; operators of equal
+//! precedence associate to the left, so `a except b except c` is
+//! `(a except b) except c`.
+
+use crate::error::{Error, Result};
+use crate::ops::SetOp;
+use crate::query::Query;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(i64),
+    Str(String),
+    Op(SetOp),
+    Pi,
+    Sigma,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Equals,
+}
+
+struct Lexer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer { input, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> Error {
+        Error::Parse {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn tokenize(mut self) -> Result<Vec<(usize, Token)>> {
+        let mut out = Vec::new();
+        let bytes = self.input.as_bytes();
+        while self.pos < bytes.len() {
+            let rest = &self.input[self.pos..];
+            let ch = rest.chars().next().expect("pos is on a char boundary");
+            if ch.is_whitespace() {
+                self.pos += ch.len_utf8();
+                continue;
+            }
+            let start = self.pos;
+            match ch {
+                '(' => {
+                    out.push((start, Token::LParen));
+                    self.pos += 1;
+                }
+                ')' => {
+                    out.push((start, Token::RParen));
+                    self.pos += 1;
+                }
+                '[' => {
+                    out.push((start, Token::LBracket));
+                    self.pos += 1;
+                }
+                ']' => {
+                    out.push((start, Token::RBracket));
+                    self.pos += 1;
+                }
+                ',' => {
+                    out.push((start, Token::Comma));
+                    self.pos += 1;
+                }
+                '=' => {
+                    out.push((start, Token::Equals));
+                    self.pos += 1;
+                }
+                'π' => {
+                    out.push((start, Token::Pi));
+                    self.pos += ch.len_utf8();
+                }
+                'σ' => {
+                    out.push((start, Token::Sigma));
+                    self.pos += ch.len_utf8();
+                }
+                '\'' => {
+                    // String literal with '' escaping.
+                    let mut value = String::new();
+                    let mut chars = rest.char_indices().skip(1).peekable();
+                    let mut end = None;
+                    while let Some((i, c)) = chars.next() {
+                        if c == '\'' {
+                            if let Some((_, '\'')) = chars.peek() {
+                                value.push('\'');
+                                chars.next();
+                            } else {
+                                end = Some(i + 1);
+                                break;
+                            }
+                        } else {
+                            value.push(c);
+                        }
+                    }
+                    let Some(end) = end else {
+                        return Err(self.error("unterminated string literal"));
+                    };
+                    self.pos += end;
+                    out.push((start, Token::Str(value)));
+                }
+                c if c.is_ascii_digit() => {
+                    let end = rest
+                        .char_indices()
+                        .find(|(_, c)| !c.is_ascii_digit())
+                        .map(|(i, _)| i)
+                        .unwrap_or(rest.len());
+                    let num: i64 = rest[..end]
+                        .parse()
+                        .map_err(|e| self.error(format!("bad number: {e}")))?;
+                    self.pos += end;
+                    out.push((start, Token::Number(num)));
+                }
+                '∪' => {
+                    out.push((start, Token::Op(SetOp::Union)));
+                    self.pos += ch.len_utf8();
+                }
+                '∩' => {
+                    out.push((start, Token::Op(SetOp::Intersect)));
+                    self.pos += ch.len_utf8();
+                }
+                '−' | '\\' => {
+                    out.push((start, Token::Op(SetOp::Except)));
+                    self.pos += ch.len_utf8();
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let end = rest
+                        .char_indices()
+                        .find(|(_, c)| !(c.is_ascii_alphanumeric() || *c == '_'))
+                        .map(|(i, _)| i)
+                        .unwrap_or(rest.len());
+                    let word = &rest[..end];
+                    self.pos += end;
+                    let token = match word.to_ascii_lowercase().as_str() {
+                        "union" => Token::Op(SetOp::Union),
+                        "intersect" => Token::Op(SetOp::Intersect),
+                        "except" | "minus" => Token::Op(SetOp::Except),
+                        "pi" => Token::Pi,
+                        "sigma" => Token::Sigma,
+                        _ => Token::Ident(word.to_string()),
+                    };
+                    out.push((start, token));
+                }
+                other => return Err(self.error(format!("unexpected character '{other}'"))),
+            }
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    tokens: Vec<(usize, Token)>,
+    idx: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.idx).map(|(_, t)| t)
+    }
+
+    fn pos(&self) -> usize {
+        self.tokens
+            .get(self.idx)
+            .map(|(p, _)| *p)
+            .unwrap_or(self.input_len)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.idx).map(|(_, t)| t.clone());
+        self.idx += 1;
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> Error {
+        Error::Parse {
+            position: self.pos(),
+            message: message.into(),
+        }
+    }
+
+    /// query := term (( union | except ) term)*
+    fn query(&mut self) -> Result<Query> {
+        let mut lhs = self.term()?;
+        while let Some(Token::Op(op @ (SetOp::Union | SetOp::Except))) = self.peek() {
+            let op = *op;
+            self.bump();
+            let rhs = self.term()?;
+            lhs = Query::Op(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// term := factor (intersect factor)*
+    fn term(&mut self) -> Result<Query> {
+        let mut lhs = self.factor()?;
+        while let Some(Token::Op(SetOp::Intersect)) = self.peek() {
+            self.bump();
+            let rhs = self.factor()?;
+            lhs = Query::Op(SetOp::Intersect, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// factor := IDENT | "(" query ")" | pi-projection | sigma-selection
+    fn factor(&mut self) -> Result<Query> {
+        match self.bump() {
+            Some(Token::Ident(name)) => Ok(Query::Rel(name)),
+            Some(Token::LParen) => {
+                let q = self.query()?;
+                self.expect(Token::RParen, "')'")?;
+                Ok(q)
+            }
+            Some(Token::Pi) => self.projection(),
+            Some(Token::Sigma) => self.selection(),
+            Some(other) => Err(self.error(format!("expected relation or '(', got {other:?}"))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn expect(&mut self, want: Token, label: &str) -> Result<()> {
+        match self.bump() {
+            Some(t) if t == want => Ok(()),
+            _ => Err(self.error(format!("expected {label}"))),
+        }
+    }
+
+    /// pi := ("pi"|"π") "[" NUM ("," NUM)* "]" "(" query ")"
+    fn projection(&mut self) -> Result<Query> {
+        self.expect(Token::LBracket, "'['")?;
+        let mut cols = Vec::new();
+        loop {
+            match self.bump() {
+                Some(Token::Number(n)) if n >= 0 => cols.push(n as usize),
+                _ => return Err(self.error("expected attribute position")),
+            }
+            match self.bump() {
+                Some(Token::Comma) => continue,
+                Some(Token::RBracket) => break,
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+        self.expect(Token::LParen, "'('")?;
+        let q = self.query()?;
+        self.expect(Token::RParen, "')'")?;
+        Ok(Query::Project(cols, Box::new(q)))
+    }
+
+    /// sigma := ("sigma"|"σ") "[" "f" NUM "=" VALUE "]" "(" query ")"
+    fn selection(&mut self) -> Result<Query> {
+        use crate::value::Value;
+        self.expect(Token::LBracket, "'['")?;
+        let attr = match self.bump() {
+            // The attribute reference lexes as the identifier f<NUM>.
+            Some(Token::Ident(name)) if name.starts_with('f') => name[1..]
+                .parse::<usize>()
+                .map_err(|_| self.error("expected attribute reference f<N>"))?,
+            _ => return Err(self.error("expected attribute reference f<N>")),
+        };
+        self.expect(Token::Equals, "'='")?;
+        let value = match self.bump() {
+            Some(Token::Str(s)) => Value::str(s),
+            Some(Token::Number(n)) => Value::int(n),
+            Some(Token::Ident(w)) if w.eq_ignore_ascii_case("true") => Value::Bool(true),
+            Some(Token::Ident(w)) if w.eq_ignore_ascii_case("false") => Value::Bool(false),
+            _ => return Err(self.error("expected a value literal")),
+        };
+        self.expect(Token::RBracket, "']'")?;
+        self.expect(Token::LParen, "'('")?;
+        let q = self.query()?;
+        self.expect(Token::RParen, "')'")?;
+        Ok(Query::Select(attr, value, Box::new(q)))
+    }
+}
+
+/// Parses a textual TP set query.
+pub fn parse(text: &str) -> Result<Query> {
+    let tokens = Lexer::new(text).tokenize()?;
+    let mut p = Parser {
+        tokens,
+        idx: 0,
+        input_len: text.len(),
+    };
+    let q = p.query()?;
+    if p.peek().is_some() {
+        return Err(p.error("trailing input after query"));
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_relation() {
+        assert_eq!(parse("a").unwrap(), Query::rel("a"));
+        assert_eq!(parse("  my_rel1 ").unwrap(), Query::rel("my_rel1"));
+    }
+
+    #[test]
+    fn parses_paper_query() {
+        // Q = c −Tp (a ∪Tp b)
+        let q = parse("c except (a union b)").unwrap();
+        assert_eq!(q, Query::rel("c").except(Query::rel("a").union(Query::rel("b"))));
+        // Unicode spelling.
+        assert_eq!(parse("c − (a ∪ b)").unwrap(), q);
+        assert_eq!(parse(r"c \ (a ∪ b)").unwrap(), q);
+    }
+
+    #[test]
+    fn intersect_binds_tighter() {
+        let q = parse("a union b intersect c").unwrap();
+        assert_eq!(
+            q,
+            Query::rel("a").union(Query::rel("b").intersect(Query::rel("c")))
+        );
+    }
+
+    #[test]
+    fn equal_precedence_left_assoc() {
+        let q = parse("a except b except c").unwrap();
+        assert_eq!(
+            q,
+            Query::rel("a").except(Query::rel("b")).except(Query::rel("c"))
+        );
+        let q = parse("a union b except c").unwrap();
+        assert_eq!(
+            q,
+            Query::rel("a").union(Query::rel("b")).except(Query::rel("c"))
+        );
+    }
+
+    #[test]
+    fn parens_override() {
+        let q = parse("(a union b) intersect c").unwrap();
+        assert_eq!(
+            q,
+            Query::rel("a").union(Query::rel("b")).intersect(Query::rel("c"))
+        );
+    }
+
+    #[test]
+    fn minus_keyword() {
+        assert_eq!(
+            parse("a minus b").unwrap(),
+            Query::rel("a").except(Query::rel("b"))
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            parse("a UNION b").unwrap(),
+            Query::rel("a").union(Query::rel("b"))
+        );
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = parse("a union").unwrap_err();
+        assert!(matches!(err, crate::error::Error::Parse { .. }));
+        let err = parse("a ? b").unwrap_err();
+        match err {
+            crate::error::Error::Parse { position, .. } => assert_eq!(position, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("a b").is_err());
+        assert!(parse("(a union b))").is_err());
+        assert!(parse("(a union b").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("union").is_err());
+    }
+}
+
+#[cfg(test)]
+mod pi_sigma_tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn parses_projection() {
+        let q = parse("pi[0](a)").unwrap();
+        assert_eq!(q, Query::rel("a").project(vec![0]));
+        let q = parse("π[1, 0](a union b)").unwrap();
+        assert_eq!(q, Query::rel("a").union(Query::rel("b")).project(vec![1, 0]));
+    }
+
+    #[test]
+    fn parses_selection() {
+        let q = parse("sigma[f0='milk'](c)").unwrap();
+        assert_eq!(q, Query::rel("c").select_eq(0, "milk"));
+        let q = parse("σ[f2=42](c)").unwrap();
+        assert_eq!(q, Query::rel("c").select_eq(2, 42i64));
+        let q = parse("sigma[f0=true](c)").unwrap();
+        assert_eq!(q, Query::rel("c").select_eq(0, true));
+    }
+
+    #[test]
+    fn string_literal_escaping() {
+        let q = parse("sigma[f0='it''s'](c)").unwrap();
+        assert_eq!(
+            q,
+            Query::Select(0, Value::str("it's"), Box::new(Query::rel("c")))
+        );
+    }
+
+    #[test]
+    fn paper_example4_as_text() {
+        // σF='milk'(c) −Tp σF='milk'(a)
+        let q = parse("sigma[f0='milk'](c) except sigma[f0='milk'](a)").unwrap();
+        assert_eq!(
+            q,
+            Query::rel("c")
+                .select_eq(0, "milk")
+                .except(Query::rel("a").select_eq(0, "milk"))
+        );
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for text in [
+            "pi[0](a)",
+            "sigma[f0='milk'](c)",
+            "pi[0,2](a union b)",
+            "sigma[f1=7](a) intersect b",
+        ] {
+            let q = parse(text).unwrap();
+            assert_eq!(parse(&q.to_string()).unwrap(), q, "{text}");
+        }
+    }
+
+    #[test]
+    fn malformed_pi_sigma_rejected() {
+        for text in [
+            "pi[](a)",
+            "pi[0(a)",
+            "pi 0](a)",
+            "pi[0]a",
+            "sigma[0='x'](a)",
+            "sigma[f0](a)",
+            "sigma[f0=](a)",
+            "sigma[f0='x'](a",
+            "sigma[fx='x'](a)",
+            "pi[-1](a)",
+        ] {
+            assert!(parse(text).is_err(), "{text:?} should fail");
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! Probabilistic valuation of lineage formulas.
+//!
+//! The marginal probability of a result tuple is the probability that its
+//! lineage evaluates to true under independent Boolean variables (§III).
+//! Three algorithms are provided, mirroring the paper's discussion:
+//!
+//! * [`independent`] — linear time, **exact for 1OF formulas** (Corollary 1:
+//!   non-repeating TP set queries over duplicate-free relations always
+//!   produce 1OF lineage, hence PTIME data complexity).
+//! * [`exact`] — Shannon expansion with memoization; exact for arbitrary
+//!   formulas, exponential in the worst case (TP set queries with repeating
+//!   subgoals are #P-hard, paper reference \[30\]).
+//! * [`monte_carlo`] — seeded sampling with a Hoeffding confidence bound,
+//!   standing in for the anytime-approximation literature the paper cites
+//!   (\[25\]–\[29\]).
+//!
+//! [`marginal`] dispatches: linear path for 1OF, Shannon otherwise.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::error::Result;
+use crate::lineage::{Lineage, TupleId};
+use crate::relation::VarTable;
+
+/// Linear-time valuation that treats every connective's operands as
+/// independent. Exact iff the formula is in one-occurrence form; callers with
+/// possibly-repeating formulas should use [`marginal`].
+pub fn independent(lineage: &Lineage, vars: &VarTable) -> Result<f64> {
+    Ok(match lineage {
+        Lineage::Var(id) => vars.prob(*id)?,
+        Lineage::Not(c) => 1.0 - independent(c, vars)?,
+        Lineage::And(a, b) => independent(a, vars)? * independent(b, vars)?,
+        Lineage::Or(a, b) => {
+            let pa = independent(a, vars)?;
+            let pb = independent(b, vars)?;
+            1.0 - (1.0 - pa) * (1.0 - pb)
+        }
+    })
+}
+
+/// Exact marginal probability by Shannon expansion:
+/// `P(λ) = p(x)·P(λ|x=true) + (1−p(x))·P(λ|x=false)`,
+/// expanding on the smallest variable and memoizing conditioned subformulas.
+///
+/// Worst-case exponential in the number of *repeated* variables; formulas in
+/// 1OF short-circuit to the linear path.
+pub fn exact(lineage: &Lineage, vars: &VarTable) -> Result<f64> {
+    if lineage.is_one_occurrence_form() {
+        return independent(lineage, vars);
+    }
+    let mut memo: HashMap<Lineage, f64> = HashMap::new();
+    exact_rec(lineage, vars, &mut memo)
+}
+
+fn exact_rec(
+    lineage: &Lineage,
+    vars: &VarTable,
+    memo: &mut HashMap<Lineage, f64>,
+) -> Result<f64> {
+    if lineage.is_one_occurrence_form() {
+        return independent(lineage, vars);
+    }
+    if let Some(&p) = memo.get(lineage) {
+        return Ok(p);
+    }
+    // Expand on a repeated variable if one exists (expanding on a variable
+    // that occurs once does not simplify the formula's sharing structure);
+    // the smallest repeated variable keeps the recursion deterministic.
+    let pivot = pick_pivot(lineage);
+    let px = vars.prob(pivot)?;
+    let p_true = match lineage.condition(pivot, true) {
+        Ok(l) => exact_rec(&l, vars, memo)?,
+        Err(b) => bool_to_p(b),
+    };
+    let p_false = match lineage.condition(pivot, false) {
+        Ok(l) => exact_rec(&l, vars, memo)?,
+        Err(b) => bool_to_p(b),
+    };
+    let p = px * p_true + (1.0 - px) * p_false;
+    memo.insert(lineage.clone(), p);
+    Ok(p)
+}
+
+fn bool_to_p(b: bool) -> f64 {
+    if b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+fn pick_pivot(lineage: &Lineage) -> TupleId {
+    // Count occurrences; prefer the smallest variable occurring > once.
+    fn count(l: &Lineage, m: &mut HashMap<TupleId, usize>) {
+        match l {
+            Lineage::Var(id) => *m.entry(*id).or_default() += 1,
+            Lineage::Not(c) => count(c, m),
+            Lineage::And(a, b) | Lineage::Or(a, b) => {
+                count(a, m);
+                count(b, m);
+            }
+        }
+    }
+    let mut m = HashMap::new();
+    count(lineage, &mut m);
+    let mut repeated: Vec<TupleId> = m
+        .iter()
+        .filter(|(_, &c)| c > 1)
+        .map(|(&id, _)| id)
+        .collect();
+    repeated.sort();
+    repeated
+        .first()
+        .copied()
+        .unwrap_or_else(|| *m.keys().min().expect("formula has at least one variable"))
+}
+
+/// Result of a Monte-Carlo estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McEstimate {
+    /// Point estimate of the marginal probability.
+    pub estimate: f64,
+    /// Half-width of the two-sided 95% Hoeffding confidence interval.
+    pub half_width_95: f64,
+    /// Number of samples drawn.
+    pub samples: u64,
+}
+
+/// Monte-Carlo estimation of the marginal probability with a deterministic
+/// seed (experiments must be reproducible).
+pub fn monte_carlo(
+    lineage: &Lineage,
+    vars: &VarTable,
+    samples: u64,
+    seed: u64,
+) -> Result<McEstimate> {
+    assert!(samples > 0, "at least one sample required");
+    // Resolve variable probabilities once; also surfaces UnknownVariable
+    // before sampling starts.
+    let used: Vec<TupleId> = lineage.vars().into_iter().collect();
+    let mut probs: HashMap<TupleId, f64> = HashMap::with_capacity(used.len());
+    for id in &used {
+        probs.insert(*id, vars.prob(*id)?);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hits: u64 = 0;
+    let mut world: HashMap<TupleId, bool> = HashMap::with_capacity(used.len());
+    for _ in 0..samples {
+        for id in &used {
+            let p = probs[id];
+            world.insert(*id, rng.random::<f64>() < p);
+        }
+        if lineage.eval(&|id| world[&id]) {
+            hits += 1;
+        }
+    }
+    let estimate = hits as f64 / samples as f64;
+    // Hoeffding: P(|p̂ − p| ≥ ε) ≤ 2·exp(−2nε²); 95% ⇒ ε = sqrt(ln(2/0.05)/(2n)).
+    let half_width_95 = ((2.0f64 / 0.05).ln() / (2.0 * samples as f64)).sqrt();
+    Ok(McEstimate {
+        estimate,
+        half_width_95,
+        samples,
+    })
+}
+
+/// The default exact valuation: linear-time for 1OF lineage (the guaranteed
+/// case for non-repeating TP set queries), Shannon expansion otherwise.
+pub fn marginal(lineage: &Lineage, vars: &VarTable) -> Result<f64> {
+    if lineage.is_one_occurrence_form() {
+        independent(lineage, vars)
+    } else {
+        exact(lineage, vars)
+    }
+}
+
+/// Anytime approximation: draws samples until the two-sided 95% Hoeffding
+/// half-width falls below `epsilon` (or `max_samples` is reached), in the
+/// spirit of the anytime algorithms the paper cites (\[25\], \[29\]).
+///
+/// The required sample count is `n ≥ ln(2/0.05) / (2 ε²)`, so the loop is
+/// bounded and deterministic for a given seed.
+pub fn monte_carlo_until(
+    lineage: &Lineage,
+    vars: &VarTable,
+    epsilon: f64,
+    max_samples: u64,
+    seed: u64,
+) -> Result<McEstimate> {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let needed = ((2.0f64 / 0.05).ln() / (2.0 * epsilon * epsilon)).ceil() as u64;
+    monte_carlo(lineage, vars, needed.clamp(1, max_samples.max(1)), seed)
+}
+
+/// Joint probability `P(λ1 ∧ λ2)`, exact. The conjunction usually shares
+/// variables, so this goes through Shannon expansion.
+pub fn joint(l1: &Lineage, l2: &Lineage, vars: &VarTable) -> Result<f64> {
+    exact(&Lineage::and(l1, l2), vars)
+}
+
+/// Conditional probability `P(λ1 | λ2) = P(λ1 ∧ λ2) / P(λ2)`, exact.
+///
+/// Useful for TP applications asking "given that the fact held according to
+/// s, how likely was it according to r?". Returns an error if `P(λ2) = 0`
+/// (conditioning on an impossible event).
+pub fn conditional(l1: &Lineage, l2: &Lineage, vars: &VarTable) -> Result<f64> {
+    let p2 = exact(l2, vars)?;
+    if p2 <= 0.0 {
+        return Err(crate::error::Error::InvalidProbability(p2));
+    }
+    Ok(joint(l1, l2, vars)? / p2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vt(ps: &[f64]) -> VarTable {
+        let mut vt = VarTable::new();
+        for (i, &p) in ps.iter().enumerate() {
+            vt.register(format!("t{i}"), p).unwrap();
+        }
+        vt
+    }
+
+    fn v(i: u64) -> Lineage {
+        Lineage::var(TupleId(i))
+    }
+
+    /// Brute-force ground truth: enumerate all worlds.
+    fn brute_force(l: &Lineage, vars: &VarTable) -> f64 {
+        let ids: Vec<TupleId> = l.vars().into_iter().collect();
+        let n = ids.len();
+        let mut total = 0.0;
+        for world in 0..(1u64 << n) {
+            let assign = |id: TupleId| {
+                let idx = ids.iter().position(|&x| x == id).unwrap();
+                world >> idx & 1 == 1
+            };
+            if l.eval(&assign) {
+                let mut wp = 1.0;
+                for (idx, id) in ids.iter().enumerate() {
+                    let p = vars.prob(*id).unwrap();
+                    wp *= if world >> idx & 1 == 1 { p } else { 1.0 - p };
+                }
+                total += wp;
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn paper_fig1c_probability() {
+        // c1 ∧ ¬a1 with P(c1)=0.6, P(a1)=0.3 ⇒ 0.6 · 0.7 = 0.42.
+        let vars = vt(&[0.3, 0.6]);
+        let l = Lineage::and_not(&v(1), Some(&v(0)));
+        let p = independent(&l, &vars).unwrap();
+        assert!((p - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_fig1c_union_difference_probability() {
+        // c2 ∧ ¬(a1 ∨ b1): 0.7 · (1 − (1 − (1−0.3)(1−0.6))) = 0.7·0.7·0.4 = 0.196.
+        let vars = vt(&[0.3, 0.6, 0.7]); // a1, b1, c2
+        let l = Lineage::and_not(&v(2), Some(&Lineage::or(&v(0), &v(1))));
+        let p = marginal(&l, &vars).unwrap();
+        assert!((p - 0.196).abs() < 1e-12, "got {p}");
+    }
+
+    #[test]
+    fn paper_fig3_union_probability() {
+        // a1 ∨ c1 with 0.3, 0.6 ⇒ 1 − 0.7·0.4 = 0.72.
+        let vars = vt(&[0.3, 0.6]);
+        let p = independent(&Lineage::or(&v(0), &v(1)), &vars).unwrap();
+        assert!((p - 0.72).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_matches_brute_force_on_repeating_formula() {
+        // (t0 ∨ t1) ∧ (t0 ∨ t2): t0 repeats, independence assumption fails.
+        let vars = vt(&[0.5, 0.4, 0.3]);
+        let l = Lineage::and(&Lineage::or(&v(0), &v(1)), &Lineage::or(&v(0), &v(2)));
+        let truth = brute_force(&l, &vars);
+        let got = exact(&l, &vars).unwrap();
+        assert!((got - truth).abs() < 1e-12, "{got} vs {truth}");
+        // Independence evaluation would be wrong here.
+        let indep = independent(&l, &vars).unwrap();
+        assert!((indep - truth).abs() > 1e-3);
+    }
+
+    #[test]
+    fn exact_handles_tautology_and_contradiction() {
+        let vars = vt(&[0.25]);
+        // t0 ∨ ¬t0 ≡ true
+        let l = Lineage::or(&v(0), &v(0).negate());
+        assert!((exact(&l, &vars).unwrap() - 1.0).abs() < 1e-12);
+        // t0 ∧ ¬t0 ≡ false
+        let l = Lineage::and(&v(0), &v(0).negate());
+        assert!(exact(&l, &vars).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_on_hard_query_shape() {
+        // Lineage shaped like the #P-hard query (r1 ∪ r2) −Tp (r1 ∩ r3):
+        // (t0 ∨ t1) ∧ ¬(t0 ∧ t2).
+        let vars = vt(&[0.5, 0.7, 0.2]);
+        let l = Lineage::and_not(
+            &Lineage::or(&v(0), &v(1)),
+            Some(&Lineage::and(&v(0), &v(2))),
+        );
+        let truth = brute_force(&l, &vars);
+        assert!((exact(&l, &vars).unwrap() - truth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_dispatches_to_linear_for_1of() {
+        let vars = vt(&[0.3, 0.6]);
+        let l = Lineage::and(&v(0), &v(1));
+        assert_eq!(marginal(&l, &vars).unwrap(), independent(&l, &vars).unwrap());
+    }
+
+    #[test]
+    fn monte_carlo_converges() {
+        let vars = vt(&[0.5, 0.4, 0.3]);
+        let l = Lineage::and(&Lineage::or(&v(0), &v(1)), &Lineage::or(&v(0), &v(2)));
+        let truth = brute_force(&l, &vars);
+        let est = monte_carlo(&l, &vars, 200_000, 42).unwrap();
+        assert!(
+            (est.estimate - truth).abs() < est.half_width_95,
+            "estimate {} truth {truth} ±{}",
+            est.estimate,
+            est.half_width_95
+        );
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic_per_seed() {
+        let vars = vt(&[0.5]);
+        let l = v(0);
+        let a = monte_carlo(&l, &vars, 1000, 7).unwrap();
+        let b = monte_carlo(&l, &vars, 1000, 7).unwrap();
+        assert_eq!(a, b);
+        let c = monte_carlo(&l, &vars, 1000, 8).unwrap();
+        // Different seed very likely differs (not guaranteed, but stable for
+        // this fixed seed pair).
+        assert_ne!(a.estimate, c.estimate);
+    }
+
+    #[test]
+    fn monte_carlo_until_reaches_requested_precision() {
+        let vars = vt(&[0.5, 0.4, 0.3]);
+        let l = Lineage::and(&Lineage::or(&v(0), &v(1)), &Lineage::or(&v(0), &v(2)));
+        let est = monte_carlo_until(&l, &vars, 0.01, u64::MAX, 5).unwrap();
+        assert!(est.half_width_95 <= 0.01 + 1e-12);
+        let truth = brute_force(&l, &vars);
+        assert!((est.estimate - truth).abs() < 0.02);
+        // Sample cap is honoured.
+        let capped = monte_carlo_until(&l, &vars, 0.0001, 500, 5).unwrap();
+        assert_eq!(capped.samples, 500);
+    }
+
+    #[test]
+    fn joint_and_conditional() {
+        let vars = vt(&[0.5, 0.4]);
+        // Independent vars: P(t0 ∧ t1) = 0.2; P(t0 | t1) = P(t0) = 0.5.
+        assert!((joint(&v(0), &v(1), &vars).unwrap() - 0.2).abs() < 1e-12);
+        assert!((conditional(&v(0), &v(1), &vars).unwrap() - 0.5).abs() < 1e-12);
+        // Dependent: P(t0 | t0) = 1; P(¬t0 | t0) = 0.
+        assert!((conditional(&v(0), &v(0), &vars).unwrap() - 1.0).abs() < 1e-12);
+        assert!(conditional(&v(0).negate(), &v(0), &vars).unwrap().abs() < 1e-12);
+        // Conditioning on a contradiction is an error.
+        let falsum = Lineage::and(&v(0), &v(0).negate());
+        assert!(conditional(&v(1), &falsum, &vars).is_err());
+    }
+
+    #[test]
+    fn conditional_bayes_consistency() {
+        // P(a|b)·P(b) = P(b|a)·P(a) on a dependent pair.
+        let vars = vt(&[0.3, 0.6]);
+        let a = Lineage::or(&v(0), &v(1));
+        let b = Lineage::and(&v(0), &v(1).negate());
+        let lhs = conditional(&a, &b, &vars).unwrap() * exact(&b, &vars).unwrap();
+        let rhs = conditional(&b, &a, &vars).unwrap() * exact(&a, &vars).unwrap();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_variable_is_an_error() {
+        let vars = vt(&[]);
+        assert!(independent(&v(5), &vars).is_err());
+        assert!(exact(&v(5), &vars).is_err());
+        assert!(monte_carlo(&v(5), &vars, 10, 0).is_err());
+    }
+
+    #[test]
+    fn exact_equals_brute_force_randomized() {
+        // Small randomized formulas, fixed seed.
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let nvars = rng.random_range(1..5usize);
+            let probs: Vec<f64> = (0..nvars).map(|_| rng.random_range(0.05..1.0)).collect();
+            let vars = vt(&probs);
+            let l = random_formula(&mut rng, nvars as u64, 4);
+            let truth = brute_force(&l, &vars);
+            let got = exact(&l, &vars).unwrap();
+            assert!((got - truth).abs() < 1e-9, "formula {l}: {got} vs {truth}");
+        }
+    }
+
+    fn random_formula(rng: &mut StdRng, nvars: u64, depth: usize) -> Lineage {
+        if depth == 0 || rng.random::<f64>() < 0.3 {
+            return v(rng.random_range(0..nvars));
+        }
+        match rng.random_range(0..3u32) {
+            0 => random_formula(rng, nvars, depth - 1).negate(),
+            1 => Lineage::and(
+                &random_formula(rng, nvars, depth - 1),
+                &random_formula(rng, nvars, depth - 1),
+            ),
+            _ => Lineage::or(
+                &random_formula(rng, nvars, depth - 1),
+                &random_formula(rng, nvars, depth - 1),
+            ),
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! TP set queries (Definition 4) — expressions of TP set operators over
+//! named relations — their evaluation, and the safety analysis of §V-B.
+//!
+//! ```text
+//! Q ::= ri | Q ∪Tp Q | Q ∩Tp Q | Q −Tp Q | (Q)
+//! ```
+//!
+//! Theorem 1 / Corollary 1: a *non-repeating* query (every relation appears
+//! at most once) over duplicate-free relations yields 1OF lineage, hence
+//! marginal probabilities are computable in linear time (PTIME data
+//! complexity). Repeating queries remain supported — probability valuation
+//! then falls back to Shannon expansion (#P-hard in general, reference \[30\]).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::db::Database;
+use crate::error::Result;
+use crate::ops::{self, SetOp};
+use crate::relation::TpRelation;
+
+/// A TP set query over named relations, extended with selection and
+/// duplicate-eliminating projection (the relational-algebra operators this
+/// implementation adds on top of Def. 4; both preserve the 1OF guarantee of
+/// Theorem 1 for non-repeating queries).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// A base (or stored derived) relation `ri`.
+    Rel(String),
+    /// `Q1 op Q2`.
+    Op(SetOp, Box<Query>, Box<Query>),
+    /// `σ_{A_attr = value}(Q)`.
+    Select(usize, crate::value::Value, Box<Query>),
+    /// `π_cols(Q)` with duplicate elimination per Def. 2.
+    Project(Vec<usize>, Box<Query>),
+}
+
+impl Query {
+    /// Leaf query referencing a relation.
+    pub fn rel(name: impl Into<String>) -> Query {
+        Query::Rel(name.into())
+    }
+
+    /// `self ∪Tp other`.
+    pub fn union(self, other: Query) -> Query {
+        Query::Op(SetOp::Union, Box::new(self), Box::new(other))
+    }
+
+    /// `self ∩Tp other`.
+    pub fn intersect(self, other: Query) -> Query {
+        Query::Op(SetOp::Intersect, Box::new(self), Box::new(other))
+    }
+
+    /// `self −Tp other`.
+    pub fn except(self, other: Query) -> Query {
+        Query::Op(SetOp::Except, Box::new(self), Box::new(other))
+    }
+
+    /// `σ_{A_attr = value}(self)`.
+    pub fn select_eq(self, attr: usize, value: impl Into<crate::value::Value>) -> Query {
+        Query::Select(attr, value.into(), Box::new(self))
+    }
+
+    /// `π_cols(self)`.
+    pub fn project(self, cols: Vec<usize>) -> Query {
+        Query::Project(cols, Box::new(self))
+    }
+
+    /// Parses a textual query; see [`crate::parser`] for the grammar.
+    pub fn parse(text: &str) -> Result<Query> {
+        crate::parser::parse(text)
+    }
+
+    /// The names of the relations referenced, with multiplicity.
+    pub fn relation_occurrences(&self) -> BTreeMap<&str, usize> {
+        let mut out = BTreeMap::new();
+        self.collect_occurrences(&mut out);
+        out
+    }
+
+    fn collect_occurrences<'a>(&'a self, out: &mut BTreeMap<&'a str, usize>) {
+        match self {
+            Query::Rel(name) => *out.entry(name.as_str()).or_default() += 1,
+            Query::Op(_, l, r) => {
+                l.collect_occurrences(out);
+                r.collect_occurrences(out);
+            }
+            Query::Select(_, _, q) | Query::Project(_, q) => q.collect_occurrences(out),
+        }
+    }
+
+    /// Whether every input relation occurs at most once (§V-B). For such
+    /// queries Theorem 1 guarantees 1OF output lineage and Corollary 1
+    /// guarantees PTIME probability computation.
+    pub fn is_non_repeating(&self) -> bool {
+        self.relation_occurrences().values().all(|&c| c <= 1)
+    }
+
+    /// Number of set operators in the query (σ/π are not counted — they
+    /// are unary decorations, not TP set operators).
+    pub fn op_count(&self) -> usize {
+        match self {
+            Query::Rel(_) => 0,
+            Query::Op(_, l, r) => 1 + l.op_count() + r.op_count(),
+            Query::Select(_, _, q) | Query::Project(_, q) => q.op_count(),
+        }
+    }
+
+    /// Evaluates the query bottom-up with the LAWA-based operators.
+    pub fn eval(&self, db: &Database) -> Result<TpRelation> {
+        match self {
+            Query::Rel(name) => Ok(db.relation(name)?.clone()),
+            Query::Op(op, l, r) => {
+                let left = l.eval(db)?;
+                let right = r.eval(db)?;
+                Ok(ops::apply(*op, &left, &right))
+            }
+            Query::Select(attr, value, q) => {
+                Ok(ops::select_attr_eq(&q.eval(db)?, *attr, value))
+            }
+            Query::Project(cols, q) => Ok(ops::project(&q.eval(db)?, cols)),
+        }
+    }
+
+    /// An upper bound on the result cardinality, derived bottom-up from the
+    /// counting argument behind Theorem 1: a TP set operation over inputs
+    /// with `n1` and `n2` tuples yields at most `2·(n1 + n2) − 1` output
+    /// tuples (per fact, `n` input intervals produce at most `2n − 1`
+    /// maximal output intervals). Every operator output observed in tests
+    /// respects this bound; query planners can use it to budget memory.
+    pub fn output_bound(&self, db: &Database) -> Result<usize> {
+        match self {
+            Query::Rel(name) => Ok(db.relation(name)?.len()),
+            Query::Op(_, l, r) => {
+                let bl = l.output_bound(db)?;
+                let br = r.output_bound(db)?;
+                Ok((2 * (bl + br)).saturating_sub(1).max(bl.min(1)))
+            }
+            // Selection only drops tuples; projection fragments at existing
+            // boundaries, at most 2n − 1 output intervals per merge group.
+            Query::Select(_, _, q) => q.output_bound(db),
+            Query::Project(_, q) => Ok((2 * q.output_bound(db)?).saturating_sub(1)),
+        }
+    }
+
+    /// An `EXPLAIN`-style rendering: the operator tree with per-node output
+    /// bounds.
+    pub fn explain(&self, db: &Database) -> Result<String> {
+        fn rec(q: &Query, db: &Database, indent: usize, out: &mut String) -> Result<()> {
+            use std::fmt::Write as _;
+            let pad = "  ".repeat(indent);
+            match q {
+                Query::Rel(name) => {
+                    let n = db.relation(name)?.len();
+                    let _ = writeln!(out, "{pad}Scan {name} ({n} tuples)");
+                }
+                Query::Op(op, l, r) => {
+                    let bound = q.output_bound(db)?;
+                    let _ = writeln!(out, "{pad}{} (≤ {bound} tuples)", op.name());
+                    rec(l, db, indent + 1, out)?;
+                    rec(r, db, indent + 1, out)?;
+                }
+                Query::Select(attr, value, inner) => {
+                    let _ = writeln!(out, "{pad}select f{attr}={value}");
+                    rec(inner, db, indent + 1, out)?;
+                }
+                Query::Project(cols, inner) => {
+                    let bound = q.output_bound(db)?;
+                    let _ = writeln!(out, "{pad}project {cols:?} (≤ {bound} tuples)");
+                    rec(inner, db, indent + 1, out)?;
+                }
+            }
+            Ok(())
+        }
+        let mut out = String::new();
+        rec(self, db, 0, &mut out)?;
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Rel(name) => f.write_str(name),
+            Query::Op(op, l, r) => {
+                let paren = |q: &Query, f: &mut fmt::Formatter<'_>| -> fmt::Result {
+                    match q {
+                        Query::Op(..) => write!(f, "({q})"),
+                        _ => write!(f, "{q}"),
+                    }
+                };
+                paren(l, f)?;
+                write!(f, " {} ", op.name())?;
+                paren(r, f)
+            }
+            Query::Select(attr, value, q) => write!(f, "sigma[f{attr}={value}]({q})"),
+            Query::Project(cols, q) => {
+                let cols: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
+                write!(f, "pi[{}]({q})", cols.join(","))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::Fact;
+    use crate::interval::Interval;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_base_relation(
+            "a",
+            vec![
+                (Fact::single("milk"), Interval::at(2, 10), 0.3),
+                (Fact::single("chips"), Interval::at(4, 7), 0.8),
+                (Fact::single("dates"), Interval::at(1, 3), 0.6),
+            ],
+        )
+        .unwrap();
+        db.add_base_relation(
+            "b",
+            vec![
+                (Fact::single("milk"), Interval::at(5, 9), 0.6),
+                (Fact::single("chips"), Interval::at(3, 6), 0.9),
+            ],
+        )
+        .unwrap();
+        db.add_base_relation(
+            "c",
+            vec![
+                (Fact::single("milk"), Interval::at(1, 4), 0.6),
+                (Fact::single("milk"), Interval::at(6, 8), 0.7),
+                (Fact::single("chips"), Interval::at(4, 5), 0.7),
+                (Fact::single("chips"), Interval::at(7, 9), 0.8),
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn fig1_query_via_ast() {
+        let db = db();
+        let q = Query::rel("c").except(Query::rel("a").union(Query::rel("b")));
+        let out = q.eval(&db).unwrap();
+        assert_eq!(out.len(), 5);
+        // Theorem 1: non-repeating ⇒ every output lineage is 1OF.
+        assert!(q.is_non_repeating());
+        assert!(out.iter().all(|t| t.lineage.is_one_occurrence_form()));
+    }
+
+    #[test]
+    fn repeating_query_detected_and_evaluated() {
+        let db = db();
+        // (a ∪ b) − (a ∩ c): repeats a — the #P-hard shape from §V-B.
+        let q = Query::rel("a")
+            .union(Query::rel("b"))
+            .except(Query::rel("a").intersect(Query::rel("c")));
+        assert!(!q.is_non_repeating());
+        let out = q.eval(&db).unwrap();
+        assert!(!out.is_empty());
+        // At least one lineage repeats a variable.
+        assert!(out.iter().any(|t| !t.lineage.is_one_occurrence_form()));
+        // Probabilities are still computable (Shannon path).
+        for t in out.iter() {
+            let p = crate::prob::marginal(&t.lineage, db.vars()).unwrap();
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn relation_occurrences_counts() {
+        let q = Query::rel("a").union(Query::rel("a").intersect(Query::rel("b")));
+        let occ = q.relation_occurrences();
+        assert_eq!(occ["a"], 2);
+        assert_eq!(occ["b"], 1);
+        assert_eq!(q.op_count(), 2);
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let db = db();
+        assert!(Query::rel("nope").eval(&db).is_err());
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let q = Query::rel("c").except(Query::rel("a").union(Query::rel("b")));
+        let text = q.to_string();
+        assert_eq!(Query::parse(&text).unwrap(), q);
+    }
+
+    #[test]
+    fn output_bound_holds_on_evaluation() {
+        let db = db();
+        for text in [
+            "a union b",
+            "a intersect c",
+            "c except (a union b)",
+            "(a union b) except (a intersect c)",
+        ] {
+            let q = Query::parse(text).unwrap();
+            let bound = q.output_bound(&db).unwrap();
+            let actual = q.eval(&db).unwrap().len();
+            assert!(actual <= bound, "{text}: {actual} > {bound}");
+        }
+        // Leaf bound is the relation size itself.
+        assert_eq!(Query::rel("a").output_bound(&db).unwrap(), 3);
+    }
+
+    #[test]
+    fn explain_renders_tree_with_bounds() {
+        let db = db();
+        let q = Query::parse("c except (a union b)").unwrap();
+        let text = q.explain(&db).unwrap();
+        assert!(text.contains("except"));
+        assert!(text.contains("Scan a (3 tuples)"));
+        assert!(text.contains("union"));
+        assert!(text.contains('≤'));
+        // Unknown relations error cleanly.
+        assert!(Query::rel("zz").explain(&db).is_err());
+    }
+
+    #[test]
+    fn query_result_satisfies_model_invariants() {
+        let db = db();
+        let q = Query::rel("a")
+            .union(Query::rel("b"))
+            .intersect(Query::rel("c"));
+        let out = q.eval(&db).unwrap();
+        assert!(out.check_duplicate_free().is_ok());
+        assert!(out.satisfies_change_preservation());
+    }
+}

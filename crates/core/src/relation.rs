@@ -1,0 +1,514 @@
+//! TP relations, the duplicate-free requirement, and the variable table.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::fact::Fact;
+use crate::interval::{Interval, TimePoint};
+use crate::lineage::{Lineage, TupleId};
+use crate::tuple::TpTuple;
+
+/// Registry of lineage variables: marginal probability and human-readable
+/// label per base tuple (the paper's `a1`, `b2`, `c3` names).
+///
+/// Identifiers are dense (`0..len`), so lookups are vector indexing.
+#[derive(Debug, Clone, Default)]
+pub struct VarTable {
+    probs: Vec<f64>,
+    labels: Vec<String>,
+}
+
+impl VarTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a fresh variable with the given label and marginal
+    /// probability `p ∈ (0, 1]` (the model's probability domain `Ωp`).
+    pub fn register(&mut self, label: impl Into<String>, p: f64) -> Result<TupleId> {
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(Error::InvalidProbability(p));
+        }
+        let id = TupleId(self.probs.len() as u64);
+        self.probs.push(p);
+        self.labels.push(label.into());
+        Ok(id)
+    }
+
+    /// Marginal probability of a variable.
+    pub fn prob(&self, id: TupleId) -> Result<f64> {
+        self.probs
+            .get(id.0 as usize)
+            .copied()
+            .ok_or(Error::UnknownVariable(id.0))
+    }
+
+    /// Label of a variable; falls back to `t{id}` for unknown ids.
+    pub fn label(&self, id: TupleId) -> String {
+        self.labels
+            .get(id.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("t{}", id.0))
+    }
+
+    /// Number of registered variables.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// A labelling closure suitable for [`Lineage::display_with`].
+    pub fn resolver(&self) -> impl Fn(TupleId) -> String + '_ {
+        move |id| self.label(id)
+    }
+}
+
+/// A temporal-probabilistic relation: a finite set of [`TpTuple`]s.
+///
+/// The model (§III) requires relations to be **duplicate-free**: no two
+/// tuples may carry the same fact over overlapping intervals. Constructors
+/// either validate this ([`TpRelation::try_new`]) or defer validation
+/// ([`TpRelation::from_tuples_unchecked`], used by operators whose output is
+/// duplicate-free by construction).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TpRelation {
+    tuples: Vec<TpTuple>,
+}
+
+impl TpRelation {
+    /// Creates an empty relation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a relation, validating the duplicate-free requirement.
+    /// The tuples are sorted by `(F, Ts)` in the process.
+    pub fn try_new(mut tuples: Vec<TpTuple>) -> Result<Self> {
+        sort_tuples(&mut tuples);
+        check_duplicate_free_sorted(&tuples)?;
+        Ok(TpRelation { tuples })
+    }
+
+    /// Wraps tuples without validating; for operator outputs that are
+    /// duplicate-free by construction. Debug builds still assert the
+    /// invariant.
+    pub fn from_tuples_unchecked(tuples: Vec<TpTuple>) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            let mut sorted = tuples.clone();
+            sort_tuples(&mut sorted);
+            debug_assert!(
+                check_duplicate_free_sorted(&sorted).is_ok(),
+                "operator produced a relation with duplicates"
+            );
+        }
+        TpRelation { tuples }
+    }
+
+    /// Builds a *base* relation: each row becomes an independent lineage
+    /// variable labelled `{prefix}{i}` (1-based, like the paper's `a1`, `a2`)
+    /// registered in `vars` with its marginal probability.
+    pub fn base(
+        prefix: &str,
+        rows: impl IntoIterator<Item = (Fact, Interval, f64)>,
+        vars: &mut VarTable,
+    ) -> Result<Self> {
+        let mut tuples = Vec::new();
+        for (i, (fact, interval, p)) in rows.into_iter().enumerate() {
+            let id = vars.register(format!("{prefix}{}", i + 1), p)?;
+            tuples.push(TpTuple::new(fact, Lineage::var(id), interval));
+        }
+        Self::try_new(tuples)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples, in their current order.
+    pub fn tuples(&self) -> &[TpTuple] {
+        &self.tuples
+    }
+
+    /// Consumes the relation, returning its tuples.
+    pub fn into_tuples(self) -> Vec<TpTuple> {
+        self.tuples
+    }
+
+    /// Iterator over the tuples.
+    pub fn iter(&self) -> std::slice::Iter<'_, TpTuple> {
+        self.tuples.iter()
+    }
+
+    /// Sorts the tuples by `(F, Ts)` — the precondition of the LAWA sweep
+    /// (the `sort` step of Fig. 5).
+    pub fn sort_by_fact_start(&mut self) {
+        sort_tuples(&mut self.tuples);
+    }
+
+    /// Whether the tuples are sorted by `(F, Ts)`.
+    pub fn is_sorted_by_fact_start(&self) -> bool {
+        self.tuples
+            .windows(2)
+            .all(|w| w[0].sort_key() <= w[1].sort_key())
+    }
+
+    /// Returns a sorted copy (the original is untouched).
+    pub fn sorted(&self) -> TpRelation {
+        let mut c = self.clone();
+        c.sort_by_fact_start();
+        c
+    }
+
+    /// Validates the duplicate-free requirement of §III.
+    pub fn check_duplicate_free(&self) -> Result<()> {
+        if self.is_sorted_by_fact_start() {
+            check_duplicate_free_sorted(&self.tuples)
+        } else {
+            let mut sorted = self.tuples.clone();
+            sort_tuples(&mut sorted);
+            check_duplicate_free_sorted(&sorted)
+        }
+    }
+
+    /// The distinct facts of the relation.
+    pub fn distinct_facts(&self) -> BTreeSet<Fact> {
+        self.tuples.iter().map(|t| t.fact.clone()).collect()
+    }
+
+    /// The smallest interval covering every tuple, if the relation is
+    /// non-empty.
+    pub fn time_range(&self) -> Option<Interval> {
+        let mut iter = self.tuples.iter();
+        let first = iter.next()?;
+        let mut lo = first.interval.start();
+        let mut hi = first.interval.end();
+        for t in iter {
+            lo = lo.min(t.interval.start());
+            hi = hi.max(t.interval.end());
+        }
+        Some(Interval::at(lo, hi))
+    }
+
+    /// Coalesces adjacent tuples of the same fact whose lineages are
+    /// (syntactically) equivalent — the repair step for change preservation
+    /// (Def. 2). LAWA output never needs it (asserted by tests); the
+    /// normalization baseline uses it defensively.
+    pub fn coalesce(&self) -> TpRelation {
+        let mut sorted = self.tuples.clone();
+        sort_tuples(&mut sorted);
+        let mut out: Vec<TpTuple> = Vec::with_capacity(sorted.len());
+        for t in sorted {
+            if let Some(last) = out.last_mut() {
+                if last.fact == t.fact
+                    && last.interval.end() == t.interval.start()
+                    && last.lineage == t.lineage
+                {
+                    last.interval = last.interval.hull(&t.interval);
+                    continue;
+                }
+            }
+            out.push(t);
+        }
+        TpRelation { tuples: out }
+    }
+
+    /// Checks change preservation (Def. 2) over this relation: no two
+    /// tuples with the same fact, equivalent lineage and adjacent intervals.
+    pub fn satisfies_change_preservation(&self) -> bool {
+        let mut sorted = self.tuples.clone();
+        sort_tuples(&mut sorted);
+        sorted.windows(2).all(|w| {
+            !(w[0].fact == w[1].fact
+                && w[0].interval.end() == w[1].interval.start()
+                && w[0].lineage == w[1].lineage)
+        })
+    }
+
+    /// Canonical form for comparisons in tests: sorted by `(F, Ts)`.
+    pub fn canonicalized(&self) -> TpRelation {
+        self.sorted()
+    }
+
+    /// Renders the relation as a table in the style of the paper's figures,
+    /// with lineage labels and probabilities resolved through `vars`.
+    ///
+    /// Probabilities are computed exactly: linear-time for 1OF lineages,
+    /// Shannon expansion otherwise (see [`crate::prob::marginal`]).
+    pub fn render(&self, vars: &VarTable) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<18} {:<28} {:<12} {:<8}", "F", "λ", "T", "p");
+        for t in &self.tuples {
+            let p = crate::prob::marginal(&t.lineage, vars)
+                .map(|p| format!("{p:.4}"))
+                .unwrap_or_else(|_| "?".into());
+            let _ = writeln!(
+                out,
+                "{:<18} {:<28} {:<12} {:<8}",
+                t.fact.to_string(),
+                t.lineage.display_with(vars.resolver()).to_string(),
+                t.interval.to_string(),
+                p
+            );
+        }
+        out
+    }
+}
+
+impl fmt::Display for TpRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{{")?;
+        for t in &self.tuples {
+            writeln!(f, "  {t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<TpTuple> for TpRelation {
+    /// Collects tuples without validation; call
+    /// [`TpRelation::check_duplicate_free`] if the source is untrusted.
+    fn from_iter<I: IntoIterator<Item = TpTuple>>(iter: I) -> Self {
+        TpRelation {
+            tuples: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a TpRelation {
+    type Item = &'a TpTuple;
+    type IntoIter = std::slice::Iter<'a, TpTuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+fn sort_tuples(tuples: &mut [TpTuple]) {
+    tuples.sort_by(|a, b| {
+        a.sort_key()
+            .cmp(&b.sort_key())
+            .then_with(|| a.interval.end().cmp(&b.interval.end()))
+    });
+}
+
+fn check_duplicate_free_sorted(tuples: &[TpTuple]) -> Result<()> {
+    for w in tuples.windows(2) {
+        if w[0].fact == w[1].fact && w[0].interval.overlaps(&w[1].interval) {
+            return Err(Error::DuplicateFact {
+                fact: w[0].fact.to_string(),
+                first: (w[0].interval.start(), w[0].interval.end()),
+                second: (w[1].interval.start(), w[1].interval.end()),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// A time point annotated with how many tuples start or end there; used by
+/// dataset statistics and Proposition 1 tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EndpointCount {
+    /// The time point.
+    pub at: TimePoint,
+    /// Tuples starting at `at`.
+    pub starts: usize,
+    /// Tuples ending at `at`.
+    pub ends: usize,
+}
+
+/// Counts the start/end points of a relation, sorted by time.
+pub fn endpoint_histogram(rel: &TpRelation) -> Vec<EndpointCount> {
+    use std::collections::BTreeMap;
+    let mut map: BTreeMap<TimePoint, (usize, usize)> = BTreeMap::new();
+    for t in rel.iter() {
+        map.entry(t.interval.start()).or_default().0 += 1;
+        map.entry(t.interval.end()).or_default().1 += 1;
+    }
+    map.into_iter()
+        .map(|(at, (starts, ends))| EndpointCount { at, starts, ends })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tup(f: &str, s: i64, e: i64, id: u64) -> TpTuple {
+        TpTuple::new(f, Lineage::var(TupleId(id)), Interval::at(s, e))
+    }
+
+    #[test]
+    fn vartable_register_and_lookup() {
+        let mut vt = VarTable::new();
+        let a = vt.register("a1", 0.3).unwrap();
+        let b = vt.register("a2", 1.0).unwrap();
+        assert_eq!(vt.prob(a).unwrap(), 0.3);
+        assert_eq!(vt.prob(b).unwrap(), 1.0);
+        assert_eq!(vt.label(a), "a1");
+        assert_eq!(vt.len(), 2);
+        assert!(!vt.is_empty());
+    }
+
+    #[test]
+    fn vartable_rejects_invalid_probability() {
+        let mut vt = VarTable::new();
+        assert!(matches!(
+            vt.register("x", 0.0),
+            Err(Error::InvalidProbability(_))
+        ));
+        assert!(vt.register("x", 1.1).is_err());
+        assert!(vt.register("x", -0.2).is_err());
+        assert!(vt.register("x", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn vartable_unknown_variable() {
+        let vt = VarTable::new();
+        assert!(matches!(
+            vt.prob(TupleId(3)),
+            Err(Error::UnknownVariable(3))
+        ));
+        assert_eq!(vt.label(TupleId(3)), "t3");
+    }
+
+    #[test]
+    fn try_new_accepts_duplicate_free() {
+        let r = TpRelation::try_new(vec![
+            tup("milk", 1, 4, 0),
+            tup("milk", 6, 8, 1),
+            tup("chips", 4, 5, 2),
+        ])
+        .unwrap();
+        assert_eq!(r.len(), 3);
+        assert!(r.is_sorted_by_fact_start());
+    }
+
+    #[test]
+    fn try_new_rejects_overlapping_same_fact() {
+        let err = TpRelation::try_new(vec![tup("milk", 1, 5, 0), tup("milk", 4, 8, 1)])
+            .unwrap_err();
+        assert!(matches!(err, Error::DuplicateFact { .. }));
+    }
+
+    #[test]
+    fn adjacent_same_fact_is_duplicate_free() {
+        // [1,5) and [5,8) share no time point under half-open semantics.
+        assert!(TpRelation::try_new(vec![tup("milk", 1, 5, 0), tup("milk", 5, 8, 1)]).is_ok());
+    }
+
+    #[test]
+    fn same_interval_different_fact_is_fine() {
+        assert!(TpRelation::try_new(vec![tup("a", 1, 5, 0), tup("b", 1, 5, 1)]).is_ok());
+    }
+
+    #[test]
+    fn base_assigns_labels_and_probs() {
+        let mut vt = VarTable::new();
+        let r = TpRelation::base(
+            "a",
+            vec![
+                (Fact::single("milk"), Interval::at(2, 10), 0.3),
+                (Fact::single("chips"), Interval::at(4, 7), 0.8),
+            ],
+            &mut vt,
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(vt.label(TupleId(0)), "a1");
+        assert_eq!(vt.label(TupleId(1)), "a2");
+        assert_eq!(vt.prob(TupleId(1)).unwrap(), 0.8);
+    }
+
+    #[test]
+    fn sorting_and_time_range() {
+        let mut r: TpRelation =
+            vec![tup("b", 5, 9, 0), tup("a", 3, 4, 1), tup("a", 1, 2, 2)]
+                .into_iter()
+                .collect();
+        assert!(!r.is_sorted_by_fact_start());
+        r.sort_by_fact_start();
+        assert!(r.is_sorted_by_fact_start());
+        assert_eq!(r.tuples()[0].fact, Fact::single("a"));
+        assert_eq!(r.time_range(), Some(Interval::at(1, 9)));
+        assert!(TpRelation::new().time_range().is_none());
+    }
+
+    #[test]
+    fn distinct_facts() {
+        let r: TpRelation = vec![tup("a", 1, 2, 0), tup("a", 3, 4, 1), tup("b", 1, 2, 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(r.distinct_facts().len(), 2);
+    }
+
+    #[test]
+    fn coalesce_merges_adjacent_equal_lineage() {
+        // Two fragments of the same tuple — e.g. produced by normalization —
+        // must merge back.
+        let frag1 = TpTuple::new("a", Lineage::var(TupleId(0)), Interval::at(1, 3));
+        let frag2 = TpTuple::new("a", Lineage::var(TupleId(0)), Interval::at(3, 7));
+        let r: TpRelation = vec![frag2.clone(), frag1.clone()].into_iter().collect();
+        let c = r.coalesce();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.tuples()[0].interval, Interval::at(1, 7));
+    }
+
+    #[test]
+    fn coalesce_keeps_different_lineage_apart() {
+        let r: TpRelation = vec![tup("a", 1, 3, 0), tup("a", 3, 7, 1)].into_iter().collect();
+        assert_eq!(r.coalesce().len(), 2);
+        assert!(r.satisfies_change_preservation());
+    }
+
+    #[test]
+    fn change_preservation_detects_violation() {
+        let frag1 = TpTuple::new("a", Lineage::var(TupleId(0)), Interval::at(1, 3));
+        let frag2 = TpTuple::new("a", Lineage::var(TupleId(0)), Interval::at(3, 7));
+        let r: TpRelation = vec![frag1, frag2].into_iter().collect();
+        assert!(!r.satisfies_change_preservation());
+    }
+
+    #[test]
+    fn endpoint_histogram_counts() {
+        let r: TpRelation = vec![tup("a", 1, 3, 0), tup("b", 1, 4, 1), tup("c", 3, 4, 2)]
+            .into_iter()
+            .collect();
+        let h = endpoint_histogram(&r);
+        assert_eq!(
+            h,
+            vec![
+                EndpointCount { at: 1, starts: 2, ends: 0 },
+                EndpointCount { at: 3, starts: 1, ends: 1 },
+                EndpointCount { at: 4, starts: 0, ends: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn render_includes_probabilities() {
+        let mut vt = VarTable::new();
+        let r = TpRelation::base(
+            "a",
+            vec![(Fact::single("milk"), Interval::at(2, 10), 0.3)],
+            &mut vt,
+        )
+        .unwrap();
+        let s = r.render(&vt);
+        assert!(s.contains("'milk'"));
+        assert!(s.contains("a1"));
+        assert!(s.contains("0.3000"));
+    }
+}

@@ -1,0 +1,71 @@
+//! TP tuples: `(F, λ, T)` triples.
+//!
+//! The paper's schema also carries a probability attribute `p`. In this
+//! implementation `p` is *derived*: base tuples register their marginal
+//! probability in a [`crate::relation::VarTable`] under their lineage
+//! variable, and the probability of any tuple (base or result) is obtained
+//! by valuating its lineage with the algorithms in [`crate::prob`]. This
+//! keeps set operations pure interval/lineage computations, exactly like the
+//! paper's runtime experiments, and makes it impossible for a stored `p` to
+//! drift out of sync with λ.
+
+use std::fmt;
+
+use crate::fact::Fact;
+use crate::interval::Interval;
+use crate::lineage::Lineage;
+
+/// One tuple of a temporal-probabilistic relation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TpTuple {
+    /// The conventional attributes `F`.
+    pub fact: Fact,
+    /// The lineage expression λ.
+    pub lineage: Lineage,
+    /// The valid-time interval `T`.
+    pub interval: Interval,
+}
+
+impl TpTuple {
+    /// Creates a tuple.
+    pub fn new(fact: impl Into<Fact>, lineage: Lineage, interval: Interval) -> Self {
+        TpTuple {
+            fact: fact.into(),
+            lineage,
+            interval,
+        }
+    }
+
+    /// Sort key `(F, Ts)` — the order LAWA requires.
+    pub fn sort_key(&self) -> (&Fact, i64) {
+        (&self.fact, self.interval.start())
+    }
+}
+
+impl fmt::Display for TpTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.fact, self.lineage, self.interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::TupleId;
+
+    #[test]
+    fn display_matches_paper_style() {
+        let t = TpTuple::new("milk", Lineage::var(TupleId(1)), Interval::at(2, 10));
+        assert_eq!(t.to_string(), "('milk', t1, [2,10))");
+    }
+
+    #[test]
+    fn sort_key_orders_by_fact_then_start() {
+        let a = TpTuple::new("a", Lineage::var(TupleId(1)), Interval::at(5, 6));
+        let b = TpTuple::new("a", Lineage::var(TupleId(2)), Interval::at(1, 2));
+        let c = TpTuple::new("b", Lineage::var(TupleId(3)), Interval::at(0, 1));
+        let mut v = vec![a.clone(), b.clone(), c.clone()];
+        v.sort_by(|x, y| x.sort_key().cmp(&y.sort_key()));
+        assert_eq!(v, vec![b, a, c]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Grouping and aggregation — the remaining conventional operators a
+//! baseline pipeline occasionally needs (e.g. collecting split points per
+//! tuple, or dataset statistics formulated relationally).
+
+use std::collections::HashMap;
+
+use tp_core::value::{OrderedF64, Value};
+
+use crate::relation::{Relation, Row, Schema};
+
+/// An aggregate function over one column (or none, for `Count`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    /// Number of rows in the group.
+    Count,
+    /// Sum of an integer or float column.
+    Sum(usize),
+    /// Minimum of a column.
+    Min(usize),
+    /// Maximum of a column.
+    Max(usize),
+}
+
+impl AggFn {
+    fn name(&self) -> String {
+        match self {
+            AggFn::Count => "count".into(),
+            AggFn::Sum(c) => format!("sum_{c}"),
+            AggFn::Min(c) => format!("min_{c}"),
+            AggFn::Max(c) => format!("max_{c}"),
+        }
+    }
+
+    fn finish(&self, rows: &[&Row]) -> Value {
+        match self {
+            AggFn::Count => Value::int(rows.len() as i64),
+            AggFn::Sum(c) => {
+                // Numeric sum: integers stay integers, floats promote.
+                let mut int_sum: i64 = 0;
+                let mut float_sum: f64 = 0.0;
+                let mut saw_float = false;
+                for r in rows {
+                    match &r[*c] {
+                        Value::Int(v) => int_sum += v,
+                        Value::Float(OrderedF64(v)) => {
+                            saw_float = true;
+                            float_sum += v;
+                        }
+                        other => panic!("sum over non-numeric value {other}"),
+                    }
+                }
+                if saw_float {
+                    Value::float(float_sum + int_sum as f64)
+                } else {
+                    Value::int(int_sum)
+                }
+            }
+            AggFn::Min(c) => rows
+                .iter()
+                .map(|r| r[*c].clone())
+                .min()
+                .expect("groups are non-empty"),
+            AggFn::Max(c) => rows
+                .iter()
+                .map(|r| r[*c].clone())
+                .max()
+                .expect("groups are non-empty"),
+        }
+    }
+}
+
+/// γ: groups `rel` by the `keys` columns and computes the aggregates.
+/// Output schema: key columns (original names) followed by one column per
+/// aggregate. Output rows are sorted by key for determinism.
+pub fn group_by(rel: &Relation, keys: &[usize], aggs: &[AggFn]) -> Relation {
+    let mut groups: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
+    for row in &rel.rows {
+        let key: Vec<Value> = keys.iter().map(|&k| row[k].clone()).collect();
+        groups.entry(key).or_default().push(row);
+    }
+    let mut keyed: Vec<(Vec<Value>, Vec<&Row>)> = groups.into_iter().collect();
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut columns: Vec<String> = keys
+        .iter()
+        .map(|&k| rel.schema.columns()[k].clone())
+        .collect();
+    columns.extend(aggs.iter().map(|a| a.name()));
+
+    let rows: Vec<Row> = keyed
+        .into_iter()
+        .map(|(mut key, members)| {
+            key.extend(aggs.iter().map(|a| a.finish(&members)));
+            key
+        })
+        .collect();
+    Relation::new(Schema::new(columns), rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel() -> Relation {
+        Relation::new(
+            Schema::new(["fact", "len"]),
+            vec![
+                vec![Value::str("a"), Value::int(3)],
+                vec![Value::str("b"), Value::int(5)],
+                vec![Value::str("a"), Value::int(7)],
+                vec![Value::str("a"), Value::int(1)],
+            ],
+        )
+    }
+
+    #[test]
+    fn count_per_group() {
+        let out = group_by(&rel(), &[0], &[AggFn::Count]);
+        assert_eq!(out.schema.columns(), &["fact", "count"]);
+        assert_eq!(
+            out.rows,
+            vec![
+                vec![Value::str("a"), Value::int(3)],
+                vec![Value::str("b"), Value::int(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn sum_min_max() {
+        let out = group_by(&rel(), &[0], &[AggFn::Sum(1), AggFn::Min(1), AggFn::Max(1)]);
+        assert_eq!(out.rows[0][1], Value::int(11));
+        assert_eq!(out.rows[0][2], Value::int(1));
+        assert_eq!(out.rows[0][3], Value::int(7));
+    }
+
+    #[test]
+    fn sum_promotes_to_float() {
+        let r = Relation::new(
+            Schema::new(["k", "v"]),
+            vec![
+                vec![Value::int(1), Value::int(2)],
+                vec![Value::int(1), Value::float(0.5)],
+            ],
+        );
+        let out = group_by(&r, &[0], &[AggFn::Sum(1)]);
+        assert_eq!(out.rows[0][1], Value::float(2.5));
+    }
+
+    #[test]
+    fn global_aggregate_with_no_keys() {
+        let out = group_by(&rel(), &[], &[AggFn::Count, AggFn::Max(1)]);
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0], vec![Value::int(4), Value::int(7)]);
+    }
+
+    #[test]
+    fn empty_input_has_no_groups() {
+        let empty = Relation::empty(Schema::new(["k", "v"]));
+        assert!(group_by(&empty, &[0], &[AggFn::Count]).is_empty());
+    }
+}

@@ -1,0 +1,325 @@
+//! The physical operators of the mini engine.
+
+use std::collections::HashMap;
+
+use tp_core::value::Value;
+
+use crate::predicate::Predicate;
+use crate::relation::Relation;
+
+/// σ: keeps the rows satisfying the predicate.
+pub fn select(rel: &Relation, pred: &Predicate) -> Relation {
+    Relation {
+        schema: rel.schema.clone(),
+        rows: rel.rows.iter().filter(|r| pred.eval(r)).cloned().collect(),
+    }
+}
+
+/// π: projects each row onto the given column positions (bag semantics —
+/// duplicates are kept, like SQL without DISTINCT).
+pub fn project(rel: &Relation, cols: &[usize]) -> Relation {
+    Relation {
+        schema: rel.schema.project(cols),
+        rows: rel
+            .rows
+            .iter()
+            .map(|r| cols.iter().map(|&i| r[i].clone()).collect())
+            .collect(),
+    }
+}
+
+/// Nested-loop theta join: O(|l| · |r|) pair enumerations.
+///
+/// This is deliberately the naive algorithm — it is what the paper's
+/// complexity analysis of NORM/TPDB assumes for joins with inequality
+/// predicates (reference \[31\]: inequality joins are quadratic without
+/// specialized indexes).
+pub fn nested_loop_join(l: &Relation, r: &Relation, pred: &Predicate) -> Relation {
+    let mut rows = Vec::new();
+    for lr in &l.rows {
+        for rr in &r.rows {
+            if pred.eval_pair(lr, rr) {
+                let mut row = Vec::with_capacity(lr.len() + rr.len());
+                row.extend(lr.iter().cloned());
+                row.extend(rr.iter().cloned());
+                rows.push(row);
+            }
+        }
+    }
+    Relation {
+        schema: l.schema.concat(&r.schema),
+        rows,
+    }
+}
+
+/// Nested-loop join producing `(left index, right index)` pairs instead of
+/// materialized rows — used when the caller keeps side structures (e.g. the
+/// TPDB baseline's lineage store) keyed by row position.
+pub fn nested_loop_join_pairs(l: &Relation, r: &Relation, pred: &Predicate) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (i, lr) in l.rows.iter().enumerate() {
+        for (j, rr) in r.rows.iter().enumerate() {
+            if pred.eval_pair(lr, rr) {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+/// Left-outer nested-loop join in pair form: every left row appears at least
+/// once; unmatched rows pair with `None`.
+pub fn left_outer_join_pairs(
+    l: &Relation,
+    r: &Relation,
+    pred: &Predicate,
+) -> Vec<(usize, Option<usize>)> {
+    let mut out = Vec::new();
+    for (i, lr) in l.rows.iter().enumerate() {
+        let mut matched = false;
+        for (j, rr) in r.rows.iter().enumerate() {
+            if pred.eval_pair(lr, rr) {
+                out.push((i, Some(j)));
+                matched = true;
+            }
+        }
+        if !matched {
+            out.push((i, None));
+        }
+    }
+    out
+}
+
+/// Hash equi-join on `l_cols` = `r_cols` (column-position lists of equal
+/// length). Builds on the smaller input.
+pub fn hash_join(l: &Relation, r: &Relation, l_cols: &[usize], r_cols: &[usize]) -> Relation {
+    assert_eq!(l_cols.len(), r_cols.len(), "join key arity mismatch");
+    let schema = l.schema.concat(&r.schema);
+    // Build on r, probe with l (output order: left-major, deterministic).
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (j, rr) in r.rows.iter().enumerate() {
+        let key: Vec<Value> = r_cols.iter().map(|&c| rr[c].clone()).collect();
+        table.entry(key).or_default().push(j);
+    }
+    let mut rows = Vec::new();
+    for lr in &l.rows {
+        let key: Vec<Value> = l_cols.iter().map(|&c| lr[c].clone()).collect();
+        if let Some(matches) = table.get(&key) {
+            for &j in matches {
+                let mut row = Vec::with_capacity(lr.len() + r.rows[j].len());
+                row.extend(lr.iter().cloned());
+                row.extend(r.rows[j].iter().cloned());
+                rows.push(row);
+            }
+        }
+    }
+    Relation { schema, rows }
+}
+
+/// Sort-merge equi-join on a single column pair.
+pub fn sort_merge_join(l: &Relation, r: &Relation, l_col: usize, r_col: usize) -> Relation {
+    let schema = l.schema.concat(&r.schema);
+    let mut li: Vec<usize> = (0..l.rows.len()).collect();
+    let mut ri: Vec<usize> = (0..r.rows.len()).collect();
+    li.sort_by(|&a, &b| l.rows[a][l_col].cmp(&l.rows[b][l_col]));
+    ri.sort_by(|&a, &b| r.rows[a][r_col].cmp(&r.rows[b][r_col]));
+    let mut rows = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < li.len() && j < ri.len() {
+        let lv = &l.rows[li[i]][l_col];
+        let rv = &r.rows[ri[j]][r_col];
+        match lv.cmp(rv) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Find the run of equal keys on both sides, emit the cross
+                // product of the runs.
+                let mut i_end = i;
+                while i_end < li.len() && &l.rows[li[i_end]][l_col] == lv {
+                    i_end += 1;
+                }
+                let mut j_end = j;
+                while j_end < ri.len() && &r.rows[ri[j_end]][r_col] == rv {
+                    j_end += 1;
+                }
+                for &a in &li[i..i_end] {
+                    for &b in &ri[j..j_end] {
+                        let mut row = Vec::with_capacity(l.schema.arity() + r.schema.arity());
+                        row.extend(l.rows[a].iter().cloned());
+                        row.extend(r.rows[b].iter().cloned());
+                        rows.push(row);
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    Relation { schema, rows }
+}
+
+/// Bag union (schemas must match).
+pub fn union_all(l: &Relation, r: &Relation) -> Relation {
+    assert_eq!(
+        l.schema.arity(),
+        r.schema.arity(),
+        "union requires equal arity"
+    );
+    let mut rows = l.rows.clone();
+    rows.extend(r.rows.iter().cloned());
+    Relation {
+        schema: l.schema.clone(),
+        rows,
+    }
+}
+
+/// Duplicate elimination by sorting (SQL `DISTINCT`).
+pub fn distinct(rel: &Relation) -> Relation {
+    let mut rows = rel.rows.clone();
+    rows.sort();
+    rows.dedup();
+    Relation {
+        schema: rel.schema.clone(),
+        rows,
+    }
+}
+
+/// Sorts the rows by the given column positions, in order.
+pub fn sort_by(rel: &Relation, cols: &[usize]) -> Relation {
+    let mut rows = rel.rows.clone();
+    rows.sort_by(|a, b| {
+        for &c in cols {
+            match a[c].cmp(&b[c]) {
+                std::cmp::Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Relation {
+        schema: rel.schema.clone(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+    use crate::relation::Schema;
+
+    fn rel(cols: &[&str], rows: Vec<Vec<i64>>) -> Relation {
+        Relation::new(
+            Schema::new(cols.iter().copied()),
+            rows.into_iter()
+                .map(|r| r.into_iter().map(Value::int).collect())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn select_filters() {
+        let r = rel(&["x"], vec![vec![1], vec![5], vec![9]]);
+        let out = select(&r, &Predicate::col_const(CmpOp::Gt, 0, Value::int(3)));
+        assert_eq!(out.rows.len(), 2);
+    }
+
+    #[test]
+    fn project_reorders_columns() {
+        let r = rel(&["a", "b"], vec![vec![1, 2]]);
+        let out = project(&r, &[1, 0]);
+        assert_eq!(out.schema.columns(), &["b", "a"]);
+        assert_eq!(out.rows[0], vec![Value::int(2), Value::int(1)]);
+    }
+
+    #[test]
+    fn nested_loop_overlap_join() {
+        // Two interval tables; join on overlap.
+        let l = rel(&["ts", "te"], vec![vec![1, 4], vec![6, 9]]);
+        let r = rel(&["ts", "te"], vec![vec![3, 7], vec![9, 12]]);
+        let out = nested_loop_join(&l, &r, &Predicate::overlap(0, 1, 2, 3));
+        // [1,4)x[3,7) and [6,9)x[3,7) overlap; [9,12) matches nothing.
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.schema.arity(), 4);
+    }
+
+    #[test]
+    fn join_pairs_and_outer_pairs() {
+        let l = rel(&["ts", "te"], vec![vec![1, 4], vec![20, 22]]);
+        let r = rel(&["ts", "te"], vec![vec![3, 7]]);
+        let pred = Predicate::overlap(0, 1, 2, 3);
+        assert_eq!(nested_loop_join_pairs(&l, &r, &pred), vec![(0, 0)]);
+        assert_eq!(
+            left_outer_join_pairs(&l, &r, &pred),
+            vec![(0, Some(0)), (1, None)]
+        );
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop_on_equality() {
+        let l = rel(&["k", "v"], vec![vec![1, 10], vec![2, 20], vec![1, 11]]);
+        let r = rel(&["k", "w"], vec![vec![1, 100], vec![3, 300]]);
+        let hj = hash_join(&l, &r, &[0], &[0]);
+        let nl = nested_loop_join(&l, &r, &Predicate::col_eq(0, 2));
+        let canon = |rel: &Relation| {
+            let mut rows = rel.rows.clone();
+            rows.sort();
+            rows
+        };
+        assert_eq!(canon(&hj), canon(&nl));
+        assert_eq!(hj.rows.len(), 2);
+    }
+
+    #[test]
+    fn sort_merge_join_matches_hash_join() {
+        let l = rel(&["k", "v"], vec![vec![2, 1], vec![1, 2], vec![2, 3]]);
+        let r = rel(&["k", "w"], vec![vec![2, 9], vec![2, 8], vec![1, 7]]);
+        let a = sort_merge_join(&l, &r, 0, 0);
+        let b = hash_join(&l, &r, &[0], &[0]);
+        let canon = |rel: &Relation| {
+            let mut rows = rel.rows.clone();
+            rows.sort();
+            rows
+        };
+        assert_eq!(canon(&a), canon(&b));
+        assert_eq!(a.rows.len(), 5); // 2x2 for k=2, 1x1 for k=1
+    }
+
+    #[test]
+    fn union_all_and_distinct() {
+        let l = rel(&["x"], vec![vec![1], vec![2]]);
+        let r = rel(&["x"], vec![vec![2], vec![3]]);
+        let u = union_all(&l, &r);
+        assert_eq!(u.rows.len(), 4);
+        let d = distinct(&u);
+        assert_eq!(d.rows.len(), 3);
+    }
+
+    #[test]
+    fn sort_by_multiple_columns() {
+        let r = rel(&["a", "b"], vec![vec![2, 1], vec![1, 9], vec![2, 0]]);
+        let out = sort_by(&r, &[0, 1]);
+        let firsts: Vec<i64> = out.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        let seconds: Vec<i64> = out.rows.iter().map(|r| r[1].as_int().unwrap()).collect();
+        assert_eq!(firsts, vec![1, 2, 2]);
+        assert_eq!(seconds, vec![9, 0, 1]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e = Relation::empty(Schema::new(["ts", "te"]));
+        let r = rel(&["ts", "te"], vec![vec![1, 4]]);
+        assert!(nested_loop_join(&e, &r, &Predicate::True).is_empty());
+        assert!(nested_loop_join(&r, &e, &Predicate::True).is_empty());
+        assert_eq!(left_outer_join_pairs(&r, &e, &Predicate::True), vec![(0, None)]);
+        assert!(hash_join(&e, &r, &[0], &[0]).is_empty());
+        assert!(sort_merge_join(&e, &r, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn cross_product_via_true_predicate() {
+        let l = rel(&["a"], vec![vec![1], vec![2]]);
+        let r = rel(&["b"], vec![vec![3], vec![4], vec![5]]);
+        assert_eq!(nested_loop_join(&l, &r, &Predicate::True).rows.len(), 6);
+    }
+}

@@ -1,0 +1,281 @@
+//! Physical query plans: composable operator trees with an executor and an
+//! `EXPLAIN`-style printer.
+//!
+//! The paper's TPDB baseline "translates each rule to an inner join that is
+//! submitted to PostgreSQL"; this module is the corresponding submission
+//! surface of the mini engine: baselines build a [`Plan`] and call
+//! [`Plan::execute`], instead of invoking operators one by one.
+
+use std::fmt;
+
+use crate::ops;
+use crate::predicate::Predicate;
+use crate::relation::Relation;
+
+/// A physical plan node.
+#[derive(Debug, Clone)]
+pub enum Plan {
+    /// An inline (already materialized) table.
+    Values(Relation),
+    /// σ.
+    Select {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Row predicate.
+        pred: Predicate,
+    },
+    /// π (bag semantics).
+    Project {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Output column positions.
+        cols: Vec<usize>,
+    },
+    /// Nested-loop theta join (the quadratic inequality-join workhorse).
+    NlJoin {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Join predicate over the concatenated row.
+        pred: Predicate,
+    },
+    /// Hash equi-join.
+    HashJoin {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Left key columns.
+        l_cols: Vec<usize>,
+        /// Right key columns.
+        r_cols: Vec<usize>,
+    },
+    /// Bag union.
+    UnionAll {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+    },
+    /// Duplicate elimination.
+    Distinct {
+        /// Input plan.
+        input: Box<Plan>,
+    },
+    /// Sort by columns.
+    Sort {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Sort columns, major first.
+        cols: Vec<usize>,
+    },
+}
+
+impl Plan {
+    /// Inline table.
+    pub fn values(rel: Relation) -> Plan {
+        Plan::Values(rel)
+    }
+
+    /// σ builder.
+    pub fn select(self, pred: Predicate) -> Plan {
+        Plan::Select {
+            input: Box::new(self),
+            pred,
+        }
+    }
+
+    /// π builder.
+    pub fn project(self, cols: Vec<usize>) -> Plan {
+        Plan::Project {
+            input: Box::new(self),
+            cols,
+        }
+    }
+
+    /// Nested-loop join builder.
+    pub fn nl_join(self, right: Plan, pred: Predicate) -> Plan {
+        Plan::NlJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            pred,
+        }
+    }
+
+    /// Hash join builder.
+    pub fn hash_join(self, right: Plan, l_cols: Vec<usize>, r_cols: Vec<usize>) -> Plan {
+        Plan::HashJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            l_cols,
+            r_cols,
+        }
+    }
+
+    /// Union-all builder.
+    pub fn union_all(self, right: Plan) -> Plan {
+        Plan::UnionAll {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// Distinct builder.
+    pub fn distinct(self) -> Plan {
+        Plan::Distinct {
+            input: Box::new(self),
+        }
+    }
+
+    /// Sort builder.
+    pub fn sort(self, cols: Vec<usize>) -> Plan {
+        Plan::Sort {
+            input: Box::new(self),
+            cols,
+        }
+    }
+
+    /// Executes the plan bottom-up, materializing every intermediate (the
+    /// mini engine has no pipelining — adequate for baseline reproduction).
+    pub fn execute(&self) -> Relation {
+        match self {
+            Plan::Values(rel) => rel.clone(),
+            Plan::Select { input, pred } => ops::select(&input.execute(), pred),
+            Plan::Project { input, cols } => ops::project(&input.execute(), cols),
+            Plan::NlJoin { left, right, pred } => {
+                ops::nested_loop_join(&left.execute(), &right.execute(), pred)
+            }
+            Plan::HashJoin {
+                left,
+                right,
+                l_cols,
+                r_cols,
+            } => ops::hash_join(&left.execute(), &right.execute(), l_cols, r_cols),
+            Plan::UnionAll { left, right } => ops::union_all(&left.execute(), &right.execute()),
+            Plan::Distinct { input } => ops::distinct(&input.execute()),
+            Plan::Sort { input, cols } => ops::sort_by(&input.execute(), cols),
+        }
+    }
+
+    fn explain_rec(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            Plan::Values(rel) => writeln!(f, "{pad}Values ({} rows)", rel.len()),
+            Plan::Select { input, .. } => {
+                writeln!(f, "{pad}Select")?;
+                input.explain_rec(f, indent + 1)
+            }
+            Plan::Project { input, cols } => {
+                writeln!(f, "{pad}Project {cols:?}")?;
+                input.explain_rec(f, indent + 1)
+            }
+            Plan::NlJoin { left, right, .. } => {
+                writeln!(f, "{pad}NestedLoopJoin")?;
+                left.explain_rec(f, indent + 1)?;
+                right.explain_rec(f, indent + 1)
+            }
+            Plan::HashJoin {
+                left,
+                right,
+                l_cols,
+                r_cols,
+            } => {
+                writeln!(f, "{pad}HashJoin on {l_cols:?}={r_cols:?}")?;
+                left.explain_rec(f, indent + 1)?;
+                right.explain_rec(f, indent + 1)
+            }
+            Plan::UnionAll { left, right } => {
+                writeln!(f, "{pad}UnionAll")?;
+                left.explain_rec(f, indent + 1)?;
+                right.explain_rec(f, indent + 1)
+            }
+            Plan::Distinct { input } => {
+                writeln!(f, "{pad}Distinct")?;
+                input.explain_rec(f, indent + 1)
+            }
+            Plan::Sort { input, cols } => {
+                writeln!(f, "{pad}Sort by {cols:?}")?;
+                input.explain_rec(f, indent + 1)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.explain_rec(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+    use crate::relation::Schema;
+    use tp_core::value::Value;
+
+    fn rel(cols: &[&str], rows: Vec<Vec<i64>>) -> Relation {
+        Relation::new(
+            Schema::new(cols.iter().copied()),
+            rows.into_iter()
+                .map(|r| r.into_iter().map(Value::int).collect())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn plan_equals_direct_operator_calls() {
+        let l = rel(&["k", "v"], vec![vec![1, 10], vec![2, 20], vec![1, 30]]);
+        let r = rel(&["k", "w"], vec![vec![1, 7], vec![3, 9]]);
+        let plan = Plan::values(l.clone())
+            .nl_join(Plan::values(r.clone()), Predicate::col_eq(0, 2))
+            .project(vec![1, 3])
+            .sort(vec![0]);
+        let direct = ops::sort_by(
+            &ops::project(
+                &ops::nested_loop_join(&l, &r, &Predicate::col_eq(0, 2)),
+                &[1, 3],
+            ),
+            &[0],
+        );
+        assert_eq!(plan.execute(), direct);
+    }
+
+    #[test]
+    fn select_distinct_union_pipeline() {
+        let a = rel(&["x"], vec![vec![1], vec![2], vec![2]]);
+        let b = rel(&["x"], vec![vec![2], vec![3]]);
+        let plan = Plan::values(a)
+            .union_all(Plan::values(b))
+            .select(Predicate::col_const(CmpOp::Ge, 0, Value::int(2)))
+            .distinct();
+        let out = plan.execute();
+        assert_eq!(out.rows.len(), 2); // {2, 3}
+    }
+
+    #[test]
+    fn hash_join_node() {
+        let l = rel(&["k", "v"], vec![vec![1, 10], vec![2, 20]]);
+        let r = rel(&["k", "w"], vec![vec![2, 7]]);
+        let out = Plan::values(l)
+            .hash_join(Plan::values(r), vec![0], vec![0])
+            .execute();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0][3], Value::int(7));
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let plan = Plan::values(rel(&["x"], vec![vec![1]]))
+            .nl_join(Plan::values(rel(&["y"], vec![vec![2]])), Predicate::True)
+            .distinct();
+        let text = plan.to_string();
+        assert!(text.contains("Distinct"));
+        assert!(text.contains("NestedLoopJoin"));
+        assert!(text.contains("Values (1 rows)"));
+        // Indentation reflects depth.
+        assert!(text.contains("  NestedLoopJoin"));
+        assert!(text.contains("    Values"));
+    }
+}

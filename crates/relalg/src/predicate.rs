@@ -1,0 +1,203 @@
+//! Scalar expressions and predicates over rows.
+//!
+//! A [`Predicate`] is evaluated against one flat row. For joins, that row is
+//! the concatenation `left ++ right`, so a predicate comparing a left column
+//! `i` with a right column `j` is written `Expr::Col(i)` vs
+//! `Expr::Col(left_arity + j)` — the offset arithmetic every tuple-at-a-time
+//! executor performs.
+
+use tp_core::value::Value;
+
+use crate::relation::Row;
+
+/// A scalar expression: a column reference or a constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column at the given position of the (possibly concatenated) row.
+    Col(usize),
+    /// A literal value.
+    Const(Value),
+}
+
+impl Expr {
+    fn eval<'a>(&'a self, row: &'a [Value]) -> &'a Value {
+        match self {
+            Expr::Col(i) => &row[*i],
+            Expr::Const(v) => v,
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn apply(&self, l: &Value, r: &Value) -> bool {
+        match self {
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+        }
+    }
+}
+
+/// A Boolean predicate over a row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true (cross product when used as a join predicate).
+    True,
+    /// Binary comparison of two expressions.
+    Cmp(CmpOp, Expr, Expr),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluates the predicate over a row.
+    pub fn eval(&self, row: &[Value]) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Cmp(op, l, r) => op.apply(l.eval(row), r.eval(row)),
+            Predicate::And(a, b) => a.eval(row) && b.eval(row),
+            Predicate::Or(a, b) => a.eval(row) || b.eval(row),
+            Predicate::Not(a) => !a.eval(row),
+        }
+    }
+
+    /// Evaluates a join predicate over a pair of rows without materializing
+    /// the concatenation (the executor's hot path).
+    pub fn eval_pair(&self, left: &Row, right: &Row) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Cmp(op, l, r) => {
+                let resolve = |e: &Expr| -> Value {
+                    match e {
+                        Expr::Col(i) => {
+                            if *i < left.len() {
+                                left[*i].clone()
+                            } else {
+                                right[*i - left.len()].clone()
+                            }
+                        }
+                        Expr::Const(v) => v.clone(),
+                    }
+                };
+                op.apply(&resolve(l), &resolve(r))
+            }
+            Predicate::And(a, b) => a.eval_pair(left, right) && b.eval_pair(left, right),
+            Predicate::Or(a, b) => a.eval_pair(left, right) || b.eval_pair(left, right),
+            Predicate::Not(a) => !a.eval_pair(left, right),
+        }
+    }
+
+    /// `a AND b` builder.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// `a OR b` builder.
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT a` builder.
+    pub fn negate(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// `col_l = col_r` builder.
+    pub fn col_eq(l: usize, r: usize) -> Predicate {
+        Predicate::Cmp(CmpOp::Eq, Expr::Col(l), Expr::Col(r))
+    }
+
+    /// `col op col` builder.
+    pub fn col_cmp(op: CmpOp, l: usize, r: usize) -> Predicate {
+        Predicate::Cmp(op, Expr::Col(l), Expr::Col(r))
+    }
+
+    /// `col op const` builder.
+    pub fn col_const(op: CmpOp, col: usize, v: Value) -> Predicate {
+        Predicate::Cmp(op, Expr::Col(col), Expr::Const(v))
+    }
+
+    /// The interval-overlap condition `l.ts < r.te AND r.ts < l.te`, the
+    /// inequality pair at the heart of NORM's and TPDB's joins.
+    pub fn overlap(l_ts: usize, l_te: usize, r_ts: usize, r_te: usize) -> Predicate {
+        Predicate::col_cmp(CmpOp::Lt, l_ts, r_te).and(Predicate::col_cmp(CmpOp::Lt, r_ts, l_te))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(vals: &[i64]) -> Row {
+        vals.iter().map(|&v| Value::int(v)).collect()
+    }
+
+    #[test]
+    fn cmp_ops() {
+        let r = row(&[1, 2]);
+        assert!(Predicate::col_cmp(CmpOp::Lt, 0, 1).eval(&r));
+        assert!(Predicate::col_cmp(CmpOp::Le, 0, 1).eval(&r));
+        assert!(!Predicate::col_cmp(CmpOp::Gt, 0, 1).eval(&r));
+        assert!(Predicate::col_cmp(CmpOp::Ne, 0, 1).eval(&r));
+        assert!(!Predicate::col_eq(0, 1).eval(&r));
+        assert!(Predicate::col_const(CmpOp::Eq, 0, Value::int(1)).eval(&r));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let r = row(&[1, 2]);
+        let lt = Predicate::col_cmp(CmpOp::Lt, 0, 1);
+        let gt = Predicate::col_cmp(CmpOp::Gt, 0, 1);
+        assert!(lt.clone().and(gt.clone().negate()).eval(&r));
+        assert!(lt.clone().or(gt.clone()).eval(&r));
+        assert!(!lt.and(gt).eval(&r));
+        assert!(Predicate::True.eval(&r));
+    }
+
+    #[test]
+    fn eval_pair_matches_concatenated_eval() {
+        let l = row(&[1, 5]);
+        let r = row(&[3, 8]);
+        let concat: Row = l.iter().cloned().chain(r.iter().cloned()).collect();
+        let p = Predicate::overlap(0, 1, 2, 3);
+        assert_eq!(p.eval(&concat), p.eval_pair(&l, &r));
+        assert!(p.eval_pair(&l, &r)); // [1,5) overlaps [3,8)
+        let r2 = row(&[5, 8]);
+        assert!(!p.eval_pair(&l, &r2)); // adjacent, no overlap
+    }
+
+    #[test]
+    fn overlap_predicate_truth_table() {
+        let p = Predicate::overlap(0, 1, 2, 3);
+        let check = |a: (i64, i64), b: (i64, i64)| p.eval_pair(&row(&[a.0, a.1]), &row(&[b.0, b.1]));
+        assert!(check((1, 4), (3, 6)));
+        assert!(check((3, 6), (1, 4)));
+        assert!(check((1, 10), (4, 5)));
+        assert!(!check((1, 2), (2, 3)));
+        assert!(!check((5, 6), (1, 2)));
+    }
+}

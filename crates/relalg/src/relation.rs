@@ -1,0 +1,156 @@
+//! Schemas, rows and relations of the mini engine.
+
+use std::fmt;
+
+use tp_core::value::Value;
+
+/// A row: one flat record of attribute values.
+pub type Row = Vec<Value>;
+
+/// An ordered list of named columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<String>,
+}
+
+impl Schema {
+    /// Creates a schema from column names.
+    pub fn new<S: Into<String>>(columns: impl IntoIterator<Item = S>) -> Self {
+        Schema {
+            columns: columns.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Schema of the concatenation `self ++ other`, prefixing duplicated
+    /// names with `l.`/`r.` the way an executor disambiguates join outputs.
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut columns = Vec::with_capacity(self.arity() + other.arity());
+        for c in &self.columns {
+            if other.columns.contains(c) {
+                columns.push(format!("l.{c}"));
+            } else {
+                columns.push(c.clone());
+            }
+        }
+        for c in &other.columns {
+            if self.columns.contains(c) {
+                columns.push(format!("r.{c}"));
+            } else {
+                columns.push(c.clone());
+            }
+        }
+        Schema { columns }
+    }
+
+    /// Projection of the schema onto the given column positions.
+    pub fn project(&self, cols: &[usize]) -> Schema {
+        Schema {
+            columns: cols.iter().map(|&i| self.columns[i].clone()).collect(),
+        }
+    }
+}
+
+/// A relation: a schema plus a bag of rows (the engine is bag-semantics,
+/// like SQL; `distinct` turns a bag into a set).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    /// The relation's schema.
+    pub schema: Schema,
+    /// The rows. Every row has exactly `schema.arity()` values.
+    pub rows: Vec<Row>,
+}
+
+impl Relation {
+    /// Creates a relation, checking that each row matches the schema arity.
+    pub fn new(schema: Schema, rows: Vec<Row>) -> Self {
+        debug_assert!(
+            rows.iter().all(|r| r.len() == schema.arity()),
+            "row arity must match schema"
+        );
+        Relation { schema, rows }
+    }
+
+    /// Creates an empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema.columns().join(" | "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::new(["fact", "ts", "te"]);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("ts"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+    }
+
+    #[test]
+    fn schema_concat_disambiguates() {
+        let l = Schema::new(["fact", "ts"]);
+        let r = Schema::new(["fact", "te"]);
+        let c = l.concat(&r);
+        assert_eq!(c.columns(), &["l.fact", "ts", "r.fact", "te"]);
+    }
+
+    #[test]
+    fn schema_project() {
+        let s = Schema::new(["a", "b", "c"]);
+        assert_eq!(s.project(&[2, 0]).columns(), &["c", "a"]);
+    }
+
+    #[test]
+    fn relation_display() {
+        let r = Relation::new(
+            Schema::new(["x", "y"]),
+            vec![vec![Value::int(1), Value::str("a")]],
+        );
+        let s = r.to_string();
+        assert!(s.contains("x | y"));
+        assert!(s.contains("1 | 'a'"));
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! # tp-workloads — dataset generators for the TP set-operation experiments
+//!
+//! Everything the benchmark harness feeds to the approaches:
+//!
+//! * [`synth`] — the §VII-B synthetic workload: per-fact interval chains
+//!   with tunable tuple counts, fact counts, interval lengths and gaps, plus
+//!   the *overlapping factor* metric and the Table III presets.
+//! * [`meteo`] — a seeded simulator with the structural profile of the Meteo
+//!   Swiss temperature-prediction dataset (few facts, long durations, high
+//!   per-point concurrency).
+//! * [`webkit`] — a seeded simulator with the structural profile of the
+//!   WebKit SVN history (hundreds of thousands of facts, bursty commits,
+//!   short durations).
+//! * [`shift`] — the second-relation construction of §VII-C (interval
+//!   shifting that preserves lengths and the duplicate-free invariant).
+//! * [`stats`] — Table IV dataset profiling.
+//!
+//! All generators are deterministic in their seed; the substitution
+//! rationale for the two real-world datasets is documented in `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod meteo;
+pub mod shift;
+pub mod stats;
+pub mod synth;
+pub mod webkit;
+
+pub use meteo::MeteoConfig;
+pub use shift::shifted_copy;
+pub use stats::DatasetStats;
+pub use synth::{overlapping_factor, FactDistribution, RelationSpec, SynthConfig};
+pub use webkit::WebkitConfig;

@@ -1,0 +1,164 @@
+//! Dataset property measurement — the fields of the paper's Table IV.
+
+use std::collections::BTreeMap;
+
+use tp_core::relation::TpRelation;
+
+/// The Table IV profile of a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Number of tuples.
+    pub cardinality: usize,
+    /// `max(end) − min(start)` over all tuples.
+    pub time_range: i64,
+    /// Shortest interval duration.
+    pub min_duration: i64,
+    /// Longest interval duration.
+    pub max_duration: i64,
+    /// Mean interval duration.
+    pub avg_duration: f64,
+    /// Number of distinct facts.
+    pub num_facts: usize,
+    /// Number of distinct start/end points.
+    pub distinct_points: usize,
+    /// Maximum number of tuples valid at any single time point.
+    pub max_tuples_per_point: usize,
+    /// Average number of tuples valid per time point, over the time range.
+    pub avg_tuples_per_point: f64,
+}
+
+impl DatasetStats {
+    /// Measures a relation. Sweep-based: `O(n log n)`, independent of the
+    /// time-range span.
+    pub fn measure(rel: &TpRelation) -> DatasetStats {
+        if rel.is_empty() {
+            return DatasetStats {
+                cardinality: 0,
+                time_range: 0,
+                min_duration: 0,
+                max_duration: 0,
+                avg_duration: 0.0,
+                num_facts: 0,
+                distinct_points: 0,
+                max_tuples_per_point: 0,
+                avg_tuples_per_point: 0.0,
+            };
+        }
+        let range = rel.time_range().expect("non-empty");
+        let mut min_d = i64::MAX;
+        let mut max_d = i64::MIN;
+        let mut sum_d: i128 = 0;
+        // Event sweep for per-point concurrency.
+        let mut deltas: BTreeMap<i64, i64> = BTreeMap::new();
+        for t in rel.iter() {
+            let d = t.interval.duration();
+            min_d = min_d.min(d);
+            max_d = max_d.max(d);
+            sum_d += d as i128;
+            *deltas.entry(t.interval.start()).or_default() += 1;
+            *deltas.entry(t.interval.end()).or_default() -= 1;
+        }
+        let distinct_points = deltas.len();
+        let mut active: i64 = 0;
+        let mut max_active: i64 = 0;
+        let mut weighted: i128 = 0; // ∑ active · segment-length
+        let mut prev_at: Option<i64> = None;
+        for (&at, &delta) in &deltas {
+            if let Some(p) = prev_at {
+                weighted += active as i128 * (at - p) as i128;
+            }
+            active += delta;
+            max_active = max_active.max(active);
+            prev_at = Some(at);
+        }
+        debug_assert_eq!(active, 0, "every start is matched by an end");
+        DatasetStats {
+            cardinality: rel.len(),
+            time_range: range.duration(),
+            min_duration: min_d,
+            max_duration: max_d,
+            avg_duration: sum_d as f64 / rel.len() as f64,
+            num_facts: rel.distinct_facts().len(),
+            distinct_points,
+            max_tuples_per_point: max_active as usize,
+            avg_tuples_per_point: weighted as f64 / range.duration() as f64,
+        }
+    }
+
+    /// Renders the stats as a Table IV style column.
+    pub fn render(&self, name: &str) -> String {
+        format!(
+            "{name}\n  Cardinality            {}\n  Time Range             {}\n  \
+             Min. Duration          {}\n  Max. Duration          {}\n  \
+             Avg. Duration          {:.1}\n  Num. of Facts          {}\n  \
+             Distinct Points        {}\n  Max Tuples (per point) {}\n  \
+             Avg Tuples (per point) {:.1}\n",
+            self.cardinality,
+            self.time_range,
+            self.min_duration,
+            self.max_duration,
+            self.avg_duration,
+            self.num_facts,
+            self.distinct_points,
+            self.max_tuples_per_point,
+            self.avg_tuples_per_point
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_core::fact::Fact;
+    use tp_core::interval::Interval;
+    use tp_core::relation::VarTable;
+
+    fn rel(rows: Vec<(&str, i64, i64)>) -> TpRelation {
+        let mut vars = VarTable::new();
+        TpRelation::base(
+            "r",
+            rows.into_iter()
+                .map(|(f, s, e)| (Fact::single(f), Interval::at(s, e), 0.5)),
+            &mut vars,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_relation_stats() {
+        let s = DatasetStats::measure(&TpRelation::new());
+        assert_eq!(s.cardinality, 0);
+        assert_eq!(s.max_tuples_per_point, 0);
+    }
+
+    #[test]
+    fn basic_profile() {
+        // a:[0,10), b:[2,4), c:[3,6) — max concurrency 3 on [3,4).
+        let s = DatasetStats::measure(&rel(vec![("a", 0, 10), ("b", 2, 4), ("c", 3, 6)]));
+        assert_eq!(s.cardinality, 3);
+        assert_eq!(s.time_range, 10);
+        assert_eq!(s.min_duration, 2);
+        assert_eq!(s.max_duration, 10);
+        assert!((s.avg_duration - 5.0).abs() < 1e-12);
+        assert_eq!(s.num_facts, 3);
+        assert_eq!(s.distinct_points, 6);
+        assert_eq!(s.max_tuples_per_point, 3);
+        // Coverage: 10 + 2 + 3 = 15 tuple-points over range 10 → 1.5.
+        assert!((s.avg_tuples_per_point - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_endpoints_counted_once() {
+        let s = DatasetStats::measure(&rel(vec![("a", 0, 5), ("b", 0, 5), ("c", 5, 9)]));
+        assert_eq!(s.distinct_points, 3); // {0, 5, 9}
+        assert_eq!(s.max_tuples_per_point, 2);
+    }
+
+    #[test]
+    fn render_contains_fields() {
+        let s = DatasetStats::measure(&rel(vec![("a", 0, 4)]));
+        let out = s.render("Test");
+        assert!(out.contains("Cardinality"));
+        assert!(out.contains("Num. of Facts"));
+    }
+}

@@ -1,0 +1,489 @@
+//! The synthetic workload of §VII-B.
+//!
+//! Relations are populated fact by fact: each fact carries a chain of
+//! intervals whose lengths are drawn from `[1, max_interval_len]` and whose
+//! gaps (the "maximum time distance between two consecutive tuples including
+//! the same fact") from `[0, max_gap]`. The paper controls the *overlapping
+//! factor* — the fraction of maximal subintervals during which tuples of
+//! both relations overlap — indirectly through the interval-length
+//! parameters (Table III); [`overlapping_factor`] measures it.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use tp_core::fact::Fact;
+use tp_core::interval::Interval;
+use tp_core::relation::{TpRelation, VarTable};
+
+/// Parameters of one synthetic relation.
+#[derive(Debug, Clone, Copy)]
+pub struct RelationSpec {
+    /// Number of tuples to generate.
+    pub tuples: usize,
+    /// Maximum interval length (lengths are uniform in `[1, max]`).
+    pub max_interval_len: i64,
+    /// Maximum gap between consecutive same-fact intervals (uniform in
+    /// `[0, max]`).
+    pub max_gap: i64,
+}
+
+/// How tuples are distributed over the facts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FactDistribution {
+    /// Each fact receives (approximately) the same number of tuples.
+    Uniform,
+    /// Fact `k` (1-based rank) receives a share proportional to `1/k^s` —
+    /// the skew real fact populations show (a few hot products, a long tail).
+    Zipf(f64),
+}
+
+impl FactDistribution {
+    /// Tuples allocated to each of `facts` facts, summing to `total`.
+    fn allocate(&self, total: usize, facts: usize) -> Vec<usize> {
+        match self {
+            FactDistribution::Uniform => {
+                let per = total / facts;
+                let mut out = vec![per; facts];
+                for slot in out.iter_mut().take(total - per * facts) {
+                    *slot += 1;
+                }
+                out
+            }
+            FactDistribution::Zipf(s) => {
+                let weights: Vec<f64> = (1..=facts).map(|k| (k as f64).powf(-s)).collect();
+                let norm: f64 = weights.iter().sum();
+                let mut out: Vec<usize> = weights
+                    .iter()
+                    .map(|w| ((w / norm) * total as f64).floor() as usize)
+                    .collect();
+                // Distribute the rounding remainder to the head (hottest
+                // facts) deterministically.
+                let mut assigned: usize = out.iter().sum();
+                let mut i = 0;
+                while assigned < total {
+                    out[i % facts] += 1;
+                    assigned += 1;
+                    i += 1;
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Parameters of a synthetic relation pair.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthConfig {
+    /// Number of distinct facts shared by both relations.
+    pub facts: usize,
+    /// How tuples are spread over the facts.
+    pub fact_distribution: FactDistribution,
+    /// Left relation shape.
+    pub r: RelationSpec,
+    /// Right relation shape.
+    pub s: RelationSpec,
+    /// When set, generation switches to the slot-interleaving scheme that
+    /// directly targets this overlapping factor (used by the Table III
+    /// presets / Fig. 9a); when `None`, each relation is an independent
+    /// interval chain (the §VII-B runtime experiments).
+    pub target_overlap: Option<f64>,
+    /// RNG seed (all generation is deterministic).
+    pub seed: u64,
+}
+
+impl SynthConfig {
+    /// The paper's default small-experiment shape: a single fact, lengths
+    /// and gaps in `[0, 3]`, which yields an overlapping factor around 0.6
+    /// (§VII-B, "Runtime").
+    pub fn single_fact(tuples: usize, seed: u64) -> Self {
+        SynthConfig {
+            facts: 1,
+            r: RelationSpec {
+                tuples,
+                max_interval_len: 3,
+                max_gap: 3,
+            },
+            s: RelationSpec {
+                tuples,
+                max_interval_len: 3,
+                max_gap: 3,
+            },
+            fact_distribution: FactDistribution::Uniform,
+            target_overlap: None,
+            seed,
+        }
+    }
+
+    /// The Table III presets for the Fig. 9a robustness experiment:
+    /// interval-length pairs `(max_len_r, max_len_s)` taken from Table III,
+    /// with the slot-interleaving generator pinning the *measured*
+    /// overlapping factor to the nominal value. (The paper controls the
+    /// factor through the same length/gap parameters; our independent-chain
+    /// generator cannot reach the extremes of their setup, so the preset
+    /// switches to direct targeting — see DESIGN.md.)
+    pub fn table3_preset(nominal_overlap: f64, tuples: usize, seed: u64) -> Self {
+        let (len_r, len_s) = match nominal_overlap {
+            x if x <= 0.03 => (100, 3),
+            x if x <= 0.1 => (100, 10),
+            x if x <= 0.4 => (50, 10),
+            x if x <= 0.6 => (3, 3),
+            _ => (10, 10),
+        };
+        SynthConfig {
+            facts: 1,
+            r: RelationSpec {
+                tuples,
+                max_interval_len: len_r,
+                max_gap: 3,
+            },
+            s: RelationSpec {
+                tuples,
+                max_interval_len: len_s,
+                max_gap: 3,
+            },
+            fact_distribution: FactDistribution::Uniform,
+            target_overlap: Some(nominal_overlap),
+            seed,
+        }
+    }
+
+    /// Same shape for both relations with a configurable fact count
+    /// (Fig. 9b's robustness experiment).
+    pub fn with_facts(tuples: usize, facts: usize, seed: u64) -> Self {
+        let spec = RelationSpec {
+            tuples,
+            max_interval_len: 3,
+            max_gap: 3,
+        };
+        SynthConfig {
+            facts,
+            r: spec,
+            s: spec,
+            fact_distribution: FactDistribution::Uniform,
+            target_overlap: None,
+            seed,
+        }
+    }
+
+    /// Like [`SynthConfig::with_facts`] but with a Zipf-skewed tuple
+    /// allocation over the facts (a few hot facts, a long tail).
+    pub fn with_zipf_facts(tuples: usize, facts: usize, exponent: f64, seed: u64) -> Self {
+        let mut cfg = Self::with_facts(tuples, facts, seed);
+        cfg.fact_distribution = FactDistribution::Zipf(exponent);
+        cfg
+    }
+}
+
+/// Generates the relation pair described by `config`, registering base
+/// tuples in `vars`.
+pub fn generate(config: &SynthConfig, vars: &mut VarTable) -> (TpRelation, TpRelation) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    if let Some(target) = config.target_overlap {
+        return generate_targeted(config, target, &mut rng, vars);
+    }
+    let r = generate_relation("r", &config.r, config.facts, config.fact_distribution, &mut rng, vars);
+    let s = generate_relation("s", &config.s, config.facts, config.fact_distribution, &mut rng, vars);
+    (r, s)
+}
+
+/// Slot-interleaving generation: one shared chain of slots, each slot
+/// covered by r only, s only, or both (with the shared interval). With `b`
+/// both-slots and `n − b` single slots per relation, the measured factor is
+/// `b / (2n − b)`; solving for the target gives `b = 2nf / (1 + f)`.
+fn generate_targeted(
+    config: &SynthConfig,
+    target: f64,
+    rng: &mut StdRng,
+    vars: &mut VarTable,
+) -> (TpRelation, TpRelation) {
+    assert!((0.0..=1.0).contains(&target), "factor must be in [0, 1]");
+    let n = config.r.tuples;
+    let b = ((2.0 * n as f64 * target) / (1.0 + target)).round() as usize;
+    let b = b.min(n);
+    // Slot plan: `b` both, `n − b` r-only, `n − b` s-only, shuffled.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Slot {
+        Both,
+        ROnly,
+        SOnly,
+    }
+    let mut slots = Vec::with_capacity(2 * n - b);
+    slots.extend(std::iter::repeat_n(Slot::Both, b));
+    slots.extend(std::iter::repeat_n(Slot::ROnly, n - b));
+    slots.extend(std::iter::repeat_n(Slot::SOnly, n - b));
+    // Fisher-Yates with the seeded RNG.
+    for i in (1..slots.len()).rev() {
+        let j = rng.random_range(0..=i);
+        slots.swap(i, j);
+    }
+    let fact = Fact::single(0i64);
+    let mut r_rows = Vec::with_capacity(n);
+    let mut s_rows = Vec::with_capacity(n);
+    let mut cursor: i64 = 0;
+    let max_gap = config.r.max_gap.max(config.s.max_gap).max(1);
+    for slot in slots {
+        let gap = rng.random_range(0..=max_gap);
+        let start = cursor + gap;
+        let (max_len, out): (i64, &mut Vec<_>) = match slot {
+            Slot::ROnly => (config.r.max_interval_len, &mut r_rows),
+            Slot::SOnly => (config.s.max_interval_len, &mut s_rows),
+            Slot::Both => (
+                config.r.max_interval_len.min(config.s.max_interval_len),
+                &mut r_rows, // s row pushed below
+            ),
+        };
+        let len = rng.random_range(1..=max_len.max(1));
+        let interval = Interval::at(start, start + len);
+        let p = rng.random_range(0.05..=1.0f64);
+        out.push((fact.clone(), interval, p));
+        if slot == Slot::Both {
+            let p2 = rng.random_range(0.05..=1.0f64);
+            s_rows.push((fact.clone(), interval, p2));
+        }
+        cursor = start + len;
+    }
+    let r = TpRelation::base("r", r_rows, vars).expect("slots are disjoint");
+    let s = TpRelation::base("s", s_rows, vars).expect("slots are disjoint");
+    (r, s)
+}
+
+fn generate_relation(
+    prefix: &str,
+    spec: &RelationSpec,
+    facts: usize,
+    distribution: FactDistribution,
+    rng: &mut StdRng,
+    vars: &mut VarTable,
+) -> TpRelation {
+    assert!(facts >= 1, "at least one fact required");
+    let allocation = distribution.allocate(spec.tuples, facts);
+    let max_per_fact = allocation.iter().copied().max().unwrap_or(0);
+    let mut rows = Vec::with_capacity(spec.tuples);
+    // Fact chains are laid out consecutively over the time domain (one
+    // region per fact) instead of all starting at t = 0 — a pileup of every
+    // fact at the same time points would be an artifact no real dataset
+    // shows. The region stride depends only on deterministic parameters, so
+    // two relations generated with the same spec align per fact and keep a
+    // stable overlapping factor at every fact count.
+    let chain_stride =
+        max_per_fact as i64 * ((spec.max_interval_len.max(1) + 1) / 2 + spec.max_gap / 2 + 1);
+    for (f, &count) in allocation.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let fact = Fact::single(f as i64);
+        // A small random offset so that the two relations are not trivially
+        // aligned within the fact's region.
+        let mut cursor: i64 = f as i64 * chain_stride + rng.random_range(0..=spec.max_gap.max(1));
+        for _ in 0..count {
+            let len = rng.random_range(1..=spec.max_interval_len.max(1));
+            let gap = rng.random_range(0..=spec.max_gap);
+            let start = cursor + gap;
+            let end = start + len;
+            cursor = end;
+            let p = rng.random_range(0.05..=1.0f64);
+            rows.push((fact.clone(), Interval::at(start, end), p));
+        }
+    }
+    TpRelation::base(prefix, rows, vars).expect("generator output is duplicate-free")
+}
+
+/// Measures the paper's *overlapping factor* of a relation pair: per fact,
+/// the timeline is cut into maximal subintervals at every interval boundary
+/// of either relation; the factor is
+/// `#subintervals covered by both relations / #subintervals covered by at
+/// least one`, aggregated over all facts. Ranges over `[0, 1]`.
+pub fn overlapping_factor(r: &TpRelation, s: &TpRelation) -> f64 {
+    use std::collections::BTreeMap;
+    // fact -> sorted boundary events with (delta_r, delta_s)
+    let mut per_fact: BTreeMap<&Fact, BTreeMap<i64, (i32, i32)>> = BTreeMap::new();
+    for t in r.iter() {
+        let m = per_fact.entry(&t.fact).or_default();
+        m.entry(t.interval.start()).or_default().0 += 1;
+        m.entry(t.interval.end()).or_default().0 -= 1;
+    }
+    for t in s.iter() {
+        let m = per_fact.entry(&t.fact).or_default();
+        m.entry(t.interval.start()).or_default().1 += 1;
+        m.entry(t.interval.end()).or_default().1 -= 1;
+    }
+    let mut covered = 0usize;
+    let mut both = 0usize;
+    for events in per_fact.values() {
+        let mut r_active = 0i32;
+        let mut s_active = 0i32;
+        for &(dr, ds) in events.values() {
+            // Segment starting at this boundary (state after applying deltas).
+            r_active += dr;
+            s_active += ds;
+            if r_active > 0 || s_active > 0 {
+                covered += 1;
+                if r_active > 0 && s_active > 0 {
+                    both += 1;
+                }
+            }
+        }
+    }
+    if covered == 0 {
+        0.0
+    } else {
+        both as f64 / covered as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_core::lineage::{Lineage, TupleId};
+    use tp_core::tuple::TpTuple;
+
+    #[test]
+    fn generates_requested_sizes() {
+        let mut vars = VarTable::new();
+        let cfg = SynthConfig::single_fact(500, 7);
+        let (r, s) = generate(&cfg, &mut vars);
+        assert_eq!(r.len(), 500);
+        assert_eq!(s.len(), 500);
+        assert!(r.check_duplicate_free().is_ok());
+        assert!(s.check_duplicate_free().is_ok());
+        assert_eq!(r.distinct_facts().len(), 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut v1 = VarTable::new();
+        let mut v2 = VarTable::new();
+        let cfg = SynthConfig::single_fact(100, 3);
+        let (r1, s1) = generate(&cfg, &mut v1);
+        let (r2, s2) = generate(&cfg, &mut v2);
+        assert_eq!(r1, r2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn fact_count_respected() {
+        let mut vars = VarTable::new();
+        let cfg = SynthConfig::with_facts(1000, 10, 5);
+        let (r, _) = generate(&cfg, &mut vars);
+        assert_eq!(r.distinct_facts().len(), 10);
+        assert_eq!(r.len(), 1000);
+    }
+
+    #[test]
+    fn more_facts_than_tuples_caps_facts() {
+        let mut vars = VarTable::new();
+        let cfg = SynthConfig::with_facts(5, 100, 5);
+        let (r, _) = generate(&cfg, &mut vars);
+        assert_eq!(r.len(), 5);
+        assert!(r.distinct_facts().len() <= 5);
+    }
+
+    #[test]
+    fn overlapping_factor_bounds() {
+        let mk = |rows: Vec<(i64, i64)>, base: u64| -> TpRelation {
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, (s, e))| {
+                    TpTuple::new("f", Lineage::var(TupleId(base + i as u64)), Interval::at(s, e))
+                })
+                .collect()
+        };
+        // Identical relations: every covered segment is shared.
+        let r = mk(vec![(1, 5), (8, 10)], 0);
+        let s = mk(vec![(1, 5), (8, 10)], 10);
+        assert_eq!(overlapping_factor(&r, &s), 1.0);
+        // Disjoint relations: nothing shared.
+        let s2 = mk(vec![(20, 25)], 20);
+        assert_eq!(overlapping_factor(&r, &s2), 0.0);
+        // Partial overlap: r=[1,5), s=[3,8) → segments [1,3) r, [3,5) both,
+        // [5,8) s → 1/3.
+        let r3 = mk(vec![(1, 5)], 30);
+        let s3 = mk(vec![(3, 8)], 40);
+        let f = overlapping_factor(&r3, &s3);
+        assert!((f - 1.0 / 3.0).abs() < 1e-12, "{f}");
+    }
+
+    #[test]
+    fn empty_relations_have_zero_factor() {
+        assert_eq!(overlapping_factor(&TpRelation::new(), &TpRelation::new()), 0.0);
+    }
+
+    #[test]
+    fn default_preset_hits_moderate_overlap() {
+        let mut vars = VarTable::new();
+        let (r, s) = generate(&SynthConfig::single_fact(5000, 11), &mut vars);
+        let f = overlapping_factor(&r, &s);
+        // The [0,3]-length/[0,3]-gap regime lands around 0.5–0.7.
+        assert!((0.35..=0.85).contains(&f), "factor {f}");
+    }
+
+    #[test]
+    fn table3_presets_hit_their_nominal_factors() {
+        for nominal in [0.03, 0.1, 0.4, 0.6, 0.8] {
+            let mut vars = VarTable::new();
+            let (r, s) = generate(&SynthConfig::table3_preset(nominal, 4000, 13), &mut vars);
+            assert_eq!(r.len(), 4000);
+            assert_eq!(s.len(), 4000);
+            assert!(r.check_duplicate_free().is_ok());
+            assert!(s.check_duplicate_free().is_ok());
+            let f = overlapping_factor(&r, &s);
+            assert!(
+                (f - nominal).abs() < 0.05,
+                "nominal {nominal} measured {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn targeted_generation_extremes() {
+        for nominal in [0.0, 1.0] {
+            let mut vars = VarTable::new();
+            let mut cfg = SynthConfig::single_fact(500, 3);
+            cfg.target_overlap = Some(nominal);
+            let (r, s) = generate(&cfg, &mut vars);
+            let f = overlapping_factor(&r, &s);
+            assert!((f - nominal).abs() < 1e-9, "nominal {nominal} measured {f}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod zipf_tests {
+    use super::*;
+
+    #[test]
+    fn zipf_allocation_sums_and_skews() {
+        let alloc = FactDistribution::Zipf(1.0).allocate(1_000, 10);
+        assert_eq!(alloc.iter().sum::<usize>(), 1_000);
+        // Head is hottest, tail coldest; monotone non-increasing.
+        assert!(alloc.windows(2).all(|w| w[0] >= w[1]));
+        assert!(alloc[0] > 3 * alloc[9]);
+    }
+
+    #[test]
+    fn uniform_allocation_balances() {
+        let alloc = FactDistribution::Uniform.allocate(10, 3);
+        assert_eq!(alloc, vec![4, 3, 3]);
+        assert_eq!(FactDistribution::Uniform.allocate(9, 3), vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn zipf_generation_is_duplicate_free_and_skewed() {
+        let mut vars = VarTable::new();
+        let cfg = SynthConfig::with_zipf_facts(2_000, 20, 1.2, 5);
+        let (r, s) = generate(&cfg, &mut vars);
+        assert_eq!(r.len(), 2_000);
+        assert!(r.check_duplicate_free().is_ok());
+        assert!(s.check_duplicate_free().is_ok());
+        // Hot fact 0 carries far more tuples than fact 19.
+        let count = |rel: &TpRelation, f: i64| {
+            rel.iter().filter(|t| t.fact == Fact::single(f)).count()
+        };
+        assert!(count(&r, 0) > 5 * count(&r, 19).max(1));
+        // Skewed inputs still agree across approaches.
+        let reference = tp_core::ops::intersect(&r, &s).canonicalized();
+        let oracle = tp_core::snapshot::set_op_by_snapshots(
+            tp_core::ops::SetOp::Intersect, &r, &s).canonicalized();
+        assert_eq!(reference, oracle);
+    }
+}

@@ -1,0 +1,169 @@
+//! A simulator standing in for the WebKit dataset of §VII-C.
+//!
+//! The real dataset records the revision history of 484 K files of the
+//! WebKit SVN repository over 11 years at millisecond granularity; a tuple's
+//! valid time is the period during which a file remained unchanged. Its
+//! distinguishing structural properties (Table IV) are the opposite of
+//! Meteo's:
+//!
+//! * an enormous number of facts (one per file) relative to the cardinality,
+//! * *bursty* commits: one commit touches many files, so very many intervals
+//!   start/end at the same time point (max 369 K tuples per point in the
+//!   real data) — the regime that hurts the Timeline Index, and
+//! * short, heavy-tailed durations.
+//!
+//! The simulator replays that process: a global commit clock advances with
+//! heavy-tailed gaps; each commit touches a heavy-tailed number of files;
+//! a touched file's current interval closes and a new one opens.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use tp_core::fact::Fact;
+use tp_core::interval::Interval;
+use tp_core::relation::{TpRelation, VarTable};
+
+/// Parameters of the WebKit-like simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct WebkitConfig {
+    /// Number of files (facts).
+    pub files: usize,
+    /// Total number of tuples (unchanged-periods) to produce.
+    pub tuples: usize,
+    /// Maximum number of files touched by one commit (burst size is uniform
+    /// in `[1, max]`; the real history has commits touching thousands).
+    pub max_commit_size: usize,
+    /// Maximum gap between commits (gaps are uniform in `[1, max]`,
+    /// interpreted as milliseconds).
+    pub max_commit_gap: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WebkitConfig {
+    fn default() -> Self {
+        WebkitConfig {
+            files: 2_000,
+            tuples: 10_000,
+            max_commit_size: 64,
+            max_commit_gap: 5_000,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates the simulated revision-history relation.
+///
+/// Fact = file id; interval = a period during which the file was unchanged;
+/// probability = the confidence that the recorded revision metadata is
+/// correct (uniform in `(0.8, 1.0]` — version control is reliable).
+pub fn generate(config: &WebkitConfig, vars: &mut VarTable) -> TpRelation {
+    assert!(config.files >= 1 && config.max_commit_size >= 1);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // Per-file: the time its current (open) interval started.
+    let mut open_since: Vec<i64> = vec![0; config.files];
+    let mut rows = Vec::with_capacity(config.tuples);
+    let mut clock: i64 = 0;
+    while rows.len() < config.tuples {
+        clock += rng.random_range(1..=config.max_commit_gap);
+        let burst = rng.random_range(1..=config.max_commit_size.min(config.files));
+        // Choose `burst` distinct files for this commit.
+        let mut touched = std::collections::BTreeSet::new();
+        while touched.len() < burst {
+            touched.insert(rng.random_range(0..config.files));
+        }
+        for file in touched {
+            if rows.len() == config.tuples {
+                break;
+            }
+            let start = open_since[file];
+            if start < clock {
+                let p = rng.random_range(0.8..=1.0f64);
+                rows.push((Fact::single(file as i64), Interval::at(start, clock), p));
+            }
+            open_since[file] = clock;
+        }
+    }
+    TpRelation::base("w", rows, vars).expect("commit periods are disjoint per file")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DatasetStats;
+
+    #[test]
+    fn generates_requested_cardinality() {
+        let mut vars = VarTable::new();
+        let rel = generate(
+            &WebkitConfig {
+                tuples: 2_000,
+                ..Default::default()
+            },
+            &mut vars,
+        );
+        assert_eq!(rel.len(), 2_000);
+        assert!(rel.check_duplicate_free().is_ok());
+    }
+
+    #[test]
+    fn many_facts_relative_to_cardinality() {
+        let mut vars = VarTable::new();
+        let rel = generate(
+            &WebkitConfig {
+                files: 1_000,
+                tuples: 3_000,
+                ..Default::default()
+            },
+            &mut vars,
+        );
+        let facts = rel.distinct_facts().len();
+        assert!(facts > 500, "{facts} facts");
+    }
+
+    #[test]
+    fn commits_are_bursty() {
+        // Many tuples share start/end points — the WebKit signature.
+        let mut vars = VarTable::new();
+        let rel = generate(
+            &WebkitConfig {
+                tuples: 3_000,
+                ..Default::default()
+            },
+            &mut vars,
+        );
+        let stats = DatasetStats::measure(&rel);
+        // Far fewer distinct endpoints than endpoint slots.
+        assert!(stats.distinct_points < rel.len(), "{}", stats.distinct_points);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut v1 = VarTable::new();
+        let mut v2 = VarTable::new();
+        let cfg = WebkitConfig {
+            tuples: 500,
+            ..Default::default()
+        };
+        assert_eq!(generate(&cfg, &mut v1), generate(&cfg, &mut v2));
+    }
+
+    #[test]
+    fn per_file_intervals_are_disjoint_and_ordered() {
+        let mut vars = VarTable::new();
+        let rel = generate(
+            &WebkitConfig {
+                files: 50,
+                tuples: 1_000,
+                ..Default::default()
+            },
+            &mut vars,
+        )
+        .sorted();
+        for w in rel.tuples().windows(2) {
+            if w[0].fact == w[1].fact {
+                assert!(w[0].interval.end() <= w[1].interval.start());
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! A miniature interactive shell over a TP database.
+//!
+//! Starts with the paper's supermarket relations loaded (`a`, `b`, `c`) and
+//! evaluates TP set queries typed on stdin:
+//!
+//! ```text
+//! cargo run --example repl
+//! tp> c except (a union b)
+//! tp> (a union b) intersect c
+//! tp> \d a            -- show a relation
+//! tp> \load r file    -- load a base relation from a file
+//! tp> \q
+//! ```
+
+use std::io::{BufRead, Write};
+
+use tpdb::prelude::*;
+
+fn seed_database() -> Result<Database> {
+    let mut db = Database::new();
+    db.add_base_relation(
+        "a",
+        vec![
+            (Fact::single("milk"), Interval::at(2, 10), 0.3),
+            (Fact::single("chips"), Interval::at(4, 7), 0.8),
+            (Fact::single("dates"), Interval::at(1, 3), 0.6),
+        ],
+    )?;
+    db.add_base_relation(
+        "b",
+        vec![
+            (Fact::single("milk"), Interval::at(5, 9), 0.6),
+            (Fact::single("chips"), Interval::at(3, 6), 0.9),
+        ],
+    )?;
+    db.add_base_relation(
+        "c",
+        vec![
+            (Fact::single("milk"), Interval::at(1, 4), 0.6),
+            (Fact::single("milk"), Interval::at(6, 8), 0.7),
+            (Fact::single("chips"), Interval::at(4, 5), 0.7),
+            (Fact::single("chips"), Interval::at(7, 9), 0.8),
+        ],
+    )?;
+    Ok(db)
+}
+
+fn handle_command(db: &mut Database, line: &str) -> Result<bool> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Ok(true);
+    }
+    if let Some(rest) = line.strip_prefix('\\') {
+        let mut parts = rest.split_whitespace();
+        match parts.next() {
+            Some("q") | Some("quit") => return Ok(false),
+            Some("d") => match parts.next() {
+                Some(name) => println!("{}", db.relation(name)?.canonicalized().render(db.vars())),
+                None => {
+                    println!("relations: {}", db.relation_names().collect::<Vec<_>>().join(", "))
+                }
+            },
+            Some("load") => {
+                let (Some(name), Some(path)) = (parts.next(), parts.next()) else {
+                    println!("usage: \\load <name> <path>");
+                    return Ok(true);
+                };
+                let text = std::fs::read_to_string(path)?;
+                db.load_relation(name, &text)?;
+                println!("loaded '{name}' ({} tuples)", db.relation(name)?.len());
+            }
+            Some(other) => println!("unknown command \\{other} (try \\d, \\load, \\q)"),
+            None => {}
+        }
+        return Ok(true);
+    }
+    let query = Query::parse(line)?;
+    let result = query.eval(db)?;
+    if !query.is_non_repeating() {
+        println!("(repeating query: probabilities use Shannon expansion)");
+    }
+    println!("{}", result.canonicalized().render(db.vars()));
+    Ok(true)
+}
+
+fn main() -> Result<()> {
+    let mut db = seed_database()?;
+    println!("tpdb repl — relations a, b, c loaded (paper Fig. 1a). \\q to quit.");
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("tp> ");
+        out.flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        match handle_command(&mut db, &line) {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    Ok(())
+}

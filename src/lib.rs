@@ -1,0 +1,3 @@
+//! Facade crate re-exporting the whole workspace.
+pub use tp_core as core;
+pub use tp_core::prelude;

@@ -1,0 +1,183 @@
+//! `tpdb` — command-line front end for the temporal-probabilistic database.
+//!
+//! ```text
+//! tpdb query  [--db DIR] [--csv] "<query>"   evaluate a TP set query
+//! tpdb explain [--db DIR] "<query>"          show the plan + output bounds
+//! tpdb show   [--db DIR] <relation>          print a stored relation
+//! tpdb demo                                  run the paper's Fig. 1 example
+//! ```
+//!
+//! With `--db DIR`, base relations are loaded from the `*.tp` files in
+//! `DIR` (see `tp_core::io` for the format). Without it, the paper's
+//! supermarket relations (`a`, `b`, `c`) are preloaded. Queries use the
+//! grammar of `tp_core::parser`, e.g. `"c except (a union b)"` or
+//! `"sigma[f0='milk'](c) except a"`.
+
+use std::process::ExitCode;
+
+use tpdb::prelude::*;
+
+fn demo_database() -> Result<Database> {
+    let mut db = Database::new();
+    db.add_base_relation(
+        "a",
+        vec![
+            (Fact::single("milk"), Interval::at(2, 10), 0.3),
+            (Fact::single("chips"), Interval::at(4, 7), 0.8),
+            (Fact::single("dates"), Interval::at(1, 3), 0.6),
+        ],
+    )?;
+    db.add_base_relation(
+        "b",
+        vec![
+            (Fact::single("milk"), Interval::at(5, 9), 0.6),
+            (Fact::single("chips"), Interval::at(3, 6), 0.9),
+        ],
+    )?;
+    db.add_base_relation(
+        "c",
+        vec![
+            (Fact::single("milk"), Interval::at(1, 4), 0.6),
+            (Fact::single("milk"), Interval::at(6, 8), 0.7),
+            (Fact::single("chips"), Interval::at(4, 5), 0.7),
+            (Fact::single("chips"), Interval::at(7, 9), 0.8),
+        ],
+    )?;
+    Ok(db)
+}
+
+struct Args {
+    command: String,
+    db_dir: Option<String>,
+    csv: bool,
+    rest: Vec<String>,
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> std::result::Result<Args, String> {
+    let command = argv.next().ok_or_else(usage)?;
+    let mut db_dir = None;
+    let mut csv = false;
+    let mut rest = Vec::new();
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--db" => {
+                db_dir = Some(argv.next().ok_or("--db requires a directory".to_string())?)
+            }
+            "--csv" => csv = true,
+            _ => rest.push(arg),
+        }
+    }
+    Ok(Args {
+        command,
+        db_dir,
+        csv,
+        rest,
+    })
+}
+
+fn usage() -> String {
+    "usage: tpdb <query|explain|show|demo> [--db DIR] [--csv] [ARGS]".to_string()
+}
+
+fn open_database(args: &Args) -> Result<Database> {
+    match &args.db_dir {
+        Some(dir) => Database::load_from_dir(dir),
+        None => demo_database(),
+    }
+}
+
+fn print_relation_csv(rel: &TpRelation, db: &Database) -> Result<()> {
+    println!("fact,ts,te,lineage,p");
+    for t in rel.canonicalized().iter() {
+        let p = prob::marginal(&t.lineage, db.vars())?;
+        println!(
+            "{},{},{},{},{p:.6}",
+            t.fact,
+            t.interval.start(),
+            t.interval.end(),
+            t.lineage.display_with(db.vars().resolver())
+        );
+    }
+    Ok(())
+}
+
+fn run(args: Args) -> Result<()> {
+    match args.command.as_str() {
+        "demo" => {
+            let db = demo_database()?;
+            let q = Query::parse("c except (a union b)")?;
+            println!("query: {q}\n");
+            let out = q.eval(&db)?;
+            print!("{}", out.canonicalized().render(db.vars()));
+            Ok(())
+        }
+        "query" => {
+            let text = args.rest.first().ok_or(Error::Parse {
+                position: 0,
+                message: "missing query argument".into(),
+            })?;
+            let db = open_database(&args)?;
+            let q = Query::parse(text)?;
+            let out = q.eval(&db)?;
+            if args.csv {
+                print_relation_csv(&out, &db)?;
+            } else {
+                print!("{}", out.canonicalized().render(db.vars()));
+            }
+            Ok(())
+        }
+        "explain" => {
+            let text = args.rest.first().ok_or(Error::Parse {
+                position: 0,
+                message: "missing query argument".into(),
+            })?;
+            let db = open_database(&args)?;
+            let q = Query::parse(text)?;
+            print!("{}", q.explain(&db)?);
+            println!(
+                "non-repeating: {} (1OF lineage {})",
+                q.is_non_repeating(),
+                if q.is_non_repeating() {
+                    "guaranteed — linear-time probabilities"
+                } else {
+                    "not guaranteed — Shannon/BDD valuation"
+                }
+            );
+            Ok(())
+        }
+        "show" => {
+            let name = args.rest.first().ok_or_else(|| Error::UnknownRelation(
+                "<missing relation argument>".into(),
+            ))?;
+            let db = open_database(&args)?;
+            let rel = db.relation(name)?;
+            if args.csv {
+                print_relation_csv(rel, &db)?;
+            } else {
+                print!("{}", rel.canonicalized().render(db.vars()));
+            }
+            Ok(())
+        }
+        other => Err(Error::Parse {
+            position: 0,
+            message: format!("unknown command '{other}' — {}", usage()),
+        }),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

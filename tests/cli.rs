@@ -1,0 +1,108 @@
+//! End-to-end tests of the `tpdb` CLI binary (spawned as a subprocess via
+//! the path Cargo exports for integration tests).
+
+use std::process::Command;
+
+fn tpdb(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_tpdb"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn demo_prints_fig1c() {
+    let out = tpdb(&["demo"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("c except (a union b)"));
+    assert!(stdout.contains("c1∧¬a1"));
+    assert!(stdout.contains("0.4200"));
+    assert!(stdout.contains("0.1960"));
+}
+
+#[test]
+fn query_on_builtin_relations() {
+    let out = tpdb(&["query", "a intersect c"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("a1∧c1"));
+    assert!(stdout.contains("[2,4)"));
+}
+
+#[test]
+fn query_csv_output() {
+    let out = tpdb(&["query", "--csv", "a intersect c"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let mut lines = stdout.lines();
+    assert_eq!(lines.next(), Some("fact,ts,te,lineage,p"));
+    assert!(stdout.contains("'chips',4,5,a2∧c3,0.560000"));
+}
+
+#[test]
+fn explain_shows_plan() {
+    let out = tpdb(&["explain", "c except (a union b)"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("except"));
+    assert!(stdout.contains("Scan a (3 tuples)"));
+    assert!(stdout.contains("non-repeating: true"));
+}
+
+#[test]
+fn show_relation() {
+    let out = tpdb(&["show", "b"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("b1"));
+    assert!(stdout.contains("[5,9)"));
+}
+
+#[test]
+fn db_directory_roundtrip() {
+    use tpdb::prelude::*;
+    let dir = std::env::temp_dir().join(format!("tpdb-cli-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut db = Database::new();
+    db.add_base_relation(
+        "sensors",
+        vec![
+            (Fact::single("s1"), Interval::at(0, 50), 0.9),
+            (Fact::single("s2"), Interval::at(10, 30), 0.7),
+        ],
+    )
+    .unwrap();
+    db.add_base_relation(
+        "faults",
+        vec![(Fact::single("s1"), Interval::at(20, 40), 0.2)],
+    )
+    .unwrap();
+    db.save_to_dir(&dir).unwrap();
+
+    let out = tpdb(&["query", "--db", dir.to_str().unwrap(), "sensors except faults"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("'s1'"));
+    assert!(stdout.contains("'s2'"));
+    assert!(stdout.contains("¬faults1"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn errors_are_reported_with_nonzero_exit() {
+    let out = tpdb(&["query", "a union ("]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("parse error"));
+
+    let out = tpdb(&["show", "nope"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("unknown relation"));
+
+    let out = tpdb(&["frobnicate"]);
+    assert!(!out.status.success());
+
+    let out = tpdb(&[]);
+    assert_eq!(out.status.code(), Some(2));
+}

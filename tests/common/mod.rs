@@ -1,0 +1,73 @@
+#![allow(dead_code)]
+
+//! Shared helpers for the integration tests: random duplicate-free relation
+//! generation (proptest raw input + deterministic repair) and the paper's
+//! running-example relations.
+
+use proptest::prelude::*;
+use tpdb::prelude::*;
+
+/// Raw tuple description produced by proptest: `(fact id, start, length)`.
+pub type RawTuple = (u8, i64, i64);
+
+/// Strategy for a raw relation over a small domain (keeps the snapshot
+/// oracle affordable).
+pub fn arb_raw_relation(max_tuples: usize) -> impl Strategy<Value = Vec<RawTuple>> {
+    prop::collection::vec((0u8..4, 0i64..40, 1i64..8), 0..=max_tuples)
+}
+
+/// Repairs raw tuples into a duplicate-free relation: per fact, tuples are
+/// laid out greedily (sorted by start; an overlapping tuple is shifted to
+/// start at the previous end, preserving its length).
+pub fn build_relation(prefix: &str, raw: &[RawTuple], vars: &mut VarTable) -> TpRelation {
+    use std::collections::BTreeMap;
+    let mut per_fact: BTreeMap<u8, Vec<(i64, i64)>> = BTreeMap::new();
+    for &(f, s, len) in raw {
+        per_fact.entry(f).or_default().push((s, len));
+    }
+    let mut rows = Vec::new();
+    for (f, mut items) in per_fact {
+        items.sort_unstable();
+        let mut cursor = i64::MIN;
+        for (s, len) in items {
+            let start = s.max(cursor);
+            let end = start + len;
+            cursor = end;
+            rows.push((Fact::single(f as i64), Interval::at(start, end), 0.5));
+        }
+    }
+    TpRelation::base(prefix, rows, vars).expect("repair produces duplicate-free rows")
+}
+
+/// The supermarket relations of the paper's Fig. 1a, behind a [`Database`].
+pub fn supermarket_db() -> Database {
+    let mut db = Database::new();
+    db.add_base_relation(
+        "a",
+        vec![
+            (Fact::single("milk"), Interval::at(2, 10), 0.3),
+            (Fact::single("chips"), Interval::at(4, 7), 0.8),
+            (Fact::single("dates"), Interval::at(1, 3), 0.6),
+        ],
+    )
+    .unwrap();
+    db.add_base_relation(
+        "b",
+        vec![
+            (Fact::single("milk"), Interval::at(5, 9), 0.6),
+            (Fact::single("chips"), Interval::at(3, 6), 0.9),
+        ],
+    )
+    .unwrap();
+    db.add_base_relation(
+        "c",
+        vec![
+            (Fact::single("milk"), Interval::at(1, 4), 0.6),
+            (Fact::single("milk"), Interval::at(6, 8), 0.7),
+            (Fact::single("chips"), Interval::at(4, 5), 0.7),
+            (Fact::single("chips"), Interval::at(7, 9), 0.8),
+        ],
+    )
+    .unwrap();
+    db
+}

@@ -1,0 +1,216 @@
+//! Failure injection and boundary conditions across the whole stack:
+//! pathological interval layouts, extreme coordinates, degenerate relations
+//! and invalid inputs — everything must either work or fail with a precise
+//! error, never panic or silently corrupt.
+
+mod common;
+
+use tp_baselines::Approach;
+use tpdb::prelude::*;
+
+fn base(rows: Vec<(&str, i64, i64)>, vars: &mut VarTable) -> TpRelation {
+    TpRelation::base(
+        "r",
+        rows.into_iter()
+            .map(|(f, s, e)| (Fact::single(f), Interval::at(s, e), 0.5)),
+        vars,
+    )
+    .unwrap()
+}
+
+#[test]
+fn single_point_intervals() {
+    let mut vars = VarTable::new();
+    let r = base(vec![("x", 5, 6)], &mut vars);
+    let s = base(vec![("x", 5, 6), ("x", 6, 7)], &mut vars);
+    let out = intersect(&r, &s);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.tuples()[0].interval, Interval::at(5, 6));
+    let out = union(&r, &s).canonicalized();
+    assert_eq!(out.len(), 2); // [5,6) or-merged, [6,7) alone
+    let oracle = set_op_by_snapshots(SetOp::Union, &r, &s).canonicalized();
+    assert_eq!(out, oracle);
+}
+
+#[test]
+fn negative_and_large_coordinates() {
+    let mut vars = VarTable::new();
+    let big = 1_000_000_000_000i64;
+    let r = base(vec![("x", -big, -big + 10), ("x", big, big + 5)], &mut vars);
+    let s = base(vec![("x", -big + 5, big + 2)], &mut vars);
+    for op in SetOp::ALL {
+        let fast = apply(op, &r, &s);
+        assert!(fast.check_duplicate_free().is_ok(), "op {op}");
+        // Spot-check coverage at the extremes.
+        if op == SetOp::Intersect {
+            assert!(fast
+                .iter()
+                .any(|t| t.interval.contains(-big + 7)), "left overlap found");
+            assert!(fast.iter().any(|t| t.interval.contains(big)), "right overlap");
+        }
+    }
+    // OIP and TI handle the same coordinates.
+    let via_oip = Approach::Oip.run(SetOp::Intersect, &r, &s).unwrap();
+    let via_ti = Approach::Ti.run(SetOp::Intersect, &r, &s).unwrap();
+    let reference = intersect(&r, &s).canonicalized();
+    assert_eq!(via_oip.canonicalized(), reference);
+    assert_eq!(via_ti.canonicalized(), reference);
+}
+
+#[test]
+fn long_adjacent_chains_stay_distinct() {
+    // 1000 adjacent tuples of the same fact: no merging (different
+    // lineages), linear output for union with an overlapping partner.
+    let mut vars = VarTable::new();
+    let chain: Vec<(Fact, Interval, f64)> = (0..1000)
+        .map(|i| (Fact::single("x"), Interval::at(i, i + 1), 0.5))
+        .collect();
+    let r = TpRelation::base("r", chain, &mut vars).unwrap();
+    let s = base(vec![("x", 0, 1000)], &mut vars);
+    let out = union(&r, &s);
+    assert_eq!(out.len(), 1000); // each unit interval gets its own or-lineage
+    assert!(out.satisfies_change_preservation());
+    let diff = except(&s, &r);
+    assert_eq!(diff.len(), 1000);
+    // Every difference tuple references the single s-tuple plus one r-tuple.
+    assert!(diff.iter().all(|t| t.lineage.vars().len() == 2));
+}
+
+#[test]
+fn empty_fact_arity_zero() {
+    // Facts with no attributes are legal: a single global timeline.
+    let mut vars = VarTable::new();
+    let f = Fact::new(Vec::<Value>::new());
+    let r = TpRelation::base(
+        "r",
+        vec![(f.clone(), Interval::at(1, 5), 0.5)],
+        &mut vars,
+    )
+    .unwrap();
+    let s = TpRelation::base(
+        "s",
+        vec![(f.clone(), Interval::at(3, 8), 0.5)],
+        &mut vars,
+    )
+    .unwrap();
+    let out = intersect(&r, &s);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.tuples()[0].interval, Interval::at(3, 8).intersect(&Interval::at(1, 5)).unwrap());
+}
+
+#[test]
+fn interval_constructor_rejects_garbage() {
+    assert!(Interval::new(5, 5).is_err());
+    assert!(Interval::new(7, 2).is_err());
+    assert!(Interval::new(i64::MIN, 0).is_err());
+    assert!(Interval::new(0, i64::MAX).is_err());
+}
+
+#[test]
+fn duplicate_free_validation_catches_all_shapes() {
+    let mk = |rows: Vec<(i64, i64)>| -> tpdb::core::error::Result<TpRelation> {
+        let mut vars = VarTable::new();
+        TpRelation::base(
+            "r",
+            rows.into_iter()
+                .map(|(s, e)| (Fact::single("x"), Interval::at(s, e), 0.5)),
+            &mut vars,
+        )
+    };
+    assert!(mk(vec![(1, 5), (4, 8)]).is_err()); // partial overlap
+    assert!(mk(vec![(1, 8), (2, 3)]).is_err()); // containment
+    assert!(mk(vec![(1, 5), (1, 5)]).is_err()); // identical
+    assert!(mk(vec![(1, 5), (5, 8)]).is_ok()); // adjacency is fine
+}
+
+#[test]
+fn probability_domain_is_enforced_everywhere() {
+    let mut db = Database::new();
+    for bad in [0.0, -0.1, 1.00001, f64::NAN, f64::INFINITY] {
+        let res = db.add_base_relation(
+            "r",
+            vec![(Fact::single("x"), Interval::at(1, 2), bad)],
+        );
+        assert!(matches!(res, Err(Error::InvalidProbability(_))), "{bad}");
+    }
+    // Exactly 1.0 is legal (certain tuples).
+    assert!(db
+        .add_base_relation("ok", vec![(Fact::single("x"), Interval::at(1, 2), 1.0)])
+        .is_ok());
+}
+
+#[test]
+fn operations_on_certain_tuples() {
+    // p = 1 tuples: difference lineage still references them; probability
+    // of r − s where s is certain collapses to 0 over the overlap.
+    let mut db = Database::new();
+    db.add_base_relation("r", vec![(Fact::single("x"), Interval::at(1, 9), 0.8)])
+        .unwrap();
+    db.add_base_relation("s", vec![(Fact::single("x"), Interval::at(1, 9), 1.0)])
+        .unwrap();
+    let out = except(db.relation("r").unwrap(), db.relation("s").unwrap());
+    assert_eq!(out.len(), 1);
+    let p = prob::marginal(&out.tuples()[0].lineage, db.vars()).unwrap();
+    assert!(p.abs() < 1e-12, "P(r ∧ ¬s) with certain s must be 0, got {p}");
+}
+
+#[test]
+fn interleaved_facts_across_relations() {
+    // r's facts and s's facts only partially intersect; LAWA must walk both
+    // fact sequences without skipping or stalling.
+    let mut vars = VarTable::new();
+    let r = base(vec![("a", 1, 4), ("c", 2, 6), ("e", 0, 3)], &mut vars);
+    let s = base(vec![("b", 1, 4), ("c", 4, 9), ("d", 0, 5)], &mut vars);
+    for op in SetOp::ALL {
+        let fast = apply(op, &r, &s).canonicalized();
+        let oracle = set_op_by_snapshots(op, &r, &s).canonicalized();
+        assert_eq!(fast, oracle, "op {op}");
+    }
+    // Union sees all five facts.
+    assert_eq!(union(&r, &s).distinct_facts().len(), 5);
+}
+
+#[test]
+fn massive_gap_between_tuples() {
+    let mut vars = VarTable::new();
+    let r = base(vec![("x", 0, 1), ("x", 1_000_000, 1_000_001)], &mut vars);
+    let s = base(vec![("x", 500_000, 500_001)], &mut vars);
+    let out = union(&r, &s);
+    assert_eq!(out.len(), 3); // no window materializes the gaps
+    let oracle_len = 3;
+    assert_eq!(out.len(), oracle_len);
+}
+
+#[test]
+fn repeated_composition_stays_sound() {
+    // Fold 8 alternating ops over the same pair: invariants hold at every
+    // level even as lineage nests deeply.
+    let mut vars = VarTable::new();
+    let r = base(vec![("x", 0, 10), ("y", 5, 9)], &mut vars);
+    let s = base(vec![("x", 4, 14), ("y", 0, 6)], &mut vars);
+    let mut acc = r.clone();
+    for (i, op) in [SetOp::Union, SetOp::Except, SetOp::Intersect]
+        .iter()
+        .cycle()
+        .take(8)
+        .enumerate()
+    {
+        acc = apply(*op, &acc, &s);
+        assert!(acc.check_duplicate_free().is_ok(), "step {i}");
+        assert!(acc.satisfies_change_preservation(), "step {i}");
+    }
+    for t in acc.iter() {
+        let p = prob::marginal(&t.lineage, &vars).unwrap();
+        assert!((0.0..=1.0).contains(&p));
+    }
+}
+
+#[test]
+fn query_parser_rejects_malformed_input_without_panic() {
+    for text in [
+        "", "(", ")", "union union", "a except", "a (b)", "a ∪", "((a)",
+        "a intersect (b union)", "∩", "123abc!",
+    ] {
+        assert!(Query::parse(text).is_err(), "{text:?} should fail");
+    }
+}

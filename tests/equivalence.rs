@@ -1,0 +1,147 @@
+//! Randomized cross-validation: LAWA, all four baselines and the literal
+//! snapshot-semantics oracle must produce identical relations (same facts,
+//! intervals and — syntactically — lineage) for every supported operation.
+
+mod common;
+
+use common::{arb_raw_relation, build_relation};
+use proptest::prelude::*;
+use tp_baselines::Approach;
+use tpdb::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn lawa_matches_snapshot_oracle(
+        raw_r in arb_raw_relation(18),
+        raw_s in arb_raw_relation(18),
+    ) {
+        let mut vars = VarTable::new();
+        let r = build_relation("r", &raw_r, &mut vars);
+        let s = build_relation("s", &raw_s, &mut vars);
+        for op in SetOp::ALL {
+            let fast = apply(op, &r, &s).canonicalized();
+            let oracle = set_op_by_snapshots(op, &r, &s).canonicalized();
+            prop_assert_eq!(&fast, &oracle, "op {}", op);
+        }
+    }
+
+    #[test]
+    fn baselines_match_lawa(
+        raw_r in arb_raw_relation(18),
+        raw_s in arb_raw_relation(18),
+    ) {
+        let mut vars = VarTable::new();
+        let r = build_relation("r", &raw_r, &mut vars);
+        let s = build_relation("s", &raw_s, &mut vars);
+        for op in SetOp::ALL {
+            let reference = apply(op, &r, &s).canonicalized();
+            for a in Approach::ALL {
+                if !a.supports(op) {
+                    continue;
+                }
+                let got = a.run(op, &r, &s).unwrap().canonicalized();
+                prop_assert_eq!(&got, &reference, "{} {}", a, op);
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_inputs(
+        raw_r in arb_raw_relation(25),
+    ) {
+        // One empty side, both orders.
+        let mut vars = VarTable::new();
+        let r = build_relation("r", &raw_r, &mut vars);
+        let empty = TpRelation::new();
+        prop_assert_eq!(union(&r, &empty).canonicalized(), r.canonicalized());
+        prop_assert_eq!(union(&empty, &r).canonicalized(), r.canonicalized());
+        prop_assert!(intersect(&r, &empty).is_empty());
+        prop_assert!(intersect(&empty, &r).is_empty());
+        prop_assert_eq!(except(&r, &empty).canonicalized(), r.canonicalized());
+        prop_assert!(except(&empty, &r).is_empty());
+    }
+
+    #[test]
+    fn self_operations_match_oracle(
+        raw in arb_raw_relation(15),
+    ) {
+        // r op r is legal (repeating lineage); the oracle still agrees.
+        let mut vars = VarTable::new();
+        let r = build_relation("r", &raw, &mut vars);
+        for op in SetOp::ALL {
+            let fast = apply(op, &r, &r).canonicalized();
+            let oracle = set_op_by_snapshots(op, &r, &r).canonicalized();
+            prop_assert_eq!(&fast, &oracle, "op {}", op);
+        }
+    }
+}
+
+#[test]
+fn oip_both_modes_agree_on_larger_input() {
+    use tp_baselines::{OipConfig, OipMode};
+    let mut vars = VarTable::new();
+    let cfg = tp_workloads::SynthConfig::with_facts(3_000, 20, 99);
+    let (r, s) = tp_workloads::synth::generate(&cfg, &mut vars);
+    let reference = intersect(&r, &s).canonicalized();
+    for mode in [OipMode::FactGrouped, OipMode::EqualityFilter] {
+        for granule_size in [None, Some(1), Some(10)] {
+            let got = tp_baselines::oip::intersect(&r, &s, OipConfig { granule_size, mode });
+            assert_eq!(got.canonicalized(), reference, "{mode:?} {granule_size:?}");
+        }
+    }
+}
+
+#[test]
+fn all_approaches_agree_on_synthetic_workload() {
+    let mut vars = VarTable::new();
+    let cfg = tp_workloads::SynthConfig::with_facts(1_000, 7, 123);
+    let (r, s) = tp_workloads::synth::generate(&cfg, &mut vars);
+    for op in SetOp::ALL {
+        let reference = apply(op, &r, &s).canonicalized();
+        for a in Approach::ALL {
+            if !a.supports(op) {
+                continue;
+            }
+            assert_eq!(
+                a.run(op, &r, &s).unwrap().canonicalized(),
+                reference,
+                "{a} {op}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_approaches_agree_on_real_world_workloads() {
+    let mut vars = VarTable::new();
+    let meteo = tp_workloads::meteo::generate(
+        &tp_workloads::MeteoConfig {
+            tuples: 600,
+            ..Default::default()
+        },
+        &mut vars,
+    );
+    let meteo_s = tp_workloads::shifted_copy(&meteo, "s", 3 * 600, 7, &mut vars);
+    let webkit = tp_workloads::webkit::generate(
+        &tp_workloads::WebkitConfig {
+            files: 150,
+            tuples: 600,
+            ..Default::default()
+        },
+        &mut vars,
+    );
+    let webkit_s = tp_workloads::shifted_copy(&webkit, "t", 5_000, 7, &mut vars);
+    for (r, s) in [(&meteo, &meteo_s), (&webkit, &webkit_s)] {
+        for op in SetOp::ALL {
+            let reference = apply(op, r, s).canonicalized();
+            for a in Approach::ALL {
+                if !a.supports(op) {
+                    continue;
+                }
+                assert_eq!(a.run(op, r, s).unwrap().canonicalized(), reference, "{a} {op}");
+            }
+        }
+    }
+}

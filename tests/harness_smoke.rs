@@ -1,0 +1,92 @@
+//! Smoke tests of the benchmark harness: the tables render with the right
+//! content and the figure machinery produces sane series on miniature
+//! inputs (the full sweeps run in `cargo run -p tp-bench --bin experiments`).
+
+use tp_baselines::Approach;
+use tp_bench::runner::{default_cap, run_one};
+use tpdb::prelude::*;
+
+#[test]
+fn table2_matches_paper() {
+    let rendered = tp_bench::table2_support();
+    // One row per approach, LAWA and NORM full "yes" rows.
+    for name in ["LAWA", "NORM", "TPDB", "OIP", "TI"] {
+        assert!(rendered.contains(name), "{name} missing");
+    }
+    let row = |name: &str| {
+        rendered
+            .lines()
+            .find(|l| l.starts_with(name))
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(row("LAWA").matches("yes").count(), 3);
+    assert_eq!(row("NORM").matches("yes").count(), 3);
+    assert_eq!(row("TPDB").matches("yes").count(), 2);
+    assert_eq!(row("OIP").matches("yes").count(), 1);
+    assert_eq!(row("TI").matches("yes").count(), 1);
+}
+
+#[test]
+fn run_one_measures_supported_combinations_only() {
+    let mut vars = VarTable::new();
+    let (r, s) = tp_workloads::synth::generate(
+        &tp_workloads::SynthConfig::single_fact(300, 3),
+        &mut vars,
+    );
+    for a in Approach::ALL {
+        for op in SetOp::ALL {
+            let ms = run_one(a, op, &r, &s, default_cap(a));
+            assert_eq!(ms.is_some(), a.supports(op), "{a} {op}");
+            if let Some(ms) = ms {
+                assert!(ms >= 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn scaled_respects_default() {
+    if std::env::var("TP_SCALE").is_err() {
+        assert_eq!(tp_bench::scaled(2_000), 2_000);
+    }
+}
+
+#[test]
+fn experiment_result_rendering() {
+    use tp_bench::experiments::{ExperimentResult, Series};
+    let res = ExperimentResult {
+        id: "Fig. T".into(),
+        title: "test".into(),
+        x_label: "tuples".into(),
+        xs: vec!["1K".into(), "2K".into()],
+        series: vec![
+            Series {
+                name: "LAWA".into(),
+                values: vec![Some(1.25), Some(2.5)],
+            },
+            Series {
+                name: "NORM".into(),
+                values: vec![Some(10.0), None],
+            },
+        ],
+        notes: vec!["capped".into()],
+    };
+    let text = res.render();
+    assert!(text.contains("Fig. T"));
+    assert!(text.contains("1.2ms") || text.contains("1.3ms"));
+    assert!(text.contains('-'));
+    assert!(text.contains("note: capped"));
+    assert!(res.series_of("LAWA").is_some());
+    assert!(res.series_of("XX").is_none());
+}
+
+#[test]
+fn table3_reports_measured_factors() {
+    // Keep it cheap: the function scales with TP_SCALE, which is unset in
+    // tests (10K tuples per preset).
+    let rendered = tp_bench::table3_datasets();
+    assert!(rendered.contains("0.03"));
+    assert!(rendered.contains("0.8"));
+    assert!(rendered.contains("measured"));
+}

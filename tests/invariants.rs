@@ -1,0 +1,193 @@
+//! Property-based verification of the model-level guarantees the paper
+//! proves: duplicate-freeness of outputs, change preservation (Def. 2),
+//! snapshot reducibility (Def. 1), Theorem 1 (1OF lineage for non-repeating
+//! queries), Proposition 1 (window-count bound) and the linear output-size
+//! bound.
+
+mod common;
+
+use common::{arb_raw_relation, build_relation};
+use proptest::prelude::*;
+use tpdb::core::window::all_windows;
+use tpdb::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn outputs_are_duplicate_free_and_change_preserving(
+        raw_r in arb_raw_relation(20),
+        raw_s in arb_raw_relation(20),
+    ) {
+        let mut vars = VarTable::new();
+        let r = build_relation("r", &raw_r, &mut vars);
+        let s = build_relation("s", &raw_s, &mut vars);
+        for op in SetOp::ALL {
+            let out = apply(op, &r, &s);
+            prop_assert!(out.check_duplicate_free().is_ok(), "op {}", op);
+            prop_assert!(out.satisfies_change_preservation(), "op {}", op);
+            prop_assert!(out.is_sorted_by_fact_start(), "op {}", op);
+        }
+    }
+
+    #[test]
+    fn snapshot_reducibility(
+        raw_r in arb_raw_relation(14),
+        raw_s in arb_raw_relation(14),
+        t in 0i64..50,
+    ) {
+        // Def. 1: τᵖt(r opTp s) ≡ τᵖt(r) opp τᵖt(s). The probabilistic
+        // operator on single-point snapshots is the same set operation
+        // applied to the snapshot relations.
+        let mut vars = VarTable::new();
+        let r = build_relation("r", &raw_r, &mut vars);
+        let s = build_relation("s", &raw_s, &mut vars);
+        for op in SetOp::ALL {
+            let lhs = timeslice(&apply(op, &r, &s), t).canonicalized();
+            let rhs = apply(op, &timeslice(&r, t), &timeslice(&s, t)).canonicalized();
+            // Fact/interval sets agree, and lineages are logically
+            // equivalent at the time point (intervals on the lhs inherit the
+            // coalesced lineage, which is identical by construction).
+            prop_assert_eq!(&lhs, &rhs, "op {} at t={}", op, t);
+        }
+    }
+
+    #[test]
+    fn theorem1_nonrepeating_yields_1of(
+        raw_r in arb_raw_relation(15),
+        raw_s in arb_raw_relation(15),
+        raw_u in arb_raw_relation(15),
+    ) {
+        let mut db = Database::new();
+        {
+            let mut vars = VarTable::new();
+            let r = build_relation("r", &raw_r, &mut vars);
+            let s = build_relation("s", &raw_s, &mut vars);
+            let u = build_relation("u", &raw_u, &mut vars);
+            *db.vars_mut() = vars;
+            db.add_relation("r", r).unwrap();
+            db.add_relation("s", s).unwrap();
+            db.add_relation("u", u).unwrap();
+        }
+        for text in [
+            "r union (s intersect u)",
+            "(r except s) except u",
+            "(r union s) except u",
+            "r intersect (s union u)",
+        ] {
+            let q = Query::parse(text).unwrap();
+            prop_assert!(q.is_non_repeating());
+            let out = q.eval(&db).unwrap();
+            for t in out.iter() {
+                prop_assert!(t.lineage.is_one_occurrence_form(), "{}: {}", text, t.lineage);
+            }
+        }
+    }
+
+    #[test]
+    fn proposition1_window_bound(
+        raw_r in arb_raw_relation(20),
+        raw_s in arb_raw_relation(20),
+    ) {
+        let mut vars = VarTable::new();
+        let r = build_relation("r", &raw_r, &mut vars).sorted();
+        let s = build_relation("s", &raw_s, &mut vars).sorted();
+        let windows = all_windows(r.tuples(), s.tuples());
+        // nr + ns − fd with nr/ns counting start and end points.
+        let nr = 2 * r.len();
+        let ns = 2 * s.len();
+        let mut facts = r.distinct_facts();
+        facts.extend(s.distinct_facts());
+        if facts.is_empty() {
+            prop_assert!(windows.is_empty());
+        } else {
+            prop_assert!(
+                windows.len() <= nr + ns - facts.len(),
+                "{} windows > {} + {} - {}",
+                windows.len(), nr, ns, facts.len()
+            );
+        }
+    }
+
+    #[test]
+    fn output_sizes_are_linear(
+        raw_r in arb_raw_relation(20),
+        raw_s in arb_raw_relation(20),
+    ) {
+        let mut vars = VarTable::new();
+        let r = build_relation("r", &raw_r, &mut vars);
+        let s = build_relation("s", &raw_s, &mut vars);
+        let bound = 2 * (r.len() + s.len());
+        prop_assert!(union(&r, &s).len() <= bound);
+        prop_assert!(intersect(&r, &s).len() <= bound);
+        prop_assert!(except(&r, &s).len() <= bound);
+    }
+
+    #[test]
+    fn per_timepoint_semantics(
+        raw_r in arb_raw_relation(12),
+        raw_s in arb_raw_relation(12),
+    ) {
+        // Definition 3's coverage conditions, checked pointwise: a (fact, t)
+        // is in the union iff it is in r or s; in the intersection iff in
+        // both; in the difference iff in r.
+        let mut vars = VarTable::new();
+        let r = build_relation("r", &raw_r, &mut vars);
+        let s = build_relation("s", &raw_s, &mut vars);
+        let u = union(&r, &s);
+        let i = intersect(&r, &s);
+        let d = except(&r, &s);
+        let covered = |rel: &TpRelation, fact: &Fact, t: i64| {
+            rel.iter().any(|x| &x.fact == fact && x.interval.contains(t))
+        };
+        let mut facts = r.distinct_facts();
+        facts.extend(s.distinct_facts());
+        for fact in &facts {
+            for t in 0..60 {
+                let in_r = covered(&r, fact, t);
+                let in_s = covered(&s, fact, t);
+                prop_assert_eq!(covered(&u, fact, t), in_r || in_s);
+                prop_assert_eq!(covered(&i, fact, t), in_r && in_s);
+                prop_assert_eq!(covered(&d, fact, t), in_r);
+            }
+        }
+    }
+
+    #[test]
+    fn probabilities_are_valid_and_consistent(
+        raw_r in arb_raw_relation(10),
+        raw_s in arb_raw_relation(10),
+    ) {
+        // Every output lineage valuates to a probability in (0, 1]; for 1OF
+        // lineage the linear and Shannon paths agree.
+        let mut vars = VarTable::new();
+        let r = build_relation("r", &raw_r, &mut vars);
+        let s = build_relation("s", &raw_s, &mut vars);
+        for op in SetOp::ALL {
+            for t in apply(op, &r, &s).iter() {
+                let p = prob::marginal(&t.lineage, &vars).unwrap();
+                prop_assert!(p > 0.0 && p <= 1.0, "p = {p}");
+                let shannon = prob::exact(&t.lineage, &vars).unwrap();
+                prop_assert!((p - shannon).abs() < 1e-9);
+            }
+        }
+    }
+}
+
+#[test]
+fn lawa_never_needs_coalescing() {
+    // Change preservation holds directly on LAWA output: a coalescing pass
+    // is a no-op. (Deterministic sample of seeds; the proptest above covers
+    // random shapes.)
+    for seed in 0..10u64 {
+        let mut vars = VarTable::new();
+        let (r, s) = tp_workloads::synth::generate(
+            &tp_workloads::SynthConfig::with_facts(400, 5, seed),
+            &mut vars,
+        );
+        for op in SetOp::ALL {
+            let out = apply(op, &r, &s);
+            assert_eq!(out.coalesce().len(), out.len(), "op {op} seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! End-to-end reproduction of every worked example in the paper: Fig. 1c,
+//! Example 2, Fig. 3, Example 3/Fig. 4 and Example 4/Fig. 6 — through the
+//! public facade only.
+
+mod common;
+
+use common::supermarket_db;
+use tpdb::core::window::Lawa;
+use tpdb::prelude::*;
+
+fn probs_of(rel: &TpRelation, db: &Database) -> Vec<(String, String, f64)> {
+    rel.canonicalized()
+        .iter()
+        .map(|t| {
+            (
+                t.fact.to_string(),
+                t.interval.to_string(),
+                prob::marginal(&t.lineage, db.vars()).unwrap(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn fig1c_query_result() {
+    let db = supermarket_db();
+    let q = Query::parse("c except (a union b)").unwrap();
+    let out = q.eval(&db).unwrap();
+    let got = probs_of(&out, &db);
+    // Fig. 1c, in canonical (fact, start) order.
+    let want: Vec<(&str, &str, f64)> = vec![
+        ("'chips'", "[4,5)", 0.014),
+        ("'chips'", "[7,9)", 0.8),
+        ("'milk'", "[1,2)", 0.6),
+        ("'milk'", "[2,4)", 0.42),
+        ("'milk'", "[6,8)", 0.196),
+    ];
+    assert_eq!(got.len(), want.len());
+    for ((gf, gi, gp), (wf, wi, wp)) in got.iter().zip(want) {
+        assert_eq!(gf, wf);
+        assert_eq!(gi, wi);
+        assert!((gp - wp).abs() < 1e-9, "{gf}@{gi}: {gp} vs {wp}");
+    }
+}
+
+#[test]
+fn fig1c_lineage_rendering() {
+    let db = supermarket_db();
+    let q = Query::parse("c except (a union b)").unwrap();
+    let out = q.eval(&db).unwrap().canonicalized();
+    let rendered: Vec<String> = out
+        .iter()
+        .map(|t| t.lineage.display_with(db.vars().resolver()).to_string())
+        .collect();
+    assert_eq!(
+        rendered,
+        vec!["c3∧¬(a2∨b2)", "c4", "c1", "c1∧¬a1", "c2∧¬(a1∨b1)"]
+    );
+}
+
+#[test]
+fn example2_selected_difference_tuples() {
+    // Example 2 / Fig. 2: selected tuples of a −Tp c with probabilities
+    // a3 → 0.6, a2∧¬c3 → 0.24, a1∧¬c2 → 0.09.
+    let db = supermarket_db();
+    let out = except(db.relation("a").unwrap(), db.relation("c").unwrap());
+    let got = probs_of(&out, &db);
+    let find = |f: &str, i: &str| {
+        got.iter()
+            .find(|(gf, gi, _)| gf == f && gi == i)
+            .unwrap_or_else(|| panic!("missing {f}@{i}"))
+            .2
+    };
+    assert!((find("'dates'", "[1,3)") - 0.6).abs() < 1e-9);
+    assert!((find("'chips'", "[4,5)") - 0.24).abs() < 1e-9);
+    assert!((find("'milk'", "[6,8)") - 0.09).abs() < 1e-9);
+}
+
+#[test]
+fn fig3_union_table() {
+    let db = supermarket_db();
+    let out = union(db.relation("a").unwrap(), db.relation("c").unwrap());
+    let got = probs_of(&out, &db);
+    let want: Vec<(&str, &str, f64)> = vec![
+        ("'chips'", "[4,5)", 0.94),
+        ("'chips'", "[5,7)", 0.8),
+        ("'chips'", "[7,9)", 0.8),
+        ("'dates'", "[1,3)", 0.6),
+        ("'milk'", "[1,2)", 0.6),
+        ("'milk'", "[2,4)", 0.72),
+        ("'milk'", "[4,6)", 0.3),
+        ("'milk'", "[6,8)", 0.79),
+        ("'milk'", "[8,10)", 0.3),
+    ];
+    assert_eq!(got.len(), want.len());
+    for ((gf, gi, gp), (wf, wi, wp)) in got.iter().zip(want) {
+        assert_eq!((gf.as_str(), gi.as_str()), (wf, wi));
+        assert!((gp - wp).abs() < 1e-9, "{gf}@{gi}: {gp} vs {wp}");
+    }
+}
+
+#[test]
+fn fig3_difference_table() {
+    let db = supermarket_db();
+    let out = except(db.relation("a").unwrap(), db.relation("c").unwrap());
+    let got = probs_of(&out, &db);
+    let want: Vec<(&str, &str, f64)> = vec![
+        ("'chips'", "[4,5)", 0.24),
+        ("'chips'", "[5,7)", 0.8),
+        ("'dates'", "[1,3)", 0.6),
+        ("'milk'", "[2,4)", 0.12),
+        ("'milk'", "[4,6)", 0.3),
+        ("'milk'", "[6,8)", 0.09),
+        ("'milk'", "[8,10)", 0.3),
+    ];
+    assert_eq!(got.len(), want.len());
+    for ((gf, gi, gp), (wf, wi, wp)) in got.iter().zip(want) {
+        assert_eq!((gf.as_str(), gi.as_str()), (wf, wi));
+        assert!((gp - wp).abs() < 1e-9, "{gf}@{gi}: {gp} vs {wp}");
+    }
+}
+
+#[test]
+fn fig3_intersection_table() {
+    let db = supermarket_db();
+    let out = intersect(db.relation("a").unwrap(), db.relation("c").unwrap());
+    let got = probs_of(&out, &db);
+    let want: Vec<(&str, &str, f64)> = vec![
+        ("'chips'", "[4,5)", 0.56),
+        ("'milk'", "[2,4)", 0.18),
+        ("'milk'", "[6,8)", 0.21),
+    ];
+    assert_eq!(got.len(), want.len());
+    for ((gf, gi, gp), (wf, wi, wp)) in got.iter().zip(want) {
+        assert_eq!((gf.as_str(), gi.as_str()), (wf, wi));
+        assert!((gp - wp).abs() < 1e-9, "{gf}@{gi}: {gp} vs {wp}");
+    }
+}
+
+#[test]
+fn example3_fig4_window_sequence() {
+    // LAWA over left = c, right = a, restricted to 'milk': the paper walks
+    // windows [1,2), [2,4), …, [8,10).
+    let db = supermarket_db();
+    let milk = Fact::single("milk");
+    let c = select(db.relation("c").unwrap(), |f| *f == milk).sorted();
+    let a = select(db.relation("a").unwrap(), |f| *f == milk).sorted();
+    let windows: Vec<_> = Lawa::new(c.tuples(), a.tuples()).collect();
+    let described: Vec<(String, bool, bool)> = windows
+        .iter()
+        .map(|w| (w.interval.to_string(), w.lambda_r.is_some(), w.lambda_s.is_some()))
+        .collect();
+    assert_eq!(
+        described,
+        vec![
+            ("[1,2)".to_string(), true, false),
+            ("[2,4)".to_string(), true, true),
+            ("[4,6)".to_string(), false, true),
+            ("[6,8)".to_string(), true, true),
+            ("[8,10)".to_string(), false, true),
+        ]
+    );
+}
+
+#[test]
+fn example4_fig6_filtered_output() {
+    // σF='milk'(c) −Tp σF='milk'(a): candidates [4,6) and [8,10) are
+    // rejected (λr = null), the rest pass.
+    let db = supermarket_db();
+    let milk = Fact::single("milk");
+    let c = select(db.relation("c").unwrap(), |f| *f == milk);
+    let a = select(db.relation("a").unwrap(), |f| *f == milk);
+    let out = except(&c, &a).canonicalized();
+    let intervals: Vec<String> = out.iter().map(|t| t.interval.to_string()).collect();
+    assert_eq!(intervals, vec!["[1,2)", "[2,4)", "[6,8)"]);
+    let lineages: Vec<String> = out
+        .iter()
+        .map(|t| t.lineage.display_with(db.vars().resolver()).to_string())
+        .collect();
+    assert_eq!(lineages, vec!["c1", "c1∧¬a1", "c2∧¬a1"]);
+}
+
+#[test]
+fn theorem1_one_occurrence_form() {
+    // Any non-repeating query over the supermarket relations yields 1OF
+    // lineage on every output tuple.
+    let db = supermarket_db();
+    for text in [
+        "a union b",
+        "a intersect c",
+        "c except (a union b)",
+        "(a union b) intersect c",
+        "(a except b) union c",
+    ] {
+        let q = Query::parse(text).unwrap();
+        assert!(q.is_non_repeating(), "{text}");
+        let out = q.eval(&db).unwrap();
+        assert!(
+            out.iter().all(|t| t.lineage.is_one_occurrence_form()),
+            "{text}"
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Integration tests of the query layer: parsing, evaluation against the
+//! catalog, safety analysis, and probability computation across the three
+//! valuation algorithms.
+
+mod common;
+
+use common::supermarket_db;
+use tpdb::prelude::*;
+
+#[test]
+fn parser_and_builder_agree() {
+    let built = Query::rel("c").except(Query::rel("a").union(Query::rel("b")));
+    assert_eq!(Query::parse("c except (a union b)").unwrap(), built);
+    assert_eq!(Query::parse("c − (a ∪ b)").unwrap(), built);
+    assert_eq!(Query::parse(&built.to_string()).unwrap(), built);
+}
+
+#[test]
+fn eval_composes_like_manual_ops() {
+    let db = supermarket_db();
+    let a = db.relation("a").unwrap();
+    let b = db.relation("b").unwrap();
+    let c = db.relation("c").unwrap();
+    let manual = except(c, &union(a, b)).canonicalized();
+    let via_query = Query::parse("c except (a union b)")
+        .unwrap()
+        .eval(&db)
+        .unwrap()
+        .canonicalized();
+    assert_eq!(manual, via_query);
+}
+
+#[test]
+fn nested_query_against_oracle() {
+    let db = supermarket_db();
+    let q = Query::parse("(a union b) intersect c").unwrap();
+    let got = q.eval(&db).unwrap().canonicalized();
+    let oracle = set_op_by_snapshots(
+        SetOp::Intersect,
+        &set_op_by_snapshots(SetOp::Union, db.relation("a").unwrap(), db.relation("b").unwrap()),
+        db.relation("c").unwrap(),
+    )
+    .canonicalized();
+    assert_eq!(got, oracle);
+}
+
+#[test]
+fn repeating_query_probabilities_cross_check() {
+    // (a ∪ b) − (a ∩ c) repeats `a` (the paper's #P-hard shape). Exact
+    // Shannon expansion and Monte-Carlo must agree within the confidence
+    // bound; the naive independent valuation generally must not.
+    let db = supermarket_db();
+    let q = Query::parse("(a union b) except (a intersect c)").unwrap();
+    assert!(!q.is_non_repeating());
+    let out = q.eval(&db).unwrap();
+    let mut saw_non_1of = false;
+    for t in out.iter() {
+        let exact = prob::exact(&t.lineage, db.vars()).unwrap();
+        let mc = prob::monte_carlo(&t.lineage, db.vars(), 60_000, 11).unwrap();
+        assert!(
+            (exact - mc.estimate).abs() <= mc.half_width_95,
+            "lineage {}: exact {exact} vs mc {}",
+            t.lineage,
+            mc.estimate
+        );
+        saw_non_1of |= !t.lineage.is_one_occurrence_form();
+    }
+    assert!(saw_non_1of, "the repeating query must produce non-1OF lineage");
+}
+
+#[test]
+fn query_over_unknown_relation_fails_cleanly() {
+    let db = supermarket_db();
+    let q = Query::parse("a union nope").unwrap();
+    assert!(matches!(q.eval(&db), Err(Error::UnknownRelation(_))));
+}
+
+#[test]
+fn deep_query_chain() {
+    // Left-deep chain of 6 operators over the three relations (repeating):
+    // evaluation stays correct and invariant-preserving.
+    let db = supermarket_db();
+    let q = Query::parse("((((a union b) intersect c) except b) union (a intersect c)) except b")
+        .unwrap();
+    assert_eq!(q.op_count(), 6);
+    let out = q.eval(&db).unwrap();
+    assert!(out.check_duplicate_free().is_ok());
+    assert!(out.satisfies_change_preservation());
+    for t in out.iter() {
+        let p = prob::marginal(&t.lineage, db.vars()).unwrap();
+        assert!(p > 0.0 && p <= 1.0);
+    }
+}
+
+#[test]
+fn timeslice_on_query_results() {
+    // τᵖ₂ of the Fig. 1 query contains exactly 'milk' with lineage c1∧¬a1.
+    let db = supermarket_db();
+    let out = Query::parse("c except (a union b)").unwrap().eval(&db).unwrap();
+    let snap = timeslice(&out, 2);
+    assert_eq!(snap.len(), 1);
+    let t = &snap.tuples()[0];
+    assert_eq!(t.fact, Fact::single("milk"));
+    assert_eq!(
+        t.lineage.display_with(db.vars().resolver()).to_string(),
+        "c1∧¬a1"
+    );
+    assert_eq!(t.interval, Interval::at(2, 3));
+}
+
+#[test]
+fn sigma_and_pi_through_the_text_interface() {
+    // The paper's Example 4, entirely through text: σF='milk'(c) −Tp
+    // σF='milk'(a).
+    let db = supermarket_db();
+    let q = Query::parse("sigma[f0='milk'](c) except sigma[f0='milk'](a)").unwrap();
+    let out = q.eval(&db).unwrap().canonicalized();
+    let intervals: Vec<String> = out.iter().map(|t| t.interval.to_string()).collect();
+    assert_eq!(intervals, vec!["[1,2)", "[2,4)", "[6,8)"]);
+    // Projection to the empty fact collapses to a single "anything valid"
+    // timeline.
+    let q = Query::parse("pi[0](a union c)").unwrap();
+    let out = q.eval(&db).unwrap();
+    assert!(out.check_duplicate_free().is_ok());
+    assert!(q.is_non_repeating());
+    assert!(out.iter().all(|t| t.lineage.is_one_occurrence_form()));
+}
+
+#[test]
+fn explain_includes_extended_operators() {
+    let db = supermarket_db();
+    let q = Query::parse("pi[0](sigma[f0='milk'](c) union a)").unwrap();
+    let text = q.explain(&db).unwrap();
+    assert!(text.contains("project"));
+    assert!(text.contains("select f0='milk'"));
+    assert!(text.contains("Scan c"));
+}
