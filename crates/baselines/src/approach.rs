@@ -79,7 +79,11 @@ impl fmt::Display for Approach {
 pub fn support_matrix() -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "{:<10} {:>8} {:>8} {:>8}", "Approach", "r∪Tps", "r−Tps", "r∩Tps");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>8} {:>8}",
+        "Approach", "r∪Tps", "r−Tps", "r∩Tps"
+    );
     for a in Approach::ALL {
         let mark = |op| if a.supports(op) { "yes" } else { "no" };
         let _ = writeln!(

@@ -121,7 +121,7 @@ pub fn fragment(tuple: &TpTuple, split_points: &[i64]) -> Vec<TpTuple> {
     bounds.push(e);
     bounds
         .windows(2)
-        .map(|w| TpTuple::new(tuple.fact.clone(), tuple.lineage.clone(), Interval::at(w[0], w[1])))
+        .map(|w| TpTuple::new(tuple.fact.clone(), tuple.lineage, Interval::at(w[0], w[1])))
         .collect()
 }
 

@@ -23,10 +23,10 @@
 
 use std::collections::HashMap;
 
+use tp_core::lineage::Lineage;
 use tp_core::ops::SetOp;
 use tp_core::relation::TpRelation;
 use tp_core::tuple::TpTuple;
-use tp_core::lineage::Lineage;
 
 use crate::common::{encode, fact_eq_pred, frag_key, fragment, overlap_pred, FragKey};
 

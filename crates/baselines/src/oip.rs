@@ -215,14 +215,23 @@ mod tests {
         );
         let s = rel(
             "s",
-            vec![("milk", 1, 4), ("milk", 6, 8), ("chips", 4, 5), ("chips", 7, 9)],
+            vec![
+                ("milk", 1, 4),
+                ("milk", 6, 8),
+                ("chips", 4, 5),
+                ("chips", 7, 9),
+            ],
             &mut vars,
         );
         let want = set_op_by_snapshots(SetOp::Intersect, &r, &s).canonicalized();
         for mode in [OipMode::FactGrouped, OipMode::EqualityFilter] {
             for granule_size in [None, Some(1), Some(2), Some(5), Some(100)] {
                 let got = intersect(&r, &s, OipConfig { granule_size, mode });
-                assert_eq!(got.canonicalized(), want, "mode {mode:?} g={granule_size:?}");
+                assert_eq!(
+                    got.canonicalized(),
+                    want,
+                    "mode {mode:?} g={granule_size:?}"
+                );
             }
         }
     }

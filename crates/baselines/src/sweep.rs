@@ -42,12 +42,32 @@ struct Event {
 pub fn intersect(r: &TpRelation, s: &TpRelation) -> TpRelation {
     let mut events: Vec<Event> = Vec::with_capacity(2 * (r.len() + s.len()));
     for (idx, t) in r.iter().enumerate() {
-        events.push(Event { at: t.interval.start(), is_start: true, from_left: true, idx });
-        events.push(Event { at: t.interval.end(), is_start: false, from_left: true, idx });
+        events.push(Event {
+            at: t.interval.start(),
+            is_start: true,
+            from_left: true,
+            idx,
+        });
+        events.push(Event {
+            at: t.interval.end(),
+            is_start: false,
+            from_left: true,
+            idx,
+        });
     }
     for (idx, t) in s.iter().enumerate() {
-        events.push(Event { at: t.interval.start(), is_start: true, from_left: false, idx });
-        events.push(Event { at: t.interval.end(), is_start: false, from_left: false, idx });
+        events.push(Event {
+            at: t.interval.start(),
+            is_start: true,
+            from_left: false,
+            idx,
+        });
+        events.push(Event {
+            at: t.interval.end(),
+            is_start: false,
+            from_left: false,
+            idx,
+        });
     }
     events.sort_unstable();
 
@@ -128,7 +148,12 @@ mod tests {
         );
         let s = rel(
             "s",
-            vec![("milk", 1, 4), ("milk", 6, 8), ("chips", 4, 5), ("chips", 7, 9)],
+            vec![
+                ("milk", 1, 4),
+                ("milk", 6, 8),
+                ("chips", 4, 5),
+                ("chips", 7, 9),
+            ],
             &mut vars,
         );
         let got = intersect(&r, &s).canonicalized();
@@ -186,11 +211,17 @@ mod tests {
         let r = TpRelation::new();
         assert!(matches!(
             set_op(SetOp::Union, &r, &r),
-            Err(Error::Unsupported { approach: "sweepline", .. })
+            Err(Error::Unsupported {
+                approach: "sweepline",
+                ..
+            })
         ));
         assert!(matches!(
             set_op(SetOp::Except, &r, &r),
-            Err(Error::Unsupported { approach: "sweepline", .. })
+            Err(Error::Unsupported {
+                approach: "sweepline",
+                ..
+            })
         ));
     }
 

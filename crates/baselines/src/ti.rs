@@ -194,8 +194,9 @@ mod tests {
         let mut vars = VarTable::new();
         let r = rel("r", vec![("a", 1, 5)], &mut vars);
         let s = rel("s", vec![("a", 5, 9)], &mut vars);
-        assert!(timeline_join_pairs(&TimelineIndex::build(&r), &TimelineIndex::build(&s))
-            .is_empty());
+        assert!(
+            timeline_join_pairs(&TimelineIndex::build(&r), &TimelineIndex::build(&s)).is_empty()
+        );
     }
 
     #[test]
@@ -208,7 +209,12 @@ mod tests {
         );
         let s = rel(
             "s",
-            vec![("milk", 1, 4), ("milk", 6, 8), ("chips", 4, 5), ("chips", 7, 9)],
+            vec![
+                ("milk", 1, 4),
+                ("milk", 6, 8),
+                ("chips", 4, 5),
+                ("chips", 7, 9),
+            ],
             &mut vars,
         );
         let got = intersect(&r, &s).canonicalized();

@@ -45,12 +45,16 @@ fn allen_overlap_rules(arity: usize, left_width: usize) -> Vec<(&'static str, Pr
         // r OVERLAPS s: ts < ts' ∧ ts' < te ∧ te < te'
         (
             "overlaps",
-            cmp(Lt, l_ts, r_ts).and(cmp(Lt, r_ts, l_te)).and(cmp(Lt, l_te, r_te)),
+            cmp(Lt, l_ts, r_ts)
+                .and(cmp(Lt, r_ts, l_te))
+                .and(cmp(Lt, l_te, r_te)),
         ),
         // r OVERLAPPED-BY s: ts' < ts ∧ ts < te' ∧ te' < te
         (
             "overlapped-by",
-            cmp(Lt, r_ts, l_ts).and(cmp(Lt, l_ts, r_te)).and(cmp(Lt, r_te, l_te)),
+            cmp(Lt, r_ts, l_ts)
+                .and(cmp(Lt, l_ts, r_te))
+                .and(cmp(Lt, r_te, l_te)),
         ),
         // r DURING s: ts > ts' ∧ te < te'
         ("during", cmp(Gt, l_ts, r_ts).and(cmp(Lt, l_te, r_te))),
@@ -236,14 +240,9 @@ mod tests {
                     for b1 in (b0 + 1)..6 {
                         let l = mk(a0, a1);
                         let r = mk(b0, b1);
-                        let matches =
-                            rules.iter().filter(|(_, p)| p.eval_pair(&l, &r)).count();
+                        let matches = rules.iter().filter(|(_, p)| p.eval_pair(&l, &r)).count();
                         let overlaps = a0 < b1 && b0 < a1;
-                        assert_eq!(
-                            matches,
-                            usize::from(overlaps),
-                            "[{a0},{a1}) vs [{b0},{b1})"
-                        );
+                        assert_eq!(matches, usize::from(overlaps), "[{a0},{a1}) vs [{b0},{b1})");
                     }
                 }
             }
@@ -271,7 +270,10 @@ mod tests {
         let (a, c) = supermarket_ac();
         assert!(matches!(
             set_op(SetOp::Except, &a, &c),
-            Err(Error::Unsupported { approach: "TPDB", .. })
+            Err(Error::Unsupported {
+                approach: "TPDB",
+                ..
+            })
         ));
     }
 

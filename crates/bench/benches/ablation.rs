@@ -25,8 +25,7 @@ fn bench_sort_vs_presorted(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(1));
     let mut vars = VarTable::new();
-    let (r, s) =
-        tp_workloads::synth::generate(&SynthConfig::with_facts(50_000, 100, 3), &mut vars);
+    let (r, s) = tp_workloads::synth::generate(&SynthConfig::with_facts(50_000, 100, 3), &mut vars);
     // Shuffled copies: the operator must pay the sort.
     let shuffle = |rel: &tp_core::relation::TpRelation| -> tp_core::relation::TpRelation {
         let mut tuples = rel.tuples().to_vec();
@@ -81,7 +80,10 @@ fn bench_prob_methods(c: &mut Criterion) {
     // Lineage of a repeating query: (x0 ∨ x1) ∧ ¬(x0 ∧ x2) ... chained.
     let mut vars = VarTable::new();
     let ids: Vec<_> = (0..12)
-        .map(|i| vars.register(format!("x{i}"), 0.4 + 0.04 * i as f64).unwrap())
+        .map(|i| {
+            vars.register(format!("x{i}"), 0.4 + 0.04 * i as f64)
+                .unwrap()
+        })
         .collect();
     let mut lineage = Lineage::var(ids[0]);
     for chunk in ids.windows(3).step_by(2) {
@@ -107,7 +109,11 @@ fn bench_prob_methods(c: &mut Criterion) {
         b.iter(|| tp_core::bdd::probability(&lineage, &vars).unwrap())
     });
     group.bench_function("monte_carlo_10k", |b| {
-        b.iter(|| tp_core::prob::monte_carlo(&lineage, &vars, 10_000, 7).unwrap().estimate)
+        b.iter(|| {
+            tp_core::prob::monte_carlo(&lineage, &vars, 10_000, 7)
+                .unwrap()
+                .estimate
+        })
     });
     group.finish();
 }
@@ -135,13 +141,10 @@ fn bench_parallel_ops(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(1));
     let mut vars = VarTable::new();
-    let (r, s) =
-        tp_workloads::synth::generate(&SynthConfig::with_facts(100_000, 64, 3), &mut vars);
+    let (r, s) = tp_workloads::synth::generate(&SynthConfig::with_facts(100_000, 64, 3), &mut vars);
     for threads in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            b.iter(|| {
-                tp_core::ops::apply_parallel(tp_core::ops::SetOp::Union, &r, &s, t).len()
-            })
+            b.iter(|| tp_core::ops::apply_parallel(tp_core::ops::SetOp::Union, &r, &s, t).len())
         });
     }
     group.finish();

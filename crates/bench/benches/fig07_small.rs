@@ -15,7 +15,13 @@ fn bench_fig7(c: &mut Criterion) {
     for (op, approaches) in [
         (
             SetOp::Intersect,
-            vec![Approach::Lawa, Approach::Oip, Approach::Ti, Approach::Tpdb, Approach::Norm],
+            vec![
+                Approach::Lawa,
+                Approach::Oip,
+                Approach::Ti,
+                Approach::Tpdb,
+                Approach::Norm,
+            ],
         ),
         (SetOp::Except, vec![Approach::Lawa, Approach::Norm]),
         (
@@ -39,11 +45,9 @@ fn bench_fig7(c: &mut Criterion) {
                 if matches!(a, Approach::Norm | Approach::Tpdb) && size > 500 {
                     continue;
                 }
-                group.bench_with_input(
-                    BenchmarkId::new(a.name(), size),
-                    &size,
-                    |b, _| b.iter(|| a.run(op, &r, &s).expect("supported").len()),
-                );
+                group.bench_with_input(BenchmarkId::new(a.name(), size), &size, |b, _| {
+                    b.iter(|| a.run(op, &r, &s).expect("supported").len())
+                });
             }
         }
         group.finish();

@@ -18,10 +18,8 @@ fn bench_fig8(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2));
     for size in [50_000usize, 200_000] {
         let mut vars = VarTable::new();
-        let (r, s) = tp_workloads::synth::generate(
-            &SynthConfig::single_fact(size, size as u64),
-            &mut vars,
-        );
+        let (r, s) =
+            tp_workloads::synth::generate(&SynthConfig::single_fact(size, size as u64), &mut vars);
         group.throughput(Throughput::Elements(2 * size as u64));
         for a in [Approach::Lawa, Approach::Oip] {
             group.bench_with_input(BenchmarkId::new(a.name(), size), &size, |b, _| {

@@ -20,10 +20,8 @@ fn bench_fig9b(c: &mut Criterion) {
     let tuples = 1_000;
     for facts in [1usize, 10, 500] {
         let mut vars = VarTable::new();
-        let (r, s) = tp_workloads::synth::generate(
-            &SynthConfig::with_facts(tuples, facts, 47),
-            &mut vars,
-        );
+        let (r, s) =
+            tp_workloads::synth::generate(&SynthConfig::with_facts(tuples, facts, 47), &mut vars);
         for a in Approach::ALL {
             if !a.supports(SetOp::Intersect) {
                 continue;

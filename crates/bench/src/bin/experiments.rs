@@ -8,8 +8,10 @@
 //! ```
 //!
 //! Available experiment names: `table2`, `table3`, `table4`, `fig7`, `fig8`,
-//! `fig9a`, `fig9b`, `fig10`, `fig11`. With `--csv`, each figure is also
-//! written to `experiments_csv/<id>.csv` for external plotting.
+//! `fig9a`, `fig9b`, `fig10`, `fig11`, `bench_lawa`. With `--csv`, each
+//! figure is also written to `experiments_csv/<id>.csv` for external
+//! plotting. `bench_lawa` additionally writes `BENCH_lawa.json` (the
+//! memoized-valuation acceptance benchmark) to the working directory.
 
 use tp_bench::experiments::{self, ExperimentResult};
 
@@ -74,6 +76,18 @@ fn main() {
     if want("fig11") {
         for r in experiments::fig11_webkit() {
             emit(&r, csv);
+        }
+    }
+    if want("bench_lawa") {
+        // Paper-shaped workload scaled by TP_SCALE; deep enough union chain
+        // that windows share sublineage, several valuation rounds.
+        let tuples = tp_bench::scaled(20_000);
+        let bench = experiments::lawa_valuation_bench(tuples, 32, 5);
+        println!("{}", bench.render());
+        let path = std::path::Path::new("BENCH_lawa.json");
+        match std::fs::write(path, bench.to_json()) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
         }
     }
 }

@@ -20,6 +20,7 @@ pub mod runner;
 
 pub use experiments::{
     fig10_meteo, fig11_webkit, fig7_small_synthetic, fig8_large_synthetic, fig9a_overlap,
-    fig9b_facts, table2_support, table3_datasets, table4_datasets, ExperimentResult, Series,
+    fig9b_facts, lawa_valuation_bench, table2_support, table3_datasets, table4_datasets,
+    ExperimentResult, LawaValuationBench, Series,
 };
 pub use runner::{scale, scaled, time_ms};

@@ -1,0 +1,458 @@
+//! The hash-consed lineage arena: a global forest of interned Boolean
+//! formula nodes.
+//!
+//! Every lineage formula in the process lives in one [`LineageArena`]:
+//! a node (`Var`/`Not`/`And`/`Or`) is *hash-consed* — structurally identical
+//! nodes are stored exactly once — and addressed by a dense [`LineageRef`]
+//! (a `u32`). This gives the properties the paper's complexity argument
+//! needs on every hot path:
+//!
+//! * **cloning is `Copy`** — a window or output tuple carrying a lineage
+//!   copies four bytes, no refcount traffic;
+//! * **structural equality is an integer compare** — the change-preservation
+//!   check of the LAWA window advancer (Def. 2) and relation coalescing are
+//!   O(1) per comparison, independent of formula size;
+//! * **per-node metadata is computed once** — size, variable occurrences,
+//!   the one-occurrence-form (1OF) flag and (for small formulas) the exact
+//!   sorted variable set are produced at intern time from the children's
+//!   metadata and memoized forever.
+//!
+//! ## Memoization invariants
+//!
+//! 1. A `LineageRef` is never invalidated: the arena only grows. Two
+//!    formulas are structurally equal **iff** their refs are equal.
+//! 2. Node metadata is immutable once interned. The exact variable *list*
+//!    is stored only while `occurrences <= VAR_LIST_CAP`; larger nodes fall
+//!    back to the `[var_lo, var_hi]` range summary.
+//! 3. The `one_of` flag is exact whenever both children carry variable
+//!    lists or have disjoint variable ranges; otherwise it is *conservative*
+//!    (may report `false` for a huge formula that is in fact 1OF). A
+//!    conservative `false` only costs performance — probabilistic valuation
+//!    falls back to Shannon expansion, which is exact for every formula.
+//! 4. Valuation results depend on a [`crate::relation::VarTable`], so they
+//!    are **not** cached here: each `VarTable` owns its own marginal cache
+//!    keyed by `LineageRef` (sound because a table's registered
+//!    probabilities are immutable once assigned).
+//!
+//! The arena is process-global behind a `RwLock`; interning takes a short
+//! write lock, traversals take short read locks per node. See
+//! `docs/lineage-arena.md` for the design discussion.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard};
+
+use crate::lineage::TupleId;
+
+/// A minimal FxHash-style multiply hasher for the small `Copy` keys of the
+/// hot paths (`LineageRef`, node tuples). The default SipHash costs more
+/// than an entire arena node visit; this one is two arithmetic ops.
+#[derive(Default)]
+pub struct FastHasher(u64);
+
+impl Hasher for FastHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        // Rotate-xor-multiply, as in rustc's FxHash.
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+/// `HashMap` keyed through [`FastHasher`]; the map type of every per-call
+/// memo and of the valuation caches.
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// Interned handle of a lineage node. Equality and hashing are integer
+/// operations; two handles are equal iff the formulas are structurally
+/// identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineageRef(pub(crate) u32);
+
+impl LineageRef {
+    /// The raw arena index (stable for the lifetime of the process).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// Shape of one interned node. Children are handles into the same arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LineageNode {
+    /// An atomic base-tuple variable.
+    Var(TupleId),
+    /// Negation.
+    Not(LineageRef),
+    /// Binary conjunction.
+    And(LineageRef, LineageRef),
+    /// Binary disjunction.
+    Or(LineageRef, LineageRef),
+}
+
+/// Nodes with at most this many variable occurrences store their exact
+/// sorted distinct-variable list; larger nodes keep only the
+/// `[var_lo, var_hi]` range summary.
+pub const VAR_LIST_CAP: usize = 128;
+
+/// Immutable per-node metadata, computed at intern time.
+#[derive(Debug, Clone)]
+struct NodeMeta {
+    node: LineageNode,
+    /// Tree-semantic node count (saturating).
+    size: u64,
+    /// Tree-semantic variable occurrences, with multiplicity (saturating).
+    occurrences: u64,
+    /// Smallest variable of the formula.
+    var_lo: TupleId,
+    /// Largest variable of the formula.
+    var_hi: TupleId,
+    /// Whether the formula is in one-occurrence form (see invariant 3).
+    one_of: bool,
+    /// Exact sorted distinct variables, while small enough (invariant 2).
+    vars: Option<Arc<[TupleId]>>,
+}
+
+#[derive(Default)]
+struct ArenaInner {
+    nodes: Vec<NodeMeta>,
+    table: HashMap<LineageNode, u32>,
+}
+
+/// The global hash-consing store. Obtain it with [`LineageArena::global`].
+pub struct LineageArena {
+    inner: RwLock<ArenaInner>,
+}
+
+/// Aggregate statistics of the arena, for diagnostics and benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Number of distinct interned nodes.
+    pub nodes: usize,
+    /// Nodes carrying an exact variable list.
+    pub with_var_list: usize,
+}
+
+static GLOBAL: OnceLock<LineageArena> = OnceLock::new();
+
+impl LineageArena {
+    /// The process-wide arena.
+    pub fn global() -> &'static LineageArena {
+        GLOBAL.get_or_init(|| LineageArena {
+            inner: RwLock::new(ArenaInner::default()),
+        })
+    }
+
+    /// Interns a node, returning the handle of the unique copy.
+    pub(crate) fn intern(&self, node: LineageNode) -> LineageRef {
+        // Fast path: the node already exists (read lock only).
+        {
+            let inner = self.inner.read().expect("arena lock poisoned");
+            if let Some(&id) = inner.table.get(&node) {
+                return LineageRef(id);
+            }
+        }
+        let mut inner = self.inner.write().expect("arena lock poisoned");
+        if let Some(&id) = inner.table.get(&node) {
+            return LineageRef(id); // raced with another writer
+        }
+        let meta = Self::build_meta(&inner, node);
+        let id = u32::try_from(inner.nodes.len()).expect("lineage arena full (2^32 nodes)");
+        inner.nodes.push(meta);
+        inner.table.insert(node, id);
+        LineageRef(id)
+    }
+
+    /// Computes metadata for a node whose children are already interned.
+    fn build_meta(inner: &ArenaInner, node: LineageNode) -> NodeMeta {
+        let meta_of = |r: LineageRef| &inner.nodes[r.0 as usize];
+        match node {
+            LineageNode::Var(id) => NodeMeta {
+                node,
+                size: 1,
+                occurrences: 1,
+                var_lo: id,
+                var_hi: id,
+                one_of: true,
+                vars: Some(Arc::from([id].as_slice())),
+            },
+            LineageNode::Not(c) => {
+                let cm = meta_of(c);
+                NodeMeta {
+                    node,
+                    size: cm.size.saturating_add(1),
+                    occurrences: cm.occurrences,
+                    var_lo: cm.var_lo,
+                    var_hi: cm.var_hi,
+                    one_of: cm.one_of,
+                    vars: cm.vars.clone(),
+                }
+            }
+            LineageNode::And(a, b) | LineageNode::Or(a, b) => {
+                let (am, bm) = (meta_of(a), meta_of(b));
+                let occurrences = am.occurrences.saturating_add(bm.occurrences);
+                let ranges_disjoint = am.var_hi < bm.var_lo || bm.var_hi < am.var_lo;
+                let vars = if occurrences as usize <= VAR_LIST_CAP {
+                    // Both children are below the cap too, so their lists
+                    // are present: merge exactly.
+                    let (av, bv) = (
+                        am.vars.as_ref().expect("child below cap has list"),
+                        bm.vars.as_ref().expect("child below cap has list"),
+                    );
+                    Some(merge_sorted(av, bv))
+                } else {
+                    None
+                };
+                let disjoint = if ranges_disjoint {
+                    true
+                } else {
+                    match (&am.vars, &bm.vars) {
+                        (Some(av), Some(bv)) => sorted_disjoint(av, bv),
+                        // Conservative: a huge overlapping-range pair is
+                        // treated as sharing a variable (invariant 3).
+                        _ => false,
+                    }
+                };
+                NodeMeta {
+                    node,
+                    size: am.size.saturating_add(bm.size).saturating_add(1),
+                    occurrences,
+                    var_lo: am.var_lo.min(bm.var_lo),
+                    var_hi: am.var_hi.max(bm.var_hi),
+                    one_of: am.one_of && bm.one_of && disjoint,
+                    vars,
+                }
+            }
+        }
+    }
+
+    /// The shape of a node (copied out; cheap).
+    pub(crate) fn node(&self, r: LineageRef) -> LineageNode {
+        self.inner.read().expect("arena lock poisoned").nodes[r.0 as usize].node
+    }
+
+    /// Tree-semantic formula size.
+    pub(crate) fn size(&self, r: LineageRef) -> u64 {
+        self.inner.read().expect("arena lock poisoned").nodes[r.0 as usize].size
+    }
+
+    /// Tree-semantic variable occurrences (with multiplicity).
+    pub(crate) fn occurrences(&self, r: LineageRef) -> u64 {
+        self.inner.read().expect("arena lock poisoned").nodes[r.0 as usize].occurrences
+    }
+
+    /// The 1OF flag (see invariant 3 on conservatism).
+    pub(crate) fn one_of(&self, r: LineageRef) -> bool {
+        self.inner.read().expect("arena lock poisoned").nodes[r.0 as usize].one_of
+    }
+
+    /// The exact distinct-variable list, when stored.
+    pub(crate) fn var_list(&self, r: LineageRef) -> Option<Arc<[TupleId]>> {
+        self.inner.read().expect("arena lock poisoned").nodes[r.0 as usize]
+            .vars
+            .clone()
+    }
+
+    /// The `[lo, hi]` variable range summary.
+    pub fn var_range(&self, r: LineageRef) -> (TupleId, TupleId) {
+        let inner = self.inner.read().expect("arena lock poisoned");
+        let m = &inner.nodes[r.0 as usize];
+        (m.var_lo, m.var_hi)
+    }
+
+    /// Whether `var` can occur in the formula (exact when the list is
+    /// stored, range-approximate otherwise — false negatives impossible).
+    pub(crate) fn may_contain(&self, r: LineageRef, var: TupleId) -> bool {
+        let inner = self.inner.read().expect("arena lock poisoned");
+        let m = &inner.nodes[r.0 as usize];
+        match &m.vars {
+            Some(list) => list.binary_search(&var).is_ok(),
+            None => m.var_lo <= var && var <= m.var_hi,
+        }
+    }
+
+    /// A read view holding the arena lock once, for tight traversal loops
+    /// (valuation, evaluation) that would otherwise pay one lock round trip
+    /// per node. **Do not intern while a view is alive** — interning takes
+    /// the write lock and would deadlock against the held read guard.
+    pub fn view(&self) -> ArenaView<'_> {
+        ArenaView {
+            guard: self.inner.read().expect("arena lock poisoned"),
+        }
+    }
+
+    /// Arena statistics.
+    pub fn stats(&self) -> ArenaStats {
+        let inner = self.inner.read().expect("arena lock poisoned");
+        ArenaStats {
+            nodes: inner.nodes.len(),
+            with_var_list: inner.nodes.iter().filter(|n| n.vars.is_some()).count(),
+        }
+    }
+}
+
+/// Read-locked access to the arena for traversal loops; see
+/// [`LineageArena::view`].
+pub struct ArenaView<'a> {
+    guard: RwLockReadGuard<'a, ArenaInner>,
+}
+
+impl ArenaView<'_> {
+    /// The shape of a node (slice index, no lock).
+    #[inline]
+    pub fn node(&self, r: LineageRef) -> LineageNode {
+        self.guard.nodes[r.0 as usize].node
+    }
+
+    /// The node's 1OF flag (slice index, no lock).
+    #[inline]
+    pub fn one_of(&self, r: LineageRef) -> bool {
+        self.guard.nodes[r.0 as usize].one_of
+    }
+
+    /// The node's exact distinct-variable list, when stored (Arc clone, no
+    /// lock).
+    #[inline]
+    pub fn var_list(&self, r: LineageRef) -> Option<Arc<[TupleId]>> {
+        self.guard.nodes[r.0 as usize].vars.clone()
+    }
+}
+
+fn merge_sorted(a: &[TupleId], b: &[TupleId]) -> Arc<[TupleId]> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    Arc::from(out)
+}
+
+fn sorted_disjoint(a: &[TupleId], b: &[TupleId]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(i: u64) -> LineageRef {
+        LineageArena::global().intern(LineageNode::Var(TupleId(i)))
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = var(900_001);
+        let b = var(900_001);
+        assert_eq!(a, b);
+        let arena = LineageArena::global();
+        let n1 = arena.intern(LineageNode::And(a, b));
+        let n2 = arena.intern(LineageNode::And(a, b));
+        assert_eq!(n1, n2);
+        assert_ne!(n1, a);
+    }
+
+    #[test]
+    fn metadata_composes() {
+        let arena = LineageArena::global();
+        let a = var(910_000);
+        let b = var(910_001);
+        let and = arena.intern(LineageNode::And(a, b));
+        assert_eq!(arena.size(and), 3);
+        assert_eq!(arena.occurrences(and), 2);
+        assert!(arena.one_of(and));
+        let rep = arena.intern(LineageNode::Or(and, a));
+        assert_eq!(arena.occurrences(rep), 3);
+        assert!(!arena.one_of(rep));
+        assert_eq!(
+            arena.var_list(rep).unwrap().as_ref(),
+            &[TupleId(910_000), TupleId(910_001)]
+        );
+    }
+
+    #[test]
+    fn var_list_capped_for_large_formulas() {
+        let arena = LineageArena::global();
+        let mut acc = var(920_000);
+        for i in 1..(VAR_LIST_CAP as u64 + 40) {
+            let v = var(920_000 + i);
+            acc = arena.intern(LineageNode::Or(acc, v));
+        }
+        assert!(arena.var_list(acc).is_none());
+        // Disjoint-range composition keeps exact 1OF tracking even without
+        // the list.
+        assert!(arena.one_of(acc));
+        let (lo, hi) = arena.var_range(acc);
+        assert_eq!(lo, TupleId(920_000));
+        assert_eq!(hi, TupleId(920_000 + VAR_LIST_CAP as u64 + 39));
+    }
+
+    #[test]
+    fn may_contain_has_no_false_negatives() {
+        let arena = LineageArena::global();
+        let a = var(930_000);
+        let b = var(930_002);
+        let and = arena.intern(LineageNode::And(a, b));
+        assert!(arena.may_contain(and, TupleId(930_000)));
+        assert!(arena.may_contain(and, TupleId(930_002)));
+        // Exact list: the gap variable is correctly excluded.
+        assert!(!arena.may_contain(and, TupleId(930_001)));
+    }
+
+    #[test]
+    fn stats_report_growth() {
+        let before = LineageArena::global().stats().nodes;
+        let _ = var(940_000);
+        let after = LineageArena::global().stats().nodes;
+        assert!(after > before);
+    }
+}

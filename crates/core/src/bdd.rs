@@ -16,8 +16,9 @@
 
 use std::collections::HashMap;
 
+use crate::arena::LineageRef;
 use crate::error::Result;
-use crate::lineage::{Lineage, TupleId};
+use crate::lineage::{Lineage, LineageKind, TupleId};
 use crate::relation::VarTable;
 
 /// Index of a node inside a [`Bdd`] arena.
@@ -43,6 +44,9 @@ pub struct Bdd {
     nodes: Vec<Node>,
     unique: HashMap<Node, NodeId>,
     apply_memo: HashMap<(u8, NodeId, NodeId), NodeId>,
+    /// Lineage handles already compiled into this arena: shared sublineages
+    /// (hash-consed upstream) compile once per `Bdd` instance.
+    compile_memo: HashMap<LineageRef, NodeId>,
 }
 
 /// Boolean connectives for [`Bdd::apply`].
@@ -159,23 +163,31 @@ impl Bdd {
     }
 
     /// Compiles a lineage formula into the arena, returning its root.
+    /// Compilation is memoized per interned lineage handle, so recompiling a
+    /// formula — or compiling another formula sharing sublineage with it —
+    /// reuses the existing sub-BDDs.
     pub fn compile(&mut self, lineage: &Lineage) -> NodeId {
-        match lineage {
-            Lineage::Var(id) => self.mk(*id, FALSE, TRUE),
-            Lineage::Not(c) => {
-                let inner = self.compile(c);
+        if let Some(&root) = self.compile_memo.get(&lineage.node_ref()) {
+            return root;
+        }
+        let root = match lineage.kind() {
+            LineageKind::Var(id) => self.mk(id, FALSE, TRUE),
+            LineageKind::Not(c) => {
+                let inner = self.compile(&c);
                 let mut memo = HashMap::new();
                 self.negate(inner, &mut memo)
             }
-            Lineage::And(a, b) => {
-                let (ra, rb) = (self.compile(a), self.compile(b));
+            LineageKind::And(a, b) => {
+                let (ra, rb) = (self.compile(&a), self.compile(&b));
                 self.apply(BoolOp::And, ra, rb)
             }
-            Lineage::Or(a, b) => {
-                let (ra, rb) = (self.compile(a), self.compile(b));
+            LineageKind::Or(a, b) => {
+                let (ra, rb) = (self.compile(&a), self.compile(&b));
                 self.apply(BoolOp::Or, ra, rb)
             }
-        }
+        };
+        self.compile_memo.insert(lineage.node_ref(), root);
+        root
     }
 
     /// Evaluates a root under a truth assignment.
@@ -211,7 +223,8 @@ impl Bdd {
         }
         let n = self.node(id);
         let pv = vars.prob(n.var)?;
-        let p = pv * self.prob_rec(n.hi, vars, memo)? + (1.0 - pv) * self.prob_rec(n.lo, vars, memo)?;
+        let p =
+            pv * self.prob_rec(n.hi, vars, memo)? + (1.0 - pv) * self.prob_rec(n.lo, vars, memo)?;
         memo.insert(id, p);
         Ok(p)
     }
@@ -294,7 +307,10 @@ mod tests {
             Lineage::and_not(&v(0), Some(&Lineage::or(&v(1), &v(2)))),
             // Repeating formulas — where the BDD shines.
             Lineage::and(&Lineage::or(&v(0), &v(1)), &Lineage::or(&v(0), &v(2))),
-            Lineage::and_not(&Lineage::or(&v(0), &v(1)), Some(&Lineage::and(&v(0), &v(3)))),
+            Lineage::and_not(
+                &Lineage::or(&v(0), &v(1)),
+                Some(&Lineage::and(&v(0), &v(3))),
+            ),
         ];
         for l in cases {
             let via_bdd = probability(&l, &vars).unwrap();
@@ -355,14 +371,14 @@ mod tests {
         );
         let mut bdd = Bdd::new();
         let root = bdd.compile(&l);
-        assert!(bdd.reachable_size(root) <= 4, "{}", bdd.reachable_size(root));
+        assert!(
+            bdd.reachable_size(root) <= 4,
+            "{}",
+            bdd.reachable_size(root)
+        );
     }
 
-    fn random_formula(
-        rng: &mut rand::rngs::StdRng,
-        nvars: u64,
-        depth: usize,
-    ) -> Lineage {
+    fn random_formula(rng: &mut rand::rngs::StdRng, nvars: u64, depth: usize) -> Lineage {
         use rand::RngExt;
         if depth == 0 || rng.random::<f64>() < 0.3 {
             return v(rng.random_range(0..nvars));

@@ -76,16 +76,10 @@ mod tests {
     #[test]
     fn add_and_lookup() {
         let mut db = Database::new();
-        db.add_base_relation(
-            "a",
-            vec![(Fact::single("milk"), Interval::at(2, 10), 0.3)],
-        )
-        .unwrap();
+        db.add_base_relation("a", vec![(Fact::single("milk"), Interval::at(2, 10), 0.3)])
+            .unwrap();
         assert_eq!(db.relation("a").unwrap().len(), 1);
-        assert!(matches!(
-            db.relation("zz"),
-            Err(Error::UnknownRelation(_))
-        ));
+        assert!(matches!(db.relation("zz"), Err(Error::UnknownRelation(_))));
         assert_eq!(db.relation_names().collect::<Vec<_>>(), vec!["a"]);
     }
 
@@ -116,10 +110,7 @@ mod tests {
             ],
         );
         assert!(matches!(err, Err(Error::DuplicateFact { .. })));
-        let err = db.add_base_relation(
-            "b",
-            vec![(Fact::single("x"), Interval::at(1, 5), 1.5)],
-        );
+        let err = db.add_base_relation("b", vec![(Fact::single("x"), Interval::at(1, 5), 1.5)]);
         assert!(matches!(err, Err(Error::InvalidProbability(_))));
     }
 

@@ -98,7 +98,10 @@ impl fmt::Display for Error {
             Error::Unsupported {
                 approach,
                 operation,
-            } => write!(f, "{approach} does not support {operation} (paper Table II)"),
+            } => write!(
+                f,
+                "{approach} does not support {operation} (paper Table II)"
+            ),
             Error::Parse { position, message } => {
                 write!(f, "query parse error at byte {position}: {message}")
             }

@@ -135,11 +135,7 @@ impl IntervalSet {
     /// The coverage of a fact within a relation: the (already disjoint)
     /// intervals of every tuple carrying `fact`, coalesced.
     pub fn coverage_of(rel: &crate::relation::TpRelation, fact: &crate::fact::Fact) -> IntervalSet {
-        IntervalSet::from_intervals(
-            rel.iter()
-                .filter(|t| &t.fact == fact)
-                .map(|t| t.interval),
-        )
+        IntervalSet::from_intervals(rel.iter().filter(|t| &t.fact == fact).map(|t| t.interval))
     }
 }
 

@@ -57,17 +57,22 @@
 //! | module | paper section | content |
 //! |---|---|---|
 //! | [`value`], [`fact`], [`interval`] | §III | attribute values, facts, time intervals, Allen relations |
-//! | [`lineage`] | §III, Table I | Boolean lineage + concatenation functions |
-//! | [`tuple`](mod@crate::tuple), [`relation`], [`db`] | §III | TP tuples, duplicate-free relations, variable table, catalog |
+//! | [`arena`] | — | hash-consed lineage forest: `Copy` handles, O(1) equality, interned per-node metadata |
+//! | [`lineage`] | §III, Table I | Boolean lineage + concatenation functions, [`lineage::LineageTree`] compat layer |
+//! | [`lineage_xform`] | — | negation normal form, conservative simplification |
+//! | [`tuple`](mod@crate::tuple), [`relation`], [`db`] | §III | TP tuples, duplicate-free relations, variable table (with memoized valuation cache), catalog |
 //! | [`snapshot`] | §IV | timeslice τᵖₜ + literal Def. 1–3 evaluation (the test oracle) |
-//! | [`window`] | §VI-A, Alg. 1 | lineage-aware temporal window + LAWA |
-//! | [`ops`] | §V, §VI-B, Alg. 2–4 | `∪Tp`, `∩Tp`, `−Tp`, selection |
+//! | [`window`] | §VI-A, Alg. 1 | lineage-aware temporal window + LAWA (O(1) lineage compare per window) |
+//! | [`ops`] | §V, §VI-B, Alg. 2–4 | `∪Tp`, `∩Tp`, `−Tp`, selection, projection, join, aggregation, parallel driver |
 //! | [`query`], [`parser`] | §V-B, Def. 4 | TP set queries, 1OF/safety analysis, text parser |
-//! | [`prob`] | §III, §V-B | linear 1OF valuation, exact Shannon expansion, Monte-Carlo |
+//! | [`prob`] | §III, §V-B | linear 1OF valuation, exact Shannon expansion, Monte-Carlo — memoized per arena node |
+//! | [`bdd`] | \[24\] | ROBDD compilation of lineage with per-handle compile memo |
+//! | [`io`] | — | text persistence of base relations + topological lineage-forest dumps |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod bdd;
 pub mod db;
 pub mod error;
@@ -89,12 +94,13 @@ pub mod window;
 
 /// Convenient re-exports of the most frequently used items.
 pub mod prelude {
+    pub use crate::arena::{LineageArena, LineageRef};
     pub use crate::db::Database;
     pub use crate::error::{Error, Result};
     pub use crate::fact::Fact;
     pub use crate::interval::{AllenRelation, Interval, TimePoint};
     pub use crate::interval_set::IntervalSet;
-    pub use crate::lineage::{Lineage, TupleId};
+    pub use crate::lineage::{Lineage, LineageKind, LineageTree, TupleId};
     pub use crate::ops::{apply, except, intersect, project, select, select_attr_eq, union, SetOp};
     pub use crate::prob;
     pub use crate::query::Query;

@@ -1,4 +1,5 @@
-//! Data lineage: Boolean formulas over base-tuple identifiers.
+//! Data lineage: Boolean formulas over base-tuple identifiers, stored as
+//! handles into the hash-consed [`crate::arena::LineageArena`].
 //!
 //! A lineage expression λ consists of tuple identifiers (Boolean random
 //! variables, assumed independent) and the connectives ¬, ∧, ∨ (§III). For a
@@ -20,11 +21,21 @@
 //! Equivalence of lineage expressions — needed by change preservation
 //! (Def. 2) — is checked *syntactically* (structural equality), exactly as
 //! the paper's implementation does (footnote 1: logical equivalence of
-//! Boolean formulas is co-NP-complete).
+//! Boolean formulas is co-NP-complete). Because formulas are hash-consed,
+//! that syntactic check is a single integer comparison: `a == b` iff the two
+//! handles point at the same interned node. Cloning a lineage is a `Copy` of
+//! four bytes, so the window advancer, coalescing, and every set operation
+//! concatenate and compare lineage in O(1) per step.
+//!
+//! Consumers that need the classic recursive representation (oracle
+//! comparisons against an independent implementation, serialization
+//! debugging) can convert through [`Lineage::to_tree`] /
+//! [`Lineage::from_tree`]; see [`LineageTree`].
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
-use std::sync::Arc;
+
+use crate::arena::{LineageArena, LineageNode, LineageRef};
 
 /// Identifier of a base tuple, acting as an independent Boolean random
 /// variable in lineage formulas.
@@ -38,50 +49,57 @@ impl fmt::Display for TupleId {
     }
 }
 
-/// A Boolean lineage formula.
+/// A Boolean lineage formula: a `Copy` handle into the global hash-consed
+/// arena.
 ///
-/// Children are `Arc`-shared: cloning a lineage (which happens for every
-/// window and every output tuple) is a refcount bump. Connectives are binary,
-/// mirroring the shape produced by the Table I concatenation functions, so
-/// that structural equality between independently computed results (LAWA vs.
-/// the snapshot oracle vs. the baselines) is meaningful.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub enum Lineage {
+/// Structural equality between independently computed results (LAWA vs. the
+/// snapshot oracle vs. the baselines) is meaningful — identical formulas
+/// intern to identical handles — and costs one integer compare. Connectives
+/// are binary, mirroring the shape produced by the Table I concatenation
+/// functions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lineage(LineageRef);
+
+/// One level of a formula, as returned by [`Lineage::kind`]. Children are
+/// themselves `Copy` handles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineageKind {
     /// An atomic base-tuple variable.
     Var(TupleId),
     /// Negation ¬λ.
-    Not(Arc<Lineage>),
+    Not(Lineage),
     /// Conjunction (λ1) ∧ (λ2).
-    And(Arc<Lineage>, Arc<Lineage>),
+    And(Lineage, Lineage),
     /// Disjunction (λ1) ∨ (λ2).
-    Or(Arc<Lineage>, Arc<Lineage>),
+    Or(Lineage, Lineage),
+}
+
+fn arena() -> &'static LineageArena {
+    LineageArena::global()
 }
 
 impl Lineage {
     /// The atomic lineage of a base tuple.
     pub fn var(id: TupleId) -> Self {
-        Lineage::Var(id)
+        Lineage(arena().intern(LineageNode::Var(id)))
     }
 
     /// ¬λ.
     pub fn negate(self) -> Self {
-        Lineage::Not(Arc::new(self))
+        Lineage(arena().intern(LineageNode::Not(self.0)))
     }
 
     /// Table I `and`: `(λ1) ∧ (λ2)`. Used by `∩Tp`.
     pub fn and(l1: &Lineage, l2: &Lineage) -> Lineage {
-        Lineage::And(Arc::new(l1.clone()), Arc::new(l2.clone()))
+        Lineage(arena().intern(LineageNode::And(l1.0, l2.0)))
     }
 
     /// Table I `andNot`: `(λ1)` if λ2 is null, else `(λ1) ∧ ¬(λ2)`.
     /// Used by `−Tp`.
     pub fn and_not(l1: &Lineage, l2: Option<&Lineage>) -> Lineage {
         match l2 {
-            None => l1.clone(),
-            Some(l2) => Lineage::And(
-                Arc::new(l1.clone()),
-                Arc::new(Lineage::Not(Arc::new(l2.clone()))),
-            ),
+            None => *l1,
+            Some(l2) => Lineage::and(l1, &l2.negate()),
         }
     }
 
@@ -90,125 +108,287 @@ impl Lineage {
     pub fn or_opt(l1: Option<&Lineage>, l2: Option<&Lineage>) -> Option<Lineage> {
         match (l1, l2) {
             (None, None) => None,
-            (Some(l1), None) => Some(l1.clone()),
-            (None, Some(l2)) => Some(l2.clone()),
-            (Some(l1), Some(l2)) => Some(Lineage::Or(
-                Arc::new(l1.clone()),
-                Arc::new(l2.clone()),
-            )),
+            (Some(l1), None) => Some(*l1),
+            (None, Some(l2)) => Some(*l2),
+            (Some(l1), Some(l2)) => Some(Lineage::or(l1, l2)),
         }
     }
 
     /// Plain binary disjunction (both operands present).
     pub fn or(l1: &Lineage, l2: &Lineage) -> Lineage {
-        Lineage::Or(Arc::new(l1.clone()), Arc::new(l2.clone()))
+        Lineage(arena().intern(LineageNode::Or(l1.0, l2.0)))
+    }
+
+    /// The interned handle — the O(1) identity used by equality, hashing
+    /// and the valuation caches.
+    pub fn node_ref(&self) -> LineageRef {
+        self.0
+    }
+
+    /// Reconstructs a handle from a ref previously obtained via
+    /// [`Lineage::node_ref`].
+    pub fn from_node_ref(r: LineageRef) -> Lineage {
+        Lineage(r)
+    }
+
+    /// The top-level connective with `Copy` child handles.
+    pub fn kind(&self) -> LineageKind {
+        match arena().node(self.0) {
+            LineageNode::Var(id) => LineageKind::Var(id),
+            LineageNode::Not(c) => LineageKind::Not(Lineage(c)),
+            LineageNode::And(a, b) => LineageKind::And(Lineage(a), Lineage(b)),
+            LineageNode::Or(a, b) => LineageKind::Or(Lineage(a), Lineage(b)),
+        }
+    }
+
+    /// The variable of an atomic lineage, `None` for derived formulas.
+    pub fn as_var(&self) -> Option<TupleId> {
+        match arena().node(self.0) {
+            LineageNode::Var(id) => Some(id),
+            _ => None,
+        }
     }
 
     /// Collects the distinct variables of the formula, in ascending order.
     pub fn vars(&self) -> BTreeSet<TupleId> {
+        if let Some(list) = arena().var_list(self.0) {
+            return list.iter().copied().collect();
+        }
+        // DAG traversal with a visited set: shared subformulas are walked
+        // once, so this is linear in the number of unique nodes; stored
+        // sublists short-circuit their subtrees. One read guard covers the
+        // whole walk.
+        let view = arena().view();
         let mut out = BTreeSet::new();
-        self.collect_vars(&mut out);
+        let mut seen: BTreeSet<LineageRef> = BTreeSet::new();
+        let mut stack = vec![self.0];
+        while let Some(r) = stack.pop() {
+            if !seen.insert(r) {
+                continue;
+            }
+            if let Some(list) = view.var_list(r) {
+                out.extend(list.iter().copied());
+                continue;
+            }
+            match view.node(r) {
+                LineageNode::Var(id) => {
+                    out.insert(id);
+                }
+                LineageNode::Not(c) => stack.push(c),
+                LineageNode::And(a, b) | LineageNode::Or(a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+            }
+        }
         out
     }
 
-    fn collect_vars(&self, out: &mut BTreeSet<TupleId>) {
-        match self {
-            Lineage::Var(id) => {
-                out.insert(*id);
-            }
-            Lineage::Not(c) => c.collect_vars(out),
-            Lineage::And(a, b) | Lineage::Or(a, b) => {
-                a.collect_vars(out);
-                b.collect_vars(out);
-            }
-        }
-    }
-
-    /// Total number of variable *occurrences* (with multiplicity).
+    /// Total number of variable *occurrences* (with multiplicity), from the
+    /// arena's per-node metadata — O(1).
     pub fn var_occurrences(&self) -> usize {
-        match self {
-            Lineage::Var(_) => 1,
-            Lineage::Not(c) => c.var_occurrences(),
-            Lineage::And(a, b) | Lineage::Or(a, b) => {
-                a.var_occurrences() + b.var_occurrences()
-            }
-        }
+        usize::try_from(arena().occurrences(self.0)).unwrap_or(usize::MAX)
     }
 
     /// Whether the formula is in one-occurrence form (1OF): no tuple
     /// identifier occurs more than once (§V-B). Marginal probabilities of
     /// 1OF formulas over independent variables are computable in linear time
-    /// (Corollary 1).
+    /// (Corollary 1). Answered from interned metadata in O(1); for formulas
+    /// beyond [`crate::arena::VAR_LIST_CAP`] occurrences with interleaved
+    /// variable ranges the answer may be conservatively `false` (valuation
+    /// then takes the always-correct Shannon path).
     pub fn is_one_occurrence_form(&self) -> bool {
-        fn rec(l: &Lineage, seen: &mut BTreeSet<TupleId>) -> bool {
-            match l {
-                Lineage::Var(id) => seen.insert(*id),
-                Lineage::Not(c) => rec(c, seen),
-                Lineage::And(a, b) | Lineage::Or(a, b) => rec(a, seen) && rec(b, seen),
-            }
-        }
-        let mut seen = BTreeSet::new();
-        rec(self, &mut seen)
+        arena().one_of(self.0)
     }
 
-    /// Number of nodes in the formula tree.
+    /// Number of nodes in the formula tree (tree semantics, counted with
+    /// multiplicity under sharing) — O(1) from interned metadata.
     pub fn size(&self) -> usize {
-        match self {
-            Lineage::Var(_) => 1,
-            Lineage::Not(c) => 1 + c.size(),
-            Lineage::And(a, b) | Lineage::Or(a, b) => 1 + a.size() + b.size(),
+        usize::try_from(arena().size(self.0)).unwrap_or(usize::MAX)
+    }
+
+    /// Tree-semantic multiplicity of every variable, accumulated over the
+    /// shared DAG in one topological pass (linear in unique nodes; one read
+    /// guard for the whole walk).
+    pub fn var_multiplicities(&self) -> HashMap<TupleId, u64> {
+        let view = arena().view();
+        // Postorder to get a topological order of the sub-DAG.
+        let mut order: Vec<LineageRef> = Vec::new();
+        let mut seen: BTreeSet<LineageRef> = BTreeSet::new();
+        let mut stack: Vec<(LineageRef, bool)> = vec![(self.0, false)];
+        while let Some((r, expanded)) = stack.pop() {
+            if expanded {
+                order.push(r);
+                continue;
+            }
+            if !seen.insert(r) {
+                continue;
+            }
+            stack.push((r, true));
+            match view.node(r) {
+                LineageNode::Var(_) => {}
+                LineageNode::Not(c) => stack.push((c, false)),
+                LineageNode::And(a, b) | LineageNode::Or(a, b) => {
+                    stack.push((a, false));
+                    stack.push((b, false));
+                }
+            }
         }
+        // Reverse topological: propagate path multiplicities root → leaves.
+        let mut mult: HashMap<LineageRef, u64> = HashMap::new();
+        mult.insert(self.0, 1);
+        let mut counts: HashMap<TupleId, u64> = HashMap::new();
+        for &r in order.iter().rev() {
+            let m = mult.get(&r).copied().unwrap_or(0);
+            match view.node(r) {
+                LineageNode::Var(id) => {
+                    *counts.entry(id).or_default() += m;
+                }
+                LineageNode::Not(c) => {
+                    *mult.entry(c).or_default() += m;
+                }
+                LineageNode::And(a, b) | LineageNode::Or(a, b) => {
+                    *mult.entry(a).or_default() += m;
+                    *mult.entry(b).or_default() += m;
+                }
+            }
+        }
+        counts
     }
 
     /// Evaluates the formula under a truth assignment of the variables.
+    /// Shared subformulas are evaluated once (per-call memo over the DAG);
+    /// the arena lock is taken once for the whole walk.
     pub fn eval(&self, assignment: &impl Fn(TupleId) -> bool) -> bool {
-        match self {
-            Lineage::Var(id) => assignment(*id),
-            Lineage::Not(c) => !c.eval(assignment),
-            Lineage::And(a, b) => a.eval(assignment) && b.eval(assignment),
-            Lineage::Or(a, b) => a.eval(assignment) || b.eval(assignment),
+        use crate::arena::{ArenaView, FastMap};
+        fn rec(
+            l: LineageRef,
+            view: &ArenaView<'_>,
+            assignment: &impl Fn(TupleId) -> bool,
+            memo: &mut FastMap<LineageRef, bool>,
+        ) -> bool {
+            if let Some(&v) = memo.get(&l) {
+                return v;
+            }
+            let v = match view.node(l) {
+                LineageNode::Var(id) => assignment(id),
+                LineageNode::Not(c) => !rec(c, view, assignment, memo),
+                LineageNode::And(a, b) => {
+                    rec(a, view, assignment, memo) && rec(b, view, assignment, memo)
+                }
+                LineageNode::Or(a, b) => {
+                    rec(a, view, assignment, memo) || rec(b, view, assignment, memo)
+                }
+            };
+            memo.insert(l, v);
+            v
         }
+        let view = LineageArena::global().view();
+        let mut memo = FastMap::default();
+        rec(self.0, &view, assignment, &mut memo)
     }
 
     /// Substitutes a truth value for a variable and simplifies constants
     /// away. Returns `Ok(simplified)` or `Err(value)` when the whole formula
     /// collapses to the constant `value`. Used by Shannon expansion in
-    /// [`crate::prob`].
+    /// [`crate::prob`]. Subformulas that cannot contain the variable (per
+    /// the arena's variable summaries) are returned untouched without a
+    /// walk.
     pub fn condition(&self, var: TupleId, value: bool) -> std::result::Result<Lineage, bool> {
-        match self {
-            Lineage::Var(id) => {
-                if *id == var {
-                    Err(value)
-                } else {
-                    Ok(self.clone())
-                }
+        fn rec(
+            l: Lineage,
+            var: TupleId,
+            value: bool,
+            memo: &mut HashMap<LineageRef, std::result::Result<Lineage, bool>>,
+        ) -> std::result::Result<Lineage, bool> {
+            if !LineageArena::global().may_contain(l.0, var) {
+                return Ok(l);
             }
-            Lineage::Not(c) => match c.condition(var, value) {
-                Ok(l) => Ok(Lineage::Not(Arc::new(l))),
-                Err(v) => Err(!v),
-            },
-            Lineage::And(a, b) => match (a.condition(var, value), b.condition(var, value)) {
-                (Err(false), _) | (_, Err(false)) => Err(false),
-                (Err(true), Ok(l)) | (Ok(l), Err(true)) => Ok(l),
-                (Err(true), Err(true)) => Err(true),
-                (Ok(l), Ok(r)) => Ok(Lineage::And(Arc::new(l), Arc::new(r))),
-            },
-            Lineage::Or(a, b) => match (a.condition(var, value), b.condition(var, value)) {
-                (Err(true), _) | (_, Err(true)) => Err(true),
-                (Err(false), Ok(l)) | (Ok(l), Err(false)) => Ok(l),
-                (Err(false), Err(false)) => Err(false),
-                (Ok(l), Ok(r)) => Ok(Lineage::Or(Arc::new(l), Arc::new(r))),
-            },
+            if let Some(cached) = memo.get(&l.0) {
+                return *cached;
+            }
+            let out = match l.kind() {
+                LineageKind::Var(id) => {
+                    if id == var {
+                        Err(value)
+                    } else {
+                        Ok(l)
+                    }
+                }
+                LineageKind::Not(c) => match rec(c, var, value, memo) {
+                    Ok(inner) => Ok(inner.negate()),
+                    Err(v) => Err(!v),
+                },
+                LineageKind::And(a, b) => {
+                    match (rec(a, var, value, memo), rec(b, var, value, memo)) {
+                        (Err(false), _) | (_, Err(false)) => Err(false),
+                        (Err(true), Ok(x)) | (Ok(x), Err(true)) => Ok(x),
+                        (Err(true), Err(true)) => Err(true),
+                        (Ok(x), Ok(y)) => Ok(Lineage::and(&x, &y)),
+                    }
+                }
+                LineageKind::Or(a, b) => {
+                    match (rec(a, var, value, memo), rec(b, var, value, memo)) {
+                        (Err(true), _) | (_, Err(true)) => Err(true),
+                        (Err(false), Ok(x)) | (Ok(x), Err(false)) => Ok(x),
+                        (Err(false), Err(false)) => Err(false),
+                        (Ok(x), Ok(y)) => Ok(Lineage::or(&x, &y)),
+                    }
+                }
+            };
+            memo.insert(l.0, out);
+            out
         }
+        let mut memo = HashMap::new();
+        rec(*self, var, value, &mut memo)
     }
 
     /// Renders the formula with a custom variable labeller (e.g. the paper's
     /// `a1`, `c2` names from a [`crate::relation::VarTable`]).
-    pub fn display_with<'a, F>(&'a self, label: F) -> LineageDisplay<'a, F>
+    pub fn display_with<F>(&self, label: F) -> LineageDisplay<F>
     where
         F: Fn(TupleId) -> String,
     {
-        LineageDisplay { lineage: self, label }
+        LineageDisplay {
+            lineage: *self,
+            label,
+        }
+    }
+
+    /// Expands the handle into the owned recursive [`LineageTree`]
+    /// (tree semantics: shared nodes are duplicated). Compatibility layer
+    /// for consumers comparing against independent implementations.
+    pub fn to_tree(&self) -> LineageTree {
+        fn rec(r: LineageRef, view: &crate::arena::ArenaView<'_>) -> LineageTree {
+            match view.node(r) {
+                LineageNode::Var(id) => LineageTree::Var(id),
+                LineageNode::Not(c) => LineageTree::Not(Box::new(rec(c, view))),
+                LineageNode::And(a, b) => {
+                    LineageTree::And(Box::new(rec(a, view)), Box::new(rec(b, view)))
+                }
+                LineageNode::Or(a, b) => {
+                    LineageTree::Or(Box::new(rec(a, view)), Box::new(rec(b, view)))
+                }
+            }
+        }
+        let view = arena().view();
+        rec(self.0, &view)
+    }
+
+    /// Interns a recursive [`LineageTree`] back into the arena.
+    pub fn from_tree(tree: &LineageTree) -> Lineage {
+        match tree {
+            LineageTree::Var(id) => Lineage::var(*id),
+            LineageTree::Not(c) => Lineage::from_tree(c).negate(),
+            LineageTree::And(a, b) => Lineage::and(&Lineage::from_tree(a), &Lineage::from_tree(b)),
+            LineageTree::Or(a, b) => Lineage::or(&Lineage::from_tree(a), &Lineage::from_tree(b)),
+        }
+    }
+}
+
+impl fmt::Debug for Lineage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Lineage#{}({})", self.0.index(), self)
     }
 }
 
@@ -218,41 +398,189 @@ impl fmt::Display for Lineage {
     }
 }
 
+/// The classic recursive lineage representation, kept as a compatibility
+/// layer: oracle-style consumers can walk it without touching the arena,
+/// and property tests compare arena results against computations on this
+/// tree. Convert with [`Lineage::to_tree`] / [`Lineage::from_tree`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LineageTree {
+    /// An atomic base-tuple variable.
+    Var(TupleId),
+    /// Negation ¬λ.
+    Not(Box<LineageTree>),
+    /// Conjunction (λ1) ∧ (λ2).
+    And(Box<LineageTree>, Box<LineageTree>),
+    /// Disjunction (λ1) ∨ (λ2).
+    Or(Box<LineageTree>, Box<LineageTree>),
+}
+
+impl LineageTree {
+    /// Evaluates the tree under a truth assignment (plain recursion).
+    pub fn eval(&self, assignment: &impl Fn(TupleId) -> bool) -> bool {
+        match self {
+            LineageTree::Var(id) => assignment(*id),
+            LineageTree::Not(c) => !c.eval(assignment),
+            LineageTree::And(a, b) => a.eval(assignment) && b.eval(assignment),
+            LineageTree::Or(a, b) => a.eval(assignment) || b.eval(assignment),
+        }
+    }
+
+    /// Collects the distinct variables of the tree.
+    pub fn vars(&self) -> BTreeSet<TupleId> {
+        fn rec(t: &LineageTree, out: &mut BTreeSet<TupleId>) {
+            match t {
+                LineageTree::Var(id) => {
+                    out.insert(*id);
+                }
+                LineageTree::Not(c) => rec(c, out),
+                LineageTree::And(a, b) | LineageTree::Or(a, b) => {
+                    rec(a, out);
+                    rec(b, out);
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        rec(self, &mut out);
+        out
+    }
+
+    /// Variable occurrences with multiplicity (plain recursion).
+    pub fn var_occurrences(&self) -> usize {
+        match self {
+            LineageTree::Var(_) => 1,
+            LineageTree::Not(c) => c.var_occurrences(),
+            LineageTree::And(a, b) | LineageTree::Or(a, b) => {
+                a.var_occurrences() + b.var_occurrences()
+            }
+        }
+    }
+
+    /// Whether no variable occurs more than once (reference implementation
+    /// of the 1OF check).
+    pub fn is_one_occurrence_form(&self) -> bool {
+        fn rec(t: &LineageTree, seen: &mut BTreeSet<TupleId>) -> bool {
+            match t {
+                LineageTree::Var(id) => seen.insert(*id),
+                LineageTree::Not(c) => rec(c, seen),
+                LineageTree::And(a, b) | LineageTree::Or(a, b) => rec(a, seen) && rec(b, seen),
+            }
+        }
+        let mut seen = BTreeSet::new();
+        rec(self, &mut seen)
+    }
+
+    /// Number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        match self {
+            LineageTree::Var(_) => 1,
+            LineageTree::Not(c) => 1 + c.size(),
+            LineageTree::And(a, b) | LineageTree::Or(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// The legacy un-memoized independence-assumption valuation: walks the
+    /// whole tree on every call. Exact for 1OF formulas; the baseline the
+    /// arena-backed memoized valuation is benchmarked against.
+    pub fn independent_prob(&self, vars: &crate::relation::VarTable) -> crate::error::Result<f64> {
+        Ok(match self {
+            LineageTree::Var(id) => vars.prob(*id)?,
+            LineageTree::Not(c) => 1.0 - c.independent_prob(vars)?,
+            LineageTree::And(a, b) => a.independent_prob(vars)? * b.independent_prob(vars)?,
+            LineageTree::Or(a, b) => {
+                let (pa, pb) = (a.independent_prob(vars)?, b.independent_prob(vars)?);
+                1.0 - (1.0 - pa) * (1.0 - pb)
+            }
+        })
+    }
+
+    /// Substitutes a truth value for a variable and simplifies constants
+    /// away, entirely on the transient tree — nothing is interned. This is
+    /// the conditioning step Shannon expansion uses
+    /// ([`crate::prob::exact`]), so the expansion's scratch subformulas
+    /// live and die with the call instead of accumulating in the
+    /// process-global arena.
+    pub fn condition(&self, var: TupleId, value: bool) -> std::result::Result<LineageTree, bool> {
+        match self {
+            LineageTree::Var(id) => {
+                if *id == var {
+                    Err(value)
+                } else {
+                    Ok(self.clone())
+                }
+            }
+            LineageTree::Not(c) => match c.condition(var, value) {
+                Ok(inner) => Ok(LineageTree::Not(Box::new(inner))),
+                Err(v) => Err(!v),
+            },
+            LineageTree::And(a, b) => match (a.condition(var, value), b.condition(var, value)) {
+                (Err(false), _) | (_, Err(false)) => Err(false),
+                (Err(true), Ok(x)) | (Ok(x), Err(true)) => Ok(x),
+                (Err(true), Err(true)) => Err(true),
+                (Ok(x), Ok(y)) => Ok(LineageTree::And(Box::new(x), Box::new(y))),
+            },
+            LineageTree::Or(a, b) => match (a.condition(var, value), b.condition(var, value)) {
+                (Err(true), _) | (_, Err(true)) => Err(true),
+                (Err(false), Ok(x)) | (Ok(x), Err(false)) => Ok(x),
+                (Err(false), Err(false)) => Err(false),
+                (Ok(x), Ok(y)) => Ok(LineageTree::Or(Box::new(x), Box::new(y))),
+            },
+        }
+    }
+
+    /// Multiplicity of every variable (plain recursion over the tree).
+    pub fn var_multiplicities(&self) -> HashMap<TupleId, u64> {
+        fn rec(t: &LineageTree, out: &mut HashMap<TupleId, u64>) {
+            match t {
+                LineageTree::Var(id) => *out.entry(*id).or_default() += 1,
+                LineageTree::Not(c) => rec(c, out),
+                LineageTree::And(a, b) | LineageTree::Or(a, b) => {
+                    rec(a, out);
+                    rec(b, out);
+                }
+            }
+        }
+        let mut out = HashMap::new();
+        rec(self, &mut out);
+        out
+    }
+}
+
 /// Display adapter produced by [`Lineage::display_with`].
-pub struct LineageDisplay<'a, F> {
-    lineage: &'a Lineage,
+pub struct LineageDisplay<F> {
+    lineage: Lineage,
     label: F,
 }
 
-impl<F> LineageDisplay<'_, F>
+impl<F> LineageDisplay<F>
 where
     F: Fn(TupleId) -> String,
 {
-    fn fmt_rec(&self, l: &Lineage, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
+    fn fmt_rec(&self, l: Lineage, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
         // Precedence: Not > And > Or. Parenthesize when a child binds looser
         // than its parent, matching the paper's rendering c1∧¬(a1∨b1).
-        let prec = match l {
-            Lineage::Var(_) => 3,
-            Lineage::Not(_) => 2,
-            Lineage::And(_, _) => 1,
-            Lineage::Or(_, _) => 0,
+        let kind = l.kind();
+        let prec = match kind {
+            LineageKind::Var(_) => 3,
+            LineageKind::Not(_) => 2,
+            LineageKind::And(_, _) => 1,
+            LineageKind::Or(_, _) => 0,
         };
         let needs_parens = prec < parent;
         if needs_parens {
             write!(f, "(")?;
         }
-        match l {
-            Lineage::Var(id) => write!(f, "{}", (self.label)(*id))?,
-            Lineage::Not(c) => {
+        match kind {
+            LineageKind::Var(id) => write!(f, "{}", (self.label)(id))?,
+            LineageKind::Not(c) => {
                 write!(f, "¬")?;
                 self.fmt_rec(c, f, 2)?;
             }
-            Lineage::And(a, b) => {
+            LineageKind::And(a, b) => {
                 self.fmt_rec(a, f, 1)?;
                 write!(f, "∧")?;
                 self.fmt_rec(b, f, 1)?;
             }
-            Lineage::Or(a, b) => {
+            LineageKind::Or(a, b) => {
                 self.fmt_rec(a, f, 0)?;
                 write!(f, "∨")?;
                 self.fmt_rec(b, f, 0)?;
@@ -265,7 +593,7 @@ where
     }
 }
 
-impl<F> fmt::Display for LineageDisplay<'_, F>
+impl<F> fmt::Display for LineageDisplay<F>
 where
     F: Fn(TupleId) -> String,
 {
@@ -302,7 +630,9 @@ mod tests {
         assert_eq!(Lineage::or_opt(Some(&v(1)), None), Some(v(1)));
         assert_eq!(Lineage::or_opt(None, Some(&v(2))), Some(v(2)));
         assert_eq!(
-            Lineage::or_opt(Some(&v(1)), Some(&v(2))).unwrap().to_string(),
+            Lineage::or_opt(Some(&v(1)), Some(&v(2)))
+                .unwrap()
+                .to_string(),
             "t1∨t2"
         );
     }
@@ -340,8 +670,7 @@ mod tests {
     fn one_occurrence_form_detection() {
         assert!(v(1).is_one_occurrence_form());
         assert!(Lineage::and(&v(1), &v(2)).is_one_occurrence_form());
-        assert!(Lineage::and_not(&v(1), Some(&Lineage::or(&v(2), &v(3))))
-            .is_one_occurrence_form());
+        assert!(Lineage::and_not(&v(1), Some(&Lineage::or(&v(2), &v(3)))).is_one_occurrence_form());
         // Repeated variable => not 1OF.
         assert!(!Lineage::and(&v(1), &v(1)).is_one_occurrence_form());
         assert!(!Lineage::or(&Lineage::and(&v(1), &v(2)), &v(2)).is_one_occurrence_form());
@@ -396,6 +725,17 @@ mod tests {
     }
 
     #[test]
+    fn hash_consing_makes_equality_a_ref_compare() {
+        // Structurally identical formulas built independently share a node.
+        let a = Lineage::and_not(&v(10), Some(&Lineage::or(&v(11), &v(12))));
+        let b = Lineage::and_not(&v(10), Some(&Lineage::or(&v(11), &v(12))));
+        assert_eq!(a.node_ref(), b.node_ref());
+        assert_eq!(a, b);
+        // And the handle survives a round trip.
+        assert_eq!(Lineage::from_node_ref(a.node_ref()), a);
+    }
+
+    #[test]
     fn display_parenthesization() {
         // Or under And gets parens; And under Or does not need them.
         let or_under_and = Lineage::and(&Lineage::or(&v(1), &v(2)), &v(3));
@@ -406,5 +746,33 @@ mod tests {
         assert_eq!(not_var.to_string(), "¬t1");
         let not_of_and = Lineage::and(&v(1), &v(2)).negate();
         assert_eq!(not_of_and.to_string(), "¬(t1∧t2)");
+    }
+
+    #[test]
+    fn tree_round_trip() {
+        let l = Lineage::and_not(&v(5), Some(&Lineage::or(&v(6), &v(7))));
+        let tree = l.to_tree();
+        assert_eq!(tree.size(), l.size());
+        assert_eq!(tree.vars(), l.vars());
+        assert_eq!(tree.var_occurrences(), l.var_occurrences());
+        assert_eq!(tree.is_one_occurrence_form(), l.is_one_occurrence_form());
+        assert_eq!(Lineage::from_tree(&tree), l);
+    }
+
+    #[test]
+    fn var_multiplicities_follow_tree_semantics() {
+        // (t1 ∨ t2) ∧ (t1 ∨ t3): t1 twice, t2/t3 once — also when the
+        // shared node or(t1, t2) is reused.
+        let shared = Lineage::or(&v(1), &v(2));
+        let l = Lineage::and(&shared, &Lineage::or(&v(1), &v(3)));
+        let m = l.var_multiplicities();
+        assert_eq!(m[&TupleId(1)], 2);
+        assert_eq!(m[&TupleId(2)], 1);
+        assert_eq!(m[&TupleId(3)], 1);
+        // Deep sharing: and(x, x) doubles every count of x.
+        let twice = Lineage::and(&shared, &shared);
+        let m = twice.var_multiplicities();
+        assert_eq!(m[&TupleId(1)], 2);
+        assert_eq!(m[&TupleId(2)], 2);
     }
 }

@@ -7,84 +7,116 @@
 //! lineage: probability engines (NNF is the usual entry format for
 //! knowledge-compilation backends) and applications that display or store
 //! formulas and want them small.
+//!
+//! Formulas are hash-consed DAGs ([`crate::arena`]), so both rewrites are
+//! memoized per (node, polarity): a shared subformula is transformed once,
+//! and the rewritten result is itself interned (rewriting the same formula
+//! twice returns the identical handle).
 
-use std::sync::Arc;
+use std::collections::HashMap;
 
-use crate::lineage::Lineage;
+use crate::arena::LineageRef;
+use crate::lineage::{Lineage, LineageKind};
 
 impl Lineage {
     /// Rewrites the formula into negation normal form: negations appear only
     /// directly above variables (De Morgan + double-negation elimination).
     /// The result is logically equivalent.
     pub fn to_nnf(&self) -> Lineage {
-        fn rec(l: &Lineage, negated: bool) -> Lineage {
-            match l {
-                Lineage::Var(id) => {
-                    if negated {
-                        Lineage::Not(Arc::new(Lineage::Var(*id)))
-                    } else {
-                        Lineage::Var(*id)
-                    }
-                }
-                Lineage::Not(c) => rec(c, !negated),
-                Lineage::And(a, b) => {
-                    let (la, lb) = (rec(a, negated), rec(b, negated));
-                    if negated {
-                        Lineage::Or(Arc::new(la), Arc::new(lb))
-                    } else {
-                        Lineage::And(Arc::new(la), Arc::new(lb))
-                    }
-                }
-                Lineage::Or(a, b) => {
-                    let (la, lb) = (rec(a, negated), rec(b, negated));
-                    if negated {
-                        Lineage::And(Arc::new(la), Arc::new(lb))
-                    } else {
-                        Lineage::Or(Arc::new(la), Arc::new(lb))
-                    }
-                }
+        fn rec(
+            l: Lineage,
+            negated: bool,
+            memo: &mut HashMap<(LineageRef, bool), Lineage>,
+        ) -> Lineage {
+            if let Some(&out) = memo.get(&(l.node_ref(), negated)) {
+                return out;
             }
+            let out = match l.kind() {
+                LineageKind::Var(_) => {
+                    if negated {
+                        l.negate()
+                    } else {
+                        l
+                    }
+                }
+                LineageKind::Not(c) => rec(c, !negated, memo),
+                LineageKind::And(a, b) => {
+                    let (la, lb) = (rec(a, negated, memo), rec(b, negated, memo));
+                    if negated {
+                        Lineage::or(&la, &lb)
+                    } else {
+                        Lineage::and(&la, &lb)
+                    }
+                }
+                LineageKind::Or(a, b) => {
+                    let (la, lb) = (rec(a, negated, memo), rec(b, negated, memo));
+                    if negated {
+                        Lineage::and(&la, &lb)
+                    } else {
+                        Lineage::or(&la, &lb)
+                    }
+                }
+            };
+            memo.insert((l.node_ref(), negated), out);
+            out
         }
-        rec(self, false)
+        rec(*self, false, &mut HashMap::new())
     }
 
     /// Conservative simplification: removes double negations and collapses
     /// syntactically identical operands of a connective (idempotence:
     /// `λ ∧ λ → λ`, `λ ∨ λ → λ`). Logically equivalent to the input; does
     /// *not* attempt equivalence reasoning (co-NP-complete, footnote 1).
+    /// The identical-operand check is an O(1) handle compare.
     pub fn simplify(&self) -> Lineage {
-        match self {
-            Lineage::Var(_) => self.clone(),
-            Lineage::Not(c) => match c.simplify() {
-                Lineage::Not(inner) => (*inner).clone(),
-                other => Lineage::Not(Arc::new(other)),
-            },
-            Lineage::And(a, b) => {
-                let (sa, sb) = (a.simplify(), b.simplify());
-                if sa == sb {
-                    sa
-                } else {
-                    Lineage::And(Arc::new(sa), Arc::new(sb))
-                }
+        fn rec(l: Lineage, memo: &mut HashMap<LineageRef, Lineage>) -> Lineage {
+            if let Some(&out) = memo.get(&l.node_ref()) {
+                return out;
             }
-            Lineage::Or(a, b) => {
-                let (sa, sb) = (a.simplify(), b.simplify());
-                if sa == sb {
-                    sa
-                } else {
-                    Lineage::Or(Arc::new(sa), Arc::new(sb))
+            let out = match l.kind() {
+                LineageKind::Var(_) => l,
+                LineageKind::Not(c) => match rec(c, memo).kind() {
+                    LineageKind::Not(inner) => inner,
+                    _ => rec(c, memo).negate(),
+                },
+                LineageKind::And(a, b) => {
+                    let (sa, sb) = (rec(a, memo), rec(b, memo));
+                    if sa == sb {
+                        sa
+                    } else {
+                        Lineage::and(&sa, &sb)
+                    }
                 }
-            }
+                LineageKind::Or(a, b) => {
+                    let (sa, sb) = (rec(a, memo), rec(b, memo));
+                    if sa == sb {
+                        sa
+                    } else {
+                        Lineage::or(&sa, &sb)
+                    }
+                }
+            };
+            memo.insert(l.node_ref(), out);
+            out
         }
+        rec(*self, &mut HashMap::new())
     }
 
     /// Whether negations occur only directly above variables.
     pub fn is_nnf(&self) -> bool {
-        match self {
-            Lineage::Var(_) => true,
-            Lineage::Not(c) => matches!(**c, Lineage::Var(_)),
-            Lineage::And(a, b) | Lineage::Or(a, b) => a.is_nnf() && b.is_nnf(),
+        fn rec(l: Lineage, memo: &mut HashMap<LineageRef, bool>) -> bool {
+            if let Some(&out) = memo.get(&l.node_ref()) {
+                return out;
+            }
+            let out = match l.kind() {
+                LineageKind::Var(_) => true,
+                LineageKind::Not(c) => matches!(c.kind(), LineageKind::Var(_)),
+                LineageKind::And(a, b) | LineageKind::Or(a, b) => rec(a, memo) && rec(b, memo),
+            };
+            memo.insert(l.node_ref(), out);
+            out
         }
+        rec(*self, &mut HashMap::new())
     }
 }
 
@@ -101,7 +133,8 @@ mod tests {
     fn vt(n: u64) -> VarTable {
         let mut vt = VarTable::new();
         for i in 0..n {
-            vt.register(format!("t{i}"), 0.3 + 0.1 * (i % 7) as f64).unwrap();
+            vt.register(format!("t{i}"), 0.3 + 0.1 * (i % 7) as f64)
+                .unwrap();
         }
         vt
     }
@@ -120,7 +153,9 @@ mod tests {
         let vars = vt(4);
         let cases = [
             Lineage::and_not(&v(0), Some(&Lineage::or(&v(1), &v(2)))),
-            Lineage::or(&Lineage::and(&v(0), &v(1)), &v(2)).negate().negate(),
+            Lineage::or(&Lineage::and(&v(0), &v(1)), &v(2))
+                .negate()
+                .negate(),
             Lineage::and(&v(0), &v(0)).negate(),
             v(3).negate(),
         ];
@@ -130,13 +165,25 @@ mod tests {
             // Same truth table over all 2^4 worlds.
             for world in 0u32..16 {
                 let assign = |id: TupleId| world >> id.0 & 1 == 1;
-                assert_eq!(l.eval(&assign), nnf.eval(&assign), "{l} vs {nnf} @ {world:b}");
+                assert_eq!(
+                    l.eval(&assign),
+                    nnf.eval(&assign),
+                    "{l} vs {nnf} @ {world:b}"
+                );
             }
             // Same probability.
             let p1 = crate::prob::exact(&l, &vars).unwrap();
             let p2 = crate::prob::exact(&nnf, &vars).unwrap();
             assert!((p1 - p2).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn nnf_is_idempotent_on_shared_nodes() {
+        // Rewriting twice yields the identical interned handle.
+        let l = Lineage::and(&v(0), &Lineage::or(&v(1), &v(2)).negate()).negate();
+        assert_eq!(l.to_nnf(), l.to_nnf());
+        assert_eq!(l.to_nnf().to_nnf(), l.to_nnf());
     }
 
     #[test]

@@ -115,12 +115,7 @@ mod tests {
             .collect();
         assert_eq!(
             described,
-            vec![
-                (1, 3, 0.5),
-                (3, 5, 0.75),
-                (5, 7, 0.25),
-                (10, 12, 1.0),
-            ]
+            vec![(1, 3, 0.5), (3, 5, 0.75), (5, 7, 0.25), (10, 12, 1.0),]
         );
     }
 
@@ -142,7 +137,9 @@ mod tests {
     #[test]
     fn empty_relation_has_no_steps() {
         let vars = VarTable::new();
-        assert!(expected_count(&TpRelation::new(), &vars).unwrap().is_empty());
+        assert!(expected_count(&TpRelation::new(), &vars)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -94,12 +94,7 @@ fn combine_facts(rf: &Fact, sf: &Fact, s_cols: &[usize]) -> Fact {
     Fact::new(values)
 }
 
-fn merge_chains(
-    r_chain: &[&TpTuple],
-    s_chain: &[&TpTuple],
-    fact: &Fact,
-    out: &mut Vec<TpTuple>,
-) {
+fn merge_chains(r_chain: &[&TpTuple], s_chain: &[&TpTuple], fact: &Fact, out: &mut Vec<TpTuple>) {
     let (mut i, mut j) = (0usize, 0usize);
     while i < r_chain.len() && j < s_chain.len() {
         let a = r_chain[i];
@@ -244,7 +239,8 @@ mod tests {
     #[test]
     fn multi_column_join_keys() {
         let mut vars = VarTable::new();
-        let f = |a: i64, b: i64, c: &str| Fact::new(vec![Value::int(a), Value::int(b), Value::str(c)]);
+        let f =
+            |a: i64, b: i64, c: &str| Fact::new(vec![Value::int(a), Value::int(b), Value::str(c)]);
         let r = TpRelation::base(
             "r",
             vec![

@@ -115,7 +115,11 @@ pub fn intersect(r: &TpRelation, s: &TpRelation) -> TpRelation {
     while !(lawa.left_exhausted() || lawa.right_exhausted()) {
         let Some(w) = lawa.next() else { break };
         if let (Some(lr), Some(ls)) = (&w.lambda_r, &w.lambda_s) {
-            out.push(TpTuple::new(w.fact.clone(), Lineage::and(lr, ls), w.interval));
+            out.push(TpTuple::new(
+                w.fact.clone(),
+                Lineage::and(lr, ls),
+                w.interval,
+            ));
         }
     }
     TpRelation::from_tuples_unchecked(out)
@@ -226,7 +230,11 @@ mod tests {
             ),
             TpTuple::new("chips", v(8), Interval::at(7, 9)),
             TpTuple::new("milk", v(5), Interval::at(1, 2)),
-            TpTuple::new("milk", Lineage::and_not(&v(5), Some(&v(0))), Interval::at(2, 4)),
+            TpTuple::new(
+                "milk",
+                Lineage::and_not(&v(5), Some(&v(0))),
+                Interval::at(2, 4),
+            ),
             TpTuple::new(
                 "milk",
                 Lineage::and_not(&v(6), Some(&Lineage::or(&v(0), &v(3)))),
@@ -261,8 +269,16 @@ mod tests {
         let out = except(&cm, &am);
         let expected = vec![
             TpTuple::new("milk", v(5), Interval::at(1, 2)),
-            TpTuple::new("milk", Lineage::and_not(&v(5), Some(&v(0))), Interval::at(2, 4)),
-            TpTuple::new("milk", Lineage::and_not(&v(6), Some(&v(0))), Interval::at(6, 8)),
+            TpTuple::new(
+                "milk",
+                Lineage::and_not(&v(5), Some(&v(0))),
+                Interval::at(2, 4),
+            ),
+            TpTuple::new(
+                "milk",
+                Lineage::and_not(&v(6), Some(&v(0))),
+                Interval::at(6, 8),
+            ),
         ];
         assert_eq!(out.canonicalized().tuples(), expected.as_slice());
     }

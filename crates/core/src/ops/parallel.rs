@@ -81,7 +81,10 @@ pub fn apply_parallel(op: SetOp, r: &TpRelation, s: &TpRelation, threads: usize)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
 
     let mut out: Vec<TpTuple> = Vec::new();

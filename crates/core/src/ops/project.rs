@@ -30,10 +30,7 @@ use crate::value::Value;
 /// projected fact simply skips missing positions).
 pub fn project(rel: &TpRelation, cols: &[usize]) -> TpRelation {
     let projected_fact = |fact: &Fact| -> Fact {
-        let values: Vec<Value> = cols
-            .iter()
-            .filter_map(|&i| fact.get(i).cloned())
-            .collect();
+        let values: Vec<Value> = cols.iter().filter_map(|&i| fact.get(i).cloned()).collect();
         Fact::new(values)
     };
 
@@ -104,7 +101,10 @@ fn sweep_group(fact: Fact, members: &[&TpTuple], out: &mut Vec<TpTuple>) {
             }
         };
     }
-    debug_assert!(run.is_none(), "all tuples end, the last event closes the run");
+    debug_assert!(
+        run.is_none(),
+        "all tuples end, the last event closes the run"
+    );
 }
 
 #[cfg(test)]
@@ -226,9 +226,7 @@ mod tests {
                         .iter()
                         .filter(|x| x.fact.get(0) == Some(&Value::int(p)) && x.interval.contains(t))
                         .collect();
-                    let got = out
-                        .iter()
-                        .find(|x| x.fact == pf && x.interval.contains(t));
+                    let got = out.iter().find(|x| x.fact == pf && x.interval.contains(t));
                     assert_eq!(got.is_some(), !contributors.is_empty(), "p={p} t={t}");
                     if let Some(got) = got {
                         // Same variables (lineage = ∨ of contributors).

@@ -13,10 +13,7 @@ use crate::value::Value;
 /// The output of a selection over a duplicate-free relation is trivially
 /// duplicate-free (filtering cannot introduce overlaps).
 pub fn select(rel: &TpRelation, pred: impl Fn(&Fact) -> bool) -> TpRelation {
-    rel.iter()
-        .filter(|t| pred(&t.fact))
-        .cloned()
-        .collect()
+    rel.iter().filter(|t| pred(&t.fact)).cloned().collect()
 }
 
 /// σ_{A_i = v}(r): equality selection on attribute position `attr`.

@@ -325,7 +325,10 @@ mod tests {
     fn parses_paper_query() {
         // Q = c −Tp (a ∪Tp b)
         let q = parse("c except (a union b)").unwrap();
-        assert_eq!(q, Query::rel("c").except(Query::rel("a").union(Query::rel("b"))));
+        assert_eq!(
+            q,
+            Query::rel("c").except(Query::rel("a").union(Query::rel("b")))
+        );
         // Unicode spelling.
         assert_eq!(parse("c − (a ∪ b)").unwrap(), q);
         assert_eq!(parse(r"c \ (a ∪ b)").unwrap(), q);
@@ -345,12 +348,16 @@ mod tests {
         let q = parse("a except b except c").unwrap();
         assert_eq!(
             q,
-            Query::rel("a").except(Query::rel("b")).except(Query::rel("c"))
+            Query::rel("a")
+                .except(Query::rel("b"))
+                .except(Query::rel("c"))
         );
         let q = parse("a union b except c").unwrap();
         assert_eq!(
             q,
-            Query::rel("a").union(Query::rel("b")).except(Query::rel("c"))
+            Query::rel("a")
+                .union(Query::rel("b"))
+                .except(Query::rel("c"))
         );
     }
 
@@ -359,7 +366,9 @@ mod tests {
         let q = parse("(a union b) intersect c").unwrap();
         assert_eq!(
             q,
-            Query::rel("a").union(Query::rel("b")).intersect(Query::rel("c"))
+            Query::rel("a")
+                .union(Query::rel("b"))
+                .intersect(Query::rel("c"))
         );
     }
 
@@ -410,7 +419,10 @@ mod pi_sigma_tests {
         let q = parse("pi[0](a)").unwrap();
         assert_eq!(q, Query::rel("a").project(vec![0]));
         let q = parse("π[1, 0](a union b)").unwrap();
-        assert_eq!(q, Query::rel("a").union(Query::rel("b")).project(vec![1, 0]));
+        assert_eq!(
+            q,
+            Query::rel("a").union(Query::rel("b")).project(vec![1, 0])
+        );
     }
 
     #[test]

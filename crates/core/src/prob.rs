@@ -15,72 +15,232 @@
 //!   (\[25\]–\[29\]).
 //!
 //! [`marginal`] dispatches: linear path for 1OF, Shannon otherwise.
+//!
+//! ## Memoization
+//!
+//! Lineage is hash-consed (see [`crate::arena`]), so a formula's identity is
+//! its [`crate::arena::LineageRef`]. Exact marginals are memoized **per
+//! `(VarTable, node)`** in the table's valuation cache: within one call the
+//! shared sub-DAG is valuated once per unique node, and across calls —
+//! e.g. the same sublineage appearing in many overlapping windows — the
+//! cached value is returned without touching the formula at all. Only exact
+//! values enter the cache: the independence-assumption value of a *non-1OF*
+//! formula (where [`independent`] is approximate by contract) is never
+//! stored.
 
 use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use crate::arena::{ArenaView, FastMap, LineageArena, LineageNode, LineageRef};
 use crate::error::Result;
-use crate::lineage::{Lineage, TupleId};
+use crate::lineage::{Lineage, LineageTree, TupleId};
 use crate::relation::VarTable;
 
 /// Linear-time valuation that treats every connective's operands as
-/// independent. Exact iff the formula is in one-occurrence form; callers with
-/// possibly-repeating formulas should use [`marginal`].
+/// independent. Exact iff the formula is in one-occurrence form; callers
+/// with possibly-repeating formulas should use [`marginal`].
+///
+/// For 1OF formulas (where the independence value *is* the exact marginal)
+/// every node's value enters the table's persistent valuation cache; the
+/// arena lock and the cache lock are each taken **once per call**, not per
+/// node. Non-1OF formulas are valuated with a per-call memo only — an
+/// approximate value must never enter the exact cache.
 pub fn independent(lineage: &Lineage, vars: &VarTable) -> Result<f64> {
-    Ok(match lineage {
-        Lineage::Var(id) => vars.prob(*id)?,
-        Lineage::Not(c) => 1.0 - independent(c, vars)?,
-        Lineage::And(a, b) => independent(a, vars)? * independent(b, vars)?,
-        Lineage::Or(a, b) => {
-            let pa = independent(a, vars)?;
-            let pb = independent(b, vars)?;
+    let root = lineage.node_ref();
+    if let Some(p) = vars.cached_marginal(root) {
+        if lineage.is_one_occurrence_form() {
+            return Ok(p);
+        }
+        // Cached value is the *exact* marginal of a repeating formula —
+        // not what this function promises; fall through and recompute
+        // under the independence assumption.
+    }
+    let view = LineageArena::global().view();
+    if view.one_of(root) {
+        let mut cache = vars.lock_marginal_cache();
+        independent_rec_cached(root, &view, vars, &mut cache)
+    } else {
+        let mut local: FastMap<LineageRef, f64> = FastMap::default();
+        independent_rec_local(root, &view, vars, &mut local)
+    }
+}
+
+/// Valuation of a 1OF formula: every subformula of a 1OF formula is 1OF, so
+/// every node's value is exact and lands in the persistent cache.
+fn independent_rec_cached(
+    r: LineageRef,
+    view: &ArenaView<'_>,
+    vars: &VarTable,
+    cache: &mut crate::relation::MarginalCache,
+) -> Result<f64> {
+    if let Some(p) = cache.get(r) {
+        return Ok(p);
+    }
+    let p = match view.node(r) {
+        LineageNode::Var(id) => vars.prob(id)?,
+        LineageNode::Not(c) => 1.0 - independent_rec_cached(c, view, vars, cache)?,
+        LineageNode::And(a, b) => {
+            independent_rec_cached(a, view, vars, cache)?
+                * independent_rec_cached(b, view, vars, cache)?
+        }
+        LineageNode::Or(a, b) => {
+            let pa = independent_rec_cached(a, view, vars, cache)?;
+            let pb = independent_rec_cached(b, view, vars, cache)?;
             1.0 - (1.0 - pa) * (1.0 - pb)
         }
-    })
+    };
+    cache.set(r, p);
+    Ok(p)
 }
+
+/// Valuation under the independence assumption with a per-call memo only
+/// (the formula repeats variables, so the result is approximate and must
+/// not be cached as a marginal).
+fn independent_rec_local(
+    r: LineageRef,
+    view: &ArenaView<'_>,
+    vars: &VarTable,
+    local: &mut FastMap<LineageRef, f64>,
+) -> Result<f64> {
+    if let Some(&p) = local.get(&r) {
+        return Ok(p);
+    }
+    let p = match view.node(r) {
+        LineageNode::Var(id) => vars.prob(id)?,
+        LineageNode::Not(c) => 1.0 - independent_rec_local(c, view, vars, local)?,
+        LineageNode::And(a, b) => {
+            independent_rec_local(a, view, vars, local)?
+                * independent_rec_local(b, view, vars, local)?
+        }
+        LineageNode::Or(a, b) => {
+            let pa = independent_rec_local(a, view, vars, local)?;
+            let pb = independent_rec_local(b, view, vars, local)?;
+            1.0 - (1.0 - pa) * (1.0 - pb)
+        }
+    };
+    local.insert(r, p);
+    Ok(p)
+}
+
+/// Tree-expansion ceiling for Shannon expansion: below it the expansion
+/// runs on a transient [`LineageTree`] (scratch subformulas are freed with
+/// the call); above it — which takes adversarial DAG sharing, since every
+/// operator output is linear in its inputs — the expansion conditions
+/// interned handles instead, trading permanent arena growth for not
+/// materializing an enormous tree.
+const TREE_SHANNON_CAP: usize = 1 << 20;
 
 /// Exact marginal probability by Shannon expansion:
 /// `P(λ) = p(x)·P(λ|x=true) + (1−p(x))·P(λ|x=false)`,
-/// expanding on the smallest variable and memoizing conditioned subformulas.
+/// expanding on the smallest repeated variable and memoizing conditioned
+/// subformulas per call; the root's exact value persists in the `VarTable`
+/// cache.
 ///
-/// Worst-case exponential in the number of *repeated* variables; formulas in
-/// 1OF short-circuit to the linear path.
+/// The expansion works on a transient [`LineageTree`] copy of the formula,
+/// so its (worst-case exponentially many) conditioned scratch subformulas
+/// are **not** interned into the process-global arena. Formulas in 1OF
+/// short-circuit to the linear path — including formulas whose interned
+/// 1OF flag is conservatively `false` (beyond
+/// [`crate::arena::VAR_LIST_CAP`]): the tree check here is exact, so they
+/// cost one tree expansion and a linear walk, never a quadratic expansion.
+///
+/// Worst-case exponential in the number of *repeated* variables.
 pub fn exact(lineage: &Lineage, vars: &VarTable) -> Result<f64> {
-    if lineage.is_one_occurrence_form() {
-        return independent(lineage, vars);
-    }
-    let mut memo: HashMap<Lineage, f64> = HashMap::new();
-    exact_rec(lineage, vars, &mut memo)
-}
-
-fn exact_rec(
-    lineage: &Lineage,
-    vars: &VarTable,
-    memo: &mut HashMap<Lineage, f64>,
-) -> Result<f64> {
-    if lineage.is_one_occurrence_form() {
-        return independent(lineage, vars);
-    }
-    if let Some(&p) = memo.get(lineage) {
+    if let Some(p) = vars.cached_marginal(lineage.node_ref()) {
         return Ok(p);
     }
-    // Expand on a repeated variable if one exists (expanding on a variable
-    // that occurs once does not simplify the formula's sharing structure);
-    // the smallest repeated variable keeps the recursion deterministic.
-    let pivot = pick_pivot(lineage);
+    if lineage.is_one_occurrence_form() {
+        return independent(lineage, vars);
+    }
+    let p = if lineage.size() <= TREE_SHANNON_CAP {
+        let tree = lineage.to_tree();
+        if tree.is_one_occurrence_form() {
+            // The interned flag was conservative; the formula is 1OF after
+            // all. Exact via the legacy linear walker.
+            tree.independent_prob(vars)?
+        } else {
+            let mut memo: HashMap<LineageTree, f64> = HashMap::new();
+            shannon_tree(&tree, vars, &mut memo)?
+        }
+    } else if lineage.vars().len() == lineage.var_occurrences() {
+        // Beyond the tree cap, but the linear DAG check proves the formula
+        // genuinely 1OF despite a conservative interned flag: valuate
+        // linearly instead of expanding.
+        independent(lineage, vars)?
+    } else {
+        let mut local: FastMap<LineageRef, f64> = FastMap::default();
+        exact_rec_interned(*lineage, vars, &mut local)?
+    };
+    vars.store_marginal(lineage.node_ref(), p);
+    Ok(p)
+}
+
+/// Shannon expansion over the transient tree, memoized on conditioned
+/// subtrees (structural hashing; nothing touches the arena).
+fn shannon_tree(
+    t: &LineageTree,
+    vars: &VarTable,
+    memo: &mut HashMap<LineageTree, f64>,
+) -> Result<f64> {
+    if t.is_one_occurrence_form() {
+        return t.independent_prob(vars);
+    }
+    if let Some(&p) = memo.get(t) {
+        return Ok(p);
+    }
+    // Expand on a repeated variable (expanding on a variable that occurs
+    // once does not simplify the sharing structure); the smallest repeated
+    // variable keeps the recursion deterministic.
+    let pivot = pick_pivot_tree(t);
     let px = vars.prob(pivot)?;
-    let p_true = match lineage.condition(pivot, true) {
-        Ok(l) => exact_rec(&l, vars, memo)?,
+    let p_true = match t.condition(pivot, true) {
+        Ok(c) => shannon_tree(&c, vars, memo)?,
         Err(b) => bool_to_p(b),
     };
-    let p_false = match lineage.condition(pivot, false) {
-        Ok(l) => exact_rec(&l, vars, memo)?,
+    let p_false = match t.condition(pivot, false) {
+        Ok(c) => shannon_tree(&c, vars, memo)?,
         Err(b) => bool_to_p(b),
     };
     let p = px * p_true + (1.0 - px) * p_false;
-    memo.insert(lineage.clone(), p);
+    memo.insert(t.clone(), p);
+    Ok(p)
+}
+
+/// Fallback expansion for formulas whose tree expansion would exceed
+/// [`TREE_SHANNON_CAP`]: conditions interned handles (memoized O(1) by
+/// ref), accepting that the conditioned scratch formulas are interned
+/// permanently.
+fn exact_rec_interned(
+    l: Lineage,
+    vars: &VarTable,
+    local: &mut FastMap<LineageRef, f64>,
+) -> Result<f64> {
+    if let Some(p) = vars.cached_marginal(l.node_ref()) {
+        return Ok(p);
+    }
+    if l.is_one_occurrence_form() {
+        let p = independent(&l, vars)?;
+        vars.store_marginal(l.node_ref(), p);
+        return Ok(p);
+    }
+    if let Some(&p) = local.get(&l.node_ref()) {
+        return Ok(p);
+    }
+    let pivot = pick_pivot_interned(&l);
+    let px = vars.prob(pivot)?;
+    let p_true = match l.condition(pivot, true) {
+        Ok(c) => exact_rec_interned(c, vars, local)?,
+        Err(b) => bool_to_p(b),
+    };
+    let p_false = match l.condition(pivot, false) {
+        Ok(c) => exact_rec_interned(c, vars, local)?,
+        Err(b) => bool_to_p(b),
+    };
+    let p = px * p_true + (1.0 - px) * p_false;
+    local.insert(l.node_ref(), p);
+    vars.store_marginal(l.node_ref(), p);
     Ok(p)
 }
 
@@ -92,30 +252,26 @@ fn bool_to_p(b: bool) -> f64 {
     }
 }
 
-fn pick_pivot(lineage: &Lineage) -> TupleId {
-    // Count occurrences; prefer the smallest variable occurring > once.
-    fn count(l: &Lineage, m: &mut HashMap<TupleId, usize>) {
-        match l {
-            Lineage::Var(id) => *m.entry(*id).or_default() += 1,
-            Lineage::Not(c) => count(c, m),
-            Lineage::And(a, b) | Lineage::Or(a, b) => {
-                count(a, m);
-                count(b, m);
-            }
-        }
-    }
-    let mut m = HashMap::new();
-    count(lineage, &mut m);
-    let mut repeated: Vec<TupleId> = m
+/// Smallest variable occurring more than once (falling back to the
+/// smallest variable overall): the deterministic pivot policy shared by
+/// both expansion paths.
+fn pick_pivot(counts: &HashMap<TupleId, u64>) -> TupleId {
+    counts
         .iter()
         .filter(|(_, &c)| c > 1)
         .map(|(&id, _)| id)
-        .collect();
-    repeated.sort();
-    repeated
-        .first()
-        .copied()
-        .unwrap_or_else(|| *m.keys().min().expect("formula has at least one variable"))
+        .min()
+        .or_else(|| counts.keys().min().copied())
+        .expect("formula has at least one variable")
+}
+
+fn pick_pivot_tree(t: &LineageTree) -> TupleId {
+    pick_pivot(&t.var_multiplicities())
+}
+
+fn pick_pivot_interned(lineage: &Lineage) -> TupleId {
+    // Tree-semantic multiplicities via one pass over the shared DAG.
+    pick_pivot(&lineage.var_multiplicities())
 }
 
 /// Result of a Monte-Carlo estimation.
@@ -148,12 +304,21 @@ pub fn monte_carlo(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut hits: u64 = 0;
     let mut world: HashMap<TupleId, bool> = HashMap::with_capacity(used.len());
+    // Expand once and evaluate the plain tree per sample: the per-sample
+    // cost is a pointer walk, with no arena lock round trip and no memo
+    // allocation inside the sampling loop. Adversarially shared DAGs (tree
+    // expansion beyond the cap) fall back to the memoized DAG evaluator.
+    let tree = (lineage.size() <= TREE_SHANNON_CAP).then(|| lineage.to_tree());
     for _ in 0..samples {
         for id in &used {
             let p = probs[id];
             world.insert(*id, rng.random::<f64>() < p);
         }
-        if lineage.eval(&|id| world[&id]) {
+        let sat = match &tree {
+            Some(t) => t.eval(&|id| world[&id]),
+            None => lineage.eval(&|id| world[&id]),
+        };
+        if sat {
             hits += 1;
         }
     }
@@ -169,7 +334,15 @@ pub fn monte_carlo(
 
 /// The default exact valuation: linear-time for 1OF lineage (the guaranteed
 /// case for non-repeating TP set queries), Shannon expansion otherwise.
+/// Both paths memoize per node in the table's valuation cache, so repeated
+/// calls on shared sublineages are O(1) after the first.
 pub fn marginal(lineage: &Lineage, vars: &VarTable) -> Result<f64> {
+    // Fast path: the whole formula was valuated before — one lock, one
+    // probe (the cache only ever holds exact marginals, so no 1OF check is
+    // needed to trust it).
+    if let Some(p) = vars.cached_marginal(lineage.node_ref()) {
+        return Ok(p);
+    }
     if lineage.is_one_occurrence_form() {
         independent(lineage, vars)
     } else {
@@ -292,6 +465,96 @@ mod tests {
     }
 
     #[test]
+    fn independent_on_non_1of_does_not_pollute_the_cache() {
+        // The cache must only ever hold exact marginals: valuating a
+        // repeating formula under the independence assumption first must not
+        // change what `exact` returns afterwards.
+        let vars = vt(&[0.5, 0.4, 0.3]);
+        let l = Lineage::and(&Lineage::or(&v(0), &v(1)), &Lineage::or(&v(0), &v(2)));
+        let indep = independent(&l, &vars).unwrap();
+        let ex = exact(&l, &vars).unwrap();
+        assert!((indep - ex).abs() > 1e-3, "premise: paths disagree");
+        assert!((ex - brute_force(&l, &vars)).abs() < 1e-12);
+        // And the cached value is the exact one.
+        assert!((vars.cached_marginal(l.node_ref()).unwrap() - ex).abs() < 1e-15);
+    }
+
+    #[test]
+    fn repeated_marginals_hit_the_cache() {
+        let vars = vt(&[0.3, 0.6, 0.7]);
+        let shared = Lineage::or(&v(0), &v(1));
+        let l1 = Lineage::and_not(&v(2), Some(&shared));
+        let p1 = marginal(&l1, &vars).unwrap();
+        let cached = vars.valuation_cache_len();
+        assert!(cached > 0);
+        // Second valuation of a formula reusing the shared node adds only
+        // the new nodes to the cache and returns the same value.
+        let p1b = marginal(&l1, &vars).unwrap();
+        assert_eq!(p1, p1b);
+        assert_eq!(vars.valuation_cache_len(), cached);
+    }
+
+    #[test]
+    fn shannon_expansion_does_not_grow_the_arena() {
+        // Regression: conditioned scratch subformulas must stay transient
+        // trees — interning them would leak into the append-only global
+        // arena on every exact() call over repeating lineage.
+        let vars = vt(&[0.5, 0.4, 0.3, 0.6]);
+        let l = Lineage::and_not(
+            &Lineage::or(&Lineage::and(&v(0), &v(1)), &Lineage::or(&v(0), &v(2))),
+            Some(&Lineage::and(&v(0), &v(3))),
+        );
+        assert!(!l.is_one_occurrence_form());
+        let before = crate::arena::LineageArena::global().stats().nodes;
+        let p = exact(&l, &vars).unwrap();
+        let after = crate::arena::LineageArena::global().stats().nodes;
+        assert_eq!(
+            before,
+            after,
+            "Shannon expansion interned {} scratch nodes",
+            after - before
+        );
+        assert!((p - brute_force(&l, &vars)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conservative_1of_flag_still_valuates_linearly_and_exactly() {
+        // A >VAR_LIST_CAP ∨-chain over *interleaved* variable ids: the
+        // interned 1OF flag may go conservatively false once the list is
+        // dropped and ranges overlap, but marginal() must still produce the
+        // exact (independence) value via the tree re-check — not a
+        // quadratic expansion, and not a wrong answer.
+        let n = 2 * (crate::arena::VAR_LIST_CAP as u64 + 20);
+        let base = 500_000u64;
+        let mut vt = VarTable::new();
+        for i in 0..(base + n) {
+            vt.register(format!("t{i}"), 0.3 + 0.4 * ((i % 10) as f64) / 10.0)
+                .unwrap();
+        }
+        // Interleave from both ends so child ranges overlap.
+        let mut ids: Vec<u64> = Vec::with_capacity(n as usize);
+        let (mut lo, mut hi) = (0u64, n - 1);
+        while lo < hi {
+            ids.push(base + lo);
+            ids.push(base + hi);
+            lo += 1;
+            hi -= 1;
+        }
+        if lo == hi {
+            ids.push(base + lo);
+        }
+        let mut l = v(ids[0]);
+        for &id in &ids[1..] {
+            l = Lineage::or(&l, &v(id));
+        }
+        let tree = l.to_tree();
+        assert!(tree.is_one_occurrence_form(), "premise: genuinely 1OF");
+        let got = marginal(&l, &vt).unwrap();
+        let want = tree.independent_prob(&vt).unwrap();
+        assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+    }
+
+    #[test]
     fn exact_handles_tautology_and_contradiction() {
         let vars = vt(&[0.25]);
         // t0 ∨ ¬t0 ≡ true
@@ -319,7 +582,10 @@ mod tests {
     fn marginal_dispatches_to_linear_for_1of() {
         let vars = vt(&[0.3, 0.6]);
         let l = Lineage::and(&v(0), &v(1));
-        assert_eq!(marginal(&l, &vars).unwrap(), independent(&l, &vars).unwrap());
+        assert_eq!(
+            marginal(&l, &vars).unwrap(),
+            independent(&l, &vars).unwrap()
+        );
     }
 
     #[test]

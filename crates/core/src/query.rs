@@ -115,9 +115,7 @@ impl Query {
                 let right = r.eval(db)?;
                 Ok(ops::apply(*op, &left, &right))
             }
-            Query::Select(attr, value, q) => {
-                Ok(ops::select_attr_eq(&q.eval(db)?, *attr, value))
-            }
+            Query::Select(attr, value, q) => Ok(ops::select_attr_eq(&q.eval(db)?, *attr, value)),
             Query::Project(cols, q) => Ok(ops::project(&q.eval(db)?, cols)),
         }
     }

@@ -2,7 +2,72 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::{Mutex, MutexGuard};
 
+use crate::arena::{FastMap, LineageRef};
+
+/// Entries per cache page (4 KiB of `f64`).
+const CACHE_PAGE_BITS: u32 = 9;
+const CACHE_PAGE: usize = 1 << CACHE_PAGE_BITS;
+
+/// Paged per-node marginal store: fixed 4 KiB pages of `f64` keyed by the
+/// high bits of the arena ref (`NaN` = absent). Lineage handles are dense
+/// `u32`s and a formula's nodes cluster by interning order, so lookups are
+/// one cheap page-hash plus an array index — no per-node SipHash — while
+/// memory stays proportional to the refs actually touched. (A single dense
+/// vector would span from a table's `Var(0)` leaves, interned at process
+/// start, to its freshly interned composites — i.e. the whole arena.)
+#[derive(Debug, Clone, Default)]
+pub struct MarginalCache {
+    pages: FastMap<u32, Box<[f64; CACHE_PAGE]>>,
+    filled: usize,
+}
+
+impl MarginalCache {
+    /// The cached marginal of `r`, if stored.
+    #[inline]
+    pub fn get(&self, r: LineageRef) -> Option<f64> {
+        let idx = r.index();
+        let p = *self
+            .pages
+            .get(&(idx >> CACHE_PAGE_BITS))?
+            .get(idx as usize & (CACHE_PAGE - 1))?;
+        (!p.is_nan()).then_some(p)
+    }
+
+    /// Stores the exact marginal of `r` (probabilities are finite by
+    /// construction, so `NaN` stays reserved as the absent sentinel).
+    pub fn set(&mut self, r: LineageRef, p: f64) {
+        debug_assert!(!p.is_nan(), "NaN cannot be cached");
+        let idx = r.index();
+        let page = self
+            .pages
+            .entry(idx >> CACHE_PAGE_BITS)
+            .or_insert_with(|| Box::new([f64::NAN; CACHE_PAGE]));
+        let slot = &mut page[idx as usize & (CACHE_PAGE - 1)];
+        if slot.is_nan() {
+            self.filled += 1;
+        }
+        *slot = p;
+    }
+
+    /// Number of stored marginals.
+    pub fn len(&self) -> usize {
+        self.filled
+    }
+
+    /// Whether nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.filled == 0
+    }
+
+    /// Drops every stored marginal.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+        self.pages.shrink_to_fit();
+        self.filled = 0;
+    }
+}
 use crate::error::{Error, Result};
 use crate::fact::Fact;
 use crate::interval::{Interval, TimePoint};
@@ -13,10 +78,35 @@ use crate::tuple::TpTuple;
 /// label per base tuple (the paper's `a1`, `b2`, `c3` names).
 ///
 /// Identifiers are dense (`0..len`), so lookups are vector indexing.
-#[derive(Debug, Clone, Default)]
+///
+/// The table also owns a **memoized valuation cache**: exact marginal
+/// probabilities per interned lineage node (keyed by
+/// [`crate::arena::LineageRef`]). The cache is sound because a variable's
+/// probability is immutable once registered and interned nodes are never
+/// invalidated; repeated [`crate::prob::marginal`] calls on shared
+/// sublineages — e.g. across the overlapping windows of a LAWA sweep —
+/// valuate each unique subformula once.
+#[derive(Debug, Default)]
 pub struct VarTable {
     probs: Vec<f64>,
     labels: Vec<String>,
+    /// Exact marginal per lineage node, filled lazily by [`crate::prob`].
+    marginal_cache: Mutex<MarginalCache>,
+}
+
+impl Clone for VarTable {
+    fn clone(&self) -> Self {
+        VarTable {
+            probs: self.probs.clone(),
+            labels: self.labels.clone(),
+            marginal_cache: Mutex::new(
+                self.marginal_cache
+                    .lock()
+                    .expect("cache lock poisoned")
+                    .clone(),
+            ),
+        }
+    }
 }
 
 impl VarTable {
@@ -27,14 +117,56 @@ impl VarTable {
 
     /// Registers a fresh variable with the given label and marginal
     /// probability `p ∈ (0, 1]` (the model's probability domain `Ωp`).
+    /// Non-finite values (`NaN`, `±inf`) are rejected explicitly — a `NaN`
+    /// must never reach the valuation paths, where it would silently poison
+    /// every derived marginal.
     pub fn register(&mut self, label: impl Into<String>, p: f64) -> Result<TupleId> {
-        if !(p > 0.0 && p <= 1.0) {
+        if !(p.is_finite() && p > 0.0 && p <= 1.0) {
             return Err(Error::InvalidProbability(p));
         }
         let id = TupleId(self.probs.len() as u64);
         self.probs.push(p);
         self.labels.push(label.into());
         Ok(id)
+    }
+
+    /// Cached exact marginal of an interned lineage node, if present.
+    pub fn cached_marginal(&self, node: LineageRef) -> Option<f64> {
+        self.marginal_cache
+            .lock()
+            .expect("cache lock poisoned")
+            .get(node)
+    }
+
+    /// Stores the exact marginal of an interned lineage node.
+    pub fn store_marginal(&self, node: LineageRef, p: f64) {
+        self.marginal_cache
+            .lock()
+            .expect("cache lock poisoned")
+            .set(node, p);
+    }
+
+    /// Locks the valuation cache once for a whole traversal; the valuation
+    /// code in [`crate::prob`] holds this across a formula walk instead of
+    /// paying one lock round trip per node.
+    pub(crate) fn lock_marginal_cache(&self) -> MutexGuard<'_, MarginalCache> {
+        self.marginal_cache.lock().expect("cache lock poisoned")
+    }
+
+    /// Number of memoized node marginals (diagnostics / benchmarks).
+    pub fn valuation_cache_len(&self) -> usize {
+        self.marginal_cache
+            .lock()
+            .expect("cache lock poisoned")
+            .len()
+    }
+
+    /// Drops all memoized node marginals.
+    pub fn clear_valuation_cache(&self) {
+        self.marginal_cache
+            .lock()
+            .expect("cache lock poisoned")
+            .clear();
     }
 
     /// Marginal probability of a variable.
@@ -375,6 +507,48 @@ mod tests {
     }
 
     #[test]
+    fn vartable_rejects_non_finite_probabilities() {
+        // Regression: every non-finite input must produce
+        // `Error::InvalidProbability`, never a registered variable — a NaN
+        // that slipped through would silently corrupt every downstream
+        // valuation instead of failing loudly here.
+        let mut vt = VarTable::new();
+        for bad in [
+            f64::NAN,
+            -f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::from_bits(0x7ff8_dead_beef_0000), // payload-carrying NaN
+        ] {
+            assert!(
+                matches!(vt.register("x", bad), Err(Error::InvalidProbability(_))),
+                "{bad:?} must be rejected"
+            );
+        }
+        assert!(vt.is_empty(), "no variable may be registered on rejection");
+        // The boundary values of the domain (0, 1] still behave.
+        assert!(vt.register("x", f64::MIN_POSITIVE).is_ok());
+        assert!(vt.register("x", 1.0).is_ok());
+        assert!(vt.register("x", 0.0).is_err());
+    }
+
+    #[test]
+    fn vartable_valuation_cache_roundtrip() {
+        let mut vt = VarTable::new();
+        let id = vt.register("a1", 0.5).unwrap();
+        let l = Lineage::var(id);
+        assert_eq!(vt.cached_marginal(l.node_ref()), None);
+        vt.store_marginal(l.node_ref(), 0.5);
+        assert_eq!(vt.cached_marginal(l.node_ref()), Some(0.5));
+        assert_eq!(vt.valuation_cache_len(), 1);
+        // Clones carry the cache; clearing one side leaves the other.
+        let vt2 = vt.clone();
+        vt.clear_valuation_cache();
+        assert_eq!(vt.valuation_cache_len(), 0);
+        assert_eq!(vt2.cached_marginal(l.node_ref()), Some(0.5));
+    }
+
+    #[test]
     fn vartable_unknown_variable() {
         let vt = VarTable::new();
         assert!(matches!(
@@ -398,8 +572,8 @@ mod tests {
 
     #[test]
     fn try_new_rejects_overlapping_same_fact() {
-        let err = TpRelation::try_new(vec![tup("milk", 1, 5, 0), tup("milk", 4, 8, 1)])
-            .unwrap_err();
+        let err =
+            TpRelation::try_new(vec![tup("milk", 1, 5, 0), tup("milk", 4, 8, 1)]).unwrap_err();
         assert!(matches!(err, Error::DuplicateFact { .. }));
     }
 
@@ -434,10 +608,9 @@ mod tests {
 
     #[test]
     fn sorting_and_time_range() {
-        let mut r: TpRelation =
-            vec![tup("b", 5, 9, 0), tup("a", 3, 4, 1), tup("a", 1, 2, 2)]
-                .into_iter()
-                .collect();
+        let mut r: TpRelation = vec![tup("b", 5, 9, 0), tup("a", 3, 4, 1), tup("a", 1, 2, 2)]
+            .into_iter()
+            .collect();
         assert!(!r.is_sorted_by_fact_start());
         r.sort_by_fact_start();
         assert!(r.is_sorted_by_fact_start());
@@ -468,7 +641,9 @@ mod tests {
 
     #[test]
     fn coalesce_keeps_different_lineage_apart() {
-        let r: TpRelation = vec![tup("a", 1, 3, 0), tup("a", 3, 7, 1)].into_iter().collect();
+        let r: TpRelation = vec![tup("a", 1, 3, 0), tup("a", 3, 7, 1)]
+            .into_iter()
+            .collect();
         assert_eq!(r.coalesce().len(), 2);
         assert!(r.satisfies_change_preservation());
     }
@@ -490,9 +665,21 @@ mod tests {
         assert_eq!(
             h,
             vec![
-                EndpointCount { at: 1, starts: 2, ends: 0 },
-                EndpointCount { at: 3, starts: 1, ends: 1 },
-                EndpointCount { at: 4, starts: 0, ends: 2 },
+                EndpointCount {
+                    at: 1,
+                    starts: 2,
+                    ends: 0
+                },
+                EndpointCount {
+                    at: 3,
+                    starts: 1,
+                    ends: 1
+                },
+                EndpointCount {
+                    at: 4,
+                    starts: 0,
+                    ends: 2
+                },
             ]
         );
     }

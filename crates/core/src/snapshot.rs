@@ -26,7 +26,7 @@ use crate::tuple::TpTuple;
 pub fn timeslice(rel: &TpRelation, t: TimePoint) -> TpRelation {
     rel.iter()
         .filter(|tup| tup.interval.contains(t))
-        .map(|tup| TpTuple::new(tup.fact.clone(), tup.lineage.clone(), Interval::at(t, t + 1)))
+        .map(|tup| TpTuple::new(tup.fact.clone(), tup.lineage, Interval::at(t, t + 1)))
         .collect()
 }
 
@@ -62,13 +62,13 @@ pub fn set_op_by_snapshots(op: SetOp, r: &TpRelation, s: &TpRelation) -> TpRelat
         let mut r_timeline: BTreeMap<TimePoint, Lineage> = BTreeMap::new();
         for tup in r.iter().filter(|t| &t.fact == fact) {
             for t in tup.interval.points() {
-                r_timeline.insert(t, tup.lineage.clone());
+                r_timeline.insert(t, tup.lineage);
             }
         }
         let mut s_timeline: BTreeMap<TimePoint, Lineage> = BTreeMap::new();
         for tup in s.iter().filter(|t| &t.fact == fact) {
             for t in tup.interval.points() {
-                s_timeline.insert(t, tup.lineage.clone());
+                s_timeline.insert(t, tup.lineage);
             }
         }
 
@@ -176,10 +176,7 @@ mod tests {
     fn lineage_at_finds_unique_tuple() {
         let (a, _, _, _) = supermarket();
         let milk = Fact::single("milk");
-        assert_eq!(
-            lineage_at(&a, &milk, 5),
-            Some(&Lineage::var(TupleId(0)))
-        );
+        assert_eq!(lineage_at(&a, &milk, 5), Some(&Lineage::var(TupleId(0))));
         assert_eq!(lineage_at(&a, &milk, 1), None);
     }
 
@@ -190,12 +187,24 @@ mod tests {
         let got = set_op_by_snapshots(SetOp::Except, &a, &c);
         let v = |i: u64| Lineage::var(TupleId(i));
         let expected = vec![
-            TpTuple::new("chips", Lineage::and_not(&v(1), Some(&v(7))), Interval::at(4, 5)),
+            TpTuple::new(
+                "chips",
+                Lineage::and_not(&v(1), Some(&v(7))),
+                Interval::at(4, 5),
+            ),
             TpTuple::new("chips", v(1), Interval::at(5, 7)),
             TpTuple::new("dates", v(2), Interval::at(1, 3)),
-            TpTuple::new("milk", Lineage::and_not(&v(0), Some(&v(5))), Interval::at(2, 4)),
+            TpTuple::new(
+                "milk",
+                Lineage::and_not(&v(0), Some(&v(5))),
+                Interval::at(2, 4),
+            ),
             TpTuple::new("milk", v(0), Interval::at(4, 6)),
-            TpTuple::new("milk", Lineage::and_not(&v(0), Some(&v(6))), Interval::at(6, 8)),
+            TpTuple::new(
+                "milk",
+                Lineage::and_not(&v(0), Some(&v(6))),
+                Interval::at(6, 8),
+            ),
             TpTuple::new("milk", v(0), Interval::at(8, 10)),
         ];
         assert_eq!(got.tuples(), expected.as_slice());

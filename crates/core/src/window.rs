@@ -196,8 +196,8 @@ impl<'a> Iterator for Lawa<'a> {
         let window = LineageAwareWindow {
             fact: curr_fact,
             interval: Interval::at(win_ts, win_te),
-            lambda_r: self.r_valid.map(|t| t.lineage.clone()),
-            lambda_s: self.s_valid.map(|t| t.lineage.clone()),
+            lambda_r: self.r_valid.map(|t| t.lineage),
+            lambda_s: self.s_valid.map(|t| t.lineage),
         };
 
         // --- Close tuples ending at winTe (lines 26-28). ---
@@ -213,7 +213,9 @@ impl<'a> Iterator for Lawa<'a> {
 }
 
 fn is_sorted(tuples: &[TpTuple]) -> bool {
-    tuples.windows(2).all(|w| w[0].sort_key() <= w[1].sort_key())
+    tuples
+        .windows(2)
+        .all(|w| w[0].sort_key() <= w[1].sort_key())
 }
 
 /// Drains the advancer, returning every window. Mainly useful in tests and

@@ -25,8 +25,8 @@ pub mod relation;
 
 pub use aggregate::{group_by, AggFn};
 pub use ops::{
-    distinct, hash_join, left_outer_join_pairs, nested_loop_join, nested_loop_join_pairs,
-    project, select, sort_by, sort_merge_join, union_all,
+    distinct, hash_join, left_outer_join_pairs, nested_loop_join, nested_loop_join_pairs, project,
+    select, sort_by, sort_merge_join, union_all,
 };
 pub use optimize::{optimize, plan_size};
 pub use plan::Plan;

@@ -311,7 +311,10 @@ mod tests {
         let r = rel(&["ts", "te"], vec![vec![1, 4]]);
         assert!(nested_loop_join(&e, &r, &Predicate::True).is_empty());
         assert!(nested_loop_join(&r, &e, &Predicate::True).is_empty());
-        assert_eq!(left_outer_join_pairs(&r, &e, &Predicate::True), vec![(0, None)]);
+        assert_eq!(
+            left_outer_join_pairs(&r, &e, &Predicate::True),
+            vec![(0, None)]
+        );
         assert!(hash_join(&e, &r, &[0], &[0]).is_empty());
         assert!(sort_merge_join(&e, &r, 0, 0).is_empty());
     }

@@ -192,10 +192,7 @@ mod tests {
             let a = mk(&mut rng, n);
             let b = mk(&mut rng, n);
             let plan = Plan::values(a)
-                .nl_join(
-                    Plan::values(b),
-                    Predicate::col_cmp(CmpOp::Le, 0, 2),
-                )
+                .nl_join(Plan::values(b), Predicate::col_cmp(CmpOp::Le, 0, 2))
                 .select(Predicate::col_eq(1, 3))
                 .select(Predicate::col_const(CmpOp::Lt, 0, Value::int(4)));
             let optimized = optimize(plan.clone());

@@ -193,7 +193,8 @@ mod tests {
     #[test]
     fn overlap_predicate_truth_table() {
         let p = Predicate::overlap(0, 1, 2, 3);
-        let check = |a: (i64, i64), b: (i64, i64)| p.eval_pair(&row(&[a.0, a.1]), &row(&[b.0, b.1]));
+        let check =
+            |a: (i64, i64), b: (i64, i64)| p.eval_pair(&row(&[a.0, a.1]), &row(&[b.0, b.1]));
         assert!(check((1, 4), (3, 6)));
         assert!(check((3, 6), (1, 4)));
         assert!(check((1, 10), (4, 5)));

@@ -45,7 +45,11 @@ pub fn shifted_copy(
         }
         let end = start + len;
         let p = rng.random_range(0.05..=1.0f64);
-        rows.push((t.fact.clone(), tp_core::interval::Interval::at(start, end), p));
+        rows.push((
+            t.fact.clone(),
+            tp_core::interval::Interval::at(start, end),
+            p,
+        ));
         prev = Some((&t.fact, end));
     }
     TpRelation::base(prefix, rows, vars).expect("repair pass keeps the copy duplicate-free")
@@ -76,8 +80,14 @@ mod tests {
         let r = sample(&mut vars);
         let s = shifted_copy(&r, "s", 3, 1, &mut vars);
         assert_eq!(s.len(), r.len());
-        let mut r_profile: Vec<_> = r.iter().map(|t| (t.fact.clone(), t.interval.duration())).collect();
-        let mut s_profile: Vec<_> = s.iter().map(|t| (t.fact.clone(), t.interval.duration())).collect();
+        let mut r_profile: Vec<_> = r
+            .iter()
+            .map(|t| (t.fact.clone(), t.interval.duration()))
+            .collect();
+        let mut s_profile: Vec<_> = s
+            .iter()
+            .map(|t| (t.fact.clone(), t.interval.duration()))
+            .collect();
         r_profile.sort();
         s_profile.sort();
         assert_eq!(r_profile, s_profile);

@@ -181,8 +181,22 @@ pub fn generate(config: &SynthConfig, vars: &mut VarTable) -> (TpRelation, TpRel
     if let Some(target) = config.target_overlap {
         return generate_targeted(config, target, &mut rng, vars);
     }
-    let r = generate_relation("r", &config.r, config.facts, config.fact_distribution, &mut rng, vars);
-    let s = generate_relation("s", &config.s, config.facts, config.fact_distribution, &mut rng, vars);
+    let r = generate_relation(
+        "r",
+        &config.r,
+        config.facts,
+        config.fact_distribution,
+        &mut rng,
+        vars,
+    );
+    let s = generate_relation(
+        "s",
+        &config.s,
+        config.facts,
+        config.fact_distribution,
+        &mut rng,
+        vars,
+    );
     (r, s)
 }
 
@@ -384,7 +398,11 @@ mod tests {
             rows.into_iter()
                 .enumerate()
                 .map(|(i, (s, e))| {
-                    TpTuple::new("f", Lineage::var(TupleId(base + i as u64)), Interval::at(s, e))
+                    TpTuple::new(
+                        "f",
+                        Lineage::var(TupleId(base + i as u64)),
+                        Interval::at(s, e),
+                    )
                 })
                 .collect()
         };
@@ -405,7 +423,10 @@ mod tests {
 
     #[test]
     fn empty_relations_have_zero_factor() {
-        assert_eq!(overlapping_factor(&TpRelation::new(), &TpRelation::new()), 0.0);
+        assert_eq!(
+            overlapping_factor(&TpRelation::new(), &TpRelation::new()),
+            0.0
+        );
     }
 
     #[test]
@@ -427,10 +448,7 @@ mod tests {
             assert!(r.check_duplicate_free().is_ok());
             assert!(s.check_duplicate_free().is_ok());
             let f = overlapping_factor(&r, &s);
-            assert!(
-                (f - nominal).abs() < 0.05,
-                "nominal {nominal} measured {f}"
-            );
+            assert!((f - nominal).abs() < 0.05, "nominal {nominal} measured {f}");
         }
     }
 
@@ -476,14 +494,13 @@ mod zipf_tests {
         assert!(r.check_duplicate_free().is_ok());
         assert!(s.check_duplicate_free().is_ok());
         // Hot fact 0 carries far more tuples than fact 19.
-        let count = |rel: &TpRelation, f: i64| {
-            rel.iter().filter(|t| t.fact == Fact::single(f)).count()
-        };
+        let count =
+            |rel: &TpRelation, f: i64| rel.iter().filter(|t| t.fact == Fact::single(f)).count();
         assert!(count(&r, 0) > 5 * count(&r, 19).max(1));
         // Skewed inputs still agree across approaches.
         let reference = tp_core::ops::intersect(&r, &s).canonicalized();
-        let oracle = tp_core::snapshot::set_op_by_snapshots(
-            tp_core::ops::SetOp::Intersect, &r, &s).canonicalized();
+        let oracle = tp_core::snapshot::set_op_by_snapshots(tp_core::ops::SetOp::Intersect, &r, &s)
+            .canonicalized();
         assert_eq!(reference, oracle);
     }
 }

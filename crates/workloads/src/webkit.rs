@@ -134,7 +134,11 @@ mod tests {
         );
         let stats = DatasetStats::measure(&rel);
         // Far fewer distinct endpoints than endpoint slots.
-        assert!(stats.distinct_points < rel.len(), "{}", stats.distinct_points);
+        assert!(
+            stats.distinct_points < rel.len(),
+            "{}",
+            stats.distinct_points
+        );
     }
 
     #[test]

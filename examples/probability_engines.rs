@@ -20,17 +20,17 @@ use tpdb::prelude::*;
 /// `k` times — each level reuses variables, defeating the 1OF fast path.
 fn hard_lineage(k: usize, vars: &mut VarTable) -> Lineage {
     let ids: Vec<TupleId> = (0..(2 * k + 2))
-        .map(|i| vars.register(format!("x{i}"), 0.3 + 0.4 * ((i % 5) as f64) / 5.0).unwrap())
+        .map(|i| {
+            vars.register(format!("x{i}"), 0.3 + 0.4 * ((i % 5) as f64) / 5.0)
+                .unwrap()
+        })
         .collect();
     let mut acc = Lineage::var(ids[0]);
     for level in 0..k {
         let a = Lineage::var(ids[2 * level]);
         let b = Lineage::var(ids[2 * level + 1]);
         let c = Lineage::var(ids[2 * level + 2]);
-        acc = Lineage::and_not(
-            &Lineage::or(&acc, &b),
-            Some(&Lineage::and(&a, &c)),
-        );
+        acc = Lineage::and_not(&Lineage::or(&acc, &b), Some(&Lineage::and(&a, &c)));
     }
     acc
 }

@@ -57,7 +57,10 @@ fn handle_command(db: &mut Database, line: &str) -> Result<bool> {
             Some("d") => match parts.next() {
                 Some(name) => println!("{}", db.relation(name)?.canonicalized().render(db.vars())),
                 None => {
-                    println!("relations: {}", db.relation_names().collect::<Vec<_>>().join(", "))
+                    println!(
+                        "relations: {}",
+                        db.relation_names().collect::<Vec<_>>().join(", ")
+                    )
                 }
             },
             Some("load") => {

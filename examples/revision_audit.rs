@@ -10,9 +10,9 @@
 //! cargo run --release --example revision_audit
 //! ```
 
-use tpdb::prelude::*;
 use tp_baselines::Approach;
 use tp_workloads::{shifted_copy, DatasetStats, WebkitConfig};
+use tpdb::prelude::*;
 
 fn main() -> Result<()> {
     let mut vars = VarTable::new();
@@ -27,7 +27,10 @@ fn main() -> Result<()> {
     let mirror = shifted_copy(&trunk, "m", 10_000, 3, &mut vars);
 
     println!("== dataset profile (cf. paper Table IV) ==");
-    println!("{}", DatasetStats::measure(&trunk).render("trunk (simulated WebKit)"));
+    println!(
+        "{}",
+        DatasetStats::measure(&trunk).render("trunk (simulated WebKit)")
+    );
 
     // Periods where trunk has an unchanged file state not mirrored.
     let divergence = except(&trunk, &mirror);
@@ -80,9 +83,15 @@ fn main() -> Result<()> {
     // Reuse the shared variable table so probabilities stay resolvable.
     *db.vars_mut() = vars;
     let q = Query::parse("(trunk union mirror) except (trunk intersect mirror)")?;
-    println!("\naudit query: {q} (non-repeating: {})", q.is_non_repeating());
+    println!(
+        "\naudit query: {q} (non-repeating: {})",
+        q.is_non_repeating()
+    );
     let exclusive = q.eval(&db)?;
-    println!("states seen on exactly one side: {} tuples", exclusive.len());
+    println!(
+        "states seen on exactly one side: {} tuples",
+        exclusive.len()
+    );
     // Repeating query ⇒ some lineages repeat variables; probabilities still
     // computable via Shannon expansion.
     let sample = exclusive

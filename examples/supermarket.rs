@@ -6,9 +6,9 @@
 //! cargo run --example supermarket
 //! ```
 
+use tp_baselines::Approach;
 use tpdb::core::window::Lawa;
 use tpdb::prelude::*;
-use tp_baselines::Approach;
 
 fn main() -> Result<()> {
     let mut db = Database::new();

@@ -13,8 +13,8 @@
 //! cargo run --release --example weather_alerts
 //! ```
 
-use tpdb::prelude::*;
 use tp_workloads::{shifted_copy, DatasetStats, MeteoConfig};
+use tpdb::prelude::*;
 
 fn main() -> Result<()> {
     let mut vars = VarTable::new();

@@ -60,9 +60,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> std::result::Result<Arg
     let mut rest = Vec::new();
     while let Some(arg) = argv.next() {
         match arg.as_str() {
-            "--db" => {
-                db_dir = Some(argv.next().ok_or("--db requires a directory".to_string())?)
-            }
+            "--db" => db_dir = Some(argv.next().ok_or("--db requires a directory".to_string())?),
             "--csv" => csv = true,
             _ => rest.push(arg),
         }
@@ -146,9 +144,10 @@ fn run(args: Args) -> Result<()> {
             Ok(())
         }
         "show" => {
-            let name = args.rest.first().ok_or_else(|| Error::UnknownRelation(
-                "<missing relation argument>".into(),
-            ))?;
+            let name = args
+                .rest
+                .first()
+                .ok_or_else(|| Error::UnknownRelation("<missing relation argument>".into()))?;
             let db = open_database(&args)?;
             let rel = db.relation(name)?;
             if args.csv {

@@ -1,0 +1,215 @@
+//! Property tests for the hash-consed lineage arena: on randomized formulas,
+//! the arena-backed implementations (memoized `prob::marginal`, O(1)
+//! metadata, variable-set extraction) must agree with independent
+//! computations on the legacy recursive [`LineageTree`], and hash-consing
+//! must make structural equality coincide with handle equality
+//! (`a == b ⇔ ref(a) == ref(b)`).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tpdb::prelude::*;
+
+/// Random formula over `vars` variables with ids offset by `base` (distinct
+/// offsets keep tests from trivially sharing every node).
+fn random_formula(rng: &mut StdRng, base: u64, nvars: u64, depth: usize) -> Lineage {
+    if depth == 0 || rng.random::<f64>() < 0.3 {
+        return Lineage::var(TupleId(base + rng.random_range(0..nvars)));
+    }
+    match rng.random_range(0..3u32) {
+        0 => random_formula(rng, base, nvars, depth - 1).negate(),
+        1 => Lineage::and(
+            &random_formula(rng, base, nvars, depth - 1),
+            &random_formula(rng, base, nvars, depth - 1),
+        ),
+        _ => Lineage::or(
+            &random_formula(rng, base, nvars, depth - 1),
+            &random_formula(rng, base, nvars, depth - 1),
+        ),
+    }
+}
+
+/// Registers probabilities for `[base, base + nvars)` in a fresh table.
+/// Variable ids in a `VarTable` are dense from 0, so the filler below `base`
+/// gets arbitrary probabilities too.
+fn table_for(rng: &mut StdRng, base: u64, nvars: u64) -> VarTable {
+    let mut vt = VarTable::new();
+    for i in 0..(base + nvars) {
+        vt.register(format!("t{i}"), rng.random_range(0.05..1.0))
+            .unwrap();
+    }
+    vt
+}
+
+/// Ground truth by possible-world enumeration over the legacy tree.
+fn brute_force_tree(tree: &LineageTree, vars: &VarTable) -> f64 {
+    let ids: Vec<TupleId> = tree.vars().into_iter().collect();
+    assert!(ids.len() <= 12, "brute force domain too large");
+    let mut total = 0.0;
+    for world in 0..(1u64 << ids.len()) {
+        let assign = |id: TupleId| {
+            let idx = ids.iter().position(|&x| x == id).unwrap();
+            world >> idx & 1 == 1
+        };
+        if tree.eval(&assign) {
+            let mut wp = 1.0;
+            for (idx, id) in ids.iter().enumerate() {
+                let p = vars.prob(*id).unwrap();
+                wp *= if world >> idx & 1 == 1 { p } else { 1.0 - p };
+            }
+            total += wp;
+        }
+    }
+    total
+}
+
+#[test]
+fn arena_marginal_agrees_with_legacy_tree() {
+    let mut rng = StdRng::seed_from_u64(0xA12E_4A01);
+    for case in 0..120u64 {
+        let nvars = rng.random_range(1..6u64);
+        let base = 1000 + case * 16;
+        let vars = table_for(&mut rng, base, nvars);
+        let l = random_formula(&mut rng, base, nvars, 5);
+        let tree = l.to_tree();
+        let truth = brute_force_tree(&tree, &vars);
+        // The dispatching arena-backed valuation is exact for every shape.
+        let got = prob::marginal(&l, &vars).unwrap();
+        assert!(
+            (got - truth).abs() < 1e-9,
+            "case {case}, formula {l}: arena {got} vs tree {truth}"
+        );
+        // And a second call (served from the memo) returns the same value.
+        let again = prob::marginal(&l, &vars).unwrap();
+        assert_eq!(got, again, "memoized revaluation changed the result");
+        // On 1OF formulas the legacy un-memoized tree walker agrees too.
+        if l.is_one_occurrence_form() {
+            let legacy = tree.independent_prob(&vars).unwrap();
+            assert!(
+                (got - legacy).abs() < 1e-9,
+                "case {case}: {got} vs {legacy}"
+            );
+        }
+    }
+}
+
+#[test]
+fn arena_variable_sets_agree_with_legacy_tree() {
+    let mut rng = StdRng::seed_from_u64(0xA12E_4A02);
+    for case in 0..200u64 {
+        let nvars = rng.random_range(1..8u64);
+        let base = 40_000 + case * 16;
+        let l = random_formula(&mut rng, base, nvars, 6);
+        let tree = l.to_tree();
+        assert_eq!(l.vars(), tree.vars(), "case {case}: variable sets differ");
+        assert_eq!(
+            l.var_occurrences(),
+            tree.var_occurrences(),
+            "case {case}: occurrence counts differ"
+        );
+        assert_eq!(l.size(), tree.size(), "case {case}: sizes differ");
+        assert_eq!(
+            l.is_one_occurrence_form(),
+            tree.is_one_occurrence_form(),
+            "case {case}: 1OF flags differ for {l}"
+        );
+    }
+}
+
+#[test]
+fn arena_eval_agrees_with_legacy_tree() {
+    let mut rng = StdRng::seed_from_u64(0xA12E_4A03);
+    for case in 0..100u64 {
+        let nvars = rng.random_range(1..6u64);
+        let base = 70_000 + case * 8;
+        let l = random_formula(&mut rng, base, nvars, 5);
+        let tree = l.to_tree();
+        for world in 0u64..(1 << nvars) {
+            let assign = |id: TupleId| world >> (id.0 - base) & 1 == 1;
+            assert_eq!(
+                l.eval(&assign),
+                tree.eval(&assign),
+                "case {case}, world {world:b}, formula {l}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hash_consing_equality_iff_ref_equality() {
+    let mut formulas: Vec<Lineage> = Vec::new();
+    // Independently rebuilt structurally identical formulas intern to the
+    // same handle: rebuild from the same sub-seed twice.
+    for case in 0..60u64 {
+        let seed = 0xBEEF + case;
+        let base = 90_000 + (case % 7) * 4; // overlapping var ranges on purpose
+        let mut r1 = StdRng::seed_from_u64(seed);
+        let mut r2 = StdRng::seed_from_u64(seed);
+        let a = random_formula(&mut r1, base, 4, 4);
+        let b = random_formula(&mut r2, base, 4, 4);
+        assert_eq!(a, b, "identical construction must be equal");
+        assert_eq!(a.node_ref(), b.node_ref(), "equal formulas share one node");
+        formulas.push(a);
+    }
+    // Across arbitrary pairs: handle equality ⇔ structural (tree) equality.
+    for (i, a) in formulas.iter().enumerate() {
+        for b in formulas.iter().skip(i) {
+            let refs_equal = a.node_ref() == b.node_ref();
+            let handles_equal = a == b;
+            let trees_equal = a.to_tree() == b.to_tree();
+            assert_eq!(refs_equal, handles_equal);
+            assert_eq!(
+                handles_equal, trees_equal,
+                "handle equality must coincide with structural equality: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tree_round_trip_is_identity_on_random_formulas() {
+    let mut rng = StdRng::seed_from_u64(0xA12E_4A05);
+    for case in 0..100u64 {
+        let base = 120_000 + case * 8;
+        let l = random_formula(&mut rng, base, 5, 5);
+        assert_eq!(Lineage::from_tree(&l.to_tree()), l, "case {case}");
+    }
+}
+
+#[test]
+fn query_lineage_valuation_matches_tree_on_real_operations() {
+    // End to end: run the three set operations on random relations, then
+    // check every output tuple's arena marginal against the tree oracle.
+    let mut rng = StdRng::seed_from_u64(0xA12E_4A06);
+    for _case in 0..10 {
+        let mut vars = VarTable::new();
+        let mut rows = |prefix: &str, vars: &mut VarTable| {
+            let n = rng.random_range(1..12usize);
+            let mut out = Vec::new();
+            let mut cursor = 0i64;
+            for _ in 0..n {
+                cursor += rng.random_range(0..4i64);
+                let len = rng.random_range(1..6i64);
+                out.push((
+                    Fact::single("f"),
+                    Interval::at(cursor, cursor + len),
+                    rng.random_range(0.1..1.0),
+                ));
+                cursor += len;
+            }
+            TpRelation::base(prefix, out, vars).unwrap()
+        };
+        let r = rows("r", &mut vars);
+        let s = rows("s", &mut vars);
+        for op in SetOp::ALL {
+            for t in apply(op, &r, &s).iter() {
+                let got = prob::marginal(&t.lineage, &vars).unwrap();
+                let truth = brute_force_tree(&t.lineage.to_tree(), &vars);
+                assert!(
+                    (got - truth).abs() < 1e-9,
+                    "{op}: {} → {got} vs {truth}",
+                    t.lineage
+                );
+            }
+        }
+    }
+}

@@ -80,8 +80,17 @@ fn db_directory_roundtrip() {
     .unwrap();
     db.save_to_dir(&dir).unwrap();
 
-    let out = tpdb(&["query", "--db", dir.to_str().unwrap(), "sensors except faults"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = tpdb(&[
+        "query",
+        "--db",
+        dir.to_str().unwrap(),
+        "sensors except faults",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("'s1'"));
     assert!(stdout.contains("'s2'"));
@@ -98,7 +107,9 @@ fn errors_are_reported_with_nonzero_exit() {
 
     let out = tpdb(&["show", "nope"]);
     assert!(!out.status.success());
-    assert!(String::from_utf8(out.stderr).unwrap().contains("unknown relation"));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("unknown relation"));
 
     let out = tpdb(&["frobnicate"]);
     assert!(!out.status.success());

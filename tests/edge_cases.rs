@@ -43,10 +43,14 @@ fn negative_and_large_coordinates() {
         assert!(fast.check_duplicate_free().is_ok(), "op {op}");
         // Spot-check coverage at the extremes.
         if op == SetOp::Intersect {
-            assert!(fast
-                .iter()
-                .any(|t| t.interval.contains(-big + 7)), "left overlap found");
-            assert!(fast.iter().any(|t| t.interval.contains(big)), "right overlap");
+            assert!(
+                fast.iter().any(|t| t.interval.contains(-big + 7)),
+                "left overlap found"
+            );
+            assert!(
+                fast.iter().any(|t| t.interval.contains(big)),
+                "right overlap"
+            );
         }
     }
     // OIP and TI handle the same coordinates.
@@ -81,21 +85,14 @@ fn empty_fact_arity_zero() {
     // Facts with no attributes are legal: a single global timeline.
     let mut vars = VarTable::new();
     let f = Fact::new(Vec::<Value>::new());
-    let r = TpRelation::base(
-        "r",
-        vec![(f.clone(), Interval::at(1, 5), 0.5)],
-        &mut vars,
-    )
-    .unwrap();
-    let s = TpRelation::base(
-        "s",
-        vec![(f.clone(), Interval::at(3, 8), 0.5)],
-        &mut vars,
-    )
-    .unwrap();
+    let r = TpRelation::base("r", vec![(f.clone(), Interval::at(1, 5), 0.5)], &mut vars).unwrap();
+    let s = TpRelation::base("s", vec![(f.clone(), Interval::at(3, 8), 0.5)], &mut vars).unwrap();
     let out = intersect(&r, &s);
     assert_eq!(out.len(), 1);
-    assert_eq!(out.tuples()[0].interval, Interval::at(3, 8).intersect(&Interval::at(1, 5)).unwrap());
+    assert_eq!(
+        out.tuples()[0].interval,
+        Interval::at(3, 8).intersect(&Interval::at(1, 5)).unwrap()
+    );
 }
 
 #[test]
@@ -127,10 +124,7 @@ fn duplicate_free_validation_catches_all_shapes() {
 fn probability_domain_is_enforced_everywhere() {
     let mut db = Database::new();
     for bad in [0.0, -0.1, 1.00001, f64::NAN, f64::INFINITY] {
-        let res = db.add_base_relation(
-            "r",
-            vec![(Fact::single("x"), Interval::at(1, 2), bad)],
-        );
+        let res = db.add_base_relation("r", vec![(Fact::single("x"), Interval::at(1, 2), bad)]);
         assert!(matches!(res, Err(Error::InvalidProbability(_))), "{bad}");
     }
     // Exactly 1.0 is legal (certain tuples).
@@ -151,7 +145,10 @@ fn operations_on_certain_tuples() {
     let out = except(db.relation("r").unwrap(), db.relation("s").unwrap());
     assert_eq!(out.len(), 1);
     let p = prob::marginal(&out.tuples()[0].lineage, db.vars()).unwrap();
-    assert!(p.abs() < 1e-12, "P(r ∧ ¬s) with certain s must be 0, got {p}");
+    assert!(
+        p.abs() < 1e-12,
+        "P(r ∧ ¬s) with certain s must be 0, got {p}"
+    );
 }
 
 #[test]
@@ -208,8 +205,17 @@ fn repeated_composition_stays_sound() {
 #[test]
 fn query_parser_rejects_malformed_input_without_panic() {
     for text in [
-        "", "(", ")", "union union", "a except", "a (b)", "a ∪", "((a)",
-        "a intersect (b union)", "∩", "123abc!",
+        "",
+        "(",
+        ")",
+        "union union",
+        "a except",
+        "a (b)",
+        "a ∪",
+        "((a)",
+        "a intersect (b union)",
+        "∩",
+        "123abc!",
     ] {
         assert!(Query::parse(text).is_err(), "{text:?} should fail");
     }

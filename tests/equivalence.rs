@@ -140,7 +140,11 @@ fn all_approaches_agree_on_real_world_workloads() {
                 if !a.supports(op) {
                     continue;
                 }
-                assert_eq!(a.run(op, r, s).unwrap().canonicalized(), reference, "{a} {op}");
+                assert_eq!(
+                    a.run(op, r, s).unwrap().canonicalized(),
+                    reference,
+                    "{a} {op}"
+                );
             }
         }
     }

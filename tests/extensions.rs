@@ -61,10 +61,7 @@ fn interval_sets_mirror_set_operation_coverage() {
         let fact = Fact::single(fact);
         let ca = IntervalSet::coverage_of(a, &fact);
         let cc = IntervalSet::coverage_of(c, &fact);
-        assert_eq!(
-            IntervalSet::coverage_of(&union(a, c), &fact),
-            ca.union(&cc)
-        );
+        assert_eq!(IntervalSet::coverage_of(&union(a, c), &fact), ca.union(&cc));
         assert_eq!(
             IntervalSet::coverage_of(&intersect(a, c), &fact),
             ca.intersect(&cc)
@@ -124,12 +121,12 @@ fn conditional_probability_on_query_results() {
     let both = intersect(c, a);
     for t in both.iter() {
         // Split and(λc, λa) back apart for the test.
-        let Lineage::And(lc, la) = &t.lineage else {
+        let LineageKind::And(lc, la) = t.lineage.kind() else {
             panic!("intersection lineage must be a conjunction");
         };
-        let p_cond = prob::conditional(lc, la, db.vars()).unwrap();
+        let p_cond = prob::conditional(&lc, &la, db.vars()).unwrap();
         // Base tuples are independent: P(c | a) = P(c).
-        let p_c = prob::exact(lc, db.vars()).unwrap();
+        let p_c = prob::exact(&lc, db.vars()).unwrap();
         assert!((p_cond - p_c).abs() < 1e-12);
     }
 }

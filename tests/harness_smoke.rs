@@ -30,10 +30,8 @@ fn table2_matches_paper() {
 #[test]
 fn run_one_measures_supported_combinations_only() {
     let mut vars = VarTable::new();
-    let (r, s) = tp_workloads::synth::generate(
-        &tp_workloads::SynthConfig::single_fact(300, 3),
-        &mut vars,
-    );
+    let (r, s) =
+        tp_workloads::synth::generate(&tp_workloads::SynthConfig::single_fact(300, 3), &mut vars);
     for a in Approach::ALL {
         for op in SetOp::ALL {
             let ms = run_one(a, op, &r, &s, default_cap(a));

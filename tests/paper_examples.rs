@@ -148,7 +148,13 @@ fn example3_fig4_window_sequence() {
     let windows: Vec<_> = Lawa::new(c.tuples(), a.tuples()).collect();
     let described: Vec<(String, bool, bool)> = windows
         .iter()
-        .map(|w| (w.interval.to_string(), w.lambda_r.is_some(), w.lambda_s.is_some()))
+        .map(|w| {
+            (
+                w.interval.to_string(),
+                w.lambda_r.is_some(),
+                w.lambda_s.is_some(),
+            )
+        })
         .collect();
     assert_eq!(
         described,

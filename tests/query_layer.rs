@@ -37,7 +37,11 @@ fn nested_query_against_oracle() {
     let got = q.eval(&db).unwrap().canonicalized();
     let oracle = set_op_by_snapshots(
         SetOp::Intersect,
-        &set_op_by_snapshots(SetOp::Union, db.relation("a").unwrap(), db.relation("b").unwrap()),
+        &set_op_by_snapshots(
+            SetOp::Union,
+            db.relation("a").unwrap(),
+            db.relation("b").unwrap(),
+        ),
         db.relation("c").unwrap(),
     )
     .canonicalized();
@@ -65,7 +69,10 @@ fn repeating_query_probabilities_cross_check() {
         );
         saw_non_1of |= !t.lineage.is_one_occurrence_form();
     }
-    assert!(saw_non_1of, "the repeating query must produce non-1OF lineage");
+    assert!(
+        saw_non_1of,
+        "the repeating query must produce non-1OF lineage"
+    );
 }
 
 #[test]
@@ -96,7 +103,10 @@ fn deep_query_chain() {
 fn timeslice_on_query_results() {
     // τᵖ₂ of the Fig. 1 query contains exactly 'milk' with lineage c1∧¬a1.
     let db = supermarket_db();
-    let out = Query::parse("c except (a union b)").unwrap().eval(&db).unwrap();
+    let out = Query::parse("c except (a union b)")
+        .unwrap()
+        .eval(&db)
+        .unwrap();
     let snap = timeslice(&out, 2);
     assert_eq!(snap.len(), 1);
     let t = &snap.tuples()[0];

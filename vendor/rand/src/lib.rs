@@ -1,0 +1,289 @@
+//! Vendored, offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! carries a minimal random-number library with an API compatible with the
+//! subset the repository uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! and the [`RngExt`] extension trait providing `random::<T>()`,
+//! `random_range(..)` and `random_bool(..)`.
+//!
+//! The generator is xoshiro256++ seeded via SplitMix64 — deterministic for a
+//! given seed, which is all the experiments and property tests require. It is
+//! **not** a cryptographic RNG and makes no cross-version stability promise
+//! beyond this workspace.
+
+#![forbid(unsafe_code)]
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit output of the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit output (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (expanded with SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    /// The standard generator of this shim: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = (self.s[0].wrapping_add(self.s[3]))
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+}
+
+/// Types that can be sampled uniformly "from all values" via `random()`.
+pub trait StandardSample: Sized {
+    /// Draws one value from the generator.
+    fn sample(rng: &mut impl RngCore) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample(rng: &mut impl RngCore) -> f64 {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample(rng: &mut impl RngCore) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample(rng: &mut impl RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample(rng: &mut impl RngCore) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample(rng: &mut impl RngCore) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for i64 {
+    fn sample(rng: &mut impl RngCore) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl StandardSample for usize {
+    fn sample(rng: &mut impl RngCore) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+/// Uniform sampling from a range, used by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value of the range from the generator.
+    fn sample_from(self, rng: &mut impl RngCore) -> T;
+}
+
+/// Rejection-free (modulo-bias-free) sampling of `[0, bound)` via Lemire's
+/// method with a widening multiply, falling back to rejection on the rare
+/// biased slice.
+fn uniform_below(rng: &mut impl RngCore, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128).wrapping_mul(bound as u128);
+        let low = m as u64;
+        if low >= bound && low < bound.wrapping_neg() % bound {
+            continue;
+        }
+        return (m >> 64) as u64;
+    }
+}
+
+/// Types that can be sampled uniformly from a half-open or inclusive range.
+/// The blanket [`SampleRange`] impls below go through this trait, so the
+/// range's element type unifies with the requested output type during
+/// inference — exactly like real rand's `SampleUniform`.
+pub trait SampleUniform: Sized {
+    /// Samples from `[low, high)` (`inclusive = false`) or `[low, high]`.
+    fn sample_range(rng: &mut impl RngCore, low: Self, high: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut impl RngCore, low: $t, high: $t, inclusive: bool) -> $t {
+                if inclusive {
+                    assert!(low <= high, "cannot sample empty range");
+                    let span = (high as i128 - low as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (low as i128 + uniform_below(rng, span + 1) as i128) as $t
+                } else {
+                    assert!(low < high, "cannot sample empty range");
+                    let span = (high as i128 - low as i128) as u64;
+                    (low as i128 + uniform_below(rng, span) as i128) as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range(rng: &mut impl RngCore, low: f64, high: f64, inclusive: bool) -> f64 {
+        if inclusive {
+            assert!(low <= high, "cannot sample empty range");
+            let u = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+            low + u * (high - low)
+        } else {
+            assert!(low < high, "cannot sample empty range");
+            low + f64::sample(rng) * (high - low)
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range(rng: &mut impl RngCore, low: f32, high: f32, inclusive: bool) -> f32 {
+        f64::sample_range(rng, low as f64, high as f64, inclusive) as f32
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from(self, rng: &mut impl RngCore) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from(self, rng: &mut impl RngCore) -> T {
+        T::sample_range(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// The user-facing sampling interface (the rand 0.9 `Rng` surface this
+/// repository uses, under the name its call sites import).
+pub trait RngExt: RngCore {
+    /// Draws a value of `T` from its standard distribution.
+    fn random<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Draws `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Alias kept for call sites written against the classic `rand::Rng` name.
+pub use self::RngExt as Rng;
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3..17u64);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(-5..=5i64);
+            assert!((-5..=5).contains(&y));
+            let f = rng.random_range(0.25..0.5f64);
+            assert!((0.25..0.5).contains(&f));
+            let u = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn random_bool_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((hits as f64 / 100_000.0 - 0.25).abs() < 0.01);
+    }
+}

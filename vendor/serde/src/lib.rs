@@ -1,0 +1,20 @@
+//! Vendored, offline stand-in for `serde`.
+//!
+//! The workspace's `serde` feature only attaches `derive(Serialize,
+//! Deserialize)` attributes to a few core types; nothing consumes the trait
+//! bounds yet (persistence goes through the custom text format in
+//! `tp_core::io`). This shim therefore provides the trait *names* plus no-op
+//! derive macros, so the feature compiles in an offline environment. Swap it
+//! for real serde by pointing the workspace dependency at crates.io.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s name; carries no methods in
+/// this shim (see the crate docs).
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name; carries no methods in
+/// this shim (see the crate docs).
+pub trait Deserialize<'de> {}

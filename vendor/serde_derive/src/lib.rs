@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the vendored serde
+//! shim: they accept the annotated item and emit nothing, which is exactly
+//! enough for `#[cfg_attr(feature = "serde", derive(..))]` attributes to
+//! compile while no code consumes the trait bounds.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
