@@ -8,10 +8,14 @@
 //! ```
 //!
 //! Available experiment names: `table2`, `table3`, `table4`, `fig7`, `fig8`,
-//! `fig9a`, `fig9b`, `fig10`, `fig11`, `bench_lawa`. With `--csv`, each
-//! figure is also written to `experiments_csv/<id>.csv` for external
-//! plotting. `bench_lawa` additionally writes `BENCH_lawa.json` (the
-//! memoized-valuation acceptance benchmark) to the working directory.
+//! `fig9a`, `fig9b`, `fig10`, `fig11`, `bench_lawa`, `bench_stream`. With
+//! `--csv`, each figure is also written to `experiments_csv/<id>.csv` for
+//! external plotting. `bench_lawa` additionally writes `BENCH_lawa.json`
+//! (memoized valuation + op throughput + arena contention + streaming) to
+//! the working directory; `bench_stream` is the CI streaming smoke — a
+//! bounded-size replay of the synth workload that exits non-zero unless the
+//! streamed results equal batch LAWA and the incremental engine beats naive
+//! re-batch by ≥ 2×.
 
 use tp_bench::experiments::{self, ExperimentResult};
 
@@ -80,14 +84,59 @@ fn main() {
     }
     if want("bench_lawa") {
         // Paper-shaped workload scaled by TP_SCALE; deep enough union chain
-        // that windows share sublineage, several valuation rounds.
+        // that windows share sublineage, several valuation rounds. The
+        // report bundles the memoized-valuation acceptance benchmark with
+        // the per-operation throughput series, the arena intern-contention
+        // micro-benchmark (single lock vs stripes) and the streaming
+        // acceptance benchmark (incremental vs naive re-batch).
         let tuples = tp_bench::scaled(20_000);
-        let bench = experiments::lawa_valuation_bench(tuples, 32, 5);
-        println!("{}", bench.render());
+        let report = experiments::BenchReport {
+            valuation: experiments::lawa_valuation_bench(tuples, 32, 5),
+            ops: experiments::lawa_op_throughput(&[
+                tp_bench::scaled(10_000),
+                tp_bench::scaled(20_000),
+            ]),
+            contention: experiments::arena_contention_bench(4, tp_bench::scaled(40_000)),
+            streaming: experiments::streaming_bench(tuples, (2 * tuples / 64).max(1)),
+        };
+        println!("{}", report.render());
         let path = std::path::Path::new("BENCH_lawa.json");
-        match std::fs::write(path, bench.to_json()) {
+        match std::fs::write(path, report.to_json()) {
             Ok(()) => println!("wrote {}", path.display()),
             Err(e) => eprintln!("cannot write {}: {e}", path.display()),
         }
+    }
+    // The streaming smoke runs whenever explicitly named — including next
+    // to `all`. Under a bare `all` it is skipped only because `bench_lawa`
+    // already measures and gates the same streaming benchmark via
+    // BENCH_lawa.json.
+    if names.iter().any(|a| *a == "bench_stream") {
+        // CI streaming smoke: bounded-size replay, hard-gated.
+        let tuples = tp_bench::scaled(20_000);
+        let b = experiments::streaming_bench(tuples, (2 * tuples / 64).max(1));
+        println!(
+            "streaming smoke: {} tuples/rel, {} advances, incremental {:.1} ms vs naive {:.1} ms ({:.2}×), batch_equal={}",
+            b.tuples,
+            b.advances,
+            b.incremental_ms,
+            b.naive_rebatch_ms,
+            b.speedup(),
+            b.batch_equal,
+        );
+        if !b.batch_equal {
+            eprintln!("FAIL: streamed results diverge from batch LAWA");
+            std::process::exit(1);
+        }
+        if b.speedup() < 2.0 {
+            eprintln!(
+                "FAIL: incremental engine only {:.2}× over naive re-batch (gate: 2×)",
+                b.speedup()
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "ok: streamed ≡ batch, {:.2}× over naive re-batch",
+            b.speedup()
+        );
     }
 }

@@ -1,5 +1,5 @@
 //! The hash-consed lineage arena: a global forest of interned Boolean
-//! formula nodes.
+//! formula nodes, lock-striped for concurrent interning.
 //!
 //! Every lineage formula in the process lives in one [`LineageArena`]:
 //! a node (`Var`/`Not`/`And`/`Or`) is *hash-consed* — structurally identical
@@ -16,6 +16,19 @@
 //!   the one-occurrence-form (1OF) flag and (for small formulas) the exact
 //!   sorted variable set are produced at intern time from the children's
 //!   metadata and memoized forever.
+//!
+//! ## Lock striping
+//!
+//! The store is split into [`MAX_SHARDS`] independent shards, each behind
+//! its own `RwLock`; a node lives in the shard selected by its hash. A
+//! [`LineageRef`] encodes `(local_index << SHARD_BITS) | shard`, so decoding
+//! is two bit operations and refs stay dense *per shard*. Interning takes a
+//! read lock (hit) or a short write lock (miss) on **one** shard; child
+//! metadata is gathered through read locks taken one at a time with no lock
+//! held, so writers never nest locks and cannot deadlock. Concurrent
+//! workers — `ops::apply_parallel` partitions, the streaming engine's epoch
+//! executor — intern mostly disjoint nodes and therefore mostly disjoint
+//! shards, instead of serializing on one global lock.
 //!
 //! ## Memoization invariants
 //!
@@ -34,12 +47,19 @@
 //!    keyed by `LineageRef` (sound because a table's registered
 //!    probabilities are immutable once assigned).
 //!
-//! The arena is process-global behind a `RwLock`; interning takes a short
-//! write lock, traversals take short read locks per node. See
-//! `docs/lineage-arena.md` for the design discussion.
+//! ## Epochs
+//!
+//! The arena itself never shrinks, but consumers can bracket a phase of
+//! work with an [`ArenaStamp`] ([`LineageArena::stamp`]): the stamp
+//! remembers the per-shard high-water marks, and
+//! [`ArenaStamp::contains`] answers "was this node interned before the
+//! stamp?" in O(1). [`crate::relation::VarTable::release_marginals_after`]
+//! uses stamps to drop cached marginals of nodes interned during a
+//! finalized streaming epoch — the first step toward epoch-based
+//! reclamation (see `docs/streaming.md`).
 
 use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard};
 
 use crate::lineage::TupleId;
@@ -87,19 +107,39 @@ impl FastHasher {
 }
 
 /// `HashMap` keyed through [`FastHasher`]; the map type of every per-call
-/// memo and of the valuation caches.
+/// memo, the intern tables, and the valuation caches.
 pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// Shard-id bits in a [`LineageRef`]: refs encode
+/// `(local_index << SHARD_BITS) | shard`.
+pub const SHARD_BITS: u32 = 4;
+
+/// Number of lock stripes of the global arena (`1 << SHARD_BITS`).
+pub const MAX_SHARDS: usize = 1 << SHARD_BITS;
+
+const SHARD_ID_MASK: u32 = MAX_SHARDS as u32 - 1;
 
 /// Interned handle of a lineage node. Equality and hashing are integer
 /// operations; two handles are equal iff the formulas are structurally
-/// identical.
+/// identical (within one arena).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LineageRef(pub(crate) u32);
 
 impl LineageRef {
-    /// The raw arena index (stable for the lifetime of the process).
+    /// The raw encoded arena index (stable for the lifetime of the
+    /// process): `(local_index << SHARD_BITS) | shard`.
     pub fn index(self) -> u32 {
         self.0
+    }
+
+    #[inline]
+    fn shard(self) -> usize {
+        (self.0 & SHARD_ID_MASK) as usize
+    }
+
+    #[inline]
+    fn local(self) -> usize {
+        (self.0 >> SHARD_BITS) as usize
     }
 }
 
@@ -140,14 +180,19 @@ struct NodeMeta {
 }
 
 #[derive(Default)]
-struct ArenaInner {
+struct Shard {
     nodes: Vec<NodeMeta>,
-    table: HashMap<LineageNode, u32>,
+    table: FastMap<LineageNode, u32>,
 }
 
-/// The global hash-consing store. Obtain it with [`LineageArena::global`].
+/// The lock-striped hash-consing store. Obtain the process-wide instance
+/// with [`LineageArena::global`]; separate instances (fewer stripes, their
+/// own refs) exist only for contention experiments via
+/// [`LineageArena::with_shards`].
 pub struct LineageArena {
-    inner: RwLock<ArenaInner>,
+    shards: Box<[RwLock<Shard>]>,
+    /// `shards.len() - 1`; shard selection is `hash & mask`.
+    mask: u32,
 }
 
 /// Aggregate statistics of the arena, for diagnostics and benchmarks.
@@ -159,39 +204,123 @@ pub struct ArenaStats {
     pub with_var_list: usize,
 }
 
+/// A snapshot of the arena's per-shard high-water marks, taken with
+/// [`LineageArena::stamp`]. Answers "was this ref interned before the
+/// stamp?" in O(1) — the epoch boundary primitive of the streaming engine.
+///
+/// Stamps taken while other threads intern concurrently are *approximate*
+/// (the per-shard reads are not one atomic snapshot); a concurrently
+/// interned node may land on either side. Every consumer treats membership
+/// as a performance hint, never a correctness property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArenaStamp {
+    lens: [u32; MAX_SHARDS],
+}
+
+impl ArenaStamp {
+    /// Whether `r` was interned before this stamp was taken.
+    #[inline]
+    pub fn contains(&self, r: LineageRef) -> bool {
+        (r.local() as u32) < self.lens[r.shard()]
+    }
+
+    /// Total nodes covered by the stamp.
+    pub fn nodes(&self) -> usize {
+        self.lens.iter().map(|&l| l as usize).sum()
+    }
+}
+
 static GLOBAL: OnceLock<LineageArena> = OnceLock::new();
 
 impl LineageArena {
-    /// The process-wide arena.
+    /// The process-wide arena (all [`crate::lineage::Lineage`] handles live
+    /// here), striped over [`MAX_SHARDS`] locks.
     pub fn global() -> &'static LineageArena {
-        GLOBAL.get_or_init(|| LineageArena {
-            inner: RwLock::new(ArenaInner::default()),
-        })
+        GLOBAL.get_or_init(|| LineageArena::with_shards(MAX_SHARDS))
+    }
+
+    /// A standalone arena with `shards` lock stripes (rounded up to a power
+    /// of two, clamped to `1..=MAX_SHARDS`).
+    ///
+    /// Refs of a standalone arena are meaningless to [`crate::lineage`] —
+    /// the `Lineage` API always talks to [`LineageArena::global`]. This
+    /// constructor exists so benchmarks can measure intern contention of a
+    /// single-lock arena (`with_shards(1)` — the pre-striping design)
+    /// against the striped layout on identical workloads.
+    pub fn with_shards(shards: usize) -> Self {
+        let count = shards.clamp(1, MAX_SHARDS).next_power_of_two();
+        LineageArena {
+            shards: (0..count).map(|_| RwLock::new(Shard::default())).collect(),
+            mask: count as u32 - 1,
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn shard_of(&self, node: &LineageNode) -> usize {
+        let mut h = FastHasher::default();
+        node.hash(&mut h);
+        // Shard by the HIGH hash bits: the shard's intern table hashes the
+        // same key with the same hasher and indexes buckets by the low
+        // bits, so carving the shard id out of the low bits would leave
+        // every table addressing only 1/shards of its buckets.
+        ((h.finish() >> (64 - SHARD_BITS)) as u32 & self.mask) as usize
+    }
+
+    #[inline]
+    fn encode(shard: usize, local: u32) -> LineageRef {
+        LineageRef((local << SHARD_BITS) | shard as u32)
+    }
+
+    fn read_shard(&self, id: usize) -> RwLockReadGuard<'_, Shard> {
+        self.shards[id].read().expect("arena lock poisoned")
     }
 
     /// Interns a node, returning the handle of the unique copy.
-    pub(crate) fn intern(&self, node: LineageNode) -> LineageRef {
+    ///
+    /// Public so benchmarks and diagnostics can drive standalone arenas;
+    /// regular formula construction goes through [`crate::lineage::Lineage`]
+    /// (which interns into the global arena). Children of `node` must be
+    /// refs of *this* arena.
+    pub fn intern(&self, node: LineageNode) -> LineageRef {
+        let sid = self.shard_of(&node);
         // Fast path: the node already exists (read lock only).
         {
-            let inner = self.inner.read().expect("arena lock poisoned");
-            if let Some(&id) = inner.table.get(&node) {
-                return LineageRef(id);
+            let shard = self.read_shard(sid);
+            if let Some(&local) = shard.table.get(&node) {
+                return Self::encode(sid, local);
             }
         }
-        let mut inner = self.inner.write().expect("arena lock poisoned");
-        if let Some(&id) = inner.table.get(&node) {
-            return LineageRef(id); // raced with another writer
+        // Gather child metadata with no lock held (each lookup takes the
+        // child shard's read lock on its own), so the write lock below is
+        // the only lock this thread holds — no nesting, no deadlock.
+        let meta = self.build_meta(node);
+        let mut shard = self.shards[sid].write().expect("arena lock poisoned");
+        if let Some(&local) = shard.table.get(&node) {
+            return Self::encode(sid, local); // raced with another writer
         }
-        let meta = Self::build_meta(&inner, node);
-        let id = u32::try_from(inner.nodes.len()).expect("lineage arena full (2^32 nodes)");
-        inner.nodes.push(meta);
-        inner.table.insert(node, id);
-        LineageRef(id)
+        let local = u32::try_from(shard.nodes.len()).expect("lineage arena shard full");
+        assert!(
+            local <= u32::MAX >> SHARD_BITS,
+            "lineage arena shard full (2^{} nodes)",
+            32 - SHARD_BITS
+        );
+        shard.nodes.push(meta);
+        shard.table.insert(node, local);
+        Self::encode(sid, local)
+    }
+
+    /// Clones the metadata of an already interned node.
+    fn meta(&self, r: LineageRef) -> NodeMeta {
+        self.read_shard(r.shard()).nodes[r.local()].clone()
     }
 
     /// Computes metadata for a node whose children are already interned.
-    fn build_meta(inner: &ArenaInner, node: LineageNode) -> NodeMeta {
-        let meta_of = |r: LineageRef| &inner.nodes[r.0 as usize];
+    fn build_meta(&self, node: LineageNode) -> NodeMeta {
         match node {
             LineageNode::Var(id) => NodeMeta {
                 node,
@@ -203,7 +332,7 @@ impl LineageArena {
                 vars: Some(Arc::from([id].as_slice())),
             },
             LineageNode::Not(c) => {
-                let cm = meta_of(c);
+                let cm = self.meta(c);
                 NodeMeta {
                     node,
                     size: cm.size.saturating_add(1),
@@ -211,11 +340,11 @@ impl LineageArena {
                     var_lo: cm.var_lo,
                     var_hi: cm.var_hi,
                     one_of: cm.one_of,
-                    vars: cm.vars.clone(),
+                    vars: cm.vars,
                 }
             }
             LineageNode::And(a, b) | LineageNode::Or(a, b) => {
-                let (am, bm) = (meta_of(a), meta_of(b));
+                let (am, bm) = (self.meta(a), self.meta(b));
                 let occurrences = am.occurrences.saturating_add(bm.occurrences);
                 let ranges_disjoint = am.var_hi < bm.var_lo || bm.var_hi < am.var_lo;
                 let vars = if occurrences as usize <= VAR_LIST_CAP {
@@ -254,93 +383,144 @@ impl LineageArena {
 
     /// The shape of a node (copied out; cheap).
     pub(crate) fn node(&self, r: LineageRef) -> LineageNode {
-        self.inner.read().expect("arena lock poisoned").nodes[r.0 as usize].node
+        self.read_shard(r.shard()).nodes[r.local()].node
     }
 
     /// Tree-semantic formula size.
     pub(crate) fn size(&self, r: LineageRef) -> u64 {
-        self.inner.read().expect("arena lock poisoned").nodes[r.0 as usize].size
+        self.read_shard(r.shard()).nodes[r.local()].size
     }
 
     /// Tree-semantic variable occurrences (with multiplicity).
     pub(crate) fn occurrences(&self, r: LineageRef) -> u64 {
-        self.inner.read().expect("arena lock poisoned").nodes[r.0 as usize].occurrences
+        self.read_shard(r.shard()).nodes[r.local()].occurrences
     }
 
     /// The 1OF flag (see invariant 3 on conservatism).
     pub(crate) fn one_of(&self, r: LineageRef) -> bool {
-        self.inner.read().expect("arena lock poisoned").nodes[r.0 as usize].one_of
+        self.read_shard(r.shard()).nodes[r.local()].one_of
     }
 
     /// The exact distinct-variable list, when stored.
     pub(crate) fn var_list(&self, r: LineageRef) -> Option<Arc<[TupleId]>> {
-        self.inner.read().expect("arena lock poisoned").nodes[r.0 as usize]
-            .vars
-            .clone()
+        self.read_shard(r.shard()).nodes[r.local()].vars.clone()
     }
 
     /// The `[lo, hi]` variable range summary.
     pub fn var_range(&self, r: LineageRef) -> (TupleId, TupleId) {
-        let inner = self.inner.read().expect("arena lock poisoned");
-        let m = &inner.nodes[r.0 as usize];
+        let shard = self.read_shard(r.shard());
+        let m = &shard.nodes[r.local()];
         (m.var_lo, m.var_hi)
     }
 
     /// Whether `var` can occur in the formula (exact when the list is
     /// stored, range-approximate otherwise — false negatives impossible).
     pub(crate) fn may_contain(&self, r: LineageRef, var: TupleId) -> bool {
-        let inner = self.inner.read().expect("arena lock poisoned");
-        let m = &inner.nodes[r.0 as usize];
+        let shard = self.read_shard(r.shard());
+        let m = &shard.nodes[r.local()];
         match &m.vars {
             Some(list) => list.binary_search(&var).is_ok(),
             None => m.var_lo <= var && var <= m.var_hi,
         }
     }
 
-    /// A read view holding the arena lock once, for tight traversal loops
-    /// (valuation, evaluation) that would otherwise pay one lock round trip
-    /// per node. **Do not intern while a view is alive** — interning takes
-    /// the write lock and would deadlock against the held read guard.
+    /// A read view for tight traversal loops (valuation, evaluation) that
+    /// would otherwise pay one lock round trip per node: each shard's read
+    /// lock is `try_read`-acquired on first touch and held for the
+    /// lifetime of the view, so a walk that stops early (memo hits) only
+    /// ever locks the shards it visited. A view never *blocks* while
+    /// holding guards — if a `try_read` fails (writer contention), every
+    /// held guard is dropped and all shards are reacquired blocking in
+    /// ascending order, which is deadlock-free: waiters either hold
+    /// nothing (interners, lazy views) or ascend in the same global order.
+    /// **Do not intern while a view is alive on the same thread** —
+    /// interning takes a shard's write lock and would self-deadlock
+    /// against a held read guard.
     pub fn view(&self) -> ArenaView<'_> {
         ArenaView {
-            guard: self.inner.read().expect("arena lock poisoned"),
+            arena: self,
+            guards: std::cell::RefCell::new(std::array::from_fn(|_| None)),
         }
+    }
+
+    /// The per-shard high-water marks right now — the epoch boundary
+    /// primitive (see the module docs and [`ArenaStamp`]).
+    pub fn stamp(&self) -> ArenaStamp {
+        let mut lens = [0u32; MAX_SHARDS];
+        for (i, shard) in self.shards.iter().enumerate() {
+            lens[i] = shard.read().expect("arena lock poisoned").nodes.len() as u32;
+        }
+        ArenaStamp { lens }
     }
 
     /// Arena statistics.
     pub fn stats(&self) -> ArenaStats {
-        let inner = self.inner.read().expect("arena lock poisoned");
-        ArenaStats {
-            nodes: inner.nodes.len(),
-            with_var_list: inner.nodes.iter().filter(|n| n.vars.is_some()).count(),
+        let mut stats = ArenaStats {
+            nodes: 0,
+            with_var_list: 0,
+        };
+        for shard in self.shards.iter() {
+            let shard = shard.read().expect("arena lock poisoned");
+            stats.nodes += shard.nodes.len();
+            stats.with_var_list += shard.nodes.iter().filter(|n| n.vars.is_some()).count();
         }
+        stats
     }
 }
 
 /// Read-locked access to the arena for traversal loops; see
-/// [`LineageArena::view`].
+/// [`LineageArena::view`]. Shard guards are acquired lazily on first
+/// touch (a `RefCell` makes the view single-threaded, which traversals
+/// are), then reused for every later access to the same shard.
 pub struct ArenaView<'a> {
-    guard: RwLockReadGuard<'a, ArenaInner>,
+    arena: &'a LineageArena,
+    guards: std::cell::RefCell<[Option<RwLockReadGuard<'a, Shard>>; MAX_SHARDS]>,
 }
 
 impl ArenaView<'_> {
-    /// The shape of a node (slice index, no lock).
+    #[inline]
+    fn with_meta<T>(&self, r: LineageRef, f: impl FnOnce(&NodeMeta) -> T) -> T {
+        let mut guards = self.guards.borrow_mut();
+        if guards[r.shard()].is_none() {
+            match self.arena.shards[r.shard()].try_read() {
+                Ok(g) => guards[r.shard()] = Some(g),
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    // Contended: never block while holding other shards
+                    // (hold-and-wait across views could cycle through
+                    // writer queues). Drop everything, then take every
+                    // shard blocking in ascending order — the one global
+                    // order makes the escalated acquisition cycle-free.
+                    for slot in guards.iter_mut() {
+                        *slot = None;
+                    }
+                    for (i, shard) in self.arena.shards.iter().enumerate() {
+                        guards[i] = Some(shard.read().expect("arena lock poisoned"));
+                    }
+                }
+                Err(std::sync::TryLockError::Poisoned(_)) => panic!("arena lock poisoned"),
+            }
+        }
+        let guard = guards[r.shard()].as_ref().expect("guard acquired above");
+        f(&guard.nodes[r.local()])
+    }
+
+    /// The shape of a node (slice index; at most one lock per shard per
+    /// view lifetime).
     #[inline]
     pub fn node(&self, r: LineageRef) -> LineageNode {
-        self.guard.nodes[r.0 as usize].node
+        self.with_meta(r, |m| m.node)
     }
 
-    /// The node's 1OF flag (slice index, no lock).
+    /// The node's 1OF flag.
     #[inline]
     pub fn one_of(&self, r: LineageRef) -> bool {
-        self.guard.nodes[r.0 as usize].one_of
+        self.with_meta(r, |m| m.one_of)
     }
 
-    /// The node's exact distinct-variable list, when stored (Arc clone, no
-    /// lock).
+    /// The node's exact distinct-variable list, when stored (Arc clone).
     #[inline]
     pub fn var_list(&self, r: LineageRef) -> Option<Arc<[TupleId]>> {
-        self.guard.nodes[r.0 as usize].vars.clone()
+        self.with_meta(r, |m| m.vars.clone())
     }
 }
 
@@ -454,5 +634,80 @@ mod tests {
         let _ = var(940_000);
         let after = LineageArena::global().stats().nodes;
         assert!(after > before);
+    }
+
+    #[test]
+    fn standalone_arena_shard_counts() {
+        assert_eq!(LineageArena::with_shards(1).shard_count(), 1);
+        assert_eq!(LineageArena::with_shards(3).shard_count(), 4);
+        assert_eq!(LineageArena::with_shards(64).shard_count(), MAX_SHARDS);
+        assert_eq!(LineageArena::global().shard_count(), MAX_SHARDS);
+    }
+
+    #[test]
+    fn standalone_arena_is_independent() {
+        let arena = LineageArena::with_shards(2);
+        let a = arena.intern(LineageNode::Var(TupleId(1)));
+        let b = arena.intern(LineageNode::Var(TupleId(2)));
+        let and = arena.intern(LineageNode::And(a, b));
+        assert_eq!(arena.intern(LineageNode::And(a, b)), and);
+        assert_eq!(arena.size(and), 3);
+        assert_eq!(arena.stats().nodes, 3);
+    }
+
+    #[test]
+    fn stamp_separates_old_from_new_nodes() {
+        let arena = LineageArena::global();
+        let old = var(950_000);
+        let stamp = arena.stamp();
+        assert!(stamp.contains(old));
+        let new = var(950_001);
+        let composite = arena.intern(LineageNode::And(old, new));
+        assert!(!stamp.contains(new));
+        assert!(!stamp.contains(composite));
+        assert!(arena.stamp().contains(composite));
+        assert!(stamp.nodes() <= arena.stamp().nodes());
+    }
+
+    #[test]
+    fn concurrent_interning_converges() {
+        // Hammer the striped intern path from several threads building the
+        // same and disjoint nodes; hash-consing must stay consistent.
+        let arena = LineageArena::with_shards(MAX_SHARDS);
+        let refs: Vec<Vec<LineageRef>> = std::thread::scope(|scope| {
+            (0..4u64)
+                .map(|t| {
+                    let arena = &arena;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for i in 0..200u64 {
+                            // Shared across threads:
+                            let shared = arena.intern(LineageNode::Var(TupleId(i)));
+                            // Disjoint per thread:
+                            let own =
+                                arena.intern(LineageNode::Var(TupleId(10_000 + t * 1_000 + i)));
+                            out.push(arena.intern(LineageNode::And(shared, own)));
+                        }
+                        out
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        // Shared vars interned exactly once: re-interning yields equal refs.
+        for i in 0..200u64 {
+            let again = arena.intern(LineageNode::Var(TupleId(i)));
+            assert_eq!(again, arena.intern(LineageNode::Var(TupleId(i))));
+        }
+        // Each thread's And nodes are distinct (disjoint `own` vars) and
+        // metadata is consistent.
+        for (t, thread_refs) in refs.iter().enumerate() {
+            for (i, &r) in thread_refs.iter().enumerate() {
+                assert_eq!(arena.size(r), 3, "thread {t} node {i}");
+                assert!(arena.one_of(r));
+            }
+        }
     }
 }

@@ -4,7 +4,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::{Mutex, MutexGuard};
 
-use crate::arena::{FastMap, LineageRef};
+use crate::arena::{ArenaStamp, FastMap, LineageRef};
 
 /// Entries per cache page (4 KiB of `f64`).
 const CACHE_PAGE_BITS: u32 = 9;
@@ -66,6 +66,30 @@ impl MarginalCache {
         self.pages.clear();
         self.pages.shrink_to_fit();
         self.filled = 0;
+    }
+
+    /// Drops every marginal of a node interned *after* `stamp` (the epoch
+    /// release of `docs/streaming.md`): entries for nodes the stamped epoch
+    /// created are evicted, entries for longer-lived nodes stay. Dropping a
+    /// cached marginal is always sound — it is recomputed on the next
+    /// valuation — so an approximate stamp only costs performance.
+    pub fn release_after(&mut self, stamp: &ArenaStamp) {
+        self.pages.retain(|&page_key, page| {
+            let mut live = 0usize;
+            for (slot, p) in page.iter_mut().enumerate() {
+                if p.is_nan() {
+                    continue;
+                }
+                let r = LineageRef((page_key << CACHE_PAGE_BITS) | slot as u32);
+                if stamp.contains(r) {
+                    live += 1;
+                } else {
+                    *p = f64::NAN;
+                    self.filled -= 1;
+                }
+            }
+            live > 0
+        });
     }
 }
 use crate::error::{Error, Result};
@@ -167,6 +191,19 @@ impl VarTable {
             .lock()
             .expect("cache lock poisoned")
             .clear();
+    }
+
+    /// Drops the memoized marginals of every lineage node interned after
+    /// `stamp` (see [`crate::arena::LineageArena::stamp`]) — the epoch
+    /// lifecycle hook of the streaming engine: once an epoch's deltas are
+    /// finalized and consumed, the marginals of its transient lineage nodes
+    /// are dead weight. Releasing is always sound; a later valuation of a
+    /// released node simply recomputes it.
+    pub fn release_marginals_after(&self, stamp: &ArenaStamp) {
+        self.marginal_cache
+            .lock()
+            .expect("cache lock poisoned")
+            .release_after(stamp);
     }
 
     /// Marginal probability of a variable.

@@ -224,6 +224,43 @@ pub fn all_windows(r: &[TpTuple], s: &[TpTuple]) -> Vec<LineageAwareWindow> {
     Lawa::new(r, s).collect()
 }
 
+/// Window-prefix finalization: splits tuples at a watermark `w` into the
+/// *closed* part (intervals clipped to `(-∞, w)`) and the *residual* part
+/// (intervals clipped to `[w, ∞)`, same fact and lineage).
+///
+/// A watermark `w` promises that no tuple starting before `w` will arrive
+/// anymore, so LAWA windows over the closed part can never change: they are
+/// final. A tuple crossing `w` contributes its prefix now and re-enters the
+/// next sweep as a residual; because the residual carries the *same*
+/// lineage handle, the windows on both sides of the artificial cut carry
+/// identical λ-expressions and the streaming engine's delta merge
+/// (`tp-stream`) reassembles exactly the batch output. Tuples starting at
+/// or after `w` are returned whole in the residual.
+///
+/// Order is preserved within each output; inputs need not be sorted.
+pub fn split_at_watermark(
+    tuples: impl IntoIterator<Item = TpTuple>,
+    w: TimePoint,
+) -> (Vec<TpTuple>, Vec<TpTuple>) {
+    let mut closed = Vec::new();
+    let mut residual = Vec::new();
+    for t in tuples {
+        if t.interval.end() <= w {
+            closed.push(t);
+        } else if t.interval.start() >= w {
+            residual.push(t);
+        } else {
+            let mut head = t.clone();
+            head.interval = Interval::at(t.interval.start(), w);
+            closed.push(head);
+            let mut tail = t;
+            tail.interval = Interval::at(w, tail.interval.end());
+            residual.push(tail);
+        }
+    }
+    (closed, residual)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,6 +439,62 @@ mod tests {
         assert_eq!(ws[0].interval, Interval::at(1, 5));
         assert_eq!(ws[1].interval, Interval::at(5, 9));
         assert_ne!(ws[0].lambda_r, ws[1].lambda_r);
+    }
+
+    #[test]
+    fn split_at_watermark_partitions_and_preserves_lineage() {
+        let tuples = vec![
+            tup("a", 1, 4, 0), // entirely closed
+            tup("a", 2, 9, 1), // crosses the watermark
+            tup("b", 6, 8, 2), // entirely residual
+            tup("b", 3, 5, 3), // end exactly at w: closed
+            tup("c", 5, 7, 4), // start exactly at w: residual, untouched
+        ];
+        let (closed, residual) = split_at_watermark(tuples.clone(), 5);
+        let ivals = |ts: &[TpTuple]| -> Vec<(i64, i64)> {
+            ts.iter()
+                .map(|t| (t.interval.start(), t.interval.end()))
+                .collect()
+        };
+        assert_eq!(ivals(&closed), vec![(1, 4), (2, 5), (3, 5)]);
+        assert_eq!(ivals(&residual), vec![(5, 9), (6, 8), (5, 7)]);
+        // The crossing tuple's halves share the original lineage handle.
+        assert_eq!(closed[1].lineage, tuples[1].lineage);
+        assert_eq!(residual[0].lineage, tuples[1].lineage);
+        assert_eq!(residual[0].fact, tuples[1].fact);
+        // Re-splitting the residual at a later watermark closes more.
+        let (closed2, residual2) = split_at_watermark(residual, 8);
+        assert_eq!(ivals(&closed2), vec![(5, 8), (6, 8), (5, 7)]);
+        assert_eq!(ivals(&residual2), vec![(8, 9)]);
+    }
+
+    #[test]
+    fn split_then_sweep_matches_batch_windows_up_to_the_cut() {
+        // Windows over closed ++ residual, merged at the artificial cut,
+        // must equal the batch windows (Example 3 data, cut at 5).
+        let (c, a) = example3();
+        let batch = all_windows(&c, &a);
+        let (c_closed, c_res) = split_at_watermark(c.clone(), 5);
+        let (a_closed, a_res) = split_at_watermark(a.clone(), 5);
+        let mut stitched = all_windows(&c_closed, &a_closed);
+        stitched.extend(all_windows(&c_res, &a_res));
+        // Merge adjacent same-fact windows with identical λr/λs (the
+        // artificial cut at 5).
+        let mut merged: Vec<LineageAwareWindow> = Vec::new();
+        for w in stitched {
+            if let Some(last) = merged.last_mut() {
+                if last.fact == w.fact
+                    && last.interval.end() == w.interval.start()
+                    && last.lambda_r == w.lambda_r
+                    && last.lambda_s == w.lambda_s
+                {
+                    last.interval = Interval::at(last.interval.start(), w.interval.end());
+                    continue;
+                }
+            }
+            merged.push(w);
+        }
+        assert_eq!(merged, batch);
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! Result deltas and the [`StreamSink`] consumer interface.
+//!
+//! The engine never re-emits a finalized output tuple. Each watermark
+//! advance produces a sequence of deltas per set operation:
+//!
+//! * [`Delta::Insert`] — a brand-new output tuple;
+//! * [`Delta::Extend`] — the most recent output tuple of the fact grows to
+//!   the right, because the window continued unchanged across the previous
+//!   watermark cut (same valid tuples, hence — by hash-consing — the
+//!   *identical* lineage handle).
+//!
+//! A sink that applies both kinds verbatim reconstructs exactly the batch
+//! LAWA output; [`CollectingSink`] does that, [`CountingSink`] just counts
+//! (for benchmarks and monitoring).
+
+use tp_core::arena::FastMap;
+use tp_core::fact::Fact;
+use tp_core::interval::{Interval, TimePoint};
+use tp_core::lineage::Lineage;
+use tp_core::ops::SetOp;
+use tp_core::relation::TpRelation;
+use tp_core::tuple::TpTuple;
+
+/// One incremental change to the result of a set operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Delta {
+    /// A new output tuple, final as of the current watermark (it may still
+    /// be extended later, never retracted or shrunk).
+    Insert(TpTuple),
+    /// The most recent output tuple of `fact` — whose interval currently
+    /// ends at `from` and whose lineage is `lineage` — now ends at `to`.
+    Extend {
+        /// The fact whose latest output tuple grows.
+        fact: Fact,
+        /// The (unchanged) lineage of that tuple, for consumers that index
+        /// deltas by lineage instead of by fact.
+        lineage: Lineage,
+        /// The previous exclusive end of the tuple's interval.
+        from: TimePoint,
+        /// The new exclusive end.
+        to: TimePoint,
+    },
+}
+
+impl Delta {
+    /// The fact the delta applies to.
+    pub fn fact(&self) -> &Fact {
+        match self {
+            Delta::Insert(t) => &t.fact,
+            Delta::Extend { fact, .. } => fact,
+        }
+    }
+}
+
+/// Consumer of the engine's incremental results.
+pub trait StreamSink {
+    /// Called once per delta, in output order per watermark advance.
+    fn on_delta(&mut self, op: SetOp, delta: &Delta);
+
+    /// Called after all deltas of a watermark advance have been delivered.
+    fn on_watermark(&mut self, _w: TimePoint) {}
+}
+
+/// Index of an operation in per-op arrays (`SetOp::ALL` order).
+pub(crate) fn op_index(op: SetOp) -> usize {
+    match op {
+        SetOp::Union => 0,
+        SetOp::Intersect => 1,
+        SetOp::Except => 2,
+    }
+}
+
+/// A sink that materializes the full result relation per operation by
+/// applying every delta. After the stream is closed, [`CollectingSink::relation`]
+/// equals the batch operation on the same inputs.
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    tuples: [Vec<TpTuple>; 3],
+    /// Per op: index of the latest output tuple per fact (the only tuple an
+    /// `Extend` may target).
+    last: [FastMap<Fact, usize>; 3],
+}
+
+impl CollectingSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The materialized result of `op`, sorted by `(F, Ts)`.
+    pub fn relation(&self, op: SetOp) -> TpRelation {
+        TpRelation::try_new(self.tuples[op_index(op)].clone())
+            .expect("streamed output must be duplicate-free")
+    }
+
+    /// Number of materialized tuples for `op`.
+    pub fn len(&self, op: SetOp) -> usize {
+        self.tuples[op_index(op)].len()
+    }
+
+    /// Whether nothing was materialized for `op`.
+    pub fn is_empty(&self, op: SetOp) -> bool {
+        self.tuples[op_index(op)].is_empty()
+    }
+}
+
+impl StreamSink for CollectingSink {
+    fn on_delta(&mut self, op: SetOp, delta: &Delta) {
+        let idx = op_index(op);
+        match delta {
+            Delta::Insert(t) => {
+                self.tuples[idx].push(t.clone());
+                self.last[idx].insert(t.fact.clone(), self.tuples[idx].len() - 1);
+            }
+            Delta::Extend {
+                fact,
+                lineage,
+                from,
+                to,
+            } => {
+                // A sink attached mid-stream may receive an Extend for a
+                // tuple it never saw inserted: materialize the extension
+                // piece as a fresh tuple instead (its view of the result
+                // then covers exactly the deltas it observed).
+                match self.last[idx].get(fact) {
+                    Some(&at) => {
+                        let t = &mut self.tuples[idx][at];
+                        debug_assert_eq!(t.interval.end(), *from, "Extend boundary mismatch");
+                        debug_assert_eq!(t.lineage, *lineage, "Extend lineage mismatch");
+                        t.interval = Interval::at(t.interval.start(), *to);
+                    }
+                    None => {
+                        let t = TpTuple::new(fact.clone(), *lineage, Interval::at(*from, *to));
+                        self.tuples[idx].push(t);
+                        self.last[idx].insert(fact.clone(), self.tuples[idx].len() - 1);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A sink that only counts deltas — the cheapest way to drive the engine in
+/// benchmarks, and a template for monitoring integrations.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingSink {
+    inserts: [u64; 3],
+    extends: [u64; 3],
+    /// Watermark advances observed.
+    pub watermarks: u64,
+}
+
+impl CountingSink {
+    /// Creates a zeroed sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts seen for `op`.
+    pub fn inserts(&self, op: SetOp) -> u64 {
+        self.inserts[op_index(op)]
+    }
+
+    /// Extends seen for `op`.
+    pub fn extends(&self, op: SetOp) -> u64 {
+        self.extends[op_index(op)]
+    }
+
+    /// Total deltas across all operations.
+    pub fn total(&self) -> u64 {
+        self.inserts.iter().sum::<u64>() + self.extends.iter().sum::<u64>()
+    }
+}
+
+impl StreamSink for CountingSink {
+    fn on_delta(&mut self, op: SetOp, delta: &Delta) {
+        let idx = op_index(op);
+        match delta {
+            Delta::Insert(_) => self.inserts[idx] += 1,
+            Delta::Extend { .. } => self.extends[idx] += 1,
+        }
+    }
+
+    fn on_watermark(&mut self, _w: TimePoint) {
+        self.watermarks += 1;
+    }
+}
+
+/// A sink that discards everything (engine overhead measurements).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl StreamSink for NullSink {
+    fn on_delta(&mut self, _op: SetOp, _delta: &Delta) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_core::lineage::TupleId;
+
+    fn v(i: u64) -> Lineage {
+        Lineage::var(TupleId(i))
+    }
+
+    #[test]
+    fn collecting_sink_applies_insert_and_extend() {
+        let mut sink = CollectingSink::new();
+        let t = TpTuple::new("milk", v(1), Interval::at(1, 4));
+        sink.on_delta(SetOp::Union, &Delta::Insert(t.clone()));
+        sink.on_delta(
+            SetOp::Union,
+            &Delta::Extend {
+                fact: t.fact.clone(),
+                lineage: t.lineage,
+                from: 4,
+                to: 9,
+            },
+        );
+        let rel = sink.relation(SetOp::Union);
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.tuples()[0].interval, Interval::at(1, 9));
+        assert!(sink.is_empty(SetOp::Intersect));
+    }
+
+    #[test]
+    fn extend_targets_latest_tuple_of_the_fact() {
+        let mut sink = CollectingSink::new();
+        let a = TpTuple::new("f", v(1), Interval::at(1, 3));
+        let b = TpTuple::new("f", v(2), Interval::at(5, 7));
+        sink.on_delta(SetOp::Union, &Delta::Insert(a));
+        sink.on_delta(SetOp::Union, &Delta::Insert(b.clone()));
+        sink.on_delta(
+            SetOp::Union,
+            &Delta::Extend {
+                fact: b.fact.clone(),
+                lineage: b.lineage,
+                from: 7,
+                to: 8,
+            },
+        );
+        let rel = sink.relation(SetOp::Union);
+        assert_eq!(rel.tuples()[0].interval, Interval::at(1, 3));
+        assert_eq!(rel.tuples()[1].interval, Interval::at(5, 8));
+    }
+
+    #[test]
+    fn extend_without_prior_insert_materializes_the_piece() {
+        // A sink attached mid-stream sees only the continuation.
+        let mut sink = CollectingSink::new();
+        sink.on_delta(
+            SetOp::Union,
+            &Delta::Extend {
+                fact: Fact::single("f"),
+                lineage: v(9),
+                from: 4,
+                to: 7,
+            },
+        );
+        let rel = sink.relation(SetOp::Union);
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.tuples()[0].interval, Interval::at(4, 7));
+        // And a further Extend continues that piece.
+        sink.on_delta(
+            SetOp::Union,
+            &Delta::Extend {
+                fact: Fact::single("f"),
+                lineage: v(9),
+                from: 7,
+                to: 9,
+            },
+        );
+        assert_eq!(
+            sink.relation(SetOp::Union).tuples()[0].interval,
+            Interval::at(4, 9)
+        );
+    }
+
+    #[test]
+    fn counting_sink_counts_per_op() {
+        let mut sink = CountingSink::new();
+        let t = TpTuple::new("x", v(3), Interval::at(0, 2));
+        sink.on_delta(SetOp::Union, &Delta::Insert(t.clone()));
+        sink.on_delta(SetOp::Except, &Delta::Insert(t.clone()));
+        sink.on_delta(
+            SetOp::Except,
+            &Delta::Extend {
+                fact: t.fact.clone(),
+                lineage: t.lineage,
+                from: 2,
+                to: 3,
+            },
+        );
+        sink.on_watermark(5);
+        assert_eq!(sink.inserts(SetOp::Union), 1);
+        assert_eq!(sink.inserts(SetOp::Except), 1);
+        assert_eq!(sink.extends(SetOp::Except), 1);
+        assert_eq!(sink.total(), 3);
+        assert_eq!(sink.watermarks, 1);
+    }
+}

@@ -1,0 +1,634 @@
+//! The continuous LAWA engine: out-of-order ingestion, bounded-lateness
+//! watermarks, and incremental delta emission for the three TP set
+//! operations.
+//!
+//! ## Model
+//!
+//! Facts arrive as [`TpTuple`]s per input side, in any order. A
+//! **watermark** `w` is the promise that no tuple with `Ts < w` will arrive
+//! anymore (tuples violating the promise are counted and dropped, never
+//! silently mis-merged). Because a tuple can only influence LAWA windows
+//! from its start point onward, the result restricted to `(-∞, w)` is
+//! *final* the moment the watermark reaches `w` — this is the streaming
+//! reading of the paper's window-advancement invariant: `winTe` of Alg. 1
+//! only ever depends on tuples of the current fact that are already known
+//! below the watermark.
+//!
+//! ## One sweep per advance
+//!
+//! [`StreamEngine::advance`] finalizes the region `[prev_w, w)`:
+//!
+//! 1. tuples with `Ts < w` are released from the ingest buffers;
+//! 2. tuples crossing `w` are split by
+//!    [`tp_core::window::split_at_watermark`] — the prefix joins this
+//!    sweep, the residual (same lineage handle) re-enters the next one;
+//! 3. one [`Lawa`] sweep runs over the released prefix, and each window is
+//!    fed through the λ-filter/λ-function of **all three** operations
+//!    (Alg. 2–4) at once — three result streams for the price of one sweep;
+//! 4. output tuples adjacent to the previous advance's final tuple of the
+//!    same fact with the *identical* lineage handle (an O(1) compare, the
+//!    arena's gift) are emitted as [`Delta::Extend`], everything else as
+//!    [`Delta::Insert`].
+//!
+//! With [`EngineConfig::verify_batch`] the engine additionally re-runs
+//! batch LAWA over the entire closed region after every advance and asserts
+//! tuple-for-tuple equality — the cross-check used by the test-suite
+//! (quadratic; keep it off in production).
+//!
+//! ## Equivalence contract
+//!
+//! For inputs in the model's standard regime — duplicate-free relations
+//! whose tuples carry distinct base variables or change-preserving derived
+//! lineage (every relation produced by `TpRelation::base` or by a LAWA
+//! operator qualifies) — the concatenation of deltas, applied by
+//! [`CollectingSink`](crate::delta::CollectingSink), is **identical** to
+//! the batch operator output: same tuples, same intervals, same interned
+//! lineage handles, hence same marginals. Property tests assert this for
+//! every arrival permutation within the lateness bound and every watermark
+//! schedule (`tests/stream_props.rs` at the workspace root).
+
+use tp_core::arena::FastMap;
+use tp_core::fact::Fact;
+use tp_core::interval::TimePoint;
+use tp_core::lineage::Lineage;
+use tp_core::ops::{self, SetOp};
+use tp_core::relation::TpRelation;
+use tp_core::tuple::TpTuple;
+use tp_core::window::{split_at_watermark, Lawa};
+
+use crate::delta::{op_index, CollectingSink, Delta, StreamSink};
+
+/// Which input relation a tuple belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The left input (`r` in `r op s`).
+    Left,
+    /// The right input (`s` in `r op s`).
+    Right,
+}
+
+impl Side {
+    /// Both sides, in `[left, right]` order.
+    pub const BOTH: [Side; 2] = [Side::Left, Side::Right];
+
+    #[inline]
+    pub(crate) fn idx(self) -> usize {
+        match self {
+            Side::Left => 0,
+            Side::Right => 1,
+        }
+    }
+}
+
+/// What happened to a pushed tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// Buffered; it will be processed once the watermark passes its start.
+    Accepted,
+    /// Its start lies below the current watermark: the bounded-lateness
+    /// promise was already spent. Dropped and counted (see
+    /// [`StreamEngine::late_dropped`]).
+    Late,
+}
+
+/// How the watermark moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatermarkPolicy {
+    /// Only explicit [`StreamEngine::advance`] calls move the watermark.
+    Manual,
+    /// The watermark trails the highest start time seen by `lateness`
+    /// time points; [`StreamEngine::poll`] advances to that bound. A tuple
+    /// may arrive out of order by up to `lateness` without being dropped.
+    BoundedLateness(i64),
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The operations to maintain (deltas are emitted per op). Defaults to
+    /// all three — they share the single sweep either way.
+    pub ops: Vec<SetOp>,
+    /// Watermark regime; see [`WatermarkPolicy`].
+    pub policy: WatermarkPolicy,
+    /// Re-run batch LAWA over the whole closed region after every advance
+    /// and assert equality (quadratic — tests only).
+    pub verify_batch: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            ops: SetOp::ALL.to_vec(),
+            policy: WatermarkPolicy::Manual,
+            verify_batch: false,
+        }
+    }
+}
+
+/// Errors of the streaming API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// `advance(to)` with `to` at or below the current watermark.
+    NonMonotonicWatermark {
+        /// The current watermark.
+        current: TimePoint,
+        /// The rejected target.
+        requested: TimePoint,
+    },
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::NonMonotonicWatermark { current, requested } => write!(
+                f,
+                "watermark must advance strictly: current {current}, requested {requested}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Counters of one watermark advance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdvanceStats {
+    /// The watermark after the advance.
+    pub watermark: TimePoint,
+    /// LAWA windows swept in this advance.
+    pub windows: usize,
+    /// `Insert` deltas emitted (all ops).
+    pub inserts: u64,
+    /// `Extend` deltas emitted (all ops).
+    pub extends: u64,
+    /// Tuples released from the ingest buffers `[left, right]`.
+    pub released: [usize; 2],
+    /// Residual tuples carried into the next advance `[left, right]`.
+    pub carried: [usize; 2],
+}
+
+/// The open right edge of the latest output tuple of one fact (per op).
+struct Tail {
+    end: TimePoint,
+    lineage: Lineage,
+}
+
+/// The continuous engine. See the module docs for the model.
+pub struct StreamEngine {
+    cfg: EngineConfig,
+    watermark: TimePoint,
+    /// Highest tuple start seen, for [`WatermarkPolicy::BoundedLateness`].
+    event_high: TimePoint,
+    /// Out-of-order ingest buffers, unsorted.
+    pending: [Vec<TpTuple>; 2],
+    /// Residuals of tuples split at the previous watermark (start ==
+    /// watermark, original lineage).
+    carry: [Vec<TpTuple>; 2],
+    late: [u64; 2],
+    /// Per op: the extendable right edge per fact.
+    tails: [FastMap<Fact, Tail>; 3],
+    /// Prune the tail maps (drop entries provably dead under the
+    /// watermark) when their combined size crosses this mark — amortized
+    /// O(1) per emitted tuple, bounding memory by *live* facts instead of
+    /// all facts ever seen.
+    tails_prune_at: usize,
+    /// Accepted originals, kept only under `verify_batch`.
+    accepted: [Vec<TpTuple>; 2],
+    /// A real [`CollectingSink`] shadowing every delta under
+    /// `verify_batch`, so the cross-check validates the exact apply
+    /// semantics consumers see (one implementation, not a mirror copy).
+    verify_mirror: Option<CollectingSink>,
+}
+
+impl Default for StreamEngine {
+    fn default() -> Self {
+        Self::new(EngineConfig::default())
+    }
+}
+
+impl StreamEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(cfg: EngineConfig) -> Self {
+        let verify_mirror = cfg.verify_batch.then(CollectingSink::new);
+        StreamEngine {
+            cfg,
+            watermark: TimePoint::MIN,
+            event_high: TimePoint::MIN,
+            pending: [Vec::new(), Vec::new()],
+            carry: [Vec::new(), Vec::new()],
+            late: [0, 0],
+            tails: Default::default(),
+            tails_prune_at: 1024,
+            accepted: [Vec::new(), Vec::new()],
+            verify_mirror,
+        }
+    }
+
+    /// The current watermark (`TimePoint::MIN` before the first advance).
+    pub fn watermark(&self) -> TimePoint {
+        self.watermark
+    }
+
+    /// Late-dropped tuple counts `[left, right]`.
+    pub fn late_dropped(&self) -> [u64; 2] {
+        self.late
+    }
+
+    /// Tuples buffered but not yet released `[left, right]` (pending plus
+    /// carried residuals).
+    pub fn buffered(&self) -> [usize; 2] {
+        [
+            self.pending[0].len() + self.carry[0].len(),
+            self.pending[1].len() + self.carry[1].len(),
+        ]
+    }
+
+    /// Ingests one tuple. Order of pushes is arbitrary; only the bounded-
+    /// lateness promise matters (`tuple.interval.start() >= watermark`).
+    pub fn push(&mut self, side: Side, tuple: TpTuple) -> IngestOutcome {
+        if tuple.interval.start() < self.watermark {
+            self.late[side.idx()] += 1;
+            return IngestOutcome::Late;
+        }
+        self.event_high = self.event_high.max(tuple.interval.start());
+        if self.cfg.verify_batch {
+            self.accepted[side.idx()].push(tuple.clone());
+        }
+        self.pending[side.idx()].push(tuple);
+        IngestOutcome::Accepted
+    }
+
+    /// Under [`WatermarkPolicy::BoundedLateness`], advances the watermark
+    /// to `highest start seen − lateness` if that is ahead of the current
+    /// watermark; under [`WatermarkPolicy::Manual`] this is a no-op.
+    /// Returns the advance stats when the watermark moved.
+    pub fn poll(&mut self, sink: &mut impl StreamSink) -> Option<AdvanceStats> {
+        let WatermarkPolicy::BoundedLateness(lateness) = self.cfg.policy else {
+            return None;
+        };
+        if self.event_high == TimePoint::MIN {
+            return None; // nothing ingested yet
+        }
+        let target = self.event_high.saturating_sub(lateness.max(0));
+        if target > self.watermark {
+            Some(self.advance(target, sink).expect("target checked monotone"))
+        } else {
+            None
+        }
+    }
+
+    /// Finalizes the region `[watermark, to)` and emits its deltas.
+    pub fn advance(
+        &mut self,
+        to: TimePoint,
+        sink: &mut impl StreamSink,
+    ) -> Result<AdvanceStats, StreamError> {
+        if to <= self.watermark {
+            return Err(StreamError::NonMonotonicWatermark {
+                current: self.watermark,
+                requested: to,
+            });
+        }
+        let mut stats = AdvanceStats {
+            watermark: to,
+            ..Default::default()
+        };
+
+        // Release: carried residuals + pending tuples starting below `to`,
+        // split at the new watermark (prefix sweeps now, residual waits).
+        let mut ready: [Vec<TpTuple>; 2] = [Vec::new(), Vec::new()];
+        for (side, ready_slot) in ready.iter_mut().enumerate() {
+            let mut released: Vec<TpTuple> = std::mem::take(&mut self.carry[side]);
+            let pending = std::mem::take(&mut self.pending[side]);
+            let mut keep = Vec::with_capacity(pending.len());
+            for t in pending {
+                if t.interval.start() < to {
+                    released.push(t);
+                } else {
+                    keep.push(t);
+                }
+            }
+            self.pending[side] = keep;
+            stats.released[side] = released.len();
+            let (mut closed, residual) = split_at_watermark(released, to);
+            stats.carried[side] = residual.len();
+            self.carry[side] = residual;
+            closed.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+            *ready_slot = closed;
+        }
+
+        // One sweep, all ops (indexed loop: `emit` needs `&mut self`).
+        let [ready_r, ready_s] = &ready;
+        for w in Lawa::new(ready_r, ready_s) {
+            stats.windows += 1;
+            for oi in 0..self.cfg.ops.len() {
+                let op = self.cfg.ops[oi];
+                let lineage = match op {
+                    SetOp::Union => Lineage::or_opt(w.lambda_r.as_ref(), w.lambda_s.as_ref()),
+                    SetOp::Intersect => match (&w.lambda_r, &w.lambda_s) {
+                        (Some(lr), Some(ls)) => Some(Lineage::and(lr, ls)),
+                        _ => None,
+                    },
+                    SetOp::Except => w
+                        .lambda_r
+                        .as_ref()
+                        .map(|lr| Lineage::and_not(lr, w.lambda_s.as_ref())),
+                };
+                if let Some(lineage) = lineage {
+                    let t = TpTuple::new(w.fact.clone(), lineage, w.interval);
+                    self.emit(op, t, sink, &mut stats);
+                }
+            }
+        }
+
+        self.watermark = to;
+        // A tail can only be matched by a future output starting exactly
+        // at its end, and every future output lies at or above the
+        // watermark: entries ending below it are dead. Prune with
+        // doubling amortization so the maps track *live* facts, not every
+        // fact ever emitted.
+        let total: usize = self.tails.iter().map(|m| m.len()).sum();
+        if total > self.tails_prune_at {
+            for m in &mut self.tails {
+                m.retain(|_, tail| tail.end >= to);
+            }
+            let live: usize = self.tails.iter().map(|m| m.len()).sum();
+            self.tails_prune_at = (2 * live).max(1024);
+        }
+        sink.on_watermark(to);
+        if self.cfg.verify_batch {
+            self.verify_closed_region();
+        }
+        Ok(stats)
+    }
+
+    /// Releases everything still buffered by advancing the watermark past
+    /// the last buffered end point. No-op (zero stats) when nothing is
+    /// buffered.
+    pub fn finish(&mut self, sink: &mut impl StreamSink) -> Result<AdvanceStats, StreamError> {
+        let hi = self
+            .pending
+            .iter()
+            .chain(self.carry.iter())
+            .flatten()
+            .map(|t| t.interval.end())
+            .max();
+        match hi {
+            Some(hi) if hi > self.watermark => self.advance(hi, sink),
+            _ => Ok(AdvanceStats {
+                watermark: self.watermark,
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// Emits one output tuple as an `Extend` (when it continues the fact's
+    /// previous output tuple with the identical lineage handle — the
+    /// artificial watermark cut) or as an `Insert`.
+    fn emit(
+        &mut self,
+        op: SetOp,
+        t: TpTuple,
+        sink: &mut impl StreamSink,
+        stats: &mut AdvanceStats,
+    ) {
+        let idx = op_index(op);
+        let delta = match self.tails[idx].get_mut(&t.fact) {
+            Some(tail) if tail.end == t.interval.start() && tail.lineage == t.lineage => {
+                let from = tail.end;
+                tail.end = t.interval.end();
+                stats.extends += 1;
+                Delta::Extend {
+                    fact: t.fact.clone(),
+                    lineage: t.lineage,
+                    from,
+                    to: t.interval.end(),
+                }
+            }
+            _ => {
+                self.tails[idx].insert(
+                    t.fact.clone(),
+                    Tail {
+                        end: t.interval.end(),
+                        lineage: t.lineage,
+                    },
+                );
+                stats.inserts += 1;
+                Delta::Insert(t)
+            }
+        };
+        if let Some(mirror) = self.verify_mirror.as_mut() {
+            mirror.on_delta(op, &delta);
+        }
+        sink.on_delta(op, &delta);
+    }
+
+    /// Batch cross-check: for every maintained op, batch LAWA over all
+    /// accepted tuples clipped to the closed region `(-∞, watermark)` must
+    /// equal the merged emitted output. Panics on divergence (engine bug).
+    fn verify_closed_region(&self) {
+        let clip = |side: usize| -> TpRelation {
+            let (closed, _) =
+                split_at_watermark(self.accepted[side].iter().cloned(), self.watermark);
+            TpRelation::try_new(closed).expect("clipped accepted inputs stay duplicate-free")
+        };
+        let r = clip(0);
+        let s = clip(1);
+        let mirror = self
+            .verify_mirror
+            .as_ref()
+            .expect("verify_closed_region only runs under verify_batch");
+        for &op in &self.cfg.ops {
+            let batch = ops::apply(op, &r, &s).canonicalized();
+            let streamed = mirror.relation(op).canonicalized();
+            assert_eq!(
+                streamed, batch,
+                "stream/batch divergence for {op} at watermark {}",
+                self.watermark
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::{CollectingSink, CountingSink};
+    use tp_core::interval::Interval;
+    use tp_core::relation::VarTable;
+
+    /// The paper's Example 3 relations (c, a restricted to 'milk').
+    fn example3(vars: &mut VarTable) -> (TpRelation, TpRelation) {
+        let c = TpRelation::base(
+            "c",
+            vec![
+                (Fact::single("milk"), Interval::at(1, 4), 0.6),
+                (Fact::single("milk"), Interval::at(6, 8), 0.7),
+            ],
+            vars,
+        )
+        .unwrap();
+        let a = TpRelation::base(
+            "a",
+            vec![(Fact::single("milk"), Interval::at(2, 10), 0.3)],
+            vars,
+        )
+        .unwrap();
+        (c, a)
+    }
+
+    fn engine_verifying() -> StreamEngine {
+        StreamEngine::new(EngineConfig {
+            verify_batch: true,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn in_order_stream_matches_batch_for_all_ops() {
+        let mut vars = VarTable::new();
+        let (c, a) = example3(&mut vars);
+        let mut engine = engine_verifying();
+        let mut sink = CollectingSink::new();
+        for t in c.iter() {
+            assert_eq!(engine.push(Side::Left, t.clone()), IngestOutcome::Accepted);
+        }
+        for t in a.iter() {
+            assert_eq!(engine.push(Side::Right, t.clone()), IngestOutcome::Accepted);
+        }
+        // Watermark schedule slicing through the middle of tuples.
+        for w in [3, 5, 7] {
+            engine.advance(w, &mut sink).unwrap();
+        }
+        engine.finish(&mut sink).unwrap();
+        for op in SetOp::ALL {
+            assert_eq!(
+                sink.relation(op).canonicalized(),
+                ops::apply(op, &c, &a).canonicalized(),
+                "{op}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_order_arrival_within_lateness_matches_batch() {
+        let mut vars = VarTable::new();
+        let (c, a) = example3(&mut vars);
+        let mut engine = engine_verifying();
+        let mut sink = CollectingSink::new();
+        // Reverse arrival order; watermark only advances afterwards.
+        for t in c.iter().rev() {
+            engine.push(Side::Left, t.clone());
+        }
+        engine.advance(2, &mut sink).unwrap();
+        for t in a.iter() {
+            engine.push(Side::Right, t.clone());
+        }
+        engine.finish(&mut sink).unwrap();
+        for op in SetOp::ALL {
+            assert_eq!(
+                sink.relation(op).canonicalized(),
+                ops::apply(op, &c, &a).canonicalized(),
+                "{op}"
+            );
+        }
+    }
+
+    #[test]
+    fn artificial_cuts_are_emitted_as_extends() {
+        // One long tuple swept by many watermarks: 1 insert, k-1 extends.
+        let mut vars = VarTable::new();
+        let id = vars.register("r1", 0.5).unwrap();
+        let t = TpTuple::new("f", Lineage::var(id), Interval::at(0, 100));
+        let mut engine = StreamEngine::default();
+        let mut sink = CountingSink::new();
+        engine.push(Side::Left, t);
+        for w in (10..=90).step_by(10) {
+            engine.advance(w, &mut sink).unwrap();
+        }
+        engine.finish(&mut sink).unwrap();
+        assert_eq!(sink.inserts(SetOp::Union), 1);
+        assert_eq!(sink.extends(SetOp::Union), 9);
+        assert_eq!(sink.inserts(SetOp::Except), 1);
+        assert_eq!(sink.inserts(SetOp::Intersect), 0);
+    }
+
+    #[test]
+    fn late_tuples_are_dropped_and_counted() {
+        let mut vars = VarTable::new();
+        let id = vars.register("r1", 0.5).unwrap();
+        let mut engine = StreamEngine::default();
+        let mut sink = CountingSink::new();
+        engine.advance(10, &mut sink).unwrap();
+        let late = TpTuple::new("f", Lineage::var(id), Interval::at(5, 8));
+        assert_eq!(engine.push(Side::Left, late), IngestOutcome::Late);
+        assert_eq!(engine.late_dropped(), [1, 0]);
+        let ok = TpTuple::new("f", Lineage::var(id), Interval::at(10, 12));
+        assert_eq!(engine.push(Side::Left, ok), IngestOutcome::Accepted);
+    }
+
+    #[test]
+    fn non_monotonic_watermark_rejected() {
+        let mut engine = StreamEngine::default();
+        let mut sink = crate::delta::NullSink;
+        engine.advance(5, &mut sink).unwrap();
+        assert!(matches!(
+            engine.advance(5, &mut sink),
+            Err(StreamError::NonMonotonicWatermark { .. })
+        ));
+        assert!(engine.advance(6, &mut sink).is_ok());
+    }
+
+    #[test]
+    fn bounded_lateness_policy_advances_on_poll() {
+        let mut vars = VarTable::new();
+        let mut engine = StreamEngine::new(EngineConfig {
+            policy: WatermarkPolicy::BoundedLateness(3),
+            ..Default::default()
+        });
+        let mut sink = CountingSink::new();
+        let mk = |vars: &mut VarTable, s, e| {
+            let id = vars.register("x", 0.5).unwrap();
+            TpTuple::new("f", Lineage::var(id), Interval::at(s, e))
+        };
+        assert!(engine.poll(&mut sink).is_none()); // nothing ingested yet
+        engine.push(Side::Left, mk(&mut vars, 0, 2));
+        // The watermark trails the highest start by the lateness bound.
+        let stats = engine.poll(&mut sink).expect("watermark moved");
+        assert_eq!(stats.watermark, -3);
+        engine.push(Side::Left, mk(&mut vars, 10, 12));
+        let stats = engine.poll(&mut sink).expect("watermark moved");
+        assert_eq!(stats.watermark, 7);
+        assert_eq!(engine.watermark(), 7);
+        // A tuple older than the bound is now late.
+        assert_eq!(
+            engine.push(Side::Left, mk(&mut vars, 4, 6)),
+            IngestOutcome::Late
+        );
+        // Within the bound: accepted.
+        assert_eq!(
+            engine.push(Side::Left, mk(&mut vars, 8, 9)),
+            IngestOutcome::Accepted
+        );
+    }
+
+    #[test]
+    fn advance_stats_account_for_release_and_carry() {
+        let mut vars = VarTable::new();
+        let (c, a) = example3(&mut vars);
+        let mut engine = StreamEngine::default();
+        let mut sink = CountingSink::new();
+        for t in c.iter() {
+            engine.push(Side::Left, t.clone());
+        }
+        for t in a.iter() {
+            engine.push(Side::Right, t.clone());
+        }
+        let stats = engine.advance(3, &mut sink).unwrap();
+        // Left: [1,4) released (crosses 3, carried), [6,8) stays pending.
+        assert_eq!(stats.released, [1, 1]);
+        assert_eq!(stats.carried, [1, 1]);
+        assert_eq!(engine.buffered(), [2, 1]);
+        assert!(stats.windows > 0);
+    }
+}

@@ -1,0 +1,335 @@
+//! Epoch-partitioned execution and the arena-cache release scope.
+//!
+//! The timeline is cut into fixed-width **epochs**. Because a LAWA window
+//! never spans a point where both inputs are clipped, each epoch can be
+//! swept independently over the inputs clipped to its range; outputs are
+//! stitched back by sorting and coalescing (the artificial epoch-boundary
+//! cuts carry identical lineage handles on both sides, so
+//! [`TpRelation::coalesce`] merges exactly them — the same argument as the
+//! streaming engine's `Extend` deltas). Workers process disjoint epoch
+//! ranges with scoped threads.
+//!
+//! Each finalized epoch may **release arena-side caches**: an
+//! [`EpochScope`] snapshots the arena high-water marks when the epoch
+//! begins ([`tp_core::arena::LineageArena::stamp`]) and
+//! [`EpochScope::release_marginals`] evicts the memoized marginals of every
+//! node interned after the snapshot from a
+//! [`VarTable`]. Dropping cache entries is always sound (they are
+//! recomputed on demand); for a long-running stream it is the difference
+//! between a cache proportional to *live* lineage and one proportional to
+//! *all lineage ever built* — the first concrete step toward the ROADMAP's
+//! epoch-based arena reclamation.
+
+use tp_core::arena::{ArenaStamp, LineageArena};
+use tp_core::interval::Interval;
+use tp_core::ops::{self, SetOp};
+use tp_core::relation::{TpRelation, VarTable};
+use tp_core::tuple::TpTuple;
+
+/// Brackets a phase of lineage construction; see the module docs.
+#[derive(Debug, Clone)]
+pub struct EpochScope {
+    stamp: ArenaStamp,
+}
+
+impl EpochScope {
+    /// Opens a scope: nodes interned from now on count as epoch-local.
+    pub fn begin() -> Self {
+        EpochScope {
+            stamp: LineageArena::global().stamp(),
+        }
+    }
+
+    /// The arena snapshot taken at [`EpochScope::begin`].
+    pub fn stamp(&self) -> &ArenaStamp {
+        &self.stamp
+    }
+
+    /// Evicts the memoized marginals of every epoch-local node from
+    /// `vars`. Call once the epoch's outputs are consumed.
+    pub fn release_marginals(&self, vars: &VarTable) {
+        vars.release_marginals_after(&self.stamp);
+    }
+}
+
+/// Parameters of the partitioned executor.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochConfig {
+    /// Time points per epoch (clamped to ≥ 1).
+    pub epoch_width: i64,
+    /// Worker threads (clamped to ≥ 1). Each worker sweeps a contiguous
+    /// block of epochs, in timeline order.
+    pub threads: usize,
+}
+
+impl Default for EpochConfig {
+    fn default() -> Self {
+        EpochConfig {
+            epoch_width: 1024,
+            threads: 4,
+        }
+    }
+}
+
+/// Buckets `rel` into `epochs` slices of `width` time points starting at
+/// `lo`, clipping tuples at epoch borders (lineage preserved). One pass
+/// over the relation; a tuple spanning `k` epochs contributes `k` clipped
+/// pieces (inherent to the partitioning).
+fn bucket_by_epoch(rel: &TpRelation, lo: i64, width: i64, epochs: i64) -> Vec<Vec<TpTuple>> {
+    let mut buckets: Vec<Vec<TpTuple>> = vec![Vec::new(); epochs as usize];
+    for t in rel.iter() {
+        let epoch_of =
+            |p: i64| (((p as i128 - lo as i128) / width as i128) as i64).clamp(0, epochs - 1);
+        let first = epoch_of(t.interval.start());
+        let last = epoch_of(t.interval.end() - 1);
+        for e in first..=last {
+            let (elo, ehi) = (
+                (lo as i128 + e as i128 * width as i128) as i64,
+                (lo as i128 + (e as i128 + 1) * width as i128).min(i64::MAX as i128) as i64,
+            );
+            let mut c = t.clone();
+            c.interval = Interval::at(t.interval.start().max(elo), t.interval.end().min(ehi));
+            buckets[e as usize].push(c);
+        }
+    }
+    buckets
+}
+
+/// Upper bound on the number of epochs per call, independent of the time
+/// hull: a sparse timeline (one tuple at `t≈0`, one at `t≈2^40`) must not
+/// allocate a bucket per empty epoch. When the configured width would
+/// exceed the cap, epochs are widened — correctness is invariant to the
+/// width (wider epochs just mean fewer artificial cuts to coalesce).
+const MAX_EPOCHS: i128 = 1 << 16;
+
+/// Computes `r op s` by sweeping fixed-width timeline epochs with worker
+/// threads and stitching the per-epoch outputs. Equivalent to
+/// [`ops::apply`] for inputs in the model's standard regime (distinct base
+/// variables / change-preserving lineage — see the crate docs).
+///
+/// When `release_caches` is set, every finalized epoch evicts the marginals
+/// of its scratch lineage nodes from the given [`VarTable`] (sound: cache
+/// misses recompute).
+pub fn apply_epoched(
+    op: SetOp,
+    r: &TpRelation,
+    s: &TpRelation,
+    cfg: &EpochConfig,
+    release_caches: Option<&VarTable>,
+) -> TpRelation {
+    let hull = match (r.time_range(), s.time_range()) {
+        (None, None) => return TpRelation::new(),
+        (Some(h), None) | (None, Some(h)) => h,
+        (Some(a), Some(b)) => a.hull(&b),
+    };
+    let lo = hull.start();
+    let span = hull.end() as i128 - lo as i128;
+    // i128::div_ceil is unstable on this toolchain; operands are positive.
+    let ceil_div = |a: i128, b: i128| (a + b - 1) / b;
+    let mut width = cfg.epoch_width.max(1) as i128;
+    if ceil_div(span, width) > MAX_EPOCHS {
+        width = ceil_div(span, MAX_EPOCHS);
+    }
+    let epochs = ceil_div(span, width) as i64;
+    let width = width as i64;
+    let threads = cfg.threads.clamp(1, epochs.max(1) as usize);
+
+    // One pass per relation to slice the inputs into per-epoch buckets.
+    let r_buckets = bucket_by_epoch(r, lo, width, epochs);
+    let s_buckets = bucket_by_epoch(s, lo, width, epochs);
+
+    // Each worker sweeps a contiguous block of epochs and returns its
+    // outputs in epoch order.
+    let per_worker = (epochs as usize).div_ceil(threads);
+    let mut all: Vec<TpTuple> = Vec::new();
+    let blocks: Vec<Vec<TpTuple>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|wk| {
+                let first = wk * per_worker;
+                let last = ((wk + 1) * per_worker).min(epochs as usize);
+                let r_buckets = &r_buckets;
+                let s_buckets = &s_buckets;
+                scope.spawn(move || {
+                    let mut out: Vec<TpTuple> = Vec::new();
+                    for e in first..last {
+                        let scope_guard = EpochScope::begin();
+                        let re = TpRelation::try_new(r_buckets[e].clone())
+                            .expect("clipping preserves duplicate-freeness");
+                        let se = TpRelation::try_new(s_buckets[e].clone())
+                            .expect("clipping preserves duplicate-freeness");
+                        out.extend(ops::apply(op, &re, &se).into_tuples());
+                        if let Some(vars) = release_caches {
+                            scope_guard.release_marginals(vars);
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("epoch worker panicked"))
+            .collect()
+    });
+    for block in blocks {
+        all.extend(block);
+    }
+    // Stitch: sort to canonical order, then merge the artificial
+    // epoch-boundary cuts (adjacent same-fact tuples with the identical
+    // lineage handle).
+    TpRelation::try_new(all)
+        .expect("epoch outputs are duplicate-free")
+        .coalesce()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_core::fact::Fact;
+    use tp_core::prob;
+
+    fn pair() -> (TpRelation, TpRelation, VarTable) {
+        let mut vars = VarTable::new();
+        let mut rows_r = Vec::new();
+        let mut rows_s = Vec::new();
+        for f in 0..5i64 {
+            for k in 0..40i64 {
+                rows_r.push((
+                    Fact::single(f),
+                    Interval::at(25 * k, 25 * k + 18),
+                    0.3 + 0.001 * k as f64,
+                ));
+                rows_s.push((
+                    Fact::single(f),
+                    Interval::at(25 * k + 9, 25 * k + 24),
+                    0.4 + 0.001 * k as f64,
+                ));
+            }
+        }
+        let r = TpRelation::base("r", rows_r, &mut vars).unwrap();
+        let s = TpRelation::base("s", rows_s, &mut vars).unwrap();
+        (r, s, vars)
+    }
+
+    #[test]
+    fn epoched_equals_batch_for_all_ops_widths_and_threads() {
+        let (r, s, _) = pair();
+        for op in SetOp::ALL {
+            let batch = ops::apply(op, &r, &s).canonicalized();
+            for width in [7, 64, 1 << 20] {
+                for threads in [1, 3, 8] {
+                    let cfg = EpochConfig {
+                        epoch_width: width,
+                        threads,
+                    };
+                    let got = apply_epoched(op, &r, &s, &cfg, None).canonicalized();
+                    assert_eq!(got, batch, "{op}, width {width}, {threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_output() {
+        let empty = TpRelation::new();
+        let cfg = EpochConfig::default();
+        assert!(apply_epoched(SetOp::Union, &empty, &empty, &cfg, None).is_empty());
+    }
+
+    #[test]
+    fn sparse_timelines_do_not_allocate_per_empty_epoch() {
+        // One tuple near t=0 and one near t=2^40 with a narrow width: the
+        // executor must widen epochs (bounded bucket memory) and still
+        // match batch.
+        let mut vars = VarTable::new();
+        let far = 1i64 << 40;
+        let r = TpRelation::base(
+            "r",
+            vec![
+                (Fact::single("x"), Interval::at(0, 10), 0.5),
+                (Fact::single("x"), Interval::at(far, far + 10), 0.5),
+            ],
+            &mut vars,
+        )
+        .unwrap();
+        let s = TpRelation::base(
+            "s",
+            vec![(Fact::single("x"), Interval::at(5, far + 5), 0.5)],
+            &mut vars,
+        )
+        .unwrap();
+        let cfg = EpochConfig {
+            epoch_width: 16,
+            threads: 2,
+        };
+        for op in SetOp::ALL {
+            assert_eq!(
+                apply_epoched(op, &r, &s, &cfg, None).canonicalized(),
+                ops::apply(op, &r, &s).canonicalized(),
+                "{op}"
+            );
+        }
+    }
+
+    #[test]
+    fn release_keeps_results_identical_and_shrinks_cache() {
+        // Pad the table so this test's lineage nodes live in a variable-id
+        // range no other test of this binary interns: the exact-release
+        // assertion below needs the intersect-phase nodes to be fresh.
+        let mut vars = VarTable::new();
+        for _ in 0..10_000 {
+            vars.register("pad", 0.5).unwrap();
+        }
+        let mut rows_r = Vec::new();
+        let mut rows_s = Vec::new();
+        for k in 0..60i64 {
+            rows_r.push((Fact::single(0i64), Interval::at(25 * k, 25 * k + 18), 0.3));
+            rows_s.push((
+                Fact::single(0i64),
+                Interval::at(25 * k + 9, 25 * k + 24),
+                0.4,
+            ));
+        }
+        let r = TpRelation::base("r", rows_r, &mut vars).unwrap();
+        let s = TpRelation::base("s", rows_s, &mut vars).unwrap();
+        let cfg = EpochConfig {
+            epoch_width: 50,
+            threads: 2,
+        };
+        // Valuate everything once WITHOUT release: cache holds all nodes.
+        let out = apply_epoched(SetOp::Union, &r, &s, &cfg, None);
+        let sum_before: f64 = out
+            .iter()
+            .map(|t| prob::marginal(&t.lineage, &vars).unwrap())
+            .sum();
+        let cache_full = vars.valuation_cache_len();
+        assert!(cache_full > 0);
+
+        // Release everything interned after this point: epoch scraps go,
+        // previously cached marginals stay.
+        let scope = EpochScope::begin();
+        let out2 = apply_epoched(SetOp::Intersect, &r, &s, &cfg, Some(&vars));
+        let _sum2: f64 = out2
+            .iter()
+            .map(|t| prob::marginal(&t.lineage, &vars).unwrap())
+            .sum();
+        scope.release_marginals(&vars);
+        // All intersect-phase marginals were released again.
+        assert_eq!(vars.valuation_cache_len(), cache_full);
+
+        // And the released values recompute identically.
+        let sum_after: f64 = out
+            .iter()
+            .map(|t| prob::marginal(&t.lineage, &vars).unwrap())
+            .sum();
+        assert!((sum_before - sum_after).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epoch_scope_stamp_monotone() {
+        let a = EpochScope::begin();
+        let _ = tp_core::lineage::Lineage::var(tp_core::lineage::TupleId(987_654));
+        let b = EpochScope::begin();
+        assert!(a.stamp().nodes() <= b.stamp().nodes());
+    }
+}

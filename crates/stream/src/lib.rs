@@ -1,0 +1,48 @@
+//! # tp-stream — Continuous LAWA
+//!
+//! A streaming execution mode for the TP set operations of the paper: facts
+//! arrive continuously and out of order, and the results of `∪Tp`, `∩Tp`
+//! and `−Tp` are maintained **incrementally** — consumers receive *deltas*
+//! (new or extended output intervals with their lineage) instead of batch
+//! re-runs.
+//!
+//! The batch algorithm already contains the key invariant: a LAWA window
+//! over `(-∞, w)` depends only on tuples starting below `w` (Alg. 1 looks
+//! at `rValid`/`sValid` and the *upcoming* tuples of the current fact, all
+//! of which start below the window's end). So once a **watermark** promises
+//! that no tuple with `Ts < w` will arrive anymore, the result prefix below
+//! `w` is final. The engine sweeps exactly that prefix — reusing the
+//! sequential [`tp_core::window::Lawa`] advancer per advance — and carries
+//! tuples crossing the watermark into the next sweep via
+//! [`tp_core::window::split_at_watermark`], with their lineage handle
+//! unchanged. Hash-consed lineage (PR 1) is what makes the delta merge
+//! O(1): an output tuple continues across a cut iff the adjacent tuple
+//! carries the *same* `LineageRef`.
+//!
+//! ## Module map
+//!
+//! | module | content |
+//! |---|---|
+//! | [`engine`] | [`StreamEngine`]: ingestion, watermarks, incremental sweep, delta emission |
+//! | [`delta`] | [`Delta`], the [`StreamSink`] trait, collecting/counting sinks |
+//! | [`epoch`] | timeline-partitioned parallel executor + arena-cache release scopes |
+//! | [`replay`] | deterministic out-of-order replay scripts over batch relation pairs |
+//!
+//! See `docs/streaming.md` for the watermark/lateness model, the epoch
+//! lifecycle, and how the delta semantics map onto the paper's
+//! window-advancement invariants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delta;
+pub mod engine;
+pub mod epoch;
+pub mod replay;
+
+pub use delta::{CollectingSink, CountingSink, Delta, NullSink, StreamSink};
+pub use engine::{
+    AdvanceStats, EngineConfig, IngestOutcome, Side, StreamEngine, StreamError, WatermarkPolicy,
+};
+pub use epoch::{apply_epoched, EpochConfig, EpochScope};
+pub use replay::{ReplayConfig, ReplayEvent, ReplayTotals, StreamScript};

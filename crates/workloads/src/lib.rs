@@ -14,6 +14,8 @@
 //! * [`shift`] — the second-relation construction of §VII-C (interval
 //!   shifting that preserves lengths and the duplicate-free invariant).
 //! * [`stats`] — Table IV dataset profiling.
+//! * [`replay`] — every workload replayed as an out-of-order stream with a
+//!   watermark schedule, for the continuous engine (`tp-stream`).
 //!
 //! All generators are deterministic in their seed; the substitution
 //! rationale for the two real-world datasets is documented in `DESIGN.md`.
@@ -22,12 +24,14 @@
 #![warn(missing_docs)]
 
 pub mod meteo;
+pub mod replay;
 pub mod shift;
 pub mod stats;
 pub mod synth;
 pub mod webkit;
 
 pub use meteo::MeteoConfig;
+pub use replay::{meteo_stream, synth_stream, webkit_stream, StreamWorkload};
 pub use shift::shifted_copy;
 pub use stats::DatasetStats;
 pub use synth::{overlapping_factor, FactDistribution, RelationSpec, SynthConfig};

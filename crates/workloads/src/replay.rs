@@ -1,0 +1,140 @@
+//! The experiment workloads replayed as streams.
+//!
+//! Each adapter builds a relation pair the way the batch experiments do —
+//! synthetic chains (§VII-B), the simulated Meteo Swiss stream, the
+//! simulated WebKit history (§VII-C, second relation via
+//! [`crate::shift::shifted_copy`]) — and turns it into a deterministic
+//! out-of-order [`StreamScript`] for the continuous engine (`tp-stream`).
+//! The returned pair is kept alongside the script so callers can
+//! cross-check streamed results against batch LAWA on identical inputs.
+
+use tp_core::relation::{TpRelation, VarTable};
+use tp_stream::{ReplayConfig, StreamScript};
+
+use crate::meteo::{self, MeteoConfig};
+use crate::synth::{self, SynthConfig};
+use crate::webkit::{self, WebkitConfig};
+
+/// A workload pair plus its replay script.
+#[derive(Debug, Clone)]
+pub struct StreamWorkload {
+    /// The left input relation.
+    pub r: TpRelation,
+    /// The right input relation.
+    pub s: TpRelation,
+    /// The arrival/watermark sequence replaying the pair.
+    pub script: StreamScript,
+}
+
+impl StreamWorkload {
+    fn new(r: TpRelation, s: TpRelation, replay: &ReplayConfig) -> Self {
+        let script = StreamScript::from_pair(&r, &s, replay);
+        StreamWorkload { r, s, script }
+    }
+}
+
+/// The synthetic workload of §VII-B as a stream.
+pub fn synth_stream(
+    cfg: &SynthConfig,
+    replay: &ReplayConfig,
+    vars: &mut VarTable,
+) -> StreamWorkload {
+    let (r, s) = synth::generate(cfg, vars);
+    StreamWorkload::new(r, s, replay)
+}
+
+/// The simulated Meteo Swiss stream: forecasts as the left input, a
+/// time-shifted re-prediction stream as the right input.
+pub fn meteo_stream(
+    cfg: &MeteoConfig,
+    shift: i64,
+    replay: &ReplayConfig,
+    vars: &mut VarTable,
+) -> StreamWorkload {
+    let r = meteo::generate(cfg, vars);
+    let s = crate::shift::shifted_copy(&r, "k", shift, replay.seed, vars);
+    StreamWorkload::new(r, s, replay)
+}
+
+/// The simulated WebKit history as a stream, with a shifted counterpart.
+pub fn webkit_stream(
+    cfg: &WebkitConfig,
+    shift: i64,
+    replay: &ReplayConfig,
+    vars: &mut VarTable,
+) -> StreamWorkload {
+    let r = webkit::generate(cfg, vars);
+    let s = crate::shift::shifted_copy(&r, "k", shift, replay.seed, vars);
+    StreamWorkload::new(r, s, replay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_core::ops::{self, SetOp};
+    use tp_stream::EngineConfig;
+
+    fn assert_stream_equals_batch(w: &StreamWorkload) {
+        let (sink, totals) = w.script.run(EngineConfig::default());
+        assert_eq!(totals.late, [0, 0]);
+        for op in SetOp::ALL {
+            assert_eq!(
+                sink.relation(op).canonicalized(),
+                ops::apply(op, &w.r, &w.s).canonicalized(),
+                "{op}"
+            );
+        }
+    }
+
+    #[test]
+    fn synth_replay_matches_batch() {
+        let mut vars = VarTable::new();
+        let w = synth_stream(
+            &SynthConfig::with_facts(600, 5, 11),
+            &ReplayConfig::default(),
+            &mut vars,
+        );
+        assert!(w.script.arrivals() == w.r.len() + w.s.len());
+        assert_stream_equals_batch(&w);
+    }
+
+    #[test]
+    fn meteo_replay_matches_batch() {
+        let mut vars = VarTable::new();
+        let w = meteo_stream(
+            &MeteoConfig {
+                stations: 8,
+                tuples: 400,
+                ..Default::default()
+            },
+            6 * 600,
+            &ReplayConfig {
+                lateness: 600,
+                advance_every: 32,
+                seed: 5,
+            },
+            &mut vars,
+        );
+        assert_stream_equals_batch(&w);
+    }
+
+    #[test]
+    fn webkit_replay_matches_batch() {
+        let mut vars = VarTable::new();
+        let w = webkit_stream(
+            &WebkitConfig {
+                files: 60,
+                tuples: 400,
+                ..Default::default()
+            },
+            10_000,
+            &ReplayConfig {
+                lateness: 2_000,
+                advance_every: 48,
+                seed: 9,
+            },
+            &mut vars,
+        );
+        assert_stream_equals_batch(&w);
+    }
+}
