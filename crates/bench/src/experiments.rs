@@ -824,6 +824,121 @@ pub fn streaming_bench(tuples: usize, advance_every: usize) -> StreamingBench {
     }
 }
 
+/// Result of the bounded-memory streaming benchmark: a sliding-window
+/// synthetic stream replayed through a **reclaiming** engine
+/// ([`tp_stream::ReclaimConfig`] — private arena, one sealed segment per
+/// advance, retirement below the live frontier). The gate: steady-state
+/// arena residency must stay within 2× of the one-window warm-up
+/// footprint, independent of how many epochs replay, while results stay
+/// tuple-identical to batch LAWA.
+#[derive(Debug, Clone)]
+pub struct MemoryBench {
+    /// Epochs generated (one watermark advance each).
+    pub epochs: usize,
+    /// Watermark advances actually executed.
+    pub advances: u64,
+    /// Tuples per input side across the whole run.
+    pub tuples_per_side: usize,
+    /// Peak live arena nodes over the first 8 advances (the one-window
+    /// footprint, before retirement has anything to reclaim).
+    pub one_window_nodes: usize,
+    /// Peak live arena nodes over the second half of the run.
+    pub steady_max_nodes: usize,
+    /// Live arena nodes after the final advance.
+    pub final_nodes: usize,
+    /// Segments retired over the run.
+    pub retired_segments: u64,
+    /// Nodes whose storage retirement released.
+    pub retired_nodes: u64,
+    /// Resident arena bytes after the final advance.
+    pub final_resident_bytes: usize,
+    /// Whether the materialized stream output equals batch LAWA for all
+    /// three operations.
+    pub batch_equal: bool,
+}
+
+impl MemoryBench {
+    /// `steady_max_nodes / one_window_nodes` — ≤ 2.0 means the arena
+    /// plateaued (the CI gate).
+    pub fn plateau_ratio(&self) -> f64 {
+        self.steady_max_nodes as f64 / self.one_window_nodes.max(1) as f64
+    }
+
+    /// The acceptance predicate of the `memory-bounded-stream` CI job.
+    pub fn bounded(&self) -> bool {
+        self.batch_equal && self.plateau_ratio() <= 2.0
+    }
+}
+
+/// Replays a sliding-window synthetic stream of `epochs` epochs through a
+/// reclaiming engine, sampling live arena nodes after every advance and
+/// cross-checking the materialized output against batch LAWA (untimed).
+pub fn memory_bounded_bench(epochs: usize) -> MemoryBench {
+    use tp_core::ops::apply;
+    use tp_stream::{EngineConfig, MaterializingSink, ReclaimConfig, ReplayEvent, StreamEngine};
+    use tp_workloads::{sliding_synth_stream, SlidingConfig};
+
+    let epochs = epochs.max(16);
+    let mut vars = VarTable::new();
+    let w = sliding_synth_stream(
+        &SlidingConfig {
+            epochs,
+            ..Default::default()
+        },
+        &mut vars,
+    );
+    let mut engine = StreamEngine::new(EngineConfig {
+        reclaim: Some(ReclaimConfig {
+            keep_epochs: 2,
+            ..Default::default()
+        }),
+        ..Default::default()
+    });
+    let mut sink = MaterializingSink::new();
+    let mut live_samples: Vec<usize> = Vec::new();
+    for event in &w.script.events {
+        match event {
+            ReplayEvent::Arrive(side, t) => {
+                engine.push(*side, t.clone());
+            }
+            ReplayEvent::Advance(wm) => {
+                engine
+                    .advance(*wm, &mut sink)
+                    .expect("script watermarks monotone");
+                live_samples.push(engine.arena_stats().expect("reclaim engine").nodes);
+            }
+        }
+    }
+    engine.finish(&mut sink).expect("final advance");
+    let stats = engine.arena_stats().expect("reclaim engine");
+    let (retired_segments, retired_nodes) = engine.reclaimed();
+    let warmup = 8.min(live_samples.len().max(1));
+    let one_window_nodes = live_samples[..warmup].iter().copied().max().unwrap_or(0);
+    let steady_max_nodes = live_samples[live_samples.len() / 2..]
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(0);
+    // Untimed equivalence check: re-intern the materialized deltas into
+    // the (global) current arena once, then compare per op.
+    let streamed = sink.replay();
+    let batch_equal = SetOp::ALL
+        .iter()
+        .all(|&op| streamed.relation(op).canonicalized() == apply(op, &w.r, &w.s).canonicalized());
+    MemoryBench {
+        epochs,
+        advances: live_samples.len() as u64,
+        tuples_per_side: w.r.len(),
+        one_window_nodes,
+        steady_max_nodes,
+        final_nodes: stats.nodes,
+        retired_segments,
+        retired_nodes,
+        final_resident_bytes: stats.resident_bytes,
+        batch_equal,
+    }
+}
+
 /// The combined `BENCH_lawa.json` artifact: the memoized-valuation
 /// acceptance benchmark (top-level fields, unchanged schema) plus the
 /// per-operation throughput series, the arena-contention micro-benchmark
@@ -838,6 +953,8 @@ pub struct BenchReport {
     pub contention: ContentionBench,
     /// Incremental engine vs naive re-run per watermark.
     pub streaming: StreamingBench,
+    /// Reclaiming engine steady-state residency (bounded-memory gate).
+    pub memory: MemoryBench,
 }
 
 impl BenchReport {
@@ -878,7 +995,7 @@ impl BenchReport {
                 "    \"striped_ms\": {:.3},\n",
                 "    \"speedup\": {:.2},\n",
                 "    \"hardware_threads\": {},\n",
-                "    \"note\": \"before = PR 1 single RwLock; after = hash-by-node lock stripes; stripes need hardware parallelism to win\"\n",
+                "    \"note\": \"before = single dedup stripe; after = hash-by-node dedup stripes; node storage appends are lock-free in both (segmented arena); stripes need hardware parallelism to win\"\n",
                 "  }},\n",
                 "  \"streaming\": {{\n",
                 "    \"tuples\": {},\n",
@@ -890,6 +1007,20 @@ impl BenchReport {
                 "    \"inserts\": {},\n",
                 "    \"extends\": {},\n",
                 "    \"batch_equal\": {}\n",
+                "  }},\n",
+                "  \"memory_bounded\": {{\n",
+                "    \"epochs\": {},\n",
+                "    \"advances\": {},\n",
+                "    \"tuples_per_side\": {},\n",
+                "    \"one_window_nodes\": {},\n",
+                "    \"steady_max_nodes\": {},\n",
+                "    \"final_nodes\": {},\n",
+                "    \"retired_segments\": {},\n",
+                "    \"retired_nodes\": {},\n",
+                "    \"final_resident_bytes\": {},\n",
+                "    \"plateau_ratio\": {:.3},\n",
+                "    \"batch_equal\": {},\n",
+                "    \"note\": \"reclaiming engine: steady-state live nodes must stay <= 2x the one-window footprint\"\n",
                 "  }}\n",
                 "}}\n",
             ),
@@ -909,7 +1040,63 @@ impl BenchReport {
             self.streaming.inserts,
             self.streaming.extends,
             self.streaming.batch_equal,
+            self.memory.epochs,
+            self.memory.advances,
+            self.memory.tuples_per_side,
+            self.memory.one_window_nodes,
+            self.memory.steady_max_nodes,
+            self.memory.final_nodes,
+            self.memory.retired_segments,
+            self.memory.retired_nodes,
+            self.memory.final_resident_bytes,
+            self.memory.plateau_ratio(),
+            self.memory.batch_equal,
         );
+        out.push_str(&extra);
+        out
+    }
+
+    /// One flat JSON object summarizing this run — an entry of the
+    /// appended `history` series (flat on purpose: the hand-rolled
+    /// extractor matches entries without nested brackets).
+    pub fn history_entry(&self, generated_unix: u64) -> String {
+        format!(
+            concat!(
+                "{{\"generated_unix\": {}, \"valuation_speedup\": {:.2}, ",
+                "\"streaming_speedup\": {:.2}, \"union_mtuples_per_s\": {:.3}, ",
+                "\"contention_speedup\": {:.2}, \"memory_plateau_ratio\": {:.3}, ",
+                "\"memory_steady_nodes\": {}}}"
+            ),
+            generated_unix,
+            self.valuation.speedup(),
+            self.streaming.speedup(),
+            self.ops
+                .iter()
+                .filter(|t| t.op == SetOp::Union)
+                .map(|t| t.mtuples_per_s)
+                .fold(0.0f64, f64::max),
+            self.contention.speedup(),
+            self.memory.plateau_ratio(),
+            self.memory.steady_max_nodes,
+        )
+    }
+
+    /// The full artifact with the run-over-run `history` series appended:
+    /// the latest run keeps the existing top-level schema (CI gates read
+    /// it unchanged), `entries` — prior entries plus this run's — ride
+    /// along under `"history"`.
+    pub fn to_json_with_history(&self, entries: &[String]) -> String {
+        let mut out = self.to_json();
+        let tail = out.rfind('}').expect("report JSON is an object");
+        out.truncate(tail);
+        while out.ends_with('\n') {
+            out.pop();
+        }
+        let mut extra = String::from(",\n  \"history\": [");
+        for (i, e) in entries.iter().enumerate() {
+            let _ = write!(extra, "{}\n    {}", if i > 0 { "," } else { "" }, e.trim());
+        }
+        extra.push_str("\n  ]\n}\n");
         out.push_str(&extra);
         out
     }
@@ -932,8 +1119,8 @@ impl BenchReport {
         let _ = writeln!(
             out,
             "\n== BENCH lawa: arena intern contention ({} threads × {} chain nodes, {} hw threads) ==\n\
-             single RwLock (before) {:>9.1} ms\n\
-             {} lock stripes (after) {:>9.1} ms   ({:.2}× — stripes need hardware parallelism to win)",
+             1 dedup stripe (before) {:>9.1} ms\n\
+             {} dedup stripes (after){:>9.1} ms   ({:.2}× — appends are lock-free either way; stripes need hardware parallelism to win)",
             self.contention.threads,
             self.contention.nodes_per_thread,
             self.contention.hardware_threads,
@@ -957,8 +1144,64 @@ impl BenchReport {
             self.streaming.speedup(),
             self.streaming.batch_equal,
         );
+        let _ = writeln!(
+            out,
+            "\n== BENCH lawa: bounded-memory streaming ({} epochs, {} advances) ==\n\
+             one-window footprint   {:>9} live nodes\n\
+             steady-state peak      {:>9} live nodes   (plateau ratio {:.2}, gate <= 2.0)\n\
+             retired                {:>9} nodes over {} segments (final {} nodes, {} KiB resident, batch-equal: {})",
+            self.memory.epochs,
+            self.memory.advances,
+            self.memory.one_window_nodes,
+            self.memory.steady_max_nodes,
+            self.memory.plateau_ratio(),
+            self.memory.retired_nodes,
+            self.memory.retired_segments,
+            self.memory.final_nodes,
+            self.memory.final_resident_bytes / 1024,
+            self.memory.batch_equal,
+        );
         out
     }
+}
+
+/// Extracts the prior `history` entries of a previously written
+/// `BENCH_lawa.json` (hand-rolled: entries are flat objects without
+/// nested brackets, by construction of
+/// [`BenchReport::history_entry`]). Unknown or malformed files yield an
+/// empty history — the series restarts rather than failing the run.
+pub fn extract_history(prior_json: &str) -> Vec<String> {
+    let Some(start) = prior_json.find("\"history\": [") else {
+        return Vec::new();
+    };
+    let rest = &prior_json[start + "\"history\": [".len()..];
+    let Some(end) = rest.find(']') else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for ch in rest[..end].chars() {
+        match ch {
+            '{' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                cur.push(ch);
+                if depth == 0 {
+                    out.push(std::mem::take(&mut cur).trim().to_string());
+                }
+            }
+            _ => {
+                if depth > 0 {
+                    cur.push(ch);
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Fig. 11a–c: the three TP set operations over the (simulated) WebKit
@@ -1041,6 +1284,7 @@ mod tests {
             ops: lawa_op_throughput(&[300]),
             contention: arena_contention_bench(2, 200),
             streaming: streaming_bench(600, 80),
+            memory: memory_bounded_bench(16),
         };
         let json = report.to_json();
         // Existing top-level schema intact (CI's speedup gate reads these).
@@ -1050,6 +1294,7 @@ mod tests {
         assert!(json.contains("\"lawa_ops\""));
         assert!(json.contains("\"arena_contention\""));
         assert!(json.contains("\"streaming\""));
+        assert!(json.contains("\"memory_bounded\""));
         assert!(json.contains("\"batch_equal\": true"));
         // Balanced braces (hand-rolled JSON sanity).
         assert_eq!(
@@ -1061,6 +1306,37 @@ mod tests {
         assert!(rendered.contains("operation throughput"));
         assert!(rendered.contains("intern contention"));
         assert!(rendered.contains("naive re-batch"));
+        assert!(rendered.contains("bounded-memory streaming"));
+
+        // History round trip: a written file's entries are recovered and
+        // extended, and the result stays balanced.
+        let e1 = report.history_entry(1_000);
+        let with_one = report.to_json_with_history(std::slice::from_ref(&e1));
+        assert_eq!(extract_history(&with_one), vec![e1.clone()]);
+        let e2 = report.history_entry(2_000);
+        let with_two = report.to_json_with_history(&[e1.clone(), e2.clone()]);
+        assert_eq!(extract_history(&with_two), vec![e1, e2]);
+        assert_eq!(
+            with_two.matches('{').count(),
+            with_two.matches('}').count(),
+            "unbalanced JSON with history: {with_two}"
+        );
+        assert!(extract_history("{}").is_empty());
+    }
+
+    #[test]
+    fn memory_bench_plateaus_and_is_batch_equal() {
+        let b = memory_bounded_bench(24);
+        assert!(b.batch_equal, "reclaiming stream diverged from batch");
+        assert!(b.advances >= 20);
+        assert!(b.retired_segments > 0, "nothing was retired");
+        assert!(
+            b.bounded(),
+            "no plateau: ratio {:.2} (one-window {}, steady {})",
+            b.plateau_ratio(),
+            b.one_window_nodes,
+            b.steady_max_nodes
+        );
     }
 
     #[test]

@@ -57,7 +57,7 @@
 //! | module | paper section | content |
 //! |---|---|---|
 //! | [`value`], [`fact`], [`interval`] | §III | attribute values, facts, time intervals, Allen relations |
-//! | [`arena`] | — | hash-consed lineage forest: `Copy` handles, O(1) equality, interned per-node metadata |
+//! | [`arena`] | — | segmented hash-consed lineage forest: `Copy` handles, O(1) equality, lock-free append, seal/retire reclamation |
 //! | [`lineage`] | §III, Table I | Boolean lineage + concatenation functions, [`lineage::LineageTree`] compat layer |
 //! | [`lineage_xform`] | — | negation normal form, conservative simplification |
 //! | [`tuple`](mod@crate::tuple), [`relation`], [`db`] | §III | TP tuples, duplicate-free relations, variable table (with memoized valuation cache), catalog |
@@ -94,7 +94,7 @@ pub mod window;
 
 /// Convenient re-exports of the most frequently used items.
 pub mod prelude {
-    pub use crate::arena::{LineageArena, LineageRef};
+    pub use crate::arena::{ArenaScope, ArenaStats, LineageArena, LineageRef, SegmentId};
     pub use crate::db::Database;
     pub use crate::error::{Error, Result};
     pub use crate::fact::Fact;

@@ -24,8 +24,12 @@
 //! Boolean formulas is co-NP-complete). Because formulas are hash-consed,
 //! that syntactic check is a single integer comparison: `a == b` iff the two
 //! handles point at the same interned node. Cloning a lineage is a `Copy` of
-//! four bytes, so the window advancer, coalescing, and every set operation
+//! eight bytes, so the window advancer, coalescing, and every set operation
 //! concatenate and compare lineage in O(1) per step.
+//!
+//! Handles are relative to the thread's *current* arena — the process
+//! global by default, or a private reclaimable arena entered with
+//! [`LineageArena::enter`] (the streaming engine's bounded-memory mode).
 //!
 //! Consumers that need the classic recursive representation (oracle
 //! comparisons against an independent implementation, serialization
@@ -74,24 +78,28 @@ pub enum LineageKind {
     Or(Lineage, Lineage),
 }
 
-fn arena() -> &'static LineageArena {
-    LineageArena::global()
+/// Runs `f` against this thread's current arena (the innermost
+/// [`LineageArena::enter`] scope, or the process-global arena). Every
+/// `Lineage` operation goes through here, so a streaming engine can host
+/// its formulas in a private, reclaimable arena.
+fn with_arena<T>(f: impl FnOnce(&LineageArena) -> T) -> T {
+    LineageArena::with_current(f)
 }
 
 impl Lineage {
     /// The atomic lineage of a base tuple.
     pub fn var(id: TupleId) -> Self {
-        Lineage(arena().intern(LineageNode::Var(id)))
+        Lineage(with_arena(|a| a.intern(LineageNode::Var(id))))
     }
 
     /// ¬λ.
     pub fn negate(self) -> Self {
-        Lineage(arena().intern(LineageNode::Not(self.0)))
+        Lineage(with_arena(|a| a.intern(LineageNode::Not(self.0))))
     }
 
     /// Table I `and`: `(λ1) ∧ (λ2)`. Used by `∩Tp`.
     pub fn and(l1: &Lineage, l2: &Lineage) -> Lineage {
-        Lineage(arena().intern(LineageNode::And(l1.0, l2.0)))
+        Lineage(with_arena(|a| a.intern(LineageNode::And(l1.0, l2.0))))
     }
 
     /// Table I `andNot`: `(λ1)` if λ2 is null, else `(λ1) ∧ ¬(λ2)`.
@@ -116,7 +124,7 @@ impl Lineage {
 
     /// Plain binary disjunction (both operands present).
     pub fn or(l1: &Lineage, l2: &Lineage) -> Lineage {
-        Lineage(arena().intern(LineageNode::Or(l1.0, l2.0)))
+        Lineage(with_arena(|a| a.intern(LineageNode::Or(l1.0, l2.0))))
     }
 
     /// The interned handle — the O(1) identity used by equality, hashing
@@ -133,7 +141,7 @@ impl Lineage {
 
     /// The top-level connective with `Copy` child handles.
     pub fn kind(&self) -> LineageKind {
-        match arena().node(self.0) {
+        match with_arena(|a| a.node(self.0)) {
             LineageNode::Var(id) => LineageKind::Var(id),
             LineageNode::Not(c) => LineageKind::Not(Lineage(c)),
             LineageNode::And(a, b) => LineageKind::And(Lineage(a), Lineage(b)),
@@ -143,51 +151,62 @@ impl Lineage {
 
     /// The variable of an atomic lineage, `None` for derived formulas.
     pub fn as_var(&self) -> Option<TupleId> {
-        match arena().node(self.0) {
+        match with_arena(|a| a.node(self.0)) {
             LineageNode::Var(id) => Some(id),
             _ => None,
         }
     }
 
+    /// The smallest arena segment reachable from the formula's sub-DAG
+    /// (see [`crate::arena::LineageArena::min_segment`]): a traversal of
+    /// this formula only touches segments in `[min_segment, segment]`.
+    /// The streaming engine's retire schedule treats a live formula as
+    /// keeping that whole range alive.
+    pub fn min_segment(&self) -> crate::arena::SegmentId {
+        with_arena(|a| a.min_segment(self.0))
+    }
+
     /// Collects the distinct variables of the formula, in ascending order.
     pub fn vars(&self) -> BTreeSet<TupleId> {
-        if let Some(list) = arena().var_list(self.0) {
-            return list.iter().copied().collect();
-        }
-        // DAG traversal with a visited set: shared subformulas are walked
-        // once, so this is linear in the number of unique nodes; stored
-        // sublists short-circuit their subtrees. One read guard covers the
-        // whole walk.
-        let view = arena().view();
-        let mut out = BTreeSet::new();
-        let mut seen: BTreeSet<LineageRef> = BTreeSet::new();
-        let mut stack = vec![self.0];
-        while let Some(r) = stack.pop() {
-            if !seen.insert(r) {
-                continue;
+        with_arena(|arena| {
+            if let Some(list) = arena.var_list(self.0) {
+                return list.iter().copied().collect();
             }
-            if let Some(list) = view.var_list(r) {
-                out.extend(list.iter().copied());
-                continue;
-            }
-            match view.node(r) {
-                LineageNode::Var(id) => {
-                    out.insert(id);
+            // DAG traversal with a visited set: shared subformulas are
+            // walked once, so this is linear in the number of unique nodes;
+            // stored sublists short-circuit their subtrees. One view pins
+            // the touched segments for the whole walk.
+            let view = arena.view();
+            let mut out = BTreeSet::new();
+            let mut seen: BTreeSet<LineageRef> = BTreeSet::new();
+            let mut stack = vec![self.0];
+            while let Some(r) = stack.pop() {
+                if !seen.insert(r) {
+                    continue;
                 }
-                LineageNode::Not(c) => stack.push(c),
-                LineageNode::And(a, b) | LineageNode::Or(a, b) => {
-                    stack.push(a);
-                    stack.push(b);
+                if let Some(list) = view.var_list(r) {
+                    out.extend(list.iter().copied());
+                    continue;
+                }
+                match view.node(r) {
+                    LineageNode::Var(id) => {
+                        out.insert(id);
+                    }
+                    LineageNode::Not(c) => stack.push(c),
+                    LineageNode::And(a, b) | LineageNode::Or(a, b) => {
+                        stack.push(a);
+                        stack.push(b);
+                    }
                 }
             }
-        }
-        out
+            out
+        })
     }
 
     /// Total number of variable *occurrences* (with multiplicity), from the
     /// arena's per-node metadata — O(1).
     pub fn var_occurrences(&self) -> usize {
-        usize::try_from(arena().occurrences(self.0)).unwrap_or(usize::MAX)
+        usize::try_from(with_arena(|a| a.occurrences(self.0))).unwrap_or(usize::MAX)
     }
 
     /// Whether the formula is in one-occurrence form (1OF): no tuple
@@ -198,62 +217,64 @@ impl Lineage {
     /// variable ranges the answer may be conservatively `false` (valuation
     /// then takes the always-correct Shannon path).
     pub fn is_one_occurrence_form(&self) -> bool {
-        arena().one_of(self.0)
+        with_arena(|a| a.one_of(self.0))
     }
 
     /// Number of nodes in the formula tree (tree semantics, counted with
     /// multiplicity under sharing) — O(1) from interned metadata.
     pub fn size(&self) -> usize {
-        usize::try_from(arena().size(self.0)).unwrap_or(usize::MAX)
+        usize::try_from(with_arena(|a| a.size(self.0))).unwrap_or(usize::MAX)
     }
 
     /// Tree-semantic multiplicity of every variable, accumulated over the
-    /// shared DAG in one topological pass (linear in unique nodes; one read
-    /// guard for the whole walk).
+    /// shared DAG in one topological pass (linear in unique nodes; one
+    /// pinned view for the whole walk).
     pub fn var_multiplicities(&self) -> HashMap<TupleId, u64> {
-        let view = arena().view();
-        // Postorder to get a topological order of the sub-DAG.
-        let mut order: Vec<LineageRef> = Vec::new();
-        let mut seen: BTreeSet<LineageRef> = BTreeSet::new();
-        let mut stack: Vec<(LineageRef, bool)> = vec![(self.0, false)];
-        while let Some((r, expanded)) = stack.pop() {
-            if expanded {
-                order.push(r);
-                continue;
-            }
-            if !seen.insert(r) {
-                continue;
-            }
-            stack.push((r, true));
-            match view.node(r) {
-                LineageNode::Var(_) => {}
-                LineageNode::Not(c) => stack.push((c, false)),
-                LineageNode::And(a, b) | LineageNode::Or(a, b) => {
-                    stack.push((a, false));
-                    stack.push((b, false));
+        with_arena(|arena| {
+            let view = arena.view();
+            // Postorder to get a topological order of the sub-DAG.
+            let mut order: Vec<LineageRef> = Vec::new();
+            let mut seen: BTreeSet<LineageRef> = BTreeSet::new();
+            let mut stack: Vec<(LineageRef, bool)> = vec![(self.0, false)];
+            while let Some((r, expanded)) = stack.pop() {
+                if expanded {
+                    order.push(r);
+                    continue;
+                }
+                if !seen.insert(r) {
+                    continue;
+                }
+                stack.push((r, true));
+                match view.node(r) {
+                    LineageNode::Var(_) => {}
+                    LineageNode::Not(c) => stack.push((c, false)),
+                    LineageNode::And(a, b) | LineageNode::Or(a, b) => {
+                        stack.push((a, false));
+                        stack.push((b, false));
+                    }
                 }
             }
-        }
-        // Reverse topological: propagate path multiplicities root → leaves.
-        let mut mult: HashMap<LineageRef, u64> = HashMap::new();
-        mult.insert(self.0, 1);
-        let mut counts: HashMap<TupleId, u64> = HashMap::new();
-        for &r in order.iter().rev() {
-            let m = mult.get(&r).copied().unwrap_or(0);
-            match view.node(r) {
-                LineageNode::Var(id) => {
-                    *counts.entry(id).or_default() += m;
-                }
-                LineageNode::Not(c) => {
-                    *mult.entry(c).or_default() += m;
-                }
-                LineageNode::And(a, b) | LineageNode::Or(a, b) => {
-                    *mult.entry(a).or_default() += m;
-                    *mult.entry(b).or_default() += m;
+            // Reverse topological: propagate multiplicities root → leaves.
+            let mut mult: HashMap<LineageRef, u64> = HashMap::new();
+            mult.insert(self.0, 1);
+            let mut counts: HashMap<TupleId, u64> = HashMap::new();
+            for &r in order.iter().rev() {
+                let m = mult.get(&r).copied().unwrap_or(0);
+                match view.node(r) {
+                    LineageNode::Var(id) => {
+                        *counts.entry(id).or_default() += m;
+                    }
+                    LineageNode::Not(c) => {
+                        *mult.entry(c).or_default() += m;
+                    }
+                    LineageNode::And(a, b) | LineageNode::Or(a, b) => {
+                        *mult.entry(a).or_default() += m;
+                        *mult.entry(b).or_default() += m;
+                    }
                 }
             }
-        }
-        counts
+            counts
+        })
     }
 
     /// Evaluates the formula under a truth assignment of the variables.
@@ -283,9 +304,11 @@ impl Lineage {
             memo.insert(l, v);
             v
         }
-        let view = LineageArena::global().view();
-        let mut memo = FastMap::default();
-        rec(self.0, &view, assignment, &mut memo)
+        with_arena(|arena| {
+            let view = arena.view();
+            let mut memo = FastMap::default();
+            rec(self.0, &view, assignment, &mut memo)
+        })
     }
 
     /// Substitutes a truth value for a variable and simplifies constants
@@ -301,7 +324,7 @@ impl Lineage {
             value: bool,
             memo: &mut HashMap<LineageRef, std::result::Result<Lineage, bool>>,
         ) -> std::result::Result<Lineage, bool> {
-            if !LineageArena::global().may_contain(l.0, var) {
+            if !with_arena(|a| a.may_contain(l.0, var)) {
                 return Ok(l);
             }
             if let Some(cached) = memo.get(&l.0) {
@@ -371,8 +394,10 @@ impl Lineage {
                 }
             }
         }
-        let view = arena().view();
-        rec(self.0, &view)
+        with_arena(|arena| {
+            let view = arena.view();
+            rec(self.0, &view)
+        })
     }
 
     /// Interns a recursive [`LineageTree`] back into the arena.

@@ -70,11 +70,17 @@ pub fn apply_parallel(op: SetOp, r: &TpRelation, s: &TpRelation, threads: usize)
         .map(|(&(rs, re), &(ss, se))| (&r_sorted.tuples()[rs..re], &s_sorted.tuples()[ss..se]))
         .collect();
 
+    // Worker threads do not inherit a thread-local arena scope: propagate
+    // the caller's current arena so lineage built by the workers lands in
+    // (and reads from) the same store.
+    let arena = crate::arena::LineageArena::current_shared();
     let results: Vec<TpRelation> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|(rc, sc)| {
+                let arena = arena.clone();
                 scope.spawn(move || {
+                    let _scope = arena.as_ref().map(crate::arena::LineageArena::enter);
                     let rr: TpRelation = rc.iter().cloned().collect();
                     let sr: TpRelation = sc.iter().cloned().collect();
                     ops::apply(op, &rr, &sr)

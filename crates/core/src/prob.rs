@@ -57,14 +57,19 @@ pub fn independent(lineage: &Lineage, vars: &VarTable) -> Result<f64> {
         // not what this function promises; fall through and recompute
         // under the independence assumption.
     }
-    let view = LineageArena::global().view();
-    if view.one_of(root) {
-        let mut cache = vars.lock_marginal_cache();
-        independent_rec_cached(root, &view, vars, &mut cache)
-    } else {
+    LineageArena::with_current(|arena| {
+        let view = arena.view();
+        if view.one_of(root) {
+            // A table whose cache is bound to a *different* arena cannot
+            // cache these refs (key aliasing); valuate with a per-call
+            // memo instead — correct, just uncached.
+            if let Some(mut cache) = vars.lock_marginal_cache_for(arena.id()) {
+                return independent_rec_cached(root, &view, vars, &mut cache);
+            }
+        }
         let mut local: FastMap<LineageRef, f64> = FastMap::default();
         independent_rec_local(root, &view, vars, &mut local)
-    }
+    })
 }
 
 /// Valuation of a 1OF formula: every subformula of a 1OF formula is 1OF, so

@@ -4,34 +4,72 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::{Mutex, MutexGuard};
 
-use crate::arena::{ArenaStamp, FastMap, LineageRef};
+use crate::arena::{ArenaStamp, FastMap, LineageRef, SegmentId};
 
 /// Entries per cache page (4 KiB of `f64`).
 const CACHE_PAGE_BITS: u32 = 9;
 const CACHE_PAGE: usize = 1 << CACHE_PAGE_BITS;
 
-/// Paged per-node marginal store: fixed 4 KiB pages of `f64` keyed by the
-/// high bits of the arena ref (`NaN` = absent). Lineage handles are dense
-/// `u32`s and a formula's nodes cluster by interning order, so lookups are
-/// one cheap page-hash plus an array index — no per-node SipHash — while
-/// memory stays proportional to the refs actually touched. (A single dense
-/// vector would span from a table's `Var(0)` leaves, interned at process
-/// start, to its freshly interned composites — i.e. the whole arena.)
+/// Pages of one arena segment: keyed by the high bits of the slot, `NaN`
+/// marks an absent entry.
 #[derive(Debug, Clone, Default)]
-pub struct MarginalCache {
+struct SegmentPages {
     pages: FastMap<u32, Box<[f64; CACHE_PAGE]>>,
     filled: usize,
 }
 
+/// Segment-aware paged marginal store: per arena segment, fixed 4 KiB
+/// pages of `f64` keyed by the high bits of the slot (`NaN` = absent).
+/// Slots are dense per segment and a formula's nodes cluster by interning
+/// order, so lookups are two cheap map probes plus an array index — no
+/// per-node SipHash — while memory stays proportional to the refs actually
+/// touched. The segment level exists for the retirement path: when the
+/// streaming engine retires an arena segment, every cached marginal keyed
+/// into it is evicted in O(1) ([`MarginalCache::release_segment`]) instead
+/// of by scanning pages.
+///
+/// Refs are arena-relative, so the cache **binds to the first arena it
+/// stores for** ([`crate::arena::LineageArena::id`]): lookups and stores
+/// on behalf of a *different* arena become misses/no-ops instead of
+/// aliasing a colliding `(segment, slot)` key — a table that served the
+/// global arena and is then handed to a reclaim-mode stream stays
+/// correct, it just doesn't cache for the second arena
+/// ([`MarginalCache::clear`] unbinds).
+#[derive(Debug, Clone, Default)]
+pub struct MarginalCache {
+    segments: FastMap<u32, SegmentPages>,
+    filled: usize,
+    /// `LineageArena::id` of the arena whose refs are cached (0 = not
+    /// yet bound).
+    arena: u64,
+}
+
 impl MarginalCache {
+    /// Whether the cache already serves `arena_id` (read-side check).
+    #[inline]
+    pub(crate) fn serves(&self, arena_id: u64) -> bool {
+        self.arena == 0 || self.arena == arena_id
+    }
+
+    /// Binds the cache to `arena_id` if unbound; `false` means the cache
+    /// belongs to a different arena and must not be written.
+    #[inline]
+    pub(crate) fn bind(&mut self, arena_id: u64) -> bool {
+        if self.arena == 0 {
+            self.arena = arena_id;
+        }
+        self.arena == arena_id
+    }
     /// The cached marginal of `r`, if stored.
     #[inline]
     pub fn get(&self, r: LineageRef) -> Option<f64> {
-        let idx = r.index();
+        let slot = r.index() as u32;
         let p = *self
+            .segments
+            .get(&r.segment().0)?
             .pages
-            .get(&(idx >> CACHE_PAGE_BITS))?
-            .get(idx as usize & (CACHE_PAGE - 1))?;
+            .get(&(slot >> CACHE_PAGE_BITS))?
+            .get(slot as usize & (CACHE_PAGE - 1))?;
         (!p.is_nan()).then_some(p)
     }
 
@@ -39,16 +77,18 @@ impl MarginalCache {
     /// construction, so `NaN` stays reserved as the absent sentinel).
     pub fn set(&mut self, r: LineageRef, p: f64) {
         debug_assert!(!p.is_nan(), "NaN cannot be cached");
-        let idx = r.index();
-        let page = self
+        let slot = r.index() as u32;
+        let seg = self.segments.entry(r.segment().0).or_default();
+        let page = seg
             .pages
-            .entry(idx >> CACHE_PAGE_BITS)
+            .entry(slot >> CACHE_PAGE_BITS)
             .or_insert_with(|| Box::new([f64::NAN; CACHE_PAGE]));
-        let slot = &mut page[idx as usize & (CACHE_PAGE - 1)];
-        if slot.is_nan() {
+        let cell = &mut page[slot as usize & (CACHE_PAGE - 1)];
+        if cell.is_nan() {
+            seg.filled += 1;
             self.filled += 1;
         }
-        *slot = p;
+        *cell = p;
     }
 
     /// Number of stored marginals.
@@ -61,35 +101,66 @@ impl MarginalCache {
         self.filled == 0
     }
 
-    /// Drops every stored marginal.
+    /// Drops every stored marginal and unbinds the cache from its arena.
     pub fn clear(&mut self) {
-        self.pages.clear();
-        self.pages.shrink_to_fit();
+        self.segments.clear();
+        self.segments.shrink_to_fit();
         self.filled = 0;
+        self.arena = 0;
+    }
+
+    /// Drops every marginal keyed into arena segment `seg` — the O(1)
+    /// invalidation hook of segment retirement. (Entries for a retired
+    /// segment could never be *queried* again — refs are not reused — so
+    /// this is memory hygiene, not correctness.)
+    pub fn release_segment(&mut self, seg: SegmentId) {
+        if let Some(dropped) = self.segments.remove(&seg.0) {
+            self.filled -= dropped.filled;
+        }
     }
 
     /// Drops every marginal of a node interned *after* `stamp` (the epoch
     /// release of `docs/streaming.md`): entries for nodes the stamped epoch
     /// created are evicted, entries for longer-lived nodes stay. Dropping a
     /// cached marginal is always sound — it is recomputed on the next
-    /// valuation — so an approximate stamp only costs performance.
+    /// valuation — so an approximate stamp only costs performance. Whole
+    /// segments beyond the stamp's open segment are dropped in O(1); only
+    /// the boundary segment is scanned.
     pub fn release_after(&mut self, stamp: &ArenaStamp) {
-        self.pages.retain(|&page_key, page| {
-            let mut live = 0usize;
-            for (slot, p) in page.iter_mut().enumerate() {
-                if p.is_nan() {
-                    continue;
-                }
-                let r = LineageRef((page_key << CACHE_PAGE_BITS) | slot as u32);
-                if stamp.contains(r) {
-                    live += 1;
-                } else {
-                    *p = f64::NAN;
-                    self.filled -= 1;
-                }
+        let boundary = stamp.segment().0;
+        let mut dropped = 0usize;
+        self.segments.retain(|&seg, pages| {
+            if seg < boundary {
+                return true;
             }
-            live > 0
+            if seg > boundary {
+                dropped += pages.filled;
+                return false;
+            }
+            // Boundary segment: evict slots at or past the stamped length.
+            let len = stamp.segment_len();
+            let mut evicted = 0usize;
+            pages.pages.retain(|&page_key, page| {
+                let mut live = 0usize;
+                for (off, p) in page.iter_mut().enumerate() {
+                    if p.is_nan() {
+                        continue;
+                    }
+                    let slot = (page_key << CACHE_PAGE_BITS) | off as u32;
+                    if slot < len {
+                        live += 1;
+                    } else {
+                        *p = f64::NAN;
+                        evicted += 1;
+                    }
+                }
+                live > 0
+            });
+            pages.filled -= evicted;
+            dropped += evicted;
+            pages.filled > 0
         });
+        self.filled -= dropped;
     }
 }
 use crate::error::{Error, Result};
@@ -155,26 +226,39 @@ impl VarTable {
     }
 
     /// Cached exact marginal of an interned lineage node, if present.
+    /// Refs are resolved against the thread's *current* arena; a cache
+    /// bound to a different arena reads as a miss (never an alias).
     pub fn cached_marginal(&self, node: LineageRef) -> Option<f64> {
-        self.marginal_cache
-            .lock()
-            .expect("cache lock poisoned")
-            .get(node)
+        let arena_id = crate::arena::LineageArena::with_current(|a| a.id());
+        let cache = self.marginal_cache.lock().expect("cache lock poisoned");
+        if !cache.serves(arena_id) {
+            return None;
+        }
+        cache.get(node)
     }
 
-    /// Stores the exact marginal of an interned lineage node.
+    /// Stores the exact marginal of an interned lineage node (binding the
+    /// cache to the current arena; a store on behalf of a different arena
+    /// is dropped — see [`MarginalCache`]).
     pub fn store_marginal(&self, node: LineageRef, p: f64) {
-        self.marginal_cache
-            .lock()
-            .expect("cache lock poisoned")
-            .set(node, p);
+        let arena_id = crate::arena::LineageArena::with_current(|a| a.id());
+        let mut cache = self.marginal_cache.lock().expect("cache lock poisoned");
+        if cache.bind(arena_id) {
+            cache.set(node, p);
+        }
     }
 
-    /// Locks the valuation cache once for a whole traversal; the valuation
-    /// code in [`crate::prob`] holds this across a formula walk instead of
-    /// paying one lock round trip per node.
-    pub(crate) fn lock_marginal_cache(&self) -> MutexGuard<'_, MarginalCache> {
-        self.marginal_cache.lock().expect("cache lock poisoned")
+    /// Locks the valuation cache once for a whole traversal over lineage
+    /// of the arena identified by `arena_id`; the valuation code in
+    /// [`crate::prob`] holds this across a formula walk instead of paying
+    /// one lock round trip per node. `None` when the cache is bound to a
+    /// different arena — the caller must fall back to a per-call memo.
+    pub(crate) fn lock_marginal_cache_for(
+        &self,
+        arena_id: u64,
+    ) -> Option<MutexGuard<'_, MarginalCache>> {
+        let mut cache = self.marginal_cache.lock().expect("cache lock poisoned");
+        cache.bind(arena_id).then_some(cache)
     }
 
     /// Number of memoized node marginals (diagnostics / benchmarks).
@@ -204,6 +288,17 @@ impl VarTable {
             .lock()
             .expect("cache lock poisoned")
             .release_after(stamp);
+    }
+
+    /// Drops the memoized marginals keyed into arena segment `seg` in O(1)
+    /// — the retirement hook ([`crate::arena::LineageArena::retire`]):
+    /// once a segment's storage is reclaimed, its cached marginals can
+    /// never be queried again (refs are not reused) and are dead weight.
+    pub fn release_marginals_for_segment(&self, seg: SegmentId) {
+        self.marginal_cache
+            .lock()
+            .expect("cache lock poisoned")
+            .release_segment(seg);
     }
 
     /// Marginal probability of a variable.

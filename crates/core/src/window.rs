@@ -237,6 +237,14 @@ pub fn all_windows(r: &[TpTuple], s: &[TpTuple]) -> Vec<LineageAwareWindow> {
 /// (`tp-stream`) reassembles exactly the batch output. Tuples starting at
 /// or after `w` are returned whole in the residual.
 ///
+/// The carried residual handles are also what anchors **segment
+/// reclamation** (see [`crate::arena`]): a residual keeps every arena
+/// segment in `[min_segment, segment]` of its lineage alive, so the
+/// reclaiming engine's live frontier is exactly the minimum over the
+/// residuals and pending arrivals — once the frontier passes a sealed
+/// segment, no future window can mention its nodes and its storage can be
+/// retired.
+///
 /// Order is preserved within each output; inputs need not be sorted.
 pub fn split_at_watermark(
     tuples: impl IntoIterator<Item = TpTuple>,

@@ -13,10 +13,10 @@
 //! LAWA output; [`CollectingSink`] does that, [`CountingSink`] just counts
 //! (for benchmarks and monitoring).
 
-use tp_core::arena::FastMap;
+use tp_core::arena::{FastMap, SegmentId};
 use tp_core::fact::Fact;
 use tp_core::interval::{Interval, TimePoint};
-use tp_core::lineage::Lineage;
+use tp_core::lineage::{Lineage, LineageTree};
 use tp_core::ops::SetOp;
 use tp_core::relation::TpRelation;
 use tp_core::tuple::TpTuple;
@@ -59,6 +59,14 @@ pub trait StreamSink {
 
     /// Called after all deltas of a watermark advance have been delivered.
     fn on_watermark(&mut self, _w: TimePoint) {}
+
+    /// Called when a reclaiming engine retires an arena segment (bounded-
+    /// memory mode): lineage handles keyed into `seg` are dead — consumers
+    /// holding their own memo tables (a `VarTable` valuation cache, a
+    /// long-lived `Bdd`) should release that segment's entries here
+    /// (`VarTable::release_marginals_for_segment`, `Bdd::release_segment`
+    /// — both O(1)). Default: no-op.
+    fn on_retire(&mut self, _seg: SegmentId) {}
 }
 
 /// Index of an operation in per-op arrays (`SetOp::ALL` order).
@@ -192,6 +200,111 @@ pub struct NullSink;
 
 impl StreamSink for NullSink {
     fn on_delta(&mut self, _op: SetOp, _delta: &Delta) {}
+}
+
+/// One delta with its lineage materialized as an owned
+/// [`LineageTree`] — the reclaim-mode record: it stays valid after the
+/// engine retires the arena segments the original handle lived in.
+#[derive(Debug, Clone)]
+pub struct MaterializedDelta {
+    /// The operation the delta belongs to.
+    pub op: SetOp,
+    /// The fact.
+    pub fact: Fact,
+    /// The lineage, expanded to an arena-independent tree.
+    pub lineage: LineageTree,
+    /// Interval start (`Insert`) or previous end (`Extend`).
+    pub from: TimePoint,
+    /// Interval end.
+    pub to: TimePoint,
+    /// `true` for `Insert`, `false` for `Extend`.
+    pub insert: bool,
+}
+
+/// The sink for **reclaiming** engines ([`tp_core::arena`] segment
+/// retirement): every delta's lineage is expanded to an owned tree the
+/// moment it arrives — inside the engine's arena scope, per the
+/// consumption contract — so the record outlives any retirement.
+/// [`MaterializingSink::replay`] re-interns the trees into the *current*
+/// arena (identical formulas ⇒ identical handles there), which is how the
+/// equivalence tests compare a bounded-memory stream against batch LAWA.
+#[derive(Debug, Default)]
+pub struct MaterializingSink {
+    /// Every delta, in arrival order.
+    pub deltas: Vec<MaterializedDelta>,
+    /// Segments the engine retired while this sink listened.
+    pub retired_segments: u64,
+}
+
+impl MaterializingSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-applies every materialized delta with lineage re-interned into
+    /// the thread's current arena.
+    pub fn replay(&self) -> CollectingSink {
+        let mut sink = CollectingSink::new();
+        for d in &self.deltas {
+            let lineage = Lineage::from_tree(&d.lineage);
+            let delta = if d.insert {
+                Delta::Insert(TpTuple::new(
+                    d.fact.clone(),
+                    lineage,
+                    Interval::at(d.from, d.to),
+                ))
+            } else {
+                Delta::Extend {
+                    fact: d.fact.clone(),
+                    lineage,
+                    from: d.from,
+                    to: d.to,
+                }
+            };
+            sink.on_delta(d.op, &delta);
+        }
+        sink
+    }
+
+    /// The materialized result of `op`, re-interned into the current
+    /// arena and sorted by `(F, Ts)`.
+    pub fn relation(&self, op: SetOp) -> TpRelation {
+        self.replay().relation(op)
+    }
+}
+
+impl StreamSink for MaterializingSink {
+    fn on_delta(&mut self, op: SetOp, delta: &Delta) {
+        let d = match delta {
+            Delta::Insert(t) => MaterializedDelta {
+                op,
+                fact: t.fact.clone(),
+                lineage: t.lineage.to_tree(),
+                from: t.interval.start(),
+                to: t.interval.end(),
+                insert: true,
+            },
+            Delta::Extend {
+                fact,
+                lineage,
+                from,
+                to,
+            } => MaterializedDelta {
+                op,
+                fact: fact.clone(),
+                lineage: lineage.to_tree(),
+                from: *from,
+                to: *to,
+                insert: false,
+            },
+        };
+        self.deltas.push(d);
+    }
+
+    fn on_retire(&mut self, _seg: SegmentId) {
+        self.retired_segments += 1;
+    }
 }
 
 #[cfg(test)]

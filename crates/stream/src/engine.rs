@@ -47,7 +47,10 @@
 //! every arrival permutation within the lateness bound and every watermark
 //! schedule (`tests/stream_props.rs` at the workspace root).
 
-use tp_core::arena::FastMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use tp_core::arena::{ArenaScope, ArenaStats, FastMap, LineageArena, SegmentId, MAX_SHARDS};
 use tp_core::fact::Fact;
 use tp_core::interval::TimePoint;
 use tp_core::lineage::Lineage;
@@ -102,6 +105,39 @@ pub enum WatermarkPolicy {
     BoundedLateness(i64),
 }
 
+/// Bounded-memory operation: the engine hosts its lineage in a **private
+/// reclaimable arena**, seals one segment per watermark advance, and
+/// retires every sealed segment that falls below the live frontier (the
+/// smallest segment reachable from any buffered tuple — carried residuals
+/// and pending arrivals). A sliding-window stream then runs indefinitely
+/// with arena storage proportional to the *live* window, not to history.
+///
+/// Contract for consumers: deltas reference lineage in the engine's arena;
+/// valuate or materialize them when they arrive (inside `on_delta`, which
+/// runs within the engine's arena scope) or within `keep_epochs` further
+/// advances — after that their segments may retire and fresh traversals
+/// panic ("use-after-retire"). [`StreamSink::on_retire`] tells consumers
+/// when to drop their own per-segment memo entries.
+#[derive(Debug, Clone)]
+pub struct ReclaimConfig {
+    /// A sealed segment is retired only after this many further advances
+    /// — the grace window for consumers that materialize deltas slightly
+    /// late (0 = retire as soon as the live frontier passes).
+    pub keep_epochs: usize,
+    /// Dedup stripes of the private arena (a single-threaded stream needs
+    /// few).
+    pub shards: usize,
+}
+
+impl Default for ReclaimConfig {
+    fn default() -> Self {
+        ReclaimConfig {
+            keep_epochs: 2,
+            shards: MAX_SHARDS,
+        }
+    }
+}
+
 /// Engine construction parameters.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -111,8 +147,12 @@ pub struct EngineConfig {
     /// Watermark regime; see [`WatermarkPolicy`].
     pub policy: WatermarkPolicy,
     /// Re-run batch LAWA over the whole closed region after every advance
-    /// and assert equality (quadratic — tests only).
+    /// and assert equality (quadratic — tests only; keeping every accepted
+    /// tuple alive also suspends reclamation).
     pub verify_batch: bool,
+    /// Bounded-memory mode; see [`ReclaimConfig`]. `None` (the default)
+    /// interns into the thread's current arena and never reclaims.
+    pub reclaim: Option<ReclaimConfig>,
 }
 
 impl Default for EngineConfig {
@@ -121,6 +161,7 @@ impl Default for EngineConfig {
             ops: SetOp::ALL.to_vec(),
             policy: WatermarkPolicy::Manual,
             verify_batch: false,
+            reclaim: None,
         }
     }
 }
@@ -165,6 +206,10 @@ pub struct AdvanceStats {
     pub released: [usize; 2],
     /// Residual tuples carried into the next advance `[left, right]`.
     pub carried: [usize; 2],
+    /// Arena segments retired by this advance (reclaim mode only).
+    pub retired_segments: u64,
+    /// Interned nodes whose storage those retirements released.
+    pub retired_nodes: u64,
 }
 
 /// The open right edge of the latest output tuple of one fact (per op).
@@ -198,6 +243,18 @@ pub struct StreamEngine {
     /// `verify_batch`, so the cross-check validates the exact apply
     /// semantics consumers see (one implementation, not a mirror copy).
     verify_mirror: Option<CollectingSink>,
+    /// The private reclaimable arena (reclaim mode only); every engine
+    /// method enters it for the duration of the call.
+    arena: Option<Arc<LineageArena>>,
+    /// Sealed-but-unretired segments, oldest first, with the advance
+    /// counter at seal time (for the `keep_epochs` grace window).
+    sealed: VecDeque<(SegmentId, u64)>,
+    /// Watermark advances executed (drives the grace window).
+    advance_count: u64,
+    /// Total segments retired over the engine's lifetime.
+    reclaimed_segments: u64,
+    /// Total nodes whose storage retirement released.
+    reclaimed_nodes: u64,
 }
 
 impl Default for StreamEngine {
@@ -210,6 +267,10 @@ impl StreamEngine {
     /// Creates an engine with the given configuration.
     pub fn new(cfg: EngineConfig) -> Self {
         let verify_mirror = cfg.verify_batch.then(CollectingSink::new);
+        let arena = cfg
+            .reclaim
+            .as_ref()
+            .map(|rc| LineageArena::shared(rc.shards));
         StreamEngine {
             cfg,
             watermark: TimePoint::MIN,
@@ -221,12 +282,41 @@ impl StreamEngine {
             tails_prune_at: 1024,
             accepted: [Vec::new(), Vec::new()],
             verify_mirror,
+            arena,
+            sealed: VecDeque::new(),
+            advance_count: 0,
+            reclaimed_segments: 0,
+            reclaimed_nodes: 0,
         }
     }
 
     /// The current watermark (`TimePoint::MIN` before the first advance).
     pub fn watermark(&self) -> TimePoint {
         self.watermark
+    }
+
+    /// The engine's private arena (reclaim mode only). Consumers that want
+    /// to traverse collected deltas *after* the driving call returned must
+    /// re-enter it ([`StreamEngine::enter_arena`]).
+    pub fn reclaim_arena(&self) -> Option<&Arc<LineageArena>> {
+        self.arena.as_ref()
+    }
+
+    /// Enters the engine's private arena on this thread (no-op `None`
+    /// without reclaim mode).
+    pub fn enter_arena(&self) -> Option<ArenaScope> {
+        self.arena.as_ref().map(LineageArena::enter)
+    }
+
+    /// Statistics of the private arena (reclaim mode only): live/retired
+    /// nodes and segments, resident bytes — the bounded-memory gauge.
+    pub fn arena_stats(&self) -> Option<ArenaStats> {
+        self.arena.as_ref().map(|a| a.stats())
+    }
+
+    /// Lifetime totals of reclamation: `(segments, nodes)` retired.
+    pub fn reclaimed(&self) -> (u64, u64) {
+        (self.reclaimed_segments, self.reclaimed_nodes)
     }
 
     /// Late-dropped tuple counts `[left, right]`.
@@ -245,11 +335,24 @@ impl StreamEngine {
 
     /// Ingests one tuple. Order of pushes is arbitrary; only the bounded-
     /// lateness promise matters (`tuple.interval.start() >= watermark`).
+    ///
+    /// In reclaim mode the tuple's lineage is translated into the engine's
+    /// private arena (refs are arena-relative): the formula is read in the
+    /// caller's arena and re-interned inside — O(|λ|), which is O(1) for
+    /// the atomic lineage of base tuples.
     pub fn push(&mut self, side: Side, tuple: TpTuple) -> IngestOutcome {
         if tuple.interval.start() < self.watermark {
             self.late[side.idx()] += 1;
             return IngestOutcome::Late;
         }
+        let tuple = match &self.arena {
+            Some(arena) => {
+                let tree = tuple.lineage.to_tree(); // caller's arena
+                let _scope = LineageArena::enter(arena);
+                TpTuple::new(tuple.fact, Lineage::from_tree(&tree), tuple.interval)
+            }
+            None => tuple,
+        };
         self.event_high = self.event_high.max(tuple.interval.start());
         if self.cfg.verify_batch {
             self.accepted[side.idx()].push(tuple.clone());
@@ -289,6 +392,10 @@ impl StreamEngine {
                 requested: to,
             });
         }
+        // Reclaim mode: the whole advance — sweep, λ-functions, delta
+        // emission, the sink's callbacks, the batch cross-check — runs
+        // inside the engine's private arena scope.
+        let _scope = self.arena.as_ref().map(LineageArena::enter);
         let mut stats = AdvanceStats {
             watermark: to,
             ..Default::default()
@@ -356,10 +463,70 @@ impl StreamEngine {
             self.tails_prune_at = (2 * live).max(1024);
         }
         sink.on_watermark(to);
+        self.advance_count += 1;
+        if self.cfg.reclaim.is_some() {
+            self.reclaim_dead_segments(sink, &mut stats);
+        }
         if self.cfg.verify_batch {
             self.verify_closed_region();
         }
         Ok(stats)
+    }
+
+    /// Seals the segment of the just-finalized advance and retires every
+    /// sealed segment below the live frontier (and past the `keep_epochs`
+    /// grace window). The frontier is the smallest arena segment reachable
+    /// from any ref the engine still holds — pending arrivals, carried
+    /// residuals and (under `verify_batch`) the accepted history. Tail
+    /// entries are deliberately *not* part of the frontier: they are only
+    /// ever ref-compared, never dereferenced, and a tail whose segment
+    /// died cannot be continued anyway (its residual would have kept the
+    /// segment alive).
+    fn reclaim_dead_segments(&mut self, sink: &mut impl StreamSink, stats: &mut AdvanceStats) {
+        let rc = self.cfg.reclaim.clone().expect("reclaim mode");
+        let arena = Arc::clone(self.arena.as_ref().expect("reclaim implies arena"));
+        if let Some(seg) = arena.seal() {
+            self.sealed.push_back((seg, self.advance_count));
+        }
+        let mut live_low = arena.open_segment();
+        {
+            let mut probe = |l: &Lineage| {
+                let m = arena.min_segment(l.node_ref());
+                if m < live_low {
+                    live_low = m;
+                }
+            };
+            for side in 0..2 {
+                for t in &self.pending[side] {
+                    probe(&t.lineage);
+                }
+                for t in &self.carry[side] {
+                    probe(&t.lineage);
+                }
+                for t in &self.accepted[side] {
+                    probe(&t.lineage);
+                }
+            }
+        }
+        while let Some(&(seg, sealed_at)) = self.sealed.front() {
+            let aged_out = self.advance_count.saturating_sub(sealed_at) >= rc.keep_epochs as u64;
+            if seg >= live_low || !aged_out {
+                break;
+            }
+            match arena.retire(seg) {
+                Ok(freed) => {
+                    self.sealed.pop_front();
+                    self.reclaimed_segments += 1;
+                    self.reclaimed_nodes += freed.nodes;
+                    stats.retired_segments += 1;
+                    stats.retired_nodes += freed.nodes;
+                    sink.on_retire(seg);
+                }
+                // Pinned by a consumer-held view: back off, retry on the
+                // next advance.
+                Err(_) => break,
+            }
+        }
     }
 
     /// Releases everything still buffered by advancing the watermark past
@@ -610,6 +777,143 @@ mod tests {
             engine.push(Side::Left, mk(&mut vars, 8, 9)),
             IngestOutcome::Accepted
         );
+    }
+
+    /// A sliding-window workload: per epoch `e`, `per_epoch` short tuples
+    /// per side on a rotating fact population. Nothing outlives its epoch
+    /// by more than one stride — the shape a bounded-memory stream serves.
+    fn sliding_tuples(
+        vars: &mut VarTable,
+        epochs: i64,
+        per_epoch: i64,
+        stride: i64,
+    ) -> Vec<(Side, TpTuple)> {
+        let mut out = Vec::new();
+        for e in 0..epochs {
+            for k in 0..per_epoch {
+                let base = e * stride + (k * stride / per_epoch);
+                for (side, off) in [(Side::Left, 0), (Side::Right, 2)] {
+                    let id = vars.register(format!("s{e}_{k}_{off}"), 0.5).unwrap();
+                    out.push((
+                        side,
+                        TpTuple::new(
+                            Fact::single(k),
+                            Lineage::var(id),
+                            Interval::at(base + off, base + off + stride / 2 + 1),
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn reclaiming_engine_plateaus_and_matches_batch() {
+        let mut vars = VarTable::new();
+        let events = sliding_tuples(&mut vars, 60, 8, 16);
+        let mut engine = StreamEngine::new(EngineConfig {
+            reclaim: Some(ReclaimConfig {
+                keep_epochs: 2,
+                ..Default::default()
+            }),
+            ..Default::default()
+        });
+        // Materialize every delta as a tree immediately (the reclaim-mode
+        // consumption contract), so results survive retirement and can be
+        // re-interned into the global arena for the batch comparison.
+        let mut sink = crate::delta::MaterializingSink::new();
+        let mut live_samples = Vec::new();
+        let mut w = 0i64;
+        for (side, t) in &events {
+            engine.push(*side, t.clone());
+            let hi = t.interval.start();
+            if hi - 24 > w {
+                w = hi - 24;
+                engine.advance(w, &mut sink).unwrap();
+                live_samples.push(engine.arena_stats().unwrap().nodes);
+            }
+        }
+        engine.finish(&mut sink).unwrap();
+        assert_eq!(engine.late_dropped(), [0, 0]);
+        let (seg_retired, nodes_retired) = engine.reclaimed();
+        assert!(seg_retired > 10, "retired only {seg_retired} segments");
+        assert!(nodes_retired > 0);
+        assert_eq!(sink.retired_segments, seg_retired);
+        // Plateau: once warm, live nodes must stop growing with history.
+        let warm = &live_samples[live_samples.len() / 2..];
+        let peak_warm = *warm.iter().max().unwrap();
+        let peak_early = *live_samples[..6.min(live_samples.len())]
+            .iter()
+            .max()
+            .unwrap();
+        assert!(
+            peak_warm <= 2 * peak_early.max(1),
+            "no plateau: early {peak_early}, warm {peak_warm} (samples {live_samples:?})"
+        );
+        // Equivalence: rebuild the streamed result in the global arena and
+        // compare with batch over the same inputs.
+        let streamed = sink.replay();
+        let collect = |side: Side| -> TpRelation {
+            events
+                .iter()
+                .filter(|(s, _)| *s == side)
+                .map(|(_, t)| t.clone())
+                .collect()
+        };
+        let (r, s) = (collect(Side::Left), collect(Side::Right));
+        for op in SetOp::ALL {
+            assert_eq!(
+                streamed.relation(op).canonicalized(),
+                ops::apply(op, &r, &s).canonicalized(),
+                "{op}"
+            );
+        }
+        // Marginals of the streamed results valuate identically.
+        for t in streamed.relation(SetOp::Union).iter() {
+            let p = tp_core::prob::marginal(&t.lineage, &vars).unwrap();
+            assert!(p > 0.0 && p <= 1.0);
+        }
+    }
+
+    #[test]
+    fn reclaim_translates_foreign_lineage_on_push() {
+        // Tuples built in the global arena must be re-interned into the
+        // engine's private arena, and deltas valuated in-scope.
+        let mut vars = VarTable::new();
+        let (c, a) = example3(&mut vars);
+        let mut engine = StreamEngine::new(EngineConfig {
+            reclaim: Some(ReclaimConfig::default()),
+            ..Default::default()
+        });
+        struct ProbeSink<'a> {
+            vars: &'a VarTable,
+            probed: usize,
+        }
+        impl StreamSink for ProbeSink<'_> {
+            fn on_delta(&mut self, _op: SetOp, delta: &Delta) {
+                if let Delta::Insert(t) = delta {
+                    // Runs inside the engine's arena scope.
+                    let p = tp_core::prob::marginal(&t.lineage, self.vars).unwrap();
+                    assert!(p > 0.0 && p <= 1.0);
+                    self.probed += 1;
+                }
+            }
+        }
+        let mut sink = ProbeSink {
+            vars: &vars,
+            probed: 0,
+        };
+        for t in c.iter() {
+            engine.push(Side::Left, t.clone());
+        }
+        for t in a.iter() {
+            engine.push(Side::Right, t.clone());
+        }
+        engine.finish(&mut sink).unwrap();
+        assert!(sink.probed > 0);
+        let stats = engine.arena_stats().unwrap();
+        assert!(stats.nodes > 0, "lineage was not translated into the arena");
     }
 
     #[test]

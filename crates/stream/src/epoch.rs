@@ -20,27 +20,62 @@
 //! *all lineage ever built* — the first concrete step toward the ROADMAP's
 //! epoch-based arena reclamation.
 
-use tp_core::arena::{ArenaStamp, LineageArena};
+use tp_core::arena::{ArenaStamp, LineageArena, SegmentId, SegmentState};
 use tp_core::interval::Interval;
 use tp_core::ops::{self, SetOp};
 use tp_core::relation::{TpRelation, VarTable};
 use tp_core::tuple::TpTuple;
 
+/// What [`EpochScope::release_storage`] reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReleasedStorage {
+    /// Arena segments retired.
+    pub segments: usize,
+    /// Interned nodes whose storage was released.
+    pub nodes: u64,
+}
+
 /// Brackets a phase of lineage construction; see the module docs.
+///
+/// Scopes are relative to the thread's *current* arena (the global one by
+/// default, or a private arena entered via
+/// [`LineageArena::enter`]); release calls must run under the same arena.
 #[derive(Debug, Clone)]
 pub struct EpochScope {
     stamp: ArenaStamp,
+    /// First segment that holds only epoch-local nodes: everything the
+    /// epoch interned lands in `first_local..=<open at release time>`,
+    /// except that under [`EpochScope::begin`] the boundary segment is
+    /// shared with pre-epoch nodes and is skipped by storage release
+    /// ([`EpochScope::begin_sealed`] makes the boundary clean).
+    first_local: SegmentId,
 }
 
 impl EpochScope {
     /// Opens a scope: nodes interned from now on count as epoch-local.
     pub fn begin() -> Self {
-        EpochScope {
-            stamp: LineageArena::global().stamp(),
-        }
+        let stamp = LineageArena::with_current(|a| a.stamp());
+        let first_local = if stamp.segment_len() == 0 {
+            stamp.segment()
+        } else {
+            // The open segment already holds pre-epoch nodes; only
+            // segments opened after it are fully epoch-local.
+            SegmentId(stamp.segment().0 + 1)
+        };
+        EpochScope { stamp, first_local }
     }
 
-    /// The arena snapshot taken at [`EpochScope::begin`].
+    /// Opens a scope on a fresh segment: the current open segment is
+    /// sealed first, so *every* node the epoch interns lives in segments
+    /// the scope can later retire ([`EpochScope::release_storage`]).
+    pub fn begin_sealed() -> Self {
+        LineageArena::with_current(|a| {
+            let _ = a.seal();
+        });
+        Self::begin()
+    }
+
+    /// The arena snapshot taken at construction.
     pub fn stamp(&self) -> &ArenaStamp {
         &self.stamp
     }
@@ -49,6 +84,39 @@ impl EpochScope {
     /// `vars`. Call once the epoch's outputs are consumed.
     pub fn release_marginals(&self, vars: &VarTable) {
         vars.release_marginals_after(&self.stamp);
+    }
+
+    /// Reclaims the **node storage** of the epoch: seals the open segment
+    /// and retires every fully-epoch-local, unpinned segment, releasing
+    /// the matching `vars` marginal entries per segment (O(1) each).
+    ///
+    /// Caller contract: every lineage handle built during the scope has
+    /// been consumed (valuated, materialized as a tree, or discarded) —
+    /// fresh traversals of a retired handle panic. Pinned segments are
+    /// skipped, not waited for. Composite results that *reference*
+    /// pre-epoch lineage are fine to retire — liveness concerns the
+    /// handles held, not the nodes referenced by dead handles.
+    pub fn release_storage(&self, vars: &VarTable) -> ReleasedStorage {
+        LineageArena::with_current(|arena| {
+            let end = match arena.seal() {
+                Some(sealed) => sealed.0,
+                // Open segment empty: everything sealed lies below it.
+                None => arena.open_segment().0.saturating_sub(1),
+            };
+            let mut released = ReleasedStorage::default();
+            for id in self.first_local.0..=end {
+                let seg = SegmentId(id);
+                if arena.segment_state(seg) != Some(SegmentState::Sealed) {
+                    continue;
+                }
+                if let Ok(freed) = arena.retire(seg) {
+                    vars.release_marginals_for_segment(seg);
+                    released.segments += 1;
+                    released.nodes += freed.nodes;
+                }
+            }
+            released
+        })
     }
 }
 
@@ -142,6 +210,9 @@ pub fn apply_epoched(
     // outputs in epoch order.
     let per_worker = (epochs as usize).div_ceil(threads);
     let mut all: Vec<TpTuple> = Vec::new();
+    // Workers do not inherit the caller's thread-local arena scope:
+    // propagate it so all lineage lands in one store.
+    let arena = LineageArena::current_shared();
     let blocks: Vec<Vec<TpTuple>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|wk| {
@@ -149,7 +220,9 @@ pub fn apply_epoched(
                 let last = ((wk + 1) * per_worker).min(epochs as usize);
                 let r_buckets = &r_buckets;
                 let s_buckets = &s_buckets;
+                let arena = arena.clone();
                 scope.spawn(move || {
+                    let _scope = arena.as_ref().map(LineageArena::enter);
                     let mut out: Vec<TpTuple> = Vec::new();
                     for e in first..last {
                         let scope_guard = EpochScope::begin();
@@ -323,6 +396,64 @@ mod tests {
             .map(|t| prob::marginal(&t.lineage, &vars).unwrap())
             .sum();
         assert!((sum_before - sum_after).abs() < 1e-9);
+    }
+
+    #[test]
+    fn release_storage_retires_epoch_local_segments() {
+        // Run in a private arena: storage release on the global arena
+        // would race other tests of this binary.
+        let arena = tp_core::arena::LineageArena::shared(2);
+        let _guard = tp_core::arena::LineageArena::enter(&arena);
+        let mut vars = VarTable::new();
+        for _ in 0..200 {
+            vars.register("v", 0.5).unwrap();
+        }
+        // Pre-epoch lineage that must survive the release.
+        let keep = tp_core::lineage::Lineage::var(tp_core::lineage::TupleId(0));
+        let scope = EpochScope::begin_sealed();
+        let (r, s) = {
+            let mut rows_r = Vec::new();
+            let mut rows_s = Vec::new();
+            for k in 0..40i64 {
+                rows_r.push((Fact::single(0i64), Interval::at(9 * k, 9 * k + 6), 0.5));
+                rows_s.push((Fact::single(0i64), Interval::at(9 * k + 3, 9 * k + 8), 0.5));
+            }
+            (
+                TpRelation::base("r", rows_r, &mut vars).unwrap(),
+                TpRelation::base("s", rows_s, &mut vars).unwrap(),
+            )
+        };
+        let out = ops::apply(SetOp::Union, &r, &s);
+        // Reduce the epoch's outputs to scalars — after this, no handle
+        // built inside the scope is needed anymore.
+        let sum: f64 = out
+            .iter()
+            .map(|t| prob::marginal(&t.lineage, &vars).unwrap())
+            .sum();
+        assert!(sum > 0.0);
+        let before = arena.stats();
+        let cached_before = vars.valuation_cache_len();
+        assert!(cached_before > 0);
+        drop(out);
+        drop((r, s));
+        let released = scope.release_storage(&vars);
+        assert!(released.segments >= 1, "nothing retired");
+        assert!(released.nodes > 0);
+        let after = arena.stats();
+        assert!(after.nodes < before.nodes, "no storage reclaimed");
+        assert_eq!(
+            after.retired_segments,
+            before.retired_segments + released.segments
+        );
+        // Pre-epoch lineage survives and reads fine.
+        assert_eq!(keep.size(), 1);
+        // Marginals keyed into the retired segments were evicted (O(1)
+        // per segment), so the cache shrank with the storage.
+        assert!(
+            vars.valuation_cache_len() < cached_before,
+            "cache kept {} entries",
+            vars.valuation_cache_len()
+        );
     }
 
     #[test]

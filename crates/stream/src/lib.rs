@@ -25,7 +25,7 @@
 //! |---|---|
 //! | [`engine`] | [`StreamEngine`]: ingestion, watermarks, incremental sweep, delta emission |
 //! | [`delta`] | [`Delta`], the [`StreamSink`] trait, collecting/counting sinks |
-//! | [`epoch`] | timeline-partitioned parallel executor + arena-cache release scopes |
+//! | [`epoch`] | timeline-partitioned parallel executor + arena cache/storage release scopes |
 //! | [`replay`] | deterministic out-of-order replay scripts over batch relation pairs |
 //!
 //! See `docs/streaming.md` for the watermark/lateness model, the epoch
@@ -40,9 +40,12 @@ pub mod engine;
 pub mod epoch;
 pub mod replay;
 
-pub use delta::{CollectingSink, CountingSink, Delta, NullSink, StreamSink};
-pub use engine::{
-    AdvanceStats, EngineConfig, IngestOutcome, Side, StreamEngine, StreamError, WatermarkPolicy,
+pub use delta::{
+    CollectingSink, CountingSink, Delta, MaterializedDelta, MaterializingSink, NullSink, StreamSink,
 };
-pub use epoch::{apply_epoched, EpochConfig, EpochScope};
+pub use engine::{
+    AdvanceStats, EngineConfig, IngestOutcome, ReclaimConfig, Side, StreamEngine, StreamError,
+    WatermarkPolicy,
+};
+pub use epoch::{apply_epoched, EpochConfig, EpochScope, ReleasedStorage};
 pub use replay::{ReplayConfig, ReplayEvent, ReplayTotals, StreamScript};

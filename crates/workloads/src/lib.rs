@@ -31,7 +31,9 @@ pub mod synth;
 pub mod webkit;
 
 pub use meteo::MeteoConfig;
-pub use replay::{meteo_stream, synth_stream, webkit_stream, StreamWorkload};
+pub use replay::{
+    meteo_stream, sliding_synth_stream, synth_stream, webkit_stream, SlidingConfig, StreamWorkload,
+};
 pub use shift::shifted_copy;
 pub use stats::DatasetStats;
 pub use synth::{overlapping_factor, FactDistribution, RelationSpec, SynthConfig};

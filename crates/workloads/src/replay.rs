@@ -56,6 +56,91 @@ pub fn meteo_stream(
     StreamWorkload::new(r, s, replay)
 }
 
+/// Parameters of the indefinitely sliding synthetic stream
+/// ([`sliding_synth_stream`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SlidingConfig {
+    /// Watermark advances (epochs) to generate; memory of a reclaiming
+    /// engine is independent of this — crank it up to soak-test.
+    pub epochs: usize,
+    /// Tuples per side per epoch.
+    pub per_epoch: usize,
+    /// Distinct facts the tuples rotate over.
+    pub facts: usize,
+    /// Time points per epoch (tuple spans stay below one stride, so
+    /// nothing outlives its epoch by more than one advance).
+    pub stride: i64,
+    /// Seed for the per-tuple probability jitter.
+    pub seed: u64,
+}
+
+impl Default for SlidingConfig {
+    fn default() -> Self {
+        SlidingConfig {
+            epochs: 64,
+            per_epoch: 16,
+            facts: 8,
+            stride: 64,
+            seed: 11,
+        }
+    }
+}
+
+/// A sliding-window synthetic stream: every epoch contributes a fresh
+/// bounded batch of short-lived tuples on a rotating fact population, and
+/// the watermark advances once per epoch. This is the steady-state shape a
+/// bounded-memory continuous engine must serve **indefinitely**: the live
+/// window is O(`per_epoch`), so with reclamation
+/// ([`tp_stream::ReclaimConfig`]) arena residency plateaus regardless of
+/// `epochs`. Returns the full pair for batch cross-checks plus a script
+/// whose advances land exactly on epoch boundaries.
+pub fn sliding_synth_stream(cfg: &SlidingConfig, vars: &mut VarTable) -> StreamWorkload {
+    use tp_core::fact::Fact;
+    use tp_core::interval::Interval;
+
+    let facts = cfg.facts.max(1) as i64;
+    let stride = cfg.stride.max(8);
+    // Each fact gets `copies` disjoint sub-slots per epoch; tuples span
+    // half a sub-slot, so same-fact tuples of one side never overlap —
+    // duplicate-free by construction, within and across epochs.
+    let copies = ((cfg.per_epoch as i64 / facts).max(1)).min(stride / 4);
+    let sub = stride / copies;
+    let span = (sub / 2).max(1);
+    let jitter = |x: i64| 0.25 + 0.5 * (((cfg.seed as i64 + x).rem_euclid(97)) as f64 / 97.0);
+    let mut rows_r = Vec::new();
+    let mut rows_s = Vec::new();
+    for e in 0..cfg.epochs as i64 {
+        for f in 0..facts {
+            for c in 0..copies {
+                let fact = Fact::single(f);
+                let base = e * stride + c * sub;
+                rows_r.push((
+                    fact.clone(),
+                    Interval::at(base, base + span),
+                    jitter(base + f),
+                ));
+                rows_s.push((
+                    fact,
+                    Interval::at(base + span / 3, base + span / 3 + span),
+                    jitter(base + f + 1),
+                ));
+            }
+        }
+    }
+    let r = TpRelation::base("r", rows_r, vars).expect("sliding rows are duplicate-free");
+    let s = TpRelation::base("s", rows_s, vars).expect("sliding rows are duplicate-free");
+    StreamWorkload::new(
+        r,
+        s,
+        &ReplayConfig {
+            lateness: stride / 4,
+            // One advance per epoch's worth of arrivals (both sides).
+            advance_every: (2 * facts * copies) as usize,
+            seed: cfg.seed,
+        },
+    )
+}
+
 /// The simulated WebKit history as a stream, with a shifted counterpart.
 pub fn webkit_stream(
     cfg: &WebkitConfig,
@@ -96,6 +181,42 @@ mod tests {
         );
         assert!(w.script.arrivals() == w.r.len() + w.s.len());
         assert_stream_equals_batch(&w);
+    }
+
+    #[test]
+    fn sliding_stream_is_duplicate_free_and_matches_batch() {
+        let mut vars = VarTable::new();
+        let w = sliding_synth_stream(&SlidingConfig::default(), &mut vars);
+        w.r.check_duplicate_free().unwrap();
+        w.s.check_duplicate_free().unwrap();
+        assert!(w.script.advances() >= SlidingConfig::default().epochs / 2);
+        assert_stream_equals_batch(&w);
+    }
+
+    #[test]
+    fn sliding_stream_live_window_is_independent_of_epochs() {
+        // The workload contract behind the bounded-memory gate: doubling
+        // the epochs doubles the tuples but not the per-epoch live set.
+        let mut vars = VarTable::new();
+        let short = sliding_synth_stream(
+            &SlidingConfig {
+                epochs: 16,
+                ..Default::default()
+            },
+            &mut vars,
+        );
+        let long = sliding_synth_stream(
+            &SlidingConfig {
+                epochs: 32,
+                ..Default::default()
+            },
+            &mut vars,
+        );
+        assert_eq!(long.r.len(), 2 * short.r.len());
+        assert_eq!(long.script.arrivals(), 2 * short.script.arrivals());
+        // Advances scale with epochs (the bounded live set per advance is
+        // what the reclaiming engine turns into a memory plateau).
+        assert!(long.script.advances() >= 2 * short.script.advances() - 2);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! tp> (a union b) intersect c
 //! tp> \d a            -- show a relation
 //! tp> \load r file    -- load a base relation from a file
+//! tp> \arena          -- lineage-arena statistics (segments, nodes, bytes)
 //! tp> \q
 //! ```
 
@@ -72,7 +73,26 @@ fn handle_command(db: &mut Database, line: &str) -> Result<bool> {
                 db.load_relation(name, &text)?;
                 println!("loaded '{name}' ({} tuples)", db.relation(name)?.len());
             }
-            Some(other) => println!("unknown command \\{other} (try \\d, \\load, \\q)"),
+            Some("arena") => {
+                let stats = LineageArena::global().stats();
+                println!(
+                    "lineage arena: {} live nodes ({} interned, {} retired) in {} segments \
+                     ({} live / {} retired), ~{} KiB resident, {} nodes with exact var lists",
+                    stats.nodes,
+                    stats.total_interned,
+                    stats.retired_nodes,
+                    stats.segments,
+                    stats.live_segments,
+                    stats.retired_segments,
+                    stats.resident_bytes / 1024,
+                    stats.with_var_list,
+                );
+                println!(
+                    "valuation cache: {} memoized marginals",
+                    db.vars().valuation_cache_len()
+                );
+            }
+            Some(other) => println!("unknown command \\{other} (try \\d, \\load, \\arena, \\q)"),
             None => {}
         }
         return Ok(true);

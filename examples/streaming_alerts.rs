@@ -1,30 +1,39 @@
-//! Live alert maintenance: the streaming twin of `weather_alerts`.
+//! Live alert maintenance: the streaming twin of `weather_alerts`, in
+//! **bounded memory**.
 //!
 //! The same Meteo-like scenario — `forecast` vs a time-shifted `confirmed`
 //! stream — but instead of batch set operations over finished relations,
 //! tuples *arrive* out of order and a continuous engine maintains
 //! `forecast −Tp confirmed` (uncorroborated-forecast alerts) and
-//! `forecast ∩Tp confirmed` (agreement periods) incrementally: every
-//! watermark advance emits only the deltas, and finalized epochs release
-//! their share of the valuation cache.
+//! `forecast ∩Tp confirmed` (agreement periods) incrementally. The engine
+//! runs in reclaim mode: it hosts lineage in a private segmented arena,
+//! seals one segment per watermark advance, and retires every segment the
+//! live window no longer reaches — so the arena residency plateaus no
+//! matter how long the stream runs, and the monitor's valuation cache is
+//! trimmed per retired segment (O(1)) through `on_retire`.
 //!
 //! ```text
 //! cargo run --release --example streaming_alerts
 //! ```
 
-use tp_stream::{Delta, EngineConfig, EpochScope, ReplayConfig, StreamSink};
+use tp_stream::{
+    Delta, EngineConfig, ReclaimConfig, ReplayConfig, ReplayEvent, StreamEngine, StreamSink,
+};
 use tp_workloads::{meteo_stream, MeteoConfig};
 use tpdb::prelude::*;
 
 /// A monitoring sink: counts deltas per op, valuates the probability of
-/// every *alert* insert as it appears, and remembers the most probable
-/// alerts seen so far — all strictly incrementally.
+/// every *alert* insert the moment it appears (inside the engine's arena
+/// scope — the reclaim-mode consumption contract), and remembers the most
+/// probable alerts seen so far as plain values, so nothing holds dead
+/// lineage handles after retirement.
 struct AlertMonitor<'a> {
     vars: &'a VarTable,
     alert_deltas: u64,
     agreement_deltas: u64,
-    /// `(probability, tuple)` of the strongest alerts, kept sorted.
-    top: Vec<(f64, TpTuple)>,
+    retired_segments: u64,
+    /// `(probability, station, interval)` of the strongest alerts.
+    top: Vec<(f64, String, Interval)>,
 }
 
 impl StreamSink for AlertMonitor<'_> {
@@ -34,15 +43,22 @@ impl StreamSink for AlertMonitor<'_> {
                 self.alert_deltas += 1;
                 if let Delta::Insert(t) = delta {
                     let p = prob::marginal(&t.lineage, self.vars).expect("vars registered");
-                    self.top.push((p, t.clone()));
+                    self.top.push((p, t.fact.to_string(), t.interval));
                     self.top
-                        .sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.fact.cmp(&b.1.fact)));
+                        .sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
                     self.top.truncate(5);
                 }
             }
             SetOp::Intersect => self.agreement_deltas += 1,
             SetOp::Union => {}
         }
+    }
+
+    fn on_retire(&mut self, seg: SegmentId) {
+        // The O(1) per-segment eviction hook: marginals memoized for
+        // retired lineage can never be queried again.
+        self.vars.release_marginals_for_segment(seg);
+        self.retired_segments += 1;
     }
 }
 
@@ -76,41 +92,66 @@ fn main() -> Result<()> {
         vars: &vars,
         alert_deltas: 0,
         agreement_deltas: 0,
+        retired_segments: 0,
         top: Vec::new(),
     };
-    // Alert probabilities are valuated per delta; once the replay (one
-    // long epoch here) is finalized, its scratch marginals are released.
-    let epoch = EpochScope::begin();
+    // Reclaim mode: private arena, one sealed segment per advance,
+    // retirement once the live window moves past a segment.
+    let mut engine = StreamEngine::new(EngineConfig {
+        reclaim: Some(ReclaimConfig::default()),
+        ..Default::default()
+    });
     let t0 = std::time::Instant::now();
-    let totals = workload
-        .script
-        .run_into(EngineConfig::default(), &mut monitor);
+    let mut peak_nodes = 0usize;
+    let (mut windows, mut inserts, mut extends) = (0usize, 0u64, 0u64);
+    for event in &workload.script.events {
+        match event {
+            ReplayEvent::Arrive(side, t) => {
+                engine.push(*side, t.clone());
+            }
+            ReplayEvent::Advance(w) => {
+                let stats = engine.advance(*w, &mut monitor).expect("monotone script");
+                windows += stats.windows;
+                inserts += stats.inserts;
+                extends += stats.extends;
+                peak_nodes = peak_nodes.max(engine.arena_stats().expect("reclaim mode").nodes);
+            }
+        }
+    }
+    engine.finish(&mut monitor).expect("final advance");
     let ms = t0.elapsed().as_secs_f64() * 1e3;
-    let cached = vars.valuation_cache_len();
-    epoch.release_marginals(&vars);
 
     println!(
         "maintained −Tp and ∩Tp continuously in {ms:.1} ms: \
-         {} windows, {} inserts + {} extends across ops, 0 late drops ({:?})",
-        totals.windows, totals.inserts, totals.extends, totals.late,
+         {windows} windows, {inserts} inserts + {extends} extends across ops, {:?} late drops",
+        engine.late_dropped(),
+    );
+    let arena = engine.arena_stats().expect("reclaim mode");
+    let (seg_retired, nodes_retired) = engine.reclaimed();
+    println!(
+        "bounded memory: peak {} live lineage nodes, final {} ({} KiB resident); \
+         {} nodes in {} segments retired along the way ({} seen by the monitor)",
+        peak_nodes,
+        arena.nodes,
+        arena.resident_bytes / 1024,
+        nodes_retired,
+        seg_retired,
+        monitor.retired_segments,
     );
     println!(
-        "alert deltas: {}, agreement deltas: {}, valuation cache {} → {} entries after epoch release",
+        "alert deltas: {}, agreement deltas: {}, valuation cache {} entries after per-segment release",
         monitor.alert_deltas,
         monitor.agreement_deltas,
-        cached,
         vars.valuation_cache_len(),
     );
 
     println!("\nstrongest uncorroborated-forecast alerts seen live:");
-    for (p, t) in &monitor.top {
-        println!(
-            "  station {} over {} with probability {p:.3}",
-            t.fact, t.interval
-        );
+    for (p, station, interval) in &monitor.top {
+        println!("  station {station} over {interval} with probability {p:.3}");
     }
 
-    // The continuously maintained result is the batch result.
+    // The continuously maintained result is the batch result: replay the
+    // same script through a plain (global-arena) engine and compare.
     let (sink, _) = workload.script.run(EngineConfig::default());
     let batch = except(&workload.r, &workload.s);
     assert_eq!(

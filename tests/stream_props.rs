@@ -167,6 +167,89 @@ fn epoched_executor_matches_batch_on_random_inputs() {
 }
 
 #[test]
+fn reclaiming_sliding_stream_plateaus_and_stays_batch_identical() {
+    // ISSUE 3 acceptance: a sliding-window replay of ≥ 50 epochs through a
+    // *reclaiming* engine must (a) plateau in arena node count at steady
+    // state and (b) remain tuple-, lineage- and marginal-identical to
+    // batch LAWA over the same inputs.
+    use tp_stream::{MaterializingSink, ReclaimConfig, ReplayEvent};
+    use tp_workloads::{sliding_synth_stream, SlidingConfig};
+
+    let mut vars = VarTable::new();
+    let epochs = 60usize;
+    let w = sliding_synth_stream(
+        &SlidingConfig {
+            epochs,
+            ..Default::default()
+        },
+        &mut vars,
+    );
+    let mut engine = StreamEngine::new(tp_stream::EngineConfig {
+        reclaim: Some(ReclaimConfig {
+            keep_epochs: 2,
+            ..Default::default()
+        }),
+        ..Default::default()
+    });
+    // Deltas are materialized as trees the moment they arrive (the
+    // reclaim-mode consumption contract), so results survive retirement
+    // and can be re-interned into the global arena for comparison.
+    let mut sink = MaterializingSink::new();
+    let mut live_samples: Vec<usize> = Vec::new();
+    let mut advances = 0usize;
+    for event in &w.script.events {
+        match event {
+            ReplayEvent::Arrive(side, t) => {
+                engine.push(*side, t.clone());
+            }
+            ReplayEvent::Advance(wm) => {
+                engine.advance(*wm, &mut sink).unwrap();
+                advances += 1;
+                live_samples.push(engine.arena_stats().unwrap().nodes);
+            }
+        }
+    }
+    engine.finish(&mut sink).unwrap();
+    assert_eq!(engine.late_dropped(), [0, 0]);
+    assert!(advances >= 50, "only {advances} epochs replayed");
+
+    // (a) Plateau: steady-state residency stays within 2× of the warm-up
+    // footprint (one window's worth of lineage), independent of history.
+    let (retired_segments, retired_nodes) = engine.reclaimed();
+    assert!(
+        retired_segments as usize >= advances / 2,
+        "only {retired_segments} segments retired over {advances} advances"
+    );
+    assert!(retired_nodes > 0);
+    assert_eq!(sink.retired_segments, retired_segments);
+    let one_window = *live_samples[..8].iter().max().unwrap();
+    let steady = *live_samples[live_samples.len() / 2..].iter().max().unwrap();
+    assert!(
+        steady <= 2 * one_window,
+        "no plateau: one-window footprint {one_window}, steady-state {steady} \
+         (samples: {live_samples:?})"
+    );
+
+    // (b) Equivalence: replay the materialized deltas into the global
+    // arena and compare — tuples, intervals, lineage (via interning the
+    // trees: identical formulas ⇒ identical handles), then marginals.
+    let streamed = sink.replay();
+    for op in SetOp::ALL {
+        let got = streamed.relation(op).canonicalized();
+        let batch = apply(op, &w.r, &w.s).canonicalized();
+        assert_eq!(got, batch, "{op}: reclaiming stream != batch");
+        for (st, bt) in got.iter().zip(batch.iter()) {
+            let ps = prob::marginal(&st.lineage, &vars).unwrap();
+            let pb = prob::marginal(&bt.lineage, &vars).unwrap();
+            assert!(
+                (ps - pb).abs() < 1e-12,
+                "{op}: marginal mismatch {ps} vs {pb} for {st}"
+            );
+        }
+    }
+}
+
+#[test]
 fn replay_scripts_cover_out_of_order_arrivals() {
     // Sanity on the harness itself: with a positive lateness bound, the
     // generated arrival order actually differs from the sorted order (the
