@@ -8,7 +8,8 @@
 //! ```
 //!
 //! Available experiment names: `table2`, `table3`, `table4`, `fig7`, `fig8`,
-//! `fig9a`, `fig9b`, `fig10`, `fig11`, `bench_lawa`, `bench_stream`. With
+//! `fig9a`, `fig9b`, `fig10`, `fig11`, `bench_lawa`, `bench_stream`,
+//! `bench_memory`, `bench_tenants`. With
 //! `--csv`, each figure is also written to `experiments_csv/<id>.csv` for
 //! external plotting. `bench_lawa` additionally writes `BENCH_lawa.json`
 //! (memoized valuation + op throughput + arena contention + streaming) to
@@ -99,6 +100,11 @@ fn main() {
             contention: experiments::arena_contention_bench(4, tp_bench::scaled(40_000)),
             streaming: experiments::streaming_bench(tuples, (2 * tuples / 64).max(1)),
             memory: experiments::memory_bounded_bench(tp_bench::scaled(200).max(24)),
+            tenants: experiments::multi_tenant_bench(
+                tp_bench::scaled(6).clamp(2, 64),
+                tp_bench::scaled(120).max(24),
+                4,
+            ),
         };
         println!("{}", report.render());
         let path = std::path::Path::new("BENCH_lawa.json");
@@ -200,6 +206,73 @@ fn main() {
             "ok: bounded memory over {} advances (plateau ratio {:.2} ≤ 2), batch-identical",
             b.advances,
             b.plateau_ratio()
+        );
+    }
+    if names.iter().any(|a| *a == "bench_tenants") {
+        // CI multi-tenant-soak job: N tenants with private arenas and
+        // sliding var registries behind one StreamServer, ≥ 50 collective
+        // watermark waves. Gates: per-tenant steady state ≤ 2× one-window
+        // on BOTH memory axes (arena nodes and live VarTable entries), and
+        // stream ≡ batch for every tenant.
+        let tenants = tp_bench::scaled(6).clamp(2, 64);
+        let epochs = tp_bench::scaled(600).max(60);
+        let b = experiments::multi_tenant_bench(tenants, epochs, 4);
+        println!(
+            "multi-tenant soak: {} tenants × {} epochs on {} workers, {} rows in {:.1} ms ({:.1} krows/s)",
+            b.tenants.len(),
+            b.epochs,
+            b.workers,
+            b.total_rows,
+            b.wall_ms,
+            b.krows_per_s(),
+        );
+        for t in &b.tenants {
+            println!(
+                "  {}: {} advances, arena {}→{} ({:.2}×), vars {}→{} ({:.2}×), released {} vars / {} segments, batch_equal={}",
+                t.name,
+                t.advances,
+                t.one_window_nodes,
+                t.steady_nodes,
+                t.node_plateau_ratio(),
+                t.one_window_vars,
+                t.steady_vars,
+                t.var_plateau_ratio(),
+                t.released_vars,
+                t.retired_segments,
+                t.batch_equal,
+            );
+        }
+        if b.min_advances() < 50 {
+            eprintln!(
+                "FAIL: only {} advance waves (gate: >= 50 epochs)",
+                b.min_advances()
+            );
+            std::process::exit(1);
+        }
+        if !b.batch_equal() {
+            eprintln!("FAIL: a tenant's stream diverges from batch LAWA");
+            std::process::exit(1);
+        }
+        if b.worst_node_ratio() > 2.0 {
+            eprintln!(
+                "FAIL: a tenant's arena did not plateau ({:.2}×, gate: 2×)",
+                b.worst_node_ratio()
+            );
+            std::process::exit(1);
+        }
+        if b.worst_var_ratio() > 2.0 {
+            eprintln!(
+                "FAIL: a tenant's var table did not plateau ({:.2}×, gate: 2×)",
+                b.worst_var_ratio()
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "ok: {} tenants bounded on both axes over {} waves (arena {:.2}×, vars {:.2}× ≤ 2), batch-identical",
+            b.tenants.len(),
+            b.min_advances(),
+            b.worst_node_ratio(),
+            b.worst_var_ratio(),
         );
     }
 }

@@ -912,13 +912,7 @@ pub fn memory_bounded_bench(epochs: usize) -> MemoryBench {
     engine.finish(&mut sink).expect("final advance");
     let stats = engine.arena_stats().expect("reclaim engine");
     let (retired_segments, retired_nodes) = engine.reclaimed();
-    let warmup = 8.min(live_samples.len().max(1));
-    let one_window_nodes = live_samples[..warmup].iter().copied().max().unwrap_or(0);
-    let steady_max_nodes = live_samples[live_samples.len() / 2..]
-        .iter()
-        .copied()
-        .max()
-        .unwrap_or(0);
+    let (one_window_nodes, steady_max_nodes) = peak_window(&live_samples, 8);
     // Untimed equivalence check: re-intern the materialized deltas into
     // the (global) current arena once, then compare per op.
     let streamed = sink.replay();
@@ -939,6 +933,198 @@ pub fn memory_bounded_bench(epochs: usize) -> MemoryBench {
     }
 }
 
+/// `(one-window, steady-state)` peaks of a per-advance memory sample
+/// series: the max over the first `warmup` samples versus the max over
+/// the second half — the plateau computation shared by the bounded-memory
+/// and multi-tenant benches (mirrored for tests in
+/// `tests/common/oracle.rs::assert_plateau`).
+fn peak_window(samples: &[usize], warmup: usize) -> (usize, usize) {
+    if samples.is_empty() {
+        return (0, 0);
+    }
+    let warmup = warmup.clamp(1, samples.len());
+    (
+        samples[..warmup].iter().copied().max().unwrap_or(0),
+        samples[samples.len() / 2..]
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0),
+    )
+}
+
+/// Per-tenant summary of the multi-tenant soak benchmark.
+#[derive(Debug, Clone)]
+pub struct TenantSummary {
+    /// Tenant name.
+    pub name: String,
+    /// Watermark waves the tenant participated in.
+    pub advances: u64,
+    /// Rows pushed (vars registered) for the tenant.
+    pub pushed: u64,
+    /// Peak live arena nodes over the first 8 waves.
+    pub one_window_nodes: usize,
+    /// Peak live arena nodes over the second half of the run.
+    pub steady_nodes: usize,
+    /// Peak live `VarTable` entries over the first 8 waves.
+    pub one_window_vars: usize,
+    /// Peak live `VarTable` entries over the second half of the run.
+    pub steady_vars: usize,
+    /// Arena segments the tenant's engine retired.
+    pub retired_segments: u64,
+    /// Variables released from the tenant's sliding registry.
+    pub released_vars: u64,
+    /// Whether the tenant's stream result equals batch LAWA for all ops.
+    pub batch_equal: bool,
+}
+
+impl TenantSummary {
+    /// Steady-state over one-window ratio of live arena nodes (gate ≤ 2).
+    pub fn node_plateau_ratio(&self) -> f64 {
+        self.steady_nodes as f64 / self.one_window_nodes.max(1) as f64
+    }
+
+    /// Steady-state over one-window ratio of live vars (gate ≤ 2).
+    pub fn var_plateau_ratio(&self) -> f64 {
+        self.steady_vars as f64 / self.one_window_vars.max(1) as f64
+    }
+}
+
+/// Result of the multi-tenant soak benchmark: N tenants with private
+/// arenas and sliding var registries behind one `StreamServer`, advanced
+/// in collective watermark waves sharded over a worker pool. The gates:
+/// per-tenant steady state ≤ 2× one-window on **both** memory axes (arena
+/// nodes and live `VarTable` entries), and stream ≡ batch per tenant.
+#[derive(Debug, Clone)]
+pub struct MultiTenantBench {
+    /// Per-tenant plateau and equivalence summaries.
+    pub tenants: Vec<TenantSummary>,
+    /// Worker threads the advance waves were sharded over.
+    pub workers: usize,
+    /// Epochs generated per tenant.
+    pub epochs: usize,
+    /// Wall milliseconds for the whole replay — pushes, advance waves,
+    /// and the per-wave memory-gauge sampling (two lock reads per tenant
+    /// per wave; negligible next to the sweeps, but included).
+    pub wall_ms: f64,
+    /// Rows pushed across all tenants.
+    pub total_rows: u64,
+}
+
+impl MultiTenantBench {
+    /// Aggregate ingest-to-result throughput in thousand rows per second.
+    pub fn krows_per_s(&self) -> f64 {
+        self.total_rows as f64 / self.wall_ms.max(1e-9)
+    }
+
+    /// Worst per-tenant arena plateau ratio.
+    pub fn worst_node_ratio(&self) -> f64 {
+        self.tenants
+            .iter()
+            .map(TenantSummary::node_plateau_ratio)
+            .fold(0.0, f64::max)
+    }
+
+    /// Worst per-tenant live-var plateau ratio — the `var_table_bounded`
+    /// gate.
+    pub fn worst_var_ratio(&self) -> f64 {
+        self.tenants
+            .iter()
+            .map(TenantSummary::var_plateau_ratio)
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether every tenant's stream equals batch.
+    pub fn batch_equal(&self) -> bool {
+        self.tenants.iter().all(|t| t.batch_equal)
+    }
+
+    /// Smallest per-tenant advance count (the ≥ 50 soak gate).
+    pub fn min_advances(&self) -> u64 {
+        self.tenants.iter().map(|t| t.advances).min().unwrap_or(0)
+    }
+
+    /// The acceptance predicate of the `multi-tenant-soak` CI job.
+    pub fn bounded(&self) -> bool {
+        self.batch_equal() && self.worst_node_ratio() <= 2.0 && self.worst_var_ratio() <= 2.0
+    }
+}
+
+/// Replays `tenants` independent sliding-window streams of `epochs` epochs
+/// through one [`tp_stream::StreamServer`] (advance waves sharded over
+/// `workers` threads), sampling per-tenant live arena nodes and live vars
+/// after every wave, then cross-checks each tenant against batch LAWA
+/// (untimed).
+pub fn multi_tenant_bench(tenants: usize, epochs: usize, workers: usize) -> MultiTenantBench {
+    use tp_core::ops::apply;
+    use tp_stream::{MaterializingSink, ServerConfig, StreamServer, TenantId};
+    use tp_workloads::{multi_tenant_stream, replay_waves, MultiTenantConfig};
+
+    let tenants = tenants.max(2);
+    let epochs = epochs.max(16);
+    let scripts = multi_tenant_stream(&MultiTenantConfig {
+        tenants,
+        epochs,
+        ..Default::default()
+    });
+    let mut server: StreamServer<MaterializingSink> = StreamServer::new(ServerConfig {
+        workers: workers.max(1),
+        ..Default::default()
+    });
+    let ids: Vec<TenantId> = scripts
+        .iter()
+        .map(|s| server.add_tenant(s.name.clone(), MaterializingSink::new()))
+        .collect();
+    let mut node_samples = vec![Vec::new(); tenants];
+    let mut var_samples = vec![Vec::new(); tenants];
+    let (wall_ms, advances) = crate::runner::time_ms(|| {
+        replay_waves(&scripts, &mut server, &ids, |server| {
+            for (k, &id) in ids.iter().enumerate() {
+                node_samples[k].push(server.arena_stats(id).nodes);
+                var_samples[k].push(server.vars(id).live_vars());
+            }
+        })
+    });
+    for result in server.finish_all() {
+        result.expect("finish never regresses");
+    }
+
+    // Untimed: per-tenant batch oracle over the same rows.
+    let mut summaries = Vec::with_capacity(tenants);
+    let mut total_rows = 0u64;
+    for (k, script) in scripts.iter().enumerate() {
+        let id = ids[k];
+        let mut control_vars = tp_core::relation::VarTable::new();
+        let (r, s) = script.relations(&mut control_vars);
+        let streamed = server.sink(id).replay();
+        let batch_equal = SetOp::ALL
+            .iter()
+            .all(|&op| streamed.relation(op).canonicalized() == apply(op, &r, &s).canonicalized());
+        let (one_window_nodes, steady_nodes) = peak_window(&node_samples[k], 8);
+        let (one_window_vars, steady_vars) = peak_window(&var_samples[k], 8);
+        total_rows += server.pushed(id);
+        summaries.push(TenantSummary {
+            name: script.name.clone(),
+            advances,
+            pushed: server.pushed(id),
+            one_window_nodes,
+            steady_nodes,
+            one_window_vars,
+            steady_vars,
+            retired_segments: server.engine(id).reclaimed().0,
+            released_vars: server.engine(id).reclaimed_vars(),
+            batch_equal,
+        });
+    }
+    MultiTenantBench {
+        tenants: summaries,
+        workers: workers.max(1),
+        epochs,
+        wall_ms,
+        total_rows,
+    }
+}
+
 /// The combined `BENCH_lawa.json` artifact: the memoized-valuation
 /// acceptance benchmark (top-level fields, unchanged schema) plus the
 /// per-operation throughput series, the arena-contention micro-benchmark
@@ -955,6 +1141,8 @@ pub struct BenchReport {
     pub streaming: StreamingBench,
     /// Reclaiming engine steady-state residency (bounded-memory gate).
     pub memory: MemoryBench,
+    /// Multi-tenant server soak: per-tenant arena + var-table plateaus.
+    pub tenants: MultiTenantBench,
 }
 
 impl BenchReport {
@@ -1021,6 +1209,20 @@ impl BenchReport {
                 "    \"plateau_ratio\": {:.3},\n",
                 "    \"batch_equal\": {},\n",
                 "    \"note\": \"reclaiming engine: steady-state live nodes must stay <= 2x the one-window footprint\"\n",
+                "  }},\n",
+                "  \"multi_tenant\": {{\n",
+                "    \"tenants\": {},\n",
+                "    \"workers\": {},\n",
+                "    \"epochs\": {},\n",
+                "    \"advances\": {},\n",
+                "    \"total_rows\": {},\n",
+                "    \"wall_ms\": {:.3},\n",
+                "    \"krows_per_s\": {:.3},\n",
+                "    \"worst_arena_plateau_ratio\": {:.3},\n",
+                "    \"var_table_plateau_ratio\": {:.3},\n",
+                "    \"var_table_bounded\": {},\n",
+                "    \"batch_equal\": {},\n",
+                "    \"note\": \"per-tenant private arenas + sliding var registries: steady state must stay <= 2x one-window on both axes, for every tenant\"\n",
                 "  }}\n",
                 "}}\n",
             ),
@@ -1051,6 +1253,17 @@ impl BenchReport {
             self.memory.final_resident_bytes,
             self.memory.plateau_ratio(),
             self.memory.batch_equal,
+            self.tenants.tenants.len(),
+            self.tenants.workers,
+            self.tenants.epochs,
+            self.tenants.min_advances(),
+            self.tenants.total_rows,
+            self.tenants.wall_ms,
+            self.tenants.krows_per_s(),
+            self.tenants.worst_node_ratio(),
+            self.tenants.worst_var_ratio(),
+            self.tenants.worst_var_ratio() <= 2.0,
+            self.tenants.batch_equal(),
         );
         out.push_str(&extra);
         out
@@ -1065,7 +1278,8 @@ impl BenchReport {
                 "{{\"generated_unix\": {}, \"valuation_speedup\": {:.2}, ",
                 "\"streaming_speedup\": {:.2}, \"union_mtuples_per_s\": {:.3}, ",
                 "\"contention_speedup\": {:.2}, \"memory_plateau_ratio\": {:.3}, ",
-                "\"memory_steady_nodes\": {}}}"
+                "\"memory_steady_nodes\": {}, \"tenant_var_plateau_ratio\": {:.3}, ",
+                "\"tenant_krows_per_s\": {:.3}}}"
             ),
             generated_unix,
             self.valuation.speedup(),
@@ -1078,6 +1292,8 @@ impl BenchReport {
             self.contention.speedup(),
             self.memory.plateau_ratio(),
             self.memory.steady_max_nodes,
+            self.tenants.worst_var_ratio(),
+            self.tenants.krows_per_s(),
         )
     }
 
@@ -1161,6 +1377,38 @@ impl BenchReport {
             self.memory.final_resident_bytes / 1024,
             self.memory.batch_equal,
         );
+        let _ = writeln!(
+            out,
+            "\n== BENCH lawa: multi-tenant server ({} tenants × {} epochs, {} workers) ==\n\
+             aggregate ingest       {:>9.1} krows/s   ({} rows in {:.1} ms)\n\
+             worst arena plateau    {:>9.2}×   (gate <= 2.0)\n\
+             worst var-table plateau{:>9.2}×   (gate <= 2.0, batch-equal: {})",
+            self.tenants.tenants.len(),
+            self.tenants.epochs,
+            self.tenants.workers,
+            self.tenants.krows_per_s(),
+            self.tenants.total_rows,
+            self.tenants.wall_ms,
+            self.tenants.worst_node_ratio(),
+            self.tenants.worst_var_ratio(),
+            self.tenants.batch_equal(),
+        );
+        for t in &self.tenants.tenants {
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>6} rows  arena {:>5}→{:<5} ({:.2}×)  vars {:>5}→{:<5} ({:.2}×)  released {} vars / {} segments",
+                t.name,
+                t.pushed,
+                t.one_window_nodes,
+                t.steady_nodes,
+                t.node_plateau_ratio(),
+                t.one_window_vars,
+                t.steady_vars,
+                t.var_plateau_ratio(),
+                t.released_vars,
+                t.retired_segments,
+            );
+        }
         out
     }
 }
@@ -1285,6 +1533,7 @@ mod tests {
             contention: arena_contention_bench(2, 200),
             streaming: streaming_bench(600, 80),
             memory: memory_bounded_bench(16),
+            tenants: multi_tenant_bench(2, 16, 2),
         };
         let json = report.to_json();
         // Existing top-level schema intact (CI's speedup gate reads these).
@@ -1295,6 +1544,8 @@ mod tests {
         assert!(json.contains("\"arena_contention\""));
         assert!(json.contains("\"streaming\""));
         assert!(json.contains("\"memory_bounded\""));
+        assert!(json.contains("\"multi_tenant\""));
+        assert!(json.contains("\"var_table_plateau_ratio\""));
         assert!(json.contains("\"batch_equal\": true"));
         // Balanced braces (hand-rolled JSON sanity).
         assert_eq!(
@@ -1307,6 +1558,7 @@ mod tests {
         assert!(rendered.contains("intern contention"));
         assert!(rendered.contains("naive re-batch"));
         assert!(rendered.contains("bounded-memory streaming"));
+        assert!(rendered.contains("multi-tenant server"));
 
         // History round trip: a written file's entries are recovered and
         // extended, and the result stays balanced.
@@ -1322,6 +1574,25 @@ mod tests {
             "unbalanced JSON with history: {with_two}"
         );
         assert!(extract_history("{}").is_empty());
+    }
+
+    #[test]
+    fn multi_tenant_bench_is_bounded_on_both_axes() {
+        let b = multi_tenant_bench(3, 24, 3);
+        assert_eq!(b.tenants.len(), 3);
+        assert!(b.min_advances() >= 24, "advances {}", b.min_advances());
+        assert!(b.total_rows > 0);
+        for t in &b.tenants {
+            assert!(t.batch_equal, "{}: stream diverged from batch", t.name);
+            assert!(t.retired_segments > 0, "{}: nothing retired", t.name);
+            assert!(t.released_vars > 0, "{}: no vars released", t.name);
+        }
+        assert!(
+            b.bounded(),
+            "not bounded: arena {:.2}x, vars {:.2}x",
+            b.worst_node_ratio(),
+            b.worst_var_ratio()
+        );
     }
 
     #[test]

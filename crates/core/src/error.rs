@@ -40,6 +40,11 @@ pub enum Error {
     UnknownRelation(String),
     /// A lineage variable has no probability registered in the `VarTable`.
     UnknownVariable(u64),
+    /// A lineage variable whose cohort was released from a sliding
+    /// `VarTable` registry (see `VarTable::release_vars_before`). Lookup of
+    /// a released variable is a *detectable* error by design — it must
+    /// never resolve to a silently wrong probability.
+    ReleasedVariable(u64),
     /// The requested operation is not supported by this approach
     /// (Table II of the paper, e.g. TPDB cannot compute `−Tp`).
     Unsupported {
@@ -95,6 +100,11 @@ impl fmt::Display for Error {
             Error::UnknownVariable(id) => {
                 write!(f, "no probability registered for lineage variable t{id}")
             }
+            Error::ReleasedVariable(id) => write!(
+                f,
+                "lineage variable t{id} was released from the sliding var \
+                 registry (use-after-release)"
+            ),
             Error::Unsupported {
                 approach,
                 operation,

@@ -104,7 +104,7 @@ pub mod prelude {
     pub use crate::ops::{apply, except, intersect, project, select, select_attr_eq, union, SetOp};
     pub use crate::prob;
     pub use crate::query::Query;
-    pub use crate::relation::{TpRelation, VarTable};
+    pub use crate::relation::{ReleasedVars, TpRelation, VarEpoch, VarTable};
     pub use crate::snapshot::{set_op_by_snapshots, timeslice};
     pub use crate::tuple::TpTuple;
     pub use crate::value::Value;

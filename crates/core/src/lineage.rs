@@ -505,14 +505,27 @@ impl LineageTree {
 
     /// The legacy un-memoized independence-assumption valuation: walks the
     /// whole tree on every call. Exact for 1OF formulas; the baseline the
-    /// arena-backed memoized valuation is benchmarked against.
+    /// arena-backed memoized valuation is benchmarked against. The var
+    /// store is locked once for the whole walk, not per node.
     pub fn independent_prob(&self, vars: &crate::relation::VarTable) -> crate::error::Result<f64> {
+        self.independent_prob_with(&vars.prob_reader())
+    }
+
+    fn independent_prob_with(
+        &self,
+        probs: &crate::relation::ProbReader<'_>,
+    ) -> crate::error::Result<f64> {
         Ok(match self {
-            LineageTree::Var(id) => vars.prob(*id)?,
-            LineageTree::Not(c) => 1.0 - c.independent_prob(vars)?,
-            LineageTree::And(a, b) => a.independent_prob(vars)? * b.independent_prob(vars)?,
+            LineageTree::Var(id) => probs.prob(*id)?,
+            LineageTree::Not(c) => 1.0 - c.independent_prob_with(probs)?,
+            LineageTree::And(a, b) => {
+                a.independent_prob_with(probs)? * b.independent_prob_with(probs)?
+            }
             LineageTree::Or(a, b) => {
-                let (pa, pb) = (a.independent_prob(vars)?, b.independent_prob(vars)?);
+                let (pa, pb) = (
+                    a.independent_prob_with(probs)?,
+                    b.independent_prob_with(probs)?,
+                );
                 1.0 - (1.0 - pa) * (1.0 - pb)
             }
         })

@@ -59,16 +59,19 @@ pub fn independent(lineage: &Lineage, vars: &VarTable) -> Result<f64> {
     }
     LineageArena::with_current(|arena| {
         let view = arena.view();
+        // One lock acquisition per walk for the var store (and one for
+        // the cache), not one per node.
+        let probs = vars.prob_reader();
         if view.one_of(root) {
             // A table whose cache is bound to a *different* arena cannot
             // cache these refs (key aliasing); valuate with a per-call
             // memo instead — correct, just uncached.
             if let Some(mut cache) = vars.lock_marginal_cache_for(arena.id()) {
-                return independent_rec_cached(root, &view, vars, &mut cache);
+                return independent_rec_cached(root, &view, &probs, &mut cache);
             }
         }
         let mut local: FastMap<LineageRef, f64> = FastMap::default();
-        independent_rec_local(root, &view, vars, &mut local)
+        independent_rec_local(root, &view, &probs, &mut local)
     })
 }
 
@@ -77,22 +80,22 @@ pub fn independent(lineage: &Lineage, vars: &VarTable) -> Result<f64> {
 fn independent_rec_cached(
     r: LineageRef,
     view: &ArenaView<'_>,
-    vars: &VarTable,
+    probs: &crate::relation::ProbReader<'_>,
     cache: &mut crate::relation::MarginalCache,
 ) -> Result<f64> {
     if let Some(p) = cache.get(r) {
         return Ok(p);
     }
     let p = match view.node(r) {
-        LineageNode::Var(id) => vars.prob(id)?,
-        LineageNode::Not(c) => 1.0 - independent_rec_cached(c, view, vars, cache)?,
+        LineageNode::Var(id) => probs.prob(id)?,
+        LineageNode::Not(c) => 1.0 - independent_rec_cached(c, view, probs, cache)?,
         LineageNode::And(a, b) => {
-            independent_rec_cached(a, view, vars, cache)?
-                * independent_rec_cached(b, view, vars, cache)?
+            independent_rec_cached(a, view, probs, cache)?
+                * independent_rec_cached(b, view, probs, cache)?
         }
         LineageNode::Or(a, b) => {
-            let pa = independent_rec_cached(a, view, vars, cache)?;
-            let pb = independent_rec_cached(b, view, vars, cache)?;
+            let pa = independent_rec_cached(a, view, probs, cache)?;
+            let pb = independent_rec_cached(b, view, probs, cache)?;
             1.0 - (1.0 - pa) * (1.0 - pb)
         }
     };
@@ -106,22 +109,22 @@ fn independent_rec_cached(
 fn independent_rec_local(
     r: LineageRef,
     view: &ArenaView<'_>,
-    vars: &VarTable,
+    probs: &crate::relation::ProbReader<'_>,
     local: &mut FastMap<LineageRef, f64>,
 ) -> Result<f64> {
     if let Some(&p) = local.get(&r) {
         return Ok(p);
     }
     let p = match view.node(r) {
-        LineageNode::Var(id) => vars.prob(id)?,
-        LineageNode::Not(c) => 1.0 - independent_rec_local(c, view, vars, local)?,
+        LineageNode::Var(id) => probs.prob(id)?,
+        LineageNode::Not(c) => 1.0 - independent_rec_local(c, view, probs, local)?,
         LineageNode::And(a, b) => {
-            independent_rec_local(a, view, vars, local)?
-                * independent_rec_local(b, view, vars, local)?
+            independent_rec_local(a, view, probs, local)?
+                * independent_rec_local(b, view, probs, local)?
         }
         LineageNode::Or(a, b) => {
-            let pa = independent_rec_local(a, view, vars, local)?;
-            let pb = independent_rec_local(b, view, vars, local)?;
+            let pa = independent_rec_local(a, view, probs, local)?;
+            let pb = independent_rec_local(b, view, probs, local)?;
             1.0 - (1.0 - pa) * (1.0 - pb)
         }
     };

@@ -1,8 +1,8 @@
 //! TP relations, the duplicate-free requirement, and the variable table.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Mutex, MutexGuard, RwLock};
 
 use crate::arena::{ArenaStamp, FastMap, LineageRef, SegmentId};
 
@@ -169,22 +169,144 @@ use crate::interval::{Interval, TimePoint};
 use crate::lineage::{Lineage, TupleId};
 use crate::tuple::TpTuple;
 
+/// Identifier of one sealed var cohort of a [`VarTable`]'s sliding
+/// registry. Epochs are dense, monotone in seal order, and never reused —
+/// the variable-side mirror of [`crate::arena::SegmentId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarEpoch(pub u64);
+
+impl VarEpoch {
+    /// The epoch after this one (release boundaries are exclusive:
+    /// `release_vars_before(e.next())` releases cohort `e` and everything
+    /// older).
+    pub fn next(self) -> VarEpoch {
+        VarEpoch(self.0 + 1)
+    }
+}
+
+impl fmt::Display for VarEpoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vep{}", self.0)
+    }
+}
+
+/// What one [`VarTable::release_vars_before`] call reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReleasedVars {
+    /// Sealed cohorts dropped.
+    pub cohorts: usize,
+    /// Variables whose probabilities and labels were released.
+    pub vars: u64,
+    /// Arena segments whose cached marginals were evicted alongside
+    /// (the segments bound via [`VarTable::bind_cohort_segment`]).
+    pub cache_segments: usize,
+}
+
+/// One cohort of the sliding var registry: the variables registered between
+/// two [`VarTable::seal_vars`] calls, plus the arena segments whose cached
+/// marginals retire with them.
+#[derive(Debug, Clone, Default)]
+struct VarCohort {
+    /// First variable id of the cohort (ids are dense across cohorts).
+    base: u64,
+    probs: Vec<f64>,
+    labels: Vec<String>,
+    /// Arena segments bound to this cohort; their marginal-cache rows are
+    /// dropped together with the cohort's probabilities and labels.
+    segments: Vec<SegmentId>,
+}
+
+/// Cohort storage of a [`VarTable`]: live cohorts oldest-first, the last
+/// one open for registration.
+#[derive(Debug, Clone)]
+struct VarStore {
+    cohorts: VecDeque<VarCohort>,
+    /// Ids below this were released; lookups yield
+    /// [`Error::ReleasedVariable`], never a stale probability.
+    floor: u64,
+    /// Next id to assign (= total variables ever registered).
+    next: u64,
+    /// Epoch id of the oldest live cohort (front of the deque); the open
+    /// cohort's epoch is `front_epoch + cohorts.len() - 1`.
+    front_epoch: u64,
+}
+
+impl Default for VarStore {
+    fn default() -> Self {
+        VarStore {
+            cohorts: VecDeque::from([VarCohort::default()]),
+            floor: 0,
+            next: 0,
+            front_epoch: 0,
+        }
+    }
+}
+
+impl VarStore {
+    /// The cohort holding `id`, which must lie in `floor..next`.
+    fn cohort_of(&self, id: u64) -> &VarCohort {
+        // Binary search over the contiguous cohort bases (the deque is
+        // short — the open cohort plus the reclaim grace window).
+        let (mut lo, mut hi) = (0usize, self.cohorts.len());
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.cohorts[mid].base <= id {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        &self.cohorts[lo]
+    }
+
+    fn lookup(&self, id: u64) -> Result<(&VarCohort, usize)> {
+        if id >= self.next {
+            return Err(Error::UnknownVariable(id));
+        }
+        if id < self.floor {
+            return Err(Error::ReleasedVariable(id));
+        }
+        let cohort = self.cohort_of(id);
+        Ok((cohort, (id - cohort.base) as usize))
+    }
+}
+
 /// Registry of lineage variables: marginal probability and human-readable
 /// label per base tuple (the paper's `a1`, `b2`, `c3` names).
 ///
-/// Identifiers are dense (`0..len`), so lookups are vector indexing.
+/// Identifiers are dense (`0..len`), so lookups are vector indexing within
+/// a cohort.
+///
+/// ## Sliding registry
+///
+/// For continuous streams the table is **generational**: variables live in
+/// *cohorts* mirroring the lineage arena's segment lifecycle
+/// ([`crate::arena`]). [`VarTable::seal_vars`] closes the open cohort
+/// (returning its [`VarEpoch`]) and opens a fresh one;
+/// [`VarTable::release_vars_before`] drops every sealed cohort below an
+/// epoch in O(cohorts dropped) — probabilities, labels, and the marginal-
+/// cache rows of any arena segments bound to them
+/// ([`VarTable::bind_cohort_segment`]) go together. A lookup of a released
+/// variable returns [`Error::ReleasedVariable`] — a *detectable* error,
+/// never a silently wrong probability. A table that is never sealed keeps
+/// the classic append-only behavior (one open cohort, no releases).
+///
+/// The release **contract** matches the arena's: the caller must prove no
+/// live lineage still references the released variables. The streaming
+/// engine does so by releasing a cohort only when the arena segment bound
+/// to it retires (`tp-stream`'s reclaim mode), which in turn requires the
+/// live frontier to have passed the segment.
 ///
 /// The table also owns a **memoized valuation cache**: exact marginal
 /// probabilities per interned lineage node (keyed by
 /// [`crate::arena::LineageRef`]). The cache is sound because a variable's
-/// probability is immutable once registered and interned nodes are never
+/// probability is immutable while registered and interned nodes are never
 /// invalidated; repeated [`crate::prob::marginal`] calls on shared
 /// sublineages — e.g. across the overlapping windows of a LAWA sweep —
 /// valuate each unique subformula once.
 #[derive(Debug, Default)]
 pub struct VarTable {
-    probs: Vec<f64>,
-    labels: Vec<String>,
+    store: RwLock<VarStore>,
     /// Exact marginal per lineage node, filled lazily by [`crate::prob`].
     marginal_cache: Mutex<MarginalCache>,
 }
@@ -192,8 +314,7 @@ pub struct VarTable {
 impl Clone for VarTable {
     fn clone(&self) -> Self {
         VarTable {
-            probs: self.probs.clone(),
-            labels: self.labels.clone(),
+            store: RwLock::new(self.store.read().expect("var store poisoned").clone()),
             marginal_cache: Mutex::new(
                 self.marginal_cache
                     .lock()
@@ -201,6 +322,25 @@ impl Clone for VarTable {
                     .clone(),
             ),
         }
+    }
+}
+
+/// Read guard over a [`VarTable`]'s store: resolves many probabilities
+/// under **one** lock acquisition. The valuation hot paths hold one of
+/// these across a whole formula walk instead of paying a lock round trip
+/// per `Var` node ([`VarTable::prob`] is the convenience form for single
+/// lookups).
+pub struct ProbReader<'a> {
+    store: std::sync::RwLockReadGuard<'a, VarStore>,
+}
+
+impl ProbReader<'_> {
+    /// Marginal probability of a variable; same error contract as
+    /// [`VarTable::prob`].
+    #[inline]
+    pub fn prob(&self, id: TupleId) -> Result<f64> {
+        let (cohort, off) = self.store.lookup(id.0)?;
+        Ok(cohort.probs[off])
     }
 }
 
@@ -216,13 +356,129 @@ impl VarTable {
     /// must never reach the valuation paths, where it would silently poison
     /// every derived marginal.
     pub fn register(&mut self, label: impl Into<String>, p: f64) -> Result<TupleId> {
+        // Exclusive access: skip the lock entirely.
+        Self::register_in(self.store.get_mut().expect("var store poisoned"), label, p)
+    }
+
+    /// [`VarTable::register`] through a shared reference — the streaming
+    /// form, where tenants register variables at push time through an
+    /// `Arc<VarTable>` also held by their engine's reclaim schedule.
+    pub fn register_shared(&self, label: impl Into<String>, p: f64) -> Result<TupleId> {
+        Self::register_in(
+            &mut self.store.write().expect("var store poisoned"),
+            label,
+            p,
+        )
+    }
+
+    fn register_in(store: &mut VarStore, label: impl Into<String>, p: f64) -> Result<TupleId> {
         if !(p.is_finite() && p > 0.0 && p <= 1.0) {
             return Err(Error::InvalidProbability(p));
         }
-        let id = TupleId(self.probs.len() as u64);
-        self.probs.push(p);
-        self.labels.push(label.into());
+        let id = TupleId(store.next);
+        store.next += 1;
+        let open = store.cohorts.back_mut().expect("open cohort always exists");
+        open.probs.push(p);
+        open.labels.push(label.into());
         Ok(id)
+    }
+
+    /// Seals the open var cohort, returning its epoch, and opens a fresh
+    /// one. `None` if the open cohort is empty (sealing nothing would only
+    /// burn epoch ids) — mirroring [`crate::arena::LineageArena::seal`].
+    pub fn seal_vars(&self) -> Option<VarEpoch> {
+        let mut store = self.store.write().expect("var store poisoned");
+        let open = store.cohorts.back().expect("open cohort always exists");
+        if open.probs.is_empty() {
+            return None;
+        }
+        let epoch = VarEpoch(store.front_epoch + store.cohorts.len() as u64 - 1);
+        let next = store.next;
+        store.cohorts.push_back(VarCohort {
+            base: next,
+            ..Default::default()
+        });
+        Some(epoch)
+    }
+
+    /// Binds an arena segment to a sealed cohort: when the cohort is
+    /// released, the segment's marginal-cache rows are dropped with it
+    /// (the "probabilities, labels and cache rows go together" contract of
+    /// the streaming engine). Binding to a released or unknown epoch is a
+    /// no-op — the rows are already gone or will be evicted by the caller's
+    /// own retirement hook.
+    pub fn bind_cohort_segment(&self, epoch: VarEpoch, seg: SegmentId) {
+        let mut store = self.store.write().expect("var store poisoned");
+        let front = store.front_epoch;
+        if epoch.0 < front {
+            return;
+        }
+        let idx = (epoch.0 - front) as usize;
+        if let Some(cohort) = store.cohorts.get_mut(idx) {
+            cohort.segments.push(seg);
+        }
+    }
+
+    /// Releases every sealed cohort with epoch `< before`: their
+    /// probabilities and labels are dropped in O(1) per cohort, and the
+    /// cached marginals of every arena segment bound to them are evicted
+    /// (O(1) per segment). The open cohort is never released. Lookups of a
+    /// released variable return [`Error::ReleasedVariable`].
+    ///
+    /// Caller contract (the streaming engine's reclaim schedule satisfies
+    /// it): no live lineage may still reference the released variables —
+    /// in reclaim mode that holds because a cohort is only released once
+    /// its bound arena segment retires, which requires the live frontier
+    /// to have passed it.
+    ///
+    /// Cache nuance: only *bound* segments' marginal rows are evicted. A
+    /// marginal cached under some other segment may outlive its variables
+    /// and keep answering for an already-valuated formula — that value is
+    /// still the **correct** exact marginal (probabilities are immutable
+    /// while registered), never a wrong one; only *fresh* valuation work
+    /// over released variables errors. The engine wiring binds every
+    /// cohort to its mirrored segment, so there the rows die together.
+    pub fn release_vars_before(&self, before: VarEpoch) -> ReleasedVars {
+        let mut released = ReleasedVars::default();
+        let mut segments: Vec<SegmentId> = Vec::new();
+        {
+            let mut store = self.store.write().expect("var store poisoned");
+            while store.cohorts.len() > 1 && store.front_epoch < before.0 {
+                let dead = store.cohorts.pop_front().expect("len checked");
+                released.cohorts += 1;
+                released.vars += dead.probs.len() as u64;
+                segments.extend(dead.segments);
+                store.front_epoch += 1;
+                store.floor = store.cohorts.front().expect("open cohort remains").base;
+            }
+        }
+        if !segments.is_empty() {
+            released.cache_segments = segments.len();
+            let mut cache = self.marginal_cache.lock().expect("cache lock poisoned");
+            for seg in segments {
+                cache.release_segment(seg);
+            }
+        }
+        released
+    }
+
+    /// The epoch the *next* [`VarTable::seal_vars`] call would return —
+    /// i.e. the open cohort's epoch.
+    pub fn open_var_epoch(&self) -> VarEpoch {
+        let store = self.store.read().expect("var store poisoned");
+        VarEpoch(store.front_epoch + store.cohorts.len() as u64 - 1)
+    }
+
+    /// Number of variables currently resident (registered minus released)
+    /// — the bounded-memory gauge of the sliding registry.
+    pub fn live_vars(&self) -> usize {
+        let store = self.store.read().expect("var store poisoned");
+        (store.next - store.floor) as usize
+    }
+
+    /// Number of variables whose storage was released.
+    pub fn released_vars(&self) -> u64 {
+        self.store.read().expect("var store poisoned").floor
     }
 
     /// Cached exact marginal of an interned lineage node, if present.
@@ -301,30 +557,44 @@ impl VarTable {
             .release_segment(seg);
     }
 
-    /// Marginal probability of a variable.
+    /// Marginal probability of a variable. Unknown ids yield
+    /// [`Error::UnknownVariable`]; ids released from the sliding registry
+    /// yield [`Error::ReleasedVariable`] — never a wrong value. Loops
+    /// resolving many variables should take one [`VarTable::prob_reader`]
+    /// instead of calling this per node.
     pub fn prob(&self, id: TupleId) -> Result<f64> {
-        self.probs
-            .get(id.0 as usize)
-            .copied()
-            .ok_or(Error::UnknownVariable(id.0))
+        self.prob_reader().prob(id)
     }
 
-    /// Label of a variable; falls back to `t{id}` for unknown ids.
+    /// Locks the store for reading once; see [`ProbReader`]. Holding the
+    /// reader blocks writers (register/seal/release) but never other
+    /// readers — the valuation paths are read-only and may overlap freely.
+    pub fn prob_reader(&self) -> ProbReader<'_> {
+        ProbReader {
+            store: self.store.read().expect("var store poisoned"),
+        }
+    }
+
+    /// Label of a variable; falls back to `t{id}` for unknown or released
+    /// ids (labels are display-only, so the fallback is harmless).
     pub fn label(&self, id: TupleId) -> String {
-        self.labels
-            .get(id.0 as usize)
-            .cloned()
-            .unwrap_or_else(|| format!("t{}", id.0))
+        let store = self.store.read().expect("var store poisoned");
+        match store.lookup(id.0) {
+            Ok((cohort, off)) => cohort.labels[off].clone(),
+            Err(_) => format!("t{}", id.0),
+        }
     }
 
-    /// Number of registered variables.
+    /// Number of variables ever registered (ids are dense in `0..len`,
+    /// including any released prefix — see [`VarTable::live_vars`] for the
+    /// resident count).
     pub fn len(&self) -> usize {
-        self.probs.len()
+        self.store.read().expect("var store poisoned").next as usize
     }
 
-    /// Whether the table is empty.
+    /// Whether no variable was ever registered.
     pub fn is_empty(&self) -> bool {
-        self.probs.is_empty()
+        self.len() == 0
     }
 
     /// A labelling closure suitable for [`Lineage::display_with`].
@@ -678,6 +948,97 @@ mod tests {
         vt.clear_valuation_cache();
         assert_eq!(vt.valuation_cache_len(), 0);
         assert_eq!(vt2.cached_marginal(l.node_ref()), Some(0.5));
+    }
+
+    #[test]
+    fn var_registry_seal_release_lifecycle() {
+        let mut vt = VarTable::new();
+        let a = vt.register("a1", 0.3).unwrap();
+        let b = vt.register("a2", 0.4).unwrap();
+        // Sealing an empty open cohort is a no-op.
+        let e0 = vt.seal_vars().expect("cohort non-empty");
+        assert_eq!(e0, VarEpoch(0));
+        assert_eq!(vt.seal_vars(), None);
+        assert_eq!(vt.open_var_epoch(), VarEpoch(1));
+        // Second cohort.
+        let c = vt.register_shared("b1", 0.5).unwrap();
+        let e1 = vt.seal_vars().expect("cohort non-empty");
+        assert_eq!(e1, VarEpoch(1));
+        assert_eq!(vt.len(), 3);
+        assert_eq!(vt.live_vars(), 3);
+        // Release cohort 0: its vars error, later cohorts stay intact.
+        let released = vt.release_vars_before(e0.next());
+        assert_eq!(released.cohorts, 1);
+        assert_eq!(released.vars, 2);
+        assert!(matches!(vt.prob(a), Err(Error::ReleasedVariable(0))));
+        assert!(matches!(vt.prob(b), Err(Error::ReleasedVariable(1))));
+        assert_eq!(vt.prob(c).unwrap(), 0.5);
+        assert_eq!(vt.label(c), "b1");
+        assert_eq!(vt.label(a), "t0"); // display fallback, not a value
+        assert_eq!(vt.live_vars(), 1);
+        assert_eq!(vt.released_vars(), 2);
+        assert_eq!(vt.len(), 3); // ids stay dense, never reused
+                                 // Releasing again is idempotent; the open cohort never releases.
+        assert_eq!(vt.release_vars_before(VarEpoch(99)).vars, 1); // cohort 1
+        let d = vt.register_shared("c1", 0.6).unwrap();
+        assert_eq!(vt.release_vars_before(VarEpoch(99)).vars, 0); // open kept
+        assert_eq!(vt.prob(d).unwrap(), 0.6);
+        // Unknown ids stay UnknownVariable, not ReleasedVariable.
+        assert!(matches!(
+            vt.prob(TupleId(99)),
+            Err(Error::UnknownVariable(99))
+        ));
+    }
+
+    #[test]
+    fn var_registry_release_drops_bound_segment_cache_rows() {
+        // Cache rows of a segment bound to a cohort die with the cohort —
+        // probabilities, labels and marginals go together.
+        let mut vt = VarTable::new();
+        let a = vt.register("a1", 0.5).unwrap();
+        let l = Lineage::var(a);
+        vt.store_marginal(l.node_ref(), 0.5);
+        assert_eq!(vt.valuation_cache_len(), 1);
+        let e0 = vt.seal_vars().unwrap();
+        vt.bind_cohort_segment(e0, l.node_ref().segment());
+        let released = vt.release_vars_before(e0.next());
+        assert_eq!(released.cache_segments, 1);
+        assert_eq!(vt.valuation_cache_len(), 0);
+        // Binding to an already-released epoch is a harmless no-op.
+        vt.bind_cohort_segment(e0, l.node_ref().segment());
+    }
+
+    #[test]
+    fn var_registry_values_identical_to_unsealed_control() {
+        // Sealing must not change any live lookup: a sealed/partially
+        // released table agrees with a never-sealed control on every live
+        // id.
+        let mut subject = VarTable::new();
+        let mut control = VarTable::new();
+        let mut epochs = Vec::new();
+        for cohort in 0..6u64 {
+            for k in 0..5u64 {
+                let p = 0.05 + 0.9 * ((cohort * 5 + k) as f64 / 30.0);
+                let label = format!("v{cohort}_{k}");
+                let ids = (
+                    subject.register(label.clone(), p).unwrap(),
+                    control.register(label, p).unwrap(),
+                );
+                assert_eq!(ids.0, ids.1, "registration order must align ids");
+            }
+            epochs.push(subject.seal_vars().unwrap());
+        }
+        subject.release_vars_before(epochs[2].next());
+        let floor = subject.released_vars();
+        assert_eq!(floor, 15);
+        for id in floor..subject.len() as u64 {
+            assert_eq!(
+                subject.prob(TupleId(id)).unwrap(),
+                control.prob(TupleId(id)).unwrap(),
+                "live id {id} diverged"
+            );
+            assert_eq!(subject.label(TupleId(id)), control.label(TupleId(id)));
+        }
     }
 
     #[test]

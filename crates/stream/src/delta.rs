@@ -205,7 +205,10 @@ impl StreamSink for NullSink {
 /// One delta with its lineage materialized as an owned
 /// [`LineageTree`] — the reclaim-mode record: it stays valid after the
 /// engine retires the arena segments the original handle lived in.
-#[derive(Debug, Clone)]
+/// `PartialEq` compares the full record (op, fact, tree, interval, kind),
+/// so two delta logs are equal iff the streams behaved identically — the
+/// byte-identity check of the multi-tenant soak tests.
+#[derive(Debug, Clone, PartialEq)]
 pub struct MaterializedDelta {
     /// The operation the delta belongs to.
     pub op: SetOp,

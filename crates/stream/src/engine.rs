@@ -55,7 +55,7 @@ use tp_core::fact::Fact;
 use tp_core::interval::TimePoint;
 use tp_core::lineage::Lineage;
 use tp_core::ops::{self, SetOp};
-use tp_core::relation::TpRelation;
+use tp_core::relation::{TpRelation, VarEpoch, VarTable};
 use tp_core::tuple::TpTuple;
 use tp_core::window::{split_at_watermark, Lawa};
 
@@ -127,6 +127,21 @@ pub struct ReclaimConfig {
     /// Dedup stripes of the private arena (a single-threaded stream needs
     /// few).
     pub shards: usize,
+    /// Sliding var registry retired in lockstep with the arena: each
+    /// advance seals the table's open var cohort next to the arena segment
+    /// it mirrors ([`VarTable::seal_vars`] /
+    /// [`VarTable::bind_cohort_segment`]), and when that segment retires —
+    /// after the same `keep_epochs` grace window — the cohort's
+    /// probabilities, labels and marginal-cache rows are released together
+    /// ([`VarTable::release_vars_before`]). Lookups of released variables
+    /// return `Error::ReleasedVariable`, never a wrong value.
+    ///
+    /// Contract: a variable must be registered in the same advance window
+    /// as the tuple carrying it is pushed (the `StreamServer::push_row`
+    /// discipline) — registering everything up front would tie all
+    /// variables to the first cohort and release them while their tuples
+    /// are still in flight. `None` keeps the table append-only.
+    pub vars: Option<Arc<VarTable>>,
 }
 
 impl Default for ReclaimConfig {
@@ -134,6 +149,7 @@ impl Default for ReclaimConfig {
         ReclaimConfig {
             keep_epochs: 2,
             shards: MAX_SHARDS,
+            vars: None,
         }
     }
 }
@@ -210,6 +226,9 @@ pub struct AdvanceStats {
     pub retired_segments: u64,
     /// Interned nodes whose storage those retirements released.
     pub retired_nodes: u64,
+    /// Variables released from the attached sliding var registry
+    /// ([`ReclaimConfig::vars`]) by this advance.
+    pub released_vars: u64,
 }
 
 /// The open right edge of the latest output tuple of one fact (per op).
@@ -247,14 +266,27 @@ pub struct StreamEngine {
     /// method enters it for the duration of the call.
     arena: Option<Arc<LineageArena>>,
     /// Sealed-but-unretired segments, oldest first, with the advance
-    /// counter at seal time (for the `keep_epochs` grace window).
-    sealed: VecDeque<(SegmentId, u64)>,
+    /// counter at seal time (for the `keep_epochs` grace window) and the
+    /// var cohort sealed alongside, if a registry is attached.
+    sealed: VecDeque<SealedSegment>,
     /// Watermark advances executed (drives the grace window).
     advance_count: u64,
     /// Total segments retired over the engine's lifetime.
     reclaimed_segments: u64,
     /// Total nodes whose storage retirement released.
     reclaimed_nodes: u64,
+    /// Total variables released from the attached registry.
+    reclaimed_vars: u64,
+}
+
+/// One sealed-but-unretired arena segment of a reclaiming engine.
+struct SealedSegment {
+    seg: SegmentId,
+    /// Advance counter at seal time (drives the `keep_epochs` grace).
+    sealed_at: u64,
+    /// The var cohort sealed in the same advance, if a registry is
+    /// attached; released when this segment retires.
+    var_epoch: Option<VarEpoch>,
 }
 
 impl Default for StreamEngine {
@@ -287,6 +319,7 @@ impl StreamEngine {
             advance_count: 0,
             reclaimed_segments: 0,
             reclaimed_nodes: 0,
+            reclaimed_vars: 0,
         }
     }
 
@@ -317,6 +350,17 @@ impl StreamEngine {
     /// Lifetime totals of reclamation: `(segments, nodes)` retired.
     pub fn reclaimed(&self) -> (u64, u64) {
         (self.reclaimed_segments, self.reclaimed_nodes)
+    }
+
+    /// Total variables released from the attached sliding var registry
+    /// ([`ReclaimConfig::vars`]) over the engine's lifetime.
+    pub fn reclaimed_vars(&self) -> u64 {
+        self.reclaimed_vars
+    }
+
+    /// The attached sliding var registry, if any.
+    pub fn var_registry(&self) -> Option<&Arc<VarTable>> {
+        self.cfg.reclaim.as_ref().and_then(|rc| rc.vars.as_ref())
     }
 
     /// Late-dropped tuple counts `[left, right]`.
@@ -485,8 +529,24 @@ impl StreamEngine {
     fn reclaim_dead_segments(&mut self, sink: &mut impl StreamSink, stats: &mut AdvanceStats) {
         let rc = self.cfg.reclaim.clone().expect("reclaim mode");
         let arena = Arc::clone(self.arena.as_ref().expect("reclaim implies arena"));
-        if let Some(seg) = arena.seal() {
-            self.sealed.push_back((seg, self.advance_count));
+        // Seal the arena segment and the var cohort of this advance side
+        // by side: the cohort holds exactly the variables registered since
+        // the previous seal, whose Var nodes were interned into `seg` at
+        // push time (the registration contract of `ReclaimConfig::vars`).
+        let sealed_seg = arena.seal();
+        let var_epoch = rc.vars.as_ref().and_then(|vars| {
+            let epoch = vars.seal_vars();
+            if let (Some(ep), Some(seg)) = (epoch, sealed_seg) {
+                vars.bind_cohort_segment(ep, seg);
+            }
+            epoch
+        });
+        if let Some(seg) = sealed_seg {
+            self.sealed.push_back(SealedSegment {
+                seg,
+                sealed_at: self.advance_count,
+                var_epoch,
+            });
         }
         let mut live_low = arena.open_segment();
         {
@@ -508,18 +568,29 @@ impl StreamEngine {
                 }
             }
         }
-        while let Some(&(seg, sealed_at)) = self.sealed.front() {
+        while let Some(entry) = self.sealed.front() {
+            let (seg, sealed_at) = (entry.seg, entry.sealed_at);
             let aged_out = self.advance_count.saturating_sub(sealed_at) >= rc.keep_epochs as u64;
             if seg >= live_low || !aged_out {
                 break;
             }
             match arena.retire(seg) {
                 Ok(freed) => {
-                    self.sealed.pop_front();
+                    let entry = self.sealed.pop_front().expect("front just probed");
                     self.reclaimed_segments += 1;
                     self.reclaimed_nodes += freed.nodes;
                     stats.retired_segments += 1;
                     stats.retired_nodes += freed.nodes;
+                    // Retire the var cohorts of the same advance window:
+                    // nothing live reaches the segment anymore, so nothing
+                    // live references the variables whose Var nodes it
+                    // held. Probabilities, labels and the bound segments'
+                    // marginal-cache rows are dropped together.
+                    if let (Some(vars), Some(epoch)) = (rc.vars.as_ref(), entry.var_epoch) {
+                        let released = vars.release_vars_before(epoch.next());
+                        self.reclaimed_vars += released.vars;
+                        stats.released_vars += released.vars;
+                    }
                     sink.on_retire(seg);
                 }
                 // Pinned by a consumer-held view: back off, retry on the
@@ -874,6 +945,59 @@ mod tests {
             let p = tp_core::prob::marginal(&t.lineage, &vars).unwrap();
             assert!(p > 0.0 && p <= 1.0);
         }
+    }
+
+    #[test]
+    fn reclaiming_engine_retires_var_cohorts_with_their_segments() {
+        // Vars registered at push time (the ReclaimConfig::vars contract)
+        // must be released once their segment retires — and only then: a
+        // var whose tuple is still buffered stays resolvable.
+        let vars = Arc::new(VarTable::new());
+        let mut engine = StreamEngine::new(EngineConfig {
+            reclaim: Some(ReclaimConfig {
+                keep_epochs: 1,
+                vars: Some(Arc::clone(&vars)),
+                ..Default::default()
+            }),
+            ..Default::default()
+        });
+        let mut sink = crate::delta::MaterializingSink::new();
+        let mut ids = Vec::new();
+        let stride = 10i64;
+        for e in 0..30i64 {
+            let id = vars
+                .register_shared(format!("e{e}"), 0.25 + 0.5 * ((e % 7) as f64) / 7.0)
+                .unwrap();
+            ids.push(id);
+            // Build the lineage inside the engine's arena and keep the
+            // scope across the push, so `push` re-interns (dedup hit)
+            // instead of translating from the global arena.
+            let scope = engine.enter_arena();
+            let t = TpTuple::new(
+                "f",
+                Lineage::var(id),
+                tp_core::interval::Interval::at(e * stride, e * stride + 4),
+            );
+            engine.push(Side::Left, t);
+            drop(scope);
+            engine.advance(e * stride + 5, &mut sink).unwrap();
+        }
+        let released = engine.reclaimed_vars();
+        assert!(released > 0, "no vars retired over 30 advances");
+        assert_eq!(vars.released_vars(), released);
+        assert!(
+            vars.live_vars() <= 8,
+            "var table did not slide: {} live",
+            vars.live_vars()
+        );
+        // Released ids error; live ids still resolve.
+        assert!(matches!(
+            vars.prob(ids[0]),
+            Err(tp_core::error::Error::ReleasedVariable(_))
+        ));
+        assert!(vars.prob(*ids.last().unwrap()).is_ok());
+        // The engine's registry accessor sees the same table.
+        assert!(Arc::ptr_eq(engine.var_registry().unwrap(), &vars));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! | [`delta`] | [`Delta`], the [`StreamSink`] trait, collecting/counting sinks |
 //! | [`epoch`] | timeline-partitioned parallel executor + arena cache/storage release scopes |
 //! | [`replay`] | deterministic out-of-order replay scripts over batch relation pairs |
+//! | [`server`] | [`StreamServer`]: N isolated bounded-memory tenants behind one façade |
 //!
 //! See `docs/streaming.md` for the watermark/lateness model, the epoch
 //! lifecycle, and how the delta semantics map onto the paper's
@@ -39,6 +40,7 @@ pub mod delta;
 pub mod engine;
 pub mod epoch;
 pub mod replay;
+pub mod server;
 
 pub use delta::{
     CollectingSink, CountingSink, Delta, MaterializedDelta, MaterializingSink, NullSink, StreamSink,
@@ -49,3 +51,4 @@ pub use engine::{
 };
 pub use epoch::{apply_epoched, EpochConfig, EpochScope, ReleasedStorage};
 pub use replay::{ReplayConfig, ReplayEvent, ReplayTotals, StreamScript};
+pub use server::{ServerConfig, StreamServer, TenantId};

@@ -16,6 +16,9 @@
 //! * [`stats`] — Table IV dataset profiling.
 //! * [`replay`] — every workload replayed as an out-of-order stream with a
 //!   watermark schedule, for the continuous engine (`tp-stream`).
+//! * [`multi_tenant`] — N independent sliding-window streams on one epoch
+//!   schedule, emitted as raw rows for the push-time variable registration
+//!   of the multi-tenant server (`tp_stream::StreamServer`).
 //!
 //! All generators are deterministic in their seed; the substitution
 //! rationale for the two real-world datasets is documented in `DESIGN.md`.
@@ -24,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod meteo;
+pub mod multi_tenant;
 pub mod replay;
 pub mod shift;
 pub mod stats;
@@ -31,6 +35,9 @@ pub mod synth;
 pub mod webkit;
 
 pub use meteo::MeteoConfig;
+pub use multi_tenant::{
+    multi_tenant_stream, replay_waves, MultiTenantConfig, TenantEvent, TenantScript,
+};
 pub use replay::{
     meteo_stream, sliding_synth_stream, synth_stream, webkit_stream, SlidingConfig, StreamWorkload,
 };

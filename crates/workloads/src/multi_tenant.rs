@@ -1,0 +1,348 @@
+//! The multi-tenant serving workload: N independent sliding-window streams
+//! sharing one epoch schedule.
+//!
+//! Each tenant gets its own deterministic event script — per epoch, a
+//! bounded batch of short-lived rows on a rotating fact population
+//! (shuffled within the epoch for out-of-order arrivals), then one
+//! watermark advance. All tenants advance on the *same* watermarks, which
+//! is what lets a [`tp_stream::StreamServer`] drive them as collective
+//! waves ([`tp_stream::StreamServer::advance_all`]) while every tenant's
+//! live window — lineage **and** variables — stays O(`per_epoch`)
+//! regardless of how many epochs replay.
+//!
+//! Unlike the other replay adapters, the generator emits **raw rows**
+//! (fact, interval, probability) rather than finished [`TpRelation`]s: in
+//! the multi-tenant serving model each tenant registers its variables *at
+//! push time* into its own sliding `VarTable`
+//! ([`tp_stream::StreamServer::push_row`]), which is the registration
+//! discipline bounded variable memory requires. The batch oracle is
+//! recovered per tenant with [`TenantScript::relations`], which replays
+//! the same registration order into a control table.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tp_core::fact::Fact;
+use tp_core::interval::{Interval, TimePoint};
+use tp_core::lineage::Lineage;
+use tp_core::relation::{TpRelation, VarTable};
+use tp_core::tuple::TpTuple;
+use tp_stream::Side;
+
+/// Parameters of [`multi_tenant_stream`].
+#[derive(Debug, Clone, Copy)]
+pub struct MultiTenantConfig {
+    /// Independent tenant streams to generate.
+    pub tenants: usize,
+    /// Watermark advances (epochs) per tenant; memory of a multi-tenant
+    /// server is independent of this — crank it up to soak-test.
+    pub epochs: usize,
+    /// Rows per side per epoch per tenant.
+    pub per_epoch: usize,
+    /// Distinct facts each tenant's rows rotate over.
+    pub facts: usize,
+    /// Time points per epoch.
+    pub stride: i64,
+    /// Base seed; each tenant derives its own arrival shuffle and
+    /// probability jitter from it.
+    pub seed: u64,
+}
+
+impl Default for MultiTenantConfig {
+    fn default() -> Self {
+        MultiTenantConfig {
+            tenants: 4,
+            epochs: 64,
+            per_epoch: 8,
+            facts: 4,
+            stride: 64,
+            seed: 19,
+        }
+    }
+}
+
+/// One event of a tenant's script.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TenantEvent {
+    /// A base row arrives: register one fresh variable with probability
+    /// `p`, then push the tuple (`StreamServer::push_row` does both).
+    Arrive {
+        /// Input side.
+        side: Side,
+        /// The fact.
+        fact: Fact,
+        /// Validity interval.
+        interval: Interval,
+        /// Marginal probability of the fresh base variable.
+        p: f64,
+    },
+    /// Advance the tenant's watermark to this time point.
+    Advance(TimePoint),
+}
+
+/// One tenant's deterministic event script.
+#[derive(Debug, Clone)]
+pub struct TenantScript {
+    /// Display name (`tenant0`, `tenant1`, …).
+    pub name: String,
+    /// Arrivals and advances, in replay order.
+    pub events: Vec<TenantEvent>,
+}
+
+impl TenantScript {
+    /// Number of arrival events.
+    pub fn arrivals(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TenantEvent::Arrive { .. }))
+            .count()
+    }
+
+    /// Number of watermark advances.
+    pub fn advances(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TenantEvent::Advance(_)))
+            .count()
+    }
+
+    /// The batch oracle of this script: registers every arrival **in event
+    /// order** into `vars` — the same order a `StreamServer::push_row`
+    /// replay uses, so variable ids align — and returns the `(left,
+    /// right)` relation pair for batch LAWA.
+    pub fn relations(&self, vars: &mut VarTable) -> (TpRelation, TpRelation) {
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for (i, event) in self.events.iter().enumerate() {
+            let TenantEvent::Arrive {
+                side,
+                fact,
+                interval,
+                p,
+            } = event
+            else {
+                continue;
+            };
+            let id = vars
+                .register(format!("{}e{i}", self.name), *p)
+                .expect("generator probabilities are valid");
+            let tuple = TpTuple::new(fact.clone(), Lineage::var(id), *interval);
+            match side {
+                Side::Left => left.push(tuple),
+                Side::Right => right.push(tuple),
+            }
+        }
+        (
+            TpRelation::try_new(left).expect("generator rows are duplicate-free"),
+            TpRelation::try_new(right).expect("generator rows are duplicate-free"),
+        )
+    }
+}
+
+/// Generates `cfg.tenants` independent sliding-window scripts on one
+/// shared epoch schedule: two advances per epoch (mid-epoch and epoch
+/// end), so long rows are cut mid-flight (exercising `Extend` deltas and
+/// carried residuals) while nothing ever arrives late.
+pub fn multi_tenant_stream(cfg: &MultiTenantConfig) -> Vec<TenantScript> {
+    let facts = cfg.facts.max(1) as i64;
+    let stride = cfg.stride.max(8);
+    let copies = ((cfg.per_epoch as i64 / facts).max(1)).min(stride / 4);
+    let sub = stride / copies;
+    let span = (sub / 2).max(1);
+    (0..cfg.tenants)
+        .map(|tenant| {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0x7e4a17 + tenant as u64));
+            let mut events = Vec::new();
+            for e in 0..cfg.epochs as i64 {
+                let mut epoch_rows: Vec<TenantEvent> = Vec::new();
+                for f in 0..facts {
+                    for c in 0..copies {
+                        let fact = Fact::single(f);
+                        let base = e * stride + c * sub;
+                        let jitter = |rng: &mut StdRng| rng.random_range(0.05..0.95);
+                        epoch_rows.push(TenantEvent::Arrive {
+                            side: Side::Left,
+                            fact: fact.clone(),
+                            interval: Interval::at(base, base + span),
+                            p: jitter(&mut rng),
+                        });
+                        // The right side straddles sub-slot boundaries, so
+                        // the mid-epoch watermark cuts through it.
+                        epoch_rows.push(TenantEvent::Arrive {
+                            side: Side::Right,
+                            fact,
+                            interval: Interval::at(base + span / 2, base + span / 2 + sub),
+                            p: jitter(&mut rng),
+                        });
+                    }
+                }
+                // Out-of-order within the epoch (Fisher-Yates): the
+                // watermark only moves at epoch boundaries, so nothing is
+                // ever late.
+                for i in (1..epoch_rows.len()).rev() {
+                    let j = rng.random_range(0..=i);
+                    epoch_rows.swap(i, j);
+                }
+                events.extend(epoch_rows);
+                events.push(TenantEvent::Advance(e * stride + stride / 2));
+                events.push(TenantEvent::Advance((e + 1) * stride));
+            }
+            TenantScript {
+                name: format!("tenant{tenant}"),
+                events,
+            }
+        })
+        .collect()
+}
+
+/// Replays `scripts` through `server` as collective watermark waves: each
+/// tenant's arrivals are pushed via [`tp_stream::StreamServer::push_row`]
+/// (registering one variable per row — the bounded-memory discipline)
+/// until its next advance, then the whole fleet advances in one
+/// [`tp_stream::StreamServer::advance_all`] wave. Every script must agree
+/// on each wave's watermark (the generator's shared-schedule contract —
+/// asserted here, so a future schedule skew fails loudly at the source
+/// instead of surfacing as silent late-drops). `on_wave` runs after each
+/// wave (sampling hook for memory gauges). Returns the number of waves
+/// driven; `finish_all` is left to the caller.
+pub fn replay_waves<S: tp_stream::StreamSink + Send>(
+    scripts: &[TenantScript],
+    server: &mut tp_stream::StreamServer<S>,
+    ids: &[tp_stream::TenantId],
+    mut on_wave: impl FnMut(&tp_stream::StreamServer<S>),
+) -> u64 {
+    assert_eq!(scripts.len(), ids.len(), "one TenantId per script");
+    let mut cursors = vec![0usize; scripts.len()];
+    let mut waves = 0u64;
+    loop {
+        let mut wave: Option<TimePoint> = None;
+        for (k, script) in scripts.iter().enumerate() {
+            while cursors[k] < script.events.len() {
+                match &script.events[cursors[k]] {
+                    TenantEvent::Arrive {
+                        side,
+                        fact,
+                        interval,
+                        p,
+                    } => {
+                        server
+                            .push_row(ids[k], *side, fact.clone(), *interval, *p)
+                            .expect("generator probabilities are valid");
+                        cursors[k] += 1;
+                    }
+                    TenantEvent::Advance(w) => {
+                        assert!(
+                            wave.is_none_or(|prev| prev == *w),
+                            "tenants disagree on the wave watermark ({wave:?} vs {w})"
+                        );
+                        wave = Some(*w);
+                        cursors[k] += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        let Some(w) = wave else { break };
+        for result in server.advance_all(w) {
+            result.expect("script watermarks are monotone");
+        }
+        waves += 1;
+        on_wave(server);
+    }
+    waves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_are_deterministic_and_tenant_distinct() {
+        let cfg = MultiTenantConfig {
+            tenants: 3,
+            epochs: 8,
+            ..Default::default()
+        };
+        let a = multi_tenant_stream(&cfg);
+        let b = multi_tenant_stream(&cfg);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.events, y.events, "generator must be deterministic");
+        }
+        // Tenants differ (shuffle and probabilities are per tenant).
+        assert_ne!(a[0].events, a[1].events);
+        assert_eq!(a[0].advances(), 16);
+        assert!(a[0].arrivals() > 0);
+    }
+
+    #[test]
+    fn scripts_build_duplicate_free_oracle_relations() {
+        let cfg = MultiTenantConfig {
+            tenants: 2,
+            epochs: 10,
+            ..Default::default()
+        };
+        for script in multi_tenant_stream(&cfg) {
+            let mut vars = VarTable::new();
+            let (r, s) = script.relations(&mut vars);
+            r.check_duplicate_free().unwrap();
+            s.check_duplicate_free().unwrap();
+            assert_eq!(r.len() + s.len(), script.arrivals());
+            assert_eq!(vars.len(), script.arrivals());
+        }
+    }
+
+    #[test]
+    fn watermarks_are_monotone_and_never_drop_arrivals() {
+        let script = &multi_tenant_stream(&MultiTenantConfig {
+            tenants: 1,
+            epochs: 12,
+            ..Default::default()
+        })[0];
+        let mut watermark = i64::MIN;
+        for event in &script.events {
+            match event {
+                TenantEvent::Advance(w) => {
+                    assert!(*w > watermark, "watermark regressed: {w} after {watermark}");
+                    watermark = *w;
+                }
+                TenantEvent::Arrive { interval, .. } => {
+                    assert!(
+                        interval.start() >= watermark,
+                        "arrival at {} behind watermark {watermark}",
+                        interval.start()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mid_epoch_watermark_cuts_rows() {
+        // The shape contract: some right-side rows straddle the mid-epoch
+        // advance, so the engine's split/carry and Extend paths are
+        // exercised.
+        let script = &multi_tenant_stream(&MultiTenantConfig {
+            tenants: 1,
+            epochs: 4,
+            ..Default::default()
+        })[0];
+        let mut crossings = 0usize;
+        let advances: Vec<i64> = script
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TenantEvent::Advance(w) => Some(*w),
+                _ => None,
+            })
+            .collect();
+        for event in &script.events {
+            if let TenantEvent::Arrive { interval, .. } = event {
+                crossings += advances
+                    .iter()
+                    .filter(|&&w| interval.start() < w && w < interval.end())
+                    .count();
+            }
+        }
+        assert!(crossings > 0, "no row ever straddles a watermark");
+    }
+}

@@ -5,6 +5,9 @@
 //! reclaiming arena must be identical to a never-retired control arena
 //! (the process-global one).
 
+mod common;
+
+use common::oracle::assert_formula_matches_control;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use tp_core::arena::{LineageArena, RetireError, SegmentId, SegmentState};
@@ -61,17 +64,11 @@ fn check_live(
     let subject = prob::exact(&f.lineage, subject_vars).unwrap();
     let via_bdd = bdd::probability(&f.lineage, subject_vars).unwrap();
     drop(scope);
-    // ...must equal the control arena's answer for the same formula.
-    let control_lineage = Lineage::from_tree(&f.tree); // global arena
-    let control = prob::exact(&control_lineage, control_vars).unwrap();
-    assert!(
-        (subject - control).abs() < 1e-12,
-        "marginal diverged: {subject} vs {control}"
-    );
-    assert!(
-        (via_bdd - control).abs() < 1e-9,
-        "BDD marginal diverged: {via_bdd} vs {control}"
-    );
+    // ...must equal the control arena's answer for the same formula — the
+    // shared differential oracle re-interns the tree into the global arena
+    // and compares.
+    assert_formula_matches_control(subject, &f.tree, control_vars, 1e-12);
+    assert_formula_matches_control(via_bdd, &f.tree, control_vars, 1e-9);
 }
 
 #[test]

@@ -1,8 +1,11 @@
 #![allow(dead_code)]
 
 //! Shared helpers for the integration tests: random duplicate-free relation
-//! generation (proptest raw input + deterministic repair) and the paper's
-//! running-example relations.
+//! generation (proptest raw input + deterministic repair), the paper's
+//! running-example relations, and the stream-vs-batch differential oracle
+//! ([`oracle`]).
+
+pub mod oracle;
 
 use proptest::prelude::*;
 use tpdb::prelude::*;

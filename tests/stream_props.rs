@@ -3,7 +3,13 @@
 //! watermark schedule, the streamed results of all three set operations
 //! must be tuple-, interval-, lineage- and marginal-identical to batch LAWA
 //! on the same inputs — and the epoch-partitioned executor must agree too.
+//!
+//! All equivalence checks go through the shared differential oracle
+//! (`tests/common/oracle.rs`).
 
+mod common;
+
+use common::oracle::{assert_plateau, assert_stream_matches_batch};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use tp_stream::{
@@ -12,28 +18,6 @@ use tp_stream::{
 };
 use tp_workloads::SynthConfig;
 use tpdb::prelude::*;
-
-/// Asserts full equivalence of a streamed result with the batch operator:
-/// same tuples (facts, intervals, interned lineage handles) and same
-/// marginals.
-fn assert_equivalent(sink: &CollectingSink, r: &TpRelation, s: &TpRelation, vars: &VarTable) {
-    for op in SetOp::ALL {
-        let streamed = sink.relation(op).canonicalized();
-        let batch = apply(op, r, s).canonicalized();
-        assert_eq!(streamed, batch, "{op}: streamed != batch");
-        // Marginals: lineage handles are interned, so equality of tuples
-        // already implies equal marginals — assert it explicitly anyway,
-        // per the acceptance criterion.
-        for (st, bt) in streamed.iter().zip(batch.iter()) {
-            let ps = prob::marginal(&st.lineage, vars).unwrap();
-            let pb = prob::marginal(&bt.lineage, vars).unwrap();
-            assert!(
-                (ps - pb).abs() < 1e-12,
-                "{op}: marginal mismatch {ps} vs {pb} for {st}"
-            );
-        }
-    }
-}
 
 #[test]
 fn random_synth_streams_match_batch_for_all_ops() {
@@ -56,7 +40,7 @@ fn random_synth_streams_match_batch_for_all_ops() {
         let script = StreamScript::from_pair(&r, &s, &replay);
         let (sink, totals) = script.run(EngineConfig::default());
         assert_eq!(totals.late, [0, 0], "case {case}: scripts never drop");
-        assert_equivalent(&sink, &r, &s, &vars);
+        assert_stream_matches_batch(&sink, &r, &s, &vars);
     }
 }
 
@@ -77,7 +61,7 @@ fn adversarial_watermark_schedules_match_batch() {
             },
         );
         let (sink, _) = script.run(EngineConfig::default());
-        assert_equivalent(&sink, &r, &s, &vars);
+        assert_stream_matches_batch(&sink, &r, &s, &vars);
     }
 }
 
@@ -100,7 +84,7 @@ fn engine_internal_cross_check_passes_on_random_streams() {
         verify_batch: true,
         ..Default::default()
     });
-    assert_equivalent(&sink, &r, &s, &vars);
+    assert_stream_matches_batch(&sink, &r, &s, &vars);
 }
 
 #[test]
@@ -141,7 +125,7 @@ fn random_manual_schedules_with_scrambled_pushes_match_batch() {
         }
         engine.finish(&mut sink).unwrap();
         assert_eq!(engine.late_dropped(), [0, 0], "case {case}");
-        assert_equivalent(&sink, &r, &s, &vars);
+        assert_stream_matches_batch(&sink, &r, &s, &vars);
     }
 }
 
@@ -222,31 +206,12 @@ fn reclaiming_sliding_stream_plateaus_and_stays_batch_identical() {
     );
     assert!(retired_nodes > 0);
     assert_eq!(sink.retired_segments, retired_segments);
-    let one_window = *live_samples[..8].iter().max().unwrap();
-    let steady = *live_samples[live_samples.len() / 2..].iter().max().unwrap();
-    assert!(
-        steady <= 2 * one_window,
-        "no plateau: one-window footprint {one_window}, steady-state {steady} \
-         (samples: {live_samples:?})"
-    );
+    assert_plateau(&live_samples, 8, 2.0, "arena nodes");
 
     // (b) Equivalence: replay the materialized deltas into the global
     // arena and compare — tuples, intervals, lineage (via interning the
     // trees: identical formulas ⇒ identical handles), then marginals.
-    let streamed = sink.replay();
-    for op in SetOp::ALL {
-        let got = streamed.relation(op).canonicalized();
-        let batch = apply(op, &w.r, &w.s).canonicalized();
-        assert_eq!(got, batch, "{op}: reclaiming stream != batch");
-        for (st, bt) in got.iter().zip(batch.iter()) {
-            let ps = prob::marginal(&st.lineage, &vars).unwrap();
-            let pb = prob::marginal(&bt.lineage, &vars).unwrap();
-            assert!(
-                (ps - pb).abs() < 1e-12,
-                "{op}: marginal mismatch {ps} vs {pb} for {st}"
-            );
-        }
-    }
+    common::oracle::assert_materialized_matches_batch(&sink, &w.r, &w.s, &vars);
 }
 
 #[test]
