@@ -1125,6 +1125,186 @@ pub fn multi_tenant_bench(tenants: usize, epochs: usize, workers: usize) -> Mult
     }
 }
 
+/// One point of the region-parallel advance scaling curve.
+#[derive(Debug, Clone)]
+pub struct ParallelAdvancePoint {
+    /// Region-worker budget of the engine (1 = sequential sweep).
+    pub workers: usize,
+    /// Summed wall milliseconds inside `advance`/`finish` — the sharded
+    /// sweep path, including the coordinator's serial stitch and delta
+    /// emission. The serial ingest between advances (identical at every
+    /// worker count) is excluded, so the curve measures what the workers
+    /// actually shard.
+    pub wall_ms: f64,
+    /// Advance throughput: released rows per second of advance time.
+    pub krows_per_s: f64,
+    /// Largest `AdvanceStats::regions_used` over the replay.
+    pub regions_max: usize,
+    /// Worst (largest) `AdvanceStats::region_balance` over the replay.
+    pub balance_worst: f64,
+    /// Whether the streamed result equals batch LAWA for all three ops —
+    /// checked untimed, per worker count.
+    pub batch_equal: bool,
+}
+
+/// Result of the region-parallel single-tenant advance benchmark: one
+/// **fat tenant** (every advance releases thousands of tuple pieces)
+/// replayed at several worker budgets, plus the Zipf-hot `skewed` stream
+/// whose load concentrates in one time region per epoch. Wall-clock
+/// scaling needs hardware parallelism — `hardware_threads` records what
+/// the run had (the CI smoke enforces the 4-worker speedup only on ≥ 4
+/// hardware threads; byte-identity is enforced everywhere).
+#[derive(Debug, Clone)]
+pub struct ParallelAdvanceBench {
+    /// Tuples per input side of the fat-tenant stream.
+    pub tuples_per_side: usize,
+    /// Watermark advances per replay.
+    pub advances: u64,
+    /// Hardware threads available to the run.
+    pub hardware_threads: usize,
+    /// Scaling curve on the evenly loaded fat-tenant stream.
+    pub fat: Vec<ParallelAdvancePoint>,
+    /// Scaling curve on the Zipf-hot skewed stream.
+    pub skewed: Vec<ParallelAdvancePoint>,
+}
+
+impl ParallelAdvanceBench {
+    /// Fat-tenant wall speedup of `workers` over the sequential sweep.
+    pub fn speedup_at(&self, workers: usize) -> f64 {
+        let wall = |w: usize| self.fat.iter().find(|p| p.workers == w).map(|p| p.wall_ms);
+        match (wall(1), wall(workers)) {
+            (Some(base), Some(at)) => base / at.max(1e-9),
+            _ => 0.0,
+        }
+    }
+
+    /// Whether every point of both curves matched batch LAWA.
+    pub fn batch_equal(&self) -> bool {
+        self.fat.iter().chain(&self.skewed).all(|p| p.batch_equal)
+    }
+}
+
+/// Replays one workload through an engine with the given region-worker
+/// budget: once timed (counting sink), once untimed with a collecting sink
+/// for the batch cross-check.
+fn parallel_advance_point(
+    w: &tp_workloads::StreamWorkload,
+    workers: usize,
+) -> ParallelAdvancePoint {
+    use tp_core::ops::apply;
+    use tp_stream::{
+        CollectingSink, CountingSink, EngineConfig, ParallelConfig, ReplayEvent, StreamEngine,
+    };
+
+    let cfg = || EngineConfig {
+        parallel: (workers > 1).then_some(ParallelConfig {
+            workers,
+            min_tuples: 256,
+            cuts: None,
+        }),
+        ..Default::default()
+    };
+    let mut regions_max = 1usize;
+    let mut balance_worst = 0.0f64;
+    // Timed: the advance/finish calls only — the path the workers shard.
+    // Ingest between advances is serial by design and identical at every
+    // worker count; including it would dilute the curve into measuring
+    // the push loop instead of the sweep the gate is about. (Sink
+    // emission and stitch run inside advance and ARE counted — they are
+    // the coordinator's inherent serial share.)
+    let mut engine = StreamEngine::new(cfg());
+    let mut sink = CountingSink::new();
+    let mut advance_ns = 0u128;
+    for event in &w.script.events {
+        match event {
+            ReplayEvent::Arrive(side, t) => {
+                engine.push(*side, t.clone());
+            }
+            ReplayEvent::Advance(wm) => {
+                let t0 = std::time::Instant::now();
+                let stats = engine.advance(*wm, &mut sink).expect("script monotone");
+                advance_ns += t0.elapsed().as_nanos();
+                regions_max = regions_max.max(stats.regions_used);
+                balance_worst = balance_worst.max(stats.region_balance());
+            }
+        }
+    }
+    let t0 = std::time::Instant::now();
+    engine.finish(&mut sink).expect("final advance");
+    advance_ns += t0.elapsed().as_nanos();
+    let wall_ms = advance_ns as f64 / 1e6;
+    // Untimed: the streamed result at THIS worker count equals batch.
+    let mut verify = CollectingSink::new();
+    w.script.run_into(cfg(), &mut verify);
+    let batch_equal = SetOp::ALL
+        .iter()
+        .all(|&op| verify.relation(op).canonicalized() == apply(op, &w.r, &w.s).canonicalized());
+    let rows = w.script.arrivals() as f64;
+    ParallelAdvancePoint {
+        workers,
+        wall_ms,
+        krows_per_s: rows / wall_ms.max(1e-9),
+        regions_max,
+        balance_worst,
+        batch_equal,
+    }
+}
+
+/// Runs the region-parallel advance scaling benchmark: a fat single-tenant
+/// sliding stream (`per_epoch` tuples per side per advance) and the
+/// Zipf-hot skewed stream, each replayed at every budget in `workers`.
+pub fn parallel_advance_bench(
+    per_epoch: usize,
+    epochs: usize,
+    workers: &[usize],
+) -> ParallelAdvanceBench {
+    use tp_workloads::{skewed_synth_stream, sliding_synth_stream, SkewedConfig, SlidingConfig};
+
+    let per_epoch = per_epoch.max(64);
+    let epochs = epochs.max(8);
+    let mut vars = VarTable::new();
+    let fat_stream = sliding_synth_stream(
+        &SlidingConfig {
+            epochs,
+            per_epoch,
+            facts: 64,
+            stride: 4096,
+            seed: 29,
+        },
+        &mut vars,
+    );
+    let skewed_stream = skewed_synth_stream(
+        &SkewedConfig {
+            epochs,
+            per_epoch,
+            stride: 4096,
+            ..Default::default()
+        },
+        &mut vars,
+    );
+    // Warm-up replays (discarded): the first measured point must not pay
+    // allocator growth and page faults for everyone.
+    let _ = parallel_advance_point(&fat_stream, 1);
+    let _ = parallel_advance_point(&skewed_stream, 1);
+    let fat: Vec<ParallelAdvancePoint> = workers
+        .iter()
+        .map(|&w| parallel_advance_point(&fat_stream, w))
+        .collect();
+    let skewed: Vec<ParallelAdvancePoint> = workers
+        .iter()
+        .map(|&w| parallel_advance_point(&skewed_stream, w))
+        .collect();
+    ParallelAdvanceBench {
+        tuples_per_side: fat_stream.r.len(),
+        advances: fat_stream.script.advances() as u64,
+        hardware_threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        fat,
+        skewed,
+    }
+}
+
 /// The combined `BENCH_lawa.json` artifact: the memoized-valuation
 /// acceptance benchmark (top-level fields, unchanged schema) plus the
 /// per-operation throughput series, the arena-contention micro-benchmark
@@ -1143,6 +1323,8 @@ pub struct BenchReport {
     pub memory: MemoryBench,
     /// Multi-tenant server soak: per-tenant arena + var-table plateaus.
     pub tenants: MultiTenantBench,
+    /// Region-parallel single-tenant advance scaling (fat + skewed).
+    pub parallel: ParallelAdvanceBench,
 }
 
 impl BenchReport {
@@ -1266,6 +1448,59 @@ impl BenchReport {
             self.tenants.batch_equal(),
         );
         out.push_str(&extra);
+        // The region-parallel scaling section is spliced in (the section
+        // above already closes the root object).
+        let tail = out.rfind('}').expect("report JSON is an object");
+        out.truncate(tail);
+        while out.ends_with('\n') {
+            out.pop();
+        }
+        let curve = |points: &[ParallelAdvancePoint]| {
+            let mut s = String::from("[");
+            for (i, p) in points.iter().enumerate() {
+                let _ = write!(
+                    s,
+                    "{}\n      {{\"workers\": {}, \"wall_ms\": {:.3}, \"krows_per_s\": {:.3}, \
+                     \"regions_max\": {}, \"balance_worst\": {:.3}, \"batch_equal\": {}}}",
+                    if i > 0 { "," } else { "" },
+                    p.workers,
+                    p.wall_ms,
+                    p.krows_per_s,
+                    p.regions_max,
+                    p.balance_worst,
+                    p.batch_equal,
+                );
+            }
+            s.push_str("\n    ]");
+            s
+        };
+        let _ = write!(
+            out,
+            concat!(
+                ",\n  \"parallel_advance\": {{\n",
+                "    \"tuples_per_side\": {},\n",
+                "    \"advances\": {},\n",
+                "    \"hardware_threads\": {},\n",
+                "    \"speedup_at_4\": {:.2},\n",
+                "    \"batch_equal\": {},\n",
+                "    \"fat_tenant\": {},\n",
+                "    \"skewed\": {},\n",
+                "    \"note\": \"one tenant's advance sharded over workers by timeline region; \
+                 byte-identical to the sequential sweep at every worker count (CI-gated); wall_ms \
+                 sums the advance/finish calls only (the sharded path incl. serial stitch+emit); \
+                 the wall speedup is informational — it needs hardware threads, like \
+                 arena_contention\"\n",
+                "  }}\n",
+                "}}\n",
+            ),
+            self.parallel.tuples_per_side,
+            self.parallel.advances,
+            self.parallel.hardware_threads,
+            self.parallel.speedup_at(4),
+            self.parallel.batch_equal(),
+            curve(&self.parallel.fat),
+            curve(&self.parallel.skewed),
+        );
         out
     }
 
@@ -1279,7 +1514,7 @@ impl BenchReport {
                 "\"streaming_speedup\": {:.2}, \"union_mtuples_per_s\": {:.3}, ",
                 "\"contention_speedup\": {:.2}, \"memory_plateau_ratio\": {:.3}, ",
                 "\"memory_steady_nodes\": {}, \"tenant_var_plateau_ratio\": {:.3}, ",
-                "\"tenant_krows_per_s\": {:.3}}}"
+                "\"tenant_krows_per_s\": {:.3}, \"parallel_speedup_at_4\": {:.2}}}"
             ),
             generated_unix,
             self.valuation.speedup(),
@@ -1294,6 +1529,7 @@ impl BenchReport {
             self.memory.steady_max_nodes,
             self.tenants.worst_var_ratio(),
             self.tenants.krows_per_s(),
+            self.parallel.speedup_at(4),
         )
     }
 
@@ -1409,6 +1645,36 @@ impl BenchReport {
                 t.retired_segments,
             );
         }
+        let _ = writeln!(
+            out,
+            "\n== BENCH lawa: region-parallel advance ({} tuples/side, {} advances, {} hw threads) ==",
+            self.parallel.tuples_per_side,
+            self.parallel.advances,
+            self.parallel.hardware_threads,
+        );
+        for (name, points) in [
+            ("fat tenant", &self.parallel.fat),
+            ("skewed (Zipf-hot)", &self.parallel.skewed),
+        ] {
+            let _ = writeln!(out, "  {name}:");
+            for p in points {
+                let _ = writeln!(
+                    out,
+                    "    {:>2} workers {:>9.1} ms  {:>8.1} krows/s  regions<={:<2} balance {:>5.2}  batch-equal: {}",
+                    p.workers,
+                    p.wall_ms,
+                    p.krows_per_s,
+                    p.regions_max,
+                    p.balance_worst,
+                    p.batch_equal,
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  speedup at 4 workers: {:.2}x (wall scaling needs hardware threads)",
+            self.parallel.speedup_at(4),
+        );
         out
     }
 }
@@ -1526,6 +1792,25 @@ mod tests {
     }
 
     #[test]
+    fn parallel_advance_bench_is_batch_equal_at_every_worker_count() {
+        let b = parallel_advance_bench(256, 8, &[1, 2, 4]);
+        assert!(b.batch_equal(), "a worker count diverged from batch");
+        assert_eq!(b.fat.len(), 3);
+        assert_eq!(b.skewed.len(), 3);
+        assert!(b.advances >= 8);
+        // Fat advances (~512 pieces) really shard once workers > 1.
+        assert!(
+            b.fat.iter().skip(1).all(|p| p.regions_max > 1),
+            "fat advances never sharded"
+        );
+        assert!(b.fat.iter().all(|p| p.balance_worst >= 1.0));
+        // No wall-clock assertion: scaling needs hardware threads; CI's
+        // parallel-advance-smoke gates the 4-worker speedup on >= 4 cores.
+        let s = b.speedup_at(4);
+        assert!(s.is_finite() && s > 0.0);
+    }
+
+    #[test]
     fn bench_report_json_keeps_valuation_schema_and_adds_sections() {
         let report = BenchReport {
             valuation: lawa_valuation_bench(800, 8, 2),
@@ -1534,6 +1819,7 @@ mod tests {
             streaming: streaming_bench(600, 80),
             memory: memory_bounded_bench(16),
             tenants: multi_tenant_bench(2, 16, 2),
+            parallel: parallel_advance_bench(64, 8, &[1, 2]),
         };
         let json = report.to_json();
         // Existing top-level schema intact (CI's speedup gate reads these).
@@ -1546,6 +1832,9 @@ mod tests {
         assert!(json.contains("\"memory_bounded\""));
         assert!(json.contains("\"multi_tenant\""));
         assert!(json.contains("\"var_table_plateau_ratio\""));
+        assert!(json.contains("\"parallel_advance\""));
+        assert!(json.contains("\"fat_tenant\""));
+        assert!(json.contains("\"skewed\""));
         assert!(json.contains("\"batch_equal\": true"));
         // Balanced braces (hand-rolled JSON sanity).
         assert_eq!(
@@ -1559,6 +1848,7 @@ mod tests {
         assert!(rendered.contains("naive re-batch"));
         assert!(rendered.contains("bounded-memory streaming"));
         assert!(rendered.contains("multi-tenant server"));
+        assert!(rendered.contains("region-parallel advance"));
 
         // History round trip: a written file's entries are recovered and
         // extended, and the result stays balanced.

@@ -30,6 +30,16 @@
 //!    arena's gift) are emitted as [`Delta::Extend`], everything else as
 //!    [`Delta::Insert`].
 //!
+//! With [`EngineConfig::parallel`] a single advance's sweep is **sharded
+//! over worker threads by timeline region**: the closed span is cut at
+//! tuple-count-balanced positions ([`tp_core::window::RegionPlan`]), each
+//! worker sorts + sweeps its region and interns the per-op window lineages,
+//! and the coordinating thread stitches the streams back — byte-identical
+//! to the sequential sweep by construction (the artificial cuts re-join on
+//! an O(1) λ-handle compare, the same argument as step 2's watermark
+//! split). Steps 1, 4 and all seal/retire bookkeeping stay on the
+//! coordinating thread.
+//!
 //! With [`EngineConfig::verify_batch`] the engine additionally re-runs
 //! batch LAWA over the entire closed region after every advance and asserts
 //! tuple-for-tuple equality — the cross-check used by the test-suite
@@ -57,7 +67,7 @@ use tp_core::lineage::Lineage;
 use tp_core::ops::{self, SetOp};
 use tp_core::relation::{TpRelation, VarEpoch, VarTable};
 use tp_core::tuple::TpTuple;
-use tp_core::window::{split_at_watermark, Lawa};
+use tp_core::window::{split_at_watermark, Lawa, LineageAwareWindow, RegionPlan};
 
 use crate::delta::{op_index, CollectingSink, Delta, StreamSink};
 
@@ -154,6 +164,49 @@ impl Default for ReclaimConfig {
     }
 }
 
+/// Region-parallel advance: one watermark advance is sharded over scoped
+/// worker threads by **timeline region** ([`tp_core::window::RegionPlan`]).
+/// The planner cuts the closed span at tuple-count-balanced positions, each
+/// worker sorts + sweeps its region and computes the per-op window lineages
+/// (interning into the propagated current arena — the engine's private
+/// arena in reclaim mode), and the coordinating thread stitches the
+/// per-region streams back into the sequential window stream before the
+/// delta-emission stage. The emitted deltas are **byte-identical** to the
+/// sequential advance for any plan — the stitch re-joins exactly the
+/// artificial cuts (identical λ handles on both sides, an O(1) compare),
+/// which is the [`tp_core::window::split_at_watermark`] argument applied at
+/// every cut. Seal/retire and var-cohort bookkeeping stay on the
+/// coordinating thread, so the reclaim contract is untouched.
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// Worker budget for one advance: the planner cuts the closed span
+    /// into at most this many balanced regions, one scoped thread each
+    /// (1 = sequential). The `StreamServer` scheduler rescales this per
+    /// wave ([`StreamEngine::set_region_workers`]).
+    pub workers: usize,
+    /// Advances releasing fewer tuple pieces than this run sequentially:
+    /// region fan-out has fixed costs (partition, spawn, stitch) that only
+    /// pay off on fat advances.
+    pub min_tuples: usize,
+    /// Pinned cut positions overriding balanced planning (differential
+    /// tests and diagnostics). Any positions are legal — duplicates
+    /// collapse, out-of-span cuts yield empty regions. `None` (the
+    /// default) plans per advance.
+    pub cuts: Option<Vec<TimePoint>>,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            min_tuples: 512,
+            cuts: None,
+        }
+    }
+}
+
 /// Engine construction parameters.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -169,6 +222,9 @@ pub struct EngineConfig {
     /// Bounded-memory mode; see [`ReclaimConfig`]. `None` (the default)
     /// interns into the thread's current arena and never reclaims.
     pub reclaim: Option<ReclaimConfig>,
+    /// Region-parallel advance; see [`ParallelConfig`]. `None` (the
+    /// default) sweeps every advance sequentially.
+    pub parallel: Option<ParallelConfig>,
 }
 
 impl Default for EngineConfig {
@@ -178,6 +234,7 @@ impl Default for EngineConfig {
             policy: WatermarkPolicy::Manual,
             verify_batch: false,
             reclaim: None,
+            parallel: None,
         }
     }
 }
@@ -229,6 +286,32 @@ pub struct AdvanceStats {
     /// Variables released from the attached sliding var registry
     /// ([`ReclaimConfig::vars`]) by this advance.
     pub released_vars: u64,
+    /// Timeline regions the sweep stage used: 1 = the sequential sweep
+    /// (every [`StreamEngine::advance`] runs the sweep stage, even over
+    /// zero released tuples), > 1 = sharded over workers. 0 only on
+    /// [`StreamEngine::finish`] no-op results, which never reach the
+    /// sweep.
+    pub regions_used: usize,
+    /// Tuple pieces handed to the fattest region (equals
+    /// [`AdvanceStats::region_tuples`] for a sequential sweep).
+    pub region_max_tuples: usize,
+    /// Tuple pieces across all regions — the closed pieces of the advance,
+    /// including the extra clippings the plan's cuts introduced.
+    pub region_tuples: usize,
+}
+
+impl AdvanceStats {
+    /// Region balance of the sweep: max over mean tuple pieces per region
+    /// (1.0 = perfectly balanced; higher = one hot region dominated; 0.0
+    /// when nothing was swept). The gauge the skewed-stream workloads
+    /// stress.
+    pub fn region_balance(&self) -> f64 {
+        if self.regions_used == 0 || self.region_tuples == 0 {
+            return 0.0;
+        }
+        let mean = self.region_tuples as f64 / self.regions_used as f64;
+        self.region_max_tuples as f64 / mean
+    }
 }
 
 /// The open right edge of the latest output tuple of one fact (per op).
@@ -447,6 +530,8 @@ impl StreamEngine {
 
         // Release: carried residuals + pending tuples starting below `to`,
         // split at the new watermark (prefix sweeps now, residual waits).
+        // The closed pieces stay unsorted here — the sequential path sorts
+        // once, the region-parallel path sorts per region inside workers.
         let mut ready: [Vec<TpTuple>; 2] = [Vec::new(), Vec::new()];
         for (side, ready_slot) in ready.iter_mut().enumerate() {
             let mut released: Vec<TpTuple> = std::mem::take(&mut self.carry[side]);
@@ -461,33 +546,50 @@ impl StreamEngine {
             }
             self.pending[side] = keep;
             stats.released[side] = released.len();
-            let (mut closed, residual) = split_at_watermark(released, to);
+            let (closed, residual) = split_at_watermark(released, to);
             stats.carried[side] = residual.len();
             self.carry[side] = residual;
-            closed.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
             *ready_slot = closed;
         }
 
-        // One sweep, all ops (indexed loop: `emit` needs `&mut self`).
-        let [ready_r, ready_s] = &ready;
-        for w in Lawa::new(ready_r, ready_s) {
-            stats.windows += 1;
-            for oi in 0..self.cfg.ops.len() {
-                let op = self.cfg.ops[oi];
-                let lineage = match op {
-                    SetOp::Union => Lineage::or_opt(w.lambda_r.as_ref(), w.lambda_s.as_ref()),
-                    SetOp::Intersect => match (&w.lambda_r, &w.lambda_s) {
-                        (Some(lr), Some(ls)) => Some(Lineage::and(lr, ls)),
-                        _ => None,
-                    },
-                    SetOp::Except => w
-                        .lambda_r
-                        .as_ref()
-                        .map(|lr| Lineage::and_not(lr, w.lambda_s.as_ref())),
-                };
-                if let Some(lineage) = lineage {
-                    let t = TpTuple::new(w.fact.clone(), lineage, w.interval);
-                    self.emit(op, t, sink, &mut stats);
+        // One sweep, all ops. The sweep is either sequential or sharded
+        // over worker threads by timeline region (`ParallelConfig`); both
+        // feed the same window stream — stitched back to byte-identity in
+        // the parallel case — through the same per-op emit stage below
+        // (indexed loops: `emit` needs `&mut self`).
+        match self.region_plan(&ready) {
+            None => {
+                for side in ready.iter_mut() {
+                    side.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+                }
+                stats.regions_used = 1;
+                stats.region_tuples = ready[0].len() + ready[1].len();
+                stats.region_max_tuples = stats.region_tuples;
+                let [ready_r, ready_s] = &ready;
+                for w in Lawa::new(ready_r, ready_s) {
+                    stats.windows += 1;
+                    for oi in 0..self.cfg.ops.len() {
+                        let op = self.cfg.ops[oi];
+                        if let Some(lineage) = op_lineage(op, &w) {
+                            let t = TpTuple::new(w.fact.clone(), lineage, w.interval);
+                            self.emit(op, t, sink, &mut stats);
+                        }
+                    }
+                }
+            }
+            Some(plan) => {
+                let workers = self.region_workers();
+                let swept = sweep_regions(&ready, &plan, &self.cfg.ops, workers, &mut stats);
+                for (w, lineages) in swept {
+                    stats.windows += 1;
+                    let slots = lineages.into_iter().take(self.cfg.ops.len());
+                    for (oi, lineage) in slots.enumerate() {
+                        if let Some(lineage) = lineage {
+                            let op = self.cfg.ops[oi];
+                            let t = TpTuple::new(w.fact.clone(), lineage, w.interval);
+                            self.emit(op, t, sink, &mut stats);
+                        }
+                    }
                 }
             }
         }
@@ -600,9 +702,51 @@ impl StreamEngine {
         }
     }
 
+    /// Decides whether this advance's sweep is sharded by timeline region:
+    /// `None` is the sequential sweep. Pinned cuts always shard (the
+    /// differential-test hook); balanced planning requires a worker budget
+    /// above one and at least `min_tuples` closed pieces.
+    fn region_plan(&self, ready: &[Vec<TpTuple>; 2]) -> Option<RegionPlan> {
+        let pc = self.cfg.parallel.as_ref()?;
+        // The per-window lineage array is fixed-size (SetOp has three
+        // members); exotic op lists fall back to the sequential sweep.
+        if self.cfg.ops.len() > OP_SLOTS {
+            return None;
+        }
+        if let Some(cuts) = &pc.cuts {
+            return Some(RegionPlan::from_cuts(cuts.clone()));
+        }
+        let total = ready[0].len() + ready[1].len();
+        if pc.workers <= 1 || total < pc.min_tuples.max(2) {
+            return None;
+        }
+        let plan = RegionPlan::balanced(&ready[0], &ready[1], pc.workers);
+        (plan.regions() > 1).then_some(plan)
+    }
+
+    /// Rescales the region-parallel worker budget for subsequent advances
+    /// (no-op without [`EngineConfig::parallel`]). The `StreamServer`'s
+    /// two-level scheduler calls this before every watermark wave.
+    pub fn set_region_workers(&mut self, workers: usize) {
+        if let Some(pc) = self.cfg.parallel.as_mut() {
+            pc.workers = workers.max(1);
+        }
+    }
+
+    /// The current region-parallel worker budget (1 without
+    /// [`EngineConfig::parallel`]).
+    pub fn region_workers(&self) -> usize {
+        self.cfg.parallel.as_ref().map(|pc| pc.workers).unwrap_or(1)
+    }
+
     /// Releases everything still buffered by advancing the watermark past
     /// the last buffered end point. No-op (zero stats) when nothing is
     /// buffered.
+    ///
+    /// Routes through [`StreamEngine::advance`] — the same (possibly
+    /// region-parallel) path as every mid-stream advance, so the final
+    /// flush shards over workers too and there is exactly one sweep
+    /// implementation to maintain.
     pub fn finish(&mut self, sink: &mut impl StreamSink) -> Result<AdvanceStats, StreamError> {
         let hi = self
             .pending
@@ -686,6 +830,106 @@ impl StreamEngine {
             );
         }
     }
+}
+
+/// Capacity of the per-window op-lineage array ([`SetOp`] has three
+/// members).
+const OP_SLOTS: usize = 3;
+
+/// Per-window op lineages, aligned with `EngineConfig::ops`.
+type OpLineages = [Option<Lineage>; OP_SLOTS];
+
+/// The λ-filter/λ-function of Algorithms 2–4 for one window — shared by
+/// the sequential sweep loop and the region workers, so there is exactly
+/// one implementation of the per-op semantics.
+fn op_lineage(op: SetOp, w: &LineageAwareWindow) -> Option<Lineage> {
+    match op {
+        SetOp::Union => Lineage::or_opt(w.lambda_r.as_ref(), w.lambda_s.as_ref()),
+        SetOp::Intersect => match (&w.lambda_r, &w.lambda_s) {
+            (Some(lr), Some(ls)) => Some(Lineage::and(lr, ls)),
+            _ => None,
+        },
+        SetOp::Except => w
+            .lambda_r
+            .as_ref()
+            .map(|lr| Lineage::and_not(lr, w.lambda_s.as_ref())),
+    }
+}
+
+/// Fans the per-region LAWA sub-sweeps over at most `workers` scoped
+/// threads (contiguous region blocks, so a pinned plan with more regions
+/// than budget — the differential-test hook — never over-spawns): each
+/// worker sorts its regions' pieces, sweeps them, and computes the per-op
+/// window lineages — interning into the propagated current arena, which is
+/// the engine's private arena in reclaim mode (the append path is
+/// lock-free, so workers never contend on node storage). The stitched
+/// stream equals the sequential sweep's byte for byte; the stitch itself
+/// is [`tp_core::window::stitch_annotated`] — the one implementation of
+/// the merge, shared with the core layer.
+fn sweep_regions(
+    ready: &[Vec<TpTuple>; 2],
+    plan: &RegionPlan,
+    ops: &[SetOp],
+    workers: usize,
+    stats: &mut AdvanceStats,
+) -> Vec<(LineageAwareWindow, OpLineages)> {
+    let r_regions = plan.partition(&ready[0]);
+    let s_regions = plan.partition(&ready[1]);
+    stats.regions_used = plan.regions();
+    stats.region_max_tuples = 0;
+    stats.region_tuples = 0;
+    for (r_i, s_i) in r_regions.iter().zip(&s_regions) {
+        let pieces = r_i.len() + s_i.len();
+        stats.region_max_tuples = stats.region_max_tuples.max(pieces);
+        stats.region_tuples += pieces;
+    }
+    // Chunk the regions into one contiguous block per worker thread.
+    let threads = workers.clamp(1, plan.regions());
+    let per_thread = plan.regions().div_ceil(threads);
+    let mut blocks: Vec<Vec<(Vec<TpTuple>, Vec<TpTuple>)>> = Vec::with_capacity(threads);
+    let mut paired = r_regions.into_iter().zip(s_regions);
+    loop {
+        let block: Vec<_> = paired.by_ref().take(per_thread).collect();
+        if block.is_empty() {
+            break;
+        }
+        blocks.push(block);
+    }
+    // Workers do not inherit the caller's thread-local arena scope:
+    // propagate it so every op lineage lands in the engine's arena.
+    let arena = LineageArena::current_shared();
+    let per_region: Vec<Vec<(LineageAwareWindow, OpLineages)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = blocks
+            .into_iter()
+            .map(|block| {
+                let arena = arena.clone();
+                scope.spawn(move || {
+                    let _scope = arena.as_ref().map(LineageArena::enter);
+                    block
+                        .into_iter()
+                        .map(|(mut r_i, mut s_i)| {
+                            r_i.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+                            s_i.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+                            Lawa::new(&r_i, &s_i)
+                                .map(|w| {
+                                    let mut lineages: OpLineages = [None; OP_SLOTS];
+                                    for (oi, &op) in ops.iter().enumerate() {
+                                        lineages[oi] = op_lineage(op, &w);
+                                    }
+                                    (w, lineages)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("region worker panicked"))
+            .collect()
+    });
+    tp_core::window::stitch_annotated(per_region)
 }
 
 #[cfg(test)]
@@ -1038,6 +1282,180 @@ mod tests {
         assert!(sink.probed > 0);
         let stats = engine.arena_stats().unwrap();
         assert!(stats.nodes > 0, "lineage was not translated into the arena");
+    }
+
+    /// Replays `events` through an engine with the given parallel config,
+    /// returning the materialized delta log (advance every `every` points).
+    fn replay_with(
+        parallel: Option<ParallelConfig>,
+        events: &[(Side, TpTuple)],
+        every: i64,
+    ) -> crate::delta::MaterializingSink {
+        let mut engine = StreamEngine::new(EngineConfig {
+            parallel,
+            ..Default::default()
+        });
+        let mut sink = crate::delta::MaterializingSink::new();
+        let mut w = i64::MIN;
+        for (side, t) in events {
+            engine.push(*side, t.clone());
+            let target = t.interval.start() - 1;
+            if target > w && target % every == 0 {
+                w = target;
+                engine.advance(w, &mut sink).unwrap();
+            }
+        }
+        engine.finish(&mut sink).unwrap();
+        sink
+    }
+
+    fn parallel_cfg(workers: usize) -> ParallelConfig {
+        ParallelConfig {
+            workers,
+            min_tuples: 0,
+            cuts: None,
+        }
+    }
+
+    #[test]
+    fn region_parallel_advance_is_byte_identical_to_sequential() {
+        let mut vars = VarTable::new();
+        let mut events = Vec::new();
+        for e in 0..40i64 {
+            for f in 0..4i64 {
+                for (side, off) in [(Side::Left, 0), (Side::Right, 3)] {
+                    let id = vars.register(format!("v{e}_{f}_{off}"), 0.5).unwrap();
+                    events.push((
+                        side,
+                        TpTuple::new(
+                            Fact::single(f),
+                            Lineage::var(id),
+                            Interval::at(10 * e + off, 10 * e + off + 8),
+                        ),
+                    ));
+                }
+            }
+        }
+        let sequential = replay_with(None, &events, 30);
+        for workers in [2, 3, 8] {
+            let parallel = replay_with(Some(parallel_cfg(workers)), &events, 30);
+            assert_eq!(
+                parallel.deltas, sequential.deltas,
+                "{workers} workers: delta log diverged"
+            );
+        }
+        // Pinned cuts — including duplicates and out-of-span positions —
+        // are equally byte-identical.
+        for cuts in [vec![], vec![55, 55, 200], vec![-5, 17, 17, 1_000_000]] {
+            let pinned = replay_with(
+                Some(ParallelConfig {
+                    workers: 4,
+                    min_tuples: 0,
+                    cuts: Some(cuts.clone()),
+                }),
+                &events,
+                30,
+            );
+            assert_eq!(pinned.deltas, sequential.deltas, "cuts {cuts:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_advance_reports_region_gauges() {
+        let mut vars = VarTable::new();
+        let mut engine = StreamEngine::new(EngineConfig {
+            parallel: Some(parallel_cfg(4)),
+            ..Default::default()
+        });
+        let mut sink = CountingSink::new();
+        for k in 0..64i64 {
+            let id = vars.register("v", 0.5).unwrap();
+            engine.push(
+                Side::Left,
+                TpTuple::new(
+                    Fact::single(k % 8),
+                    Lineage::var(id),
+                    Interval::at(k, k + 1),
+                ),
+            );
+        }
+        let stats = engine.advance(100, &mut sink).unwrap();
+        assert!(stats.regions_used > 1, "fat advance stayed sequential");
+        assert!(stats.regions_used <= 4);
+        assert_eq!(stats.region_tuples, 64);
+        assert!(stats.region_max_tuples >= 64 / stats.regions_used);
+        assert!(stats.region_balance() >= 1.0);
+        // A sequential engine reports one region covering everything.
+        let mut seq = StreamEngine::default();
+        let id = vars.register("v", 0.5).unwrap();
+        seq.push(
+            Side::Left,
+            TpTuple::new("f", Lineage::var(id), Interval::at(0, 5)),
+        );
+        let stats = seq.advance(10, &mut sink).unwrap();
+        assert_eq!(stats.regions_used, 1);
+        assert_eq!(stats.region_tuples, 1);
+        assert!((stats.region_balance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_advances_stay_sequential_under_min_tuples() {
+        let mut vars = VarTable::new();
+        let id = vars.register("v", 0.5).unwrap();
+        let mut engine = StreamEngine::new(EngineConfig {
+            parallel: Some(ParallelConfig {
+                workers: 8,
+                min_tuples: 1_000,
+                cuts: None,
+            }),
+            ..Default::default()
+        });
+        let mut sink = CountingSink::new();
+        engine.push(
+            Side::Left,
+            TpTuple::new("f", Lineage::var(id), Interval::at(0, 5)),
+        );
+        let stats = engine.advance(10, &mut sink).unwrap();
+        assert_eq!(stats.regions_used, 1, "tiny advance must not fan out");
+        assert_eq!(engine.region_workers(), 8);
+        engine.set_region_workers(2);
+        assert_eq!(engine.region_workers(), 2);
+    }
+
+    #[test]
+    fn reclaiming_parallel_engine_matches_sequential_reclaim() {
+        // Region workers intern op lineage into the engine's PRIVATE arena
+        // (the propagated scope); the delta log and the reclamation
+        // schedule must match the sequential reclaiming engine.
+        let run = |parallel: Option<ParallelConfig>| {
+            let mut vars = VarTable::new();
+            let events = sliding_tuples(&mut vars, 30, 8, 16);
+            let mut engine = StreamEngine::new(EngineConfig {
+                reclaim: Some(ReclaimConfig {
+                    keep_epochs: 2,
+                    ..Default::default()
+                }),
+                parallel,
+                ..Default::default()
+            });
+            let mut sink = crate::delta::MaterializingSink::new();
+            let mut w = 0i64;
+            for (side, t) in &events {
+                engine.push(*side, t.clone());
+                let hi = t.interval.start();
+                if hi - 24 > w {
+                    w = hi - 24;
+                    engine.advance(w, &mut sink).unwrap();
+                }
+            }
+            engine.finish(&mut sink).unwrap();
+            (sink.deltas, engine.reclaimed())
+        };
+        let (seq_deltas, seq_reclaimed) = run(None);
+        let (par_deltas, par_reclaimed) = run(Some(parallel_cfg(3)));
+        assert_eq!(par_deltas, seq_deltas);
+        assert_eq!(par_reclaimed, seq_reclaimed);
+        assert!(seq_reclaimed.0 > 0, "nothing retired — test is vacuous");
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //!
 //! | module | content |
 //! |---|---|
-//! | [`engine`] | [`StreamEngine`]: ingestion, watermarks, incremental sweep, delta emission |
+//! | [`engine`] | [`StreamEngine`]: ingestion, watermarks, incremental sweep (optionally sharded over workers by timeline region, byte-identical), delta emission |
 //! | [`delta`] | [`Delta`], the [`StreamSink`] trait, collecting/counting sinks |
 //! | [`epoch`] | timeline-partitioned parallel executor + arena cache/storage release scopes |
 //! | [`replay`] | deterministic out-of-order replay scripts over batch relation pairs |
@@ -46,8 +46,8 @@ pub use delta::{
     CollectingSink, CountingSink, Delta, MaterializedDelta, MaterializingSink, NullSink, StreamSink,
 };
 pub use engine::{
-    AdvanceStats, EngineConfig, IngestOutcome, ReclaimConfig, Side, StreamEngine, StreamError,
-    WatermarkPolicy,
+    AdvanceStats, EngineConfig, IngestOutcome, ParallelConfig, ReclaimConfig, Side, StreamEngine,
+    StreamError, WatermarkPolicy,
 };
 pub use epoch::{apply_epoched, EpochConfig, EpochScope, ReleasedStorage};
 pub use replay::{ReplayConfig, ReplayEvent, ReplayTotals, StreamScript};

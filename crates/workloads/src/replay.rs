@@ -141,6 +141,121 @@ pub fn sliding_synth_stream(cfg: &SlidingConfig, vars: &mut VarTable) -> StreamW
     )
 }
 
+/// Parameters of the skew-hot synthetic stream ([`skewed_synth_stream`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SkewedConfig {
+    /// Watermark advances (epochs) to generate.
+    pub epochs: usize,
+    /// Tuples per side per epoch, Zipf-allocated over the slots.
+    pub per_epoch: usize,
+    /// Time slots per epoch the Zipf allocation ranks (slot 0 is the
+    /// hottest).
+    pub slots: usize,
+    /// Zipf exponent of the slot allocation (0 = uniform; higher = one
+    /// scorching region per epoch).
+    pub exponent: f64,
+    /// Time points per epoch.
+    pub stride: i64,
+    /// Seed for the per-tuple probability jitter.
+    pub seed: u64,
+}
+
+impl Default for SkewedConfig {
+    fn default() -> Self {
+        SkewedConfig {
+            epochs: 64,
+            per_epoch: 64,
+            slots: 8,
+            exponent: 1.5,
+            stride: 512,
+            seed: 23,
+        }
+    }
+}
+
+/// Zipf allocation of `total` tuples over `slots` ranked slots: slot `i`
+/// gets a share proportional to `(i + 1)^-exponent`, rounded by largest
+/// remainder so the counts sum to `total` exactly. Deterministic; exposed
+/// for the workload tests and the bench harness.
+pub fn zipf_slot_counts(total: usize, slots: usize, exponent: f64) -> Vec<usize> {
+    let slots = slots.max(1);
+    let weights: Vec<f64> = (0..slots)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(exponent.max(0.0)))
+        .collect();
+    let sum: f64 = weights.iter().sum();
+    let mut counts: Vec<usize> = Vec::with_capacity(slots);
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(slots);
+    let mut assigned = 0usize;
+    for (i, w) in weights.iter().enumerate() {
+        let exact = total as f64 * w / sum;
+        let floor = exact.floor() as usize;
+        counts.push(floor);
+        assigned += floor;
+        remainders.push((i, exact - floor as f64));
+    }
+    // Largest remainders absorb the rounding gap (ties by slot rank, so
+    // the allocation is deterministic).
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    for k in 0..total - assigned {
+        counts[remainders[k % slots].0] += 1;
+    }
+    counts
+}
+
+/// A synthetic stream with **Zipf-hot time regions**: each epoch's tuples
+/// are allocated over its time slots by [`zipf_slot_counts`], so one slot
+/// per epoch carries most of the load while the rest are sparse — the
+/// adversarial shape for region-parallel advances
+/// (`tp_stream::ParallelConfig`), whose planner must cut the hot region
+/// finely instead of splitting the timeline evenly. Duplicate-free by
+/// construction: every (slot, copy) pair is its own fact, recurring once
+/// per epoch within its slot. Returns the full pair for batch cross-checks
+/// plus a script advancing once per epoch.
+pub fn skewed_synth_stream(cfg: &SkewedConfig, vars: &mut VarTable) -> StreamWorkload {
+    use tp_core::fact::Fact;
+    use tp_core::interval::Interval;
+
+    let slots = cfg.slots.max(1) as i64;
+    let stride = cfg.stride.max(8 * slots);
+    let sub = stride / slots;
+    // Left spans at most 2/3 of a slot; the right side trails by a third
+    // of the span, so both sides stay inside the slot and overlap.
+    let span = (sub * 2 / 3).max(2);
+    let counts = zipf_slot_counts(cfg.per_epoch.max(1), cfg.slots.max(1), cfg.exponent);
+    let jitter = |x: i64| 0.2 + 0.6 * (((cfg.seed as i64 + x).rem_euclid(89)) as f64 / 89.0);
+    let mut rows_r = Vec::new();
+    let mut rows_s = Vec::new();
+    for e in 0..cfg.epochs as i64 {
+        for (slot, &count) in counts.iter().enumerate() {
+            let lo = e * stride + slot as i64 * sub;
+            for k in 0..count as i64 {
+                // Distinct fact per (slot, copy): hot-slot tuples overlap
+                // each other in time without ever violating per-fact
+                // duplicate-freeness.
+                let fact = Fact::single(slot as i64 * cfg.per_epoch as i64 + k);
+                rows_r.push((fact.clone(), Interval::at(lo, lo + span), jitter(lo + k)));
+                rows_s.push((
+                    fact,
+                    Interval::at(lo + span / 3, lo + span / 3 + span),
+                    jitter(lo + k + 1),
+                ));
+            }
+        }
+    }
+    let r = TpRelation::base("r", rows_r, vars).expect("skewed rows are duplicate-free");
+    let s = TpRelation::base("s", rows_s, vars).expect("skewed rows are duplicate-free");
+    StreamWorkload::new(
+        r,
+        s,
+        &ReplayConfig {
+            lateness: sub / 4,
+            // One advance per epoch's worth of arrivals (both sides).
+            advance_every: 2 * cfg.per_epoch.max(1),
+            seed: cfg.seed,
+        },
+    )
+}
+
 /// The simulated WebKit history as a stream, with a shifted counterpart.
 pub fn webkit_stream(
     cfg: &WebkitConfig,
@@ -217,6 +332,85 @@ mod tests {
         // Advances scale with epochs (the bounded live set per advance is
         // what the reclaiming engine turns into a memory plateau).
         assert!(long.script.advances() >= 2 * short.script.advances() - 2);
+    }
+
+    #[test]
+    fn zipf_slot_counts_sum_and_skew() {
+        let counts = zipf_slot_counts(640, 8, 1.5);
+        assert_eq!(counts.iter().sum::<usize>(), 640);
+        assert!(
+            counts[0] >= 3 * counts[7].max(1),
+            "no skew: {counts:?} (hot slot must dominate the tail)"
+        );
+        // Deterministic and monotone in rank.
+        assert_eq!(counts, zipf_slot_counts(640, 8, 1.5));
+        assert!(counts.windows(2).all(|w| w[0] >= w[1]), "{counts:?}");
+        // Exponent 0 is uniform.
+        let flat = zipf_slot_counts(64, 8, 0.0);
+        assert!(flat.iter().all(|&c| c == 8), "{flat:?}");
+    }
+
+    #[test]
+    fn skewed_stream_is_duplicate_free_hot_and_matches_batch() {
+        let mut vars = VarTable::new();
+        let cfg = SkewedConfig {
+            epochs: 12,
+            per_epoch: 48,
+            ..Default::default()
+        };
+        let w = skewed_synth_stream(&cfg, &mut vars);
+        w.r.check_duplicate_free().unwrap();
+        w.s.check_duplicate_free().unwrap();
+        assert_eq!(w.r.len(), cfg.epochs * cfg.per_epoch);
+        assert!(w.script.advances() >= cfg.epochs / 2);
+        // The hot region really is hot: most of an epoch's left tuples
+        // start in the first slot.
+        let stride = cfg.stride;
+        let sub = stride / cfg.slots as i64;
+        let hot =
+            w.r.iter()
+                .filter(|t| t.interval.start().rem_euclid(stride) < sub)
+                .count();
+        assert!(
+            hot * 3 >= w.r.len(),
+            "hot slot holds only {hot}/{} tuples",
+            w.r.len()
+        );
+        assert_stream_equals_batch(&w);
+    }
+
+    #[test]
+    fn skewed_stream_replays_through_a_parallel_engine_identically() {
+        // The generator's purpose: stress region balancing. The delta log
+        // of a region-parallel replay must equal the sequential one.
+        use tp_stream::{MaterializingSink, ParallelConfig};
+        let mut vars = VarTable::new();
+        let w = skewed_synth_stream(
+            &SkewedConfig {
+                epochs: 8,
+                per_epoch: 40,
+                ..Default::default()
+            },
+            &mut vars,
+        );
+        let run = |parallel: Option<ParallelConfig>| {
+            let mut sink = MaterializingSink::new();
+            w.script.run_into(
+                EngineConfig {
+                    parallel,
+                    ..Default::default()
+                },
+                &mut sink,
+            );
+            sink.deltas
+        };
+        let sequential = run(None);
+        let parallel = run(Some(ParallelConfig {
+            workers: 4,
+            min_tuples: 0,
+            cuts: None,
+        }));
+        assert_eq!(parallel, sequential);
     }
 
     #[test]

@@ -101,6 +101,25 @@ pub fn assert_formula_matches_control(
     );
 }
 
+/// Asserts two delta logs are **byte-identical**: same op, fact, interval
+/// boundaries, delta kind, lineage (as arena-independent trees) — and the
+/// same order. This is the strongest stream-equivalence statement the
+/// suite makes: the two engines *behaved* identically, not merely
+/// converged to the same relation. The region-parallel differential tests
+/// use it to pin a sharded advance to the sequential one.
+pub fn assert_delta_logs_identical(a: &MaterializingSink, b: &MaterializingSink, ctx: &str) {
+    for (i, (da, db)) in a.deltas.iter().zip(&b.deltas).enumerate() {
+        assert_eq!(da, db, "{ctx}: delta #{i} diverged");
+    }
+    assert_eq!(
+        a.deltas.len(),
+        b.deltas.len(),
+        "{ctx}: {} vs {} deltas",
+        a.deltas.len(),
+        b.deltas.len()
+    );
+}
+
 /// Asserts a memory plateau: the peak of the second half of `samples`
 /// (steady state) must stay within `factor`× the peak of the first
 /// `warmup` samples (the one-window footprint). Returns the ratio.
