@@ -9,7 +9,8 @@
 //!
 //! Available experiment names: `table2`, `table3`, `table4`, `fig7`, `fig8`,
 //! `fig9a`, `fig9b`, `fig10`, `fig11`, `bench_lawa`, `bench_stream`,
-//! `bench_memory`, `bench_tenants`, `bench_parallel_advance`. With
+//! `bench_memory`, `bench_tenants`, `bench_parallel_advance`,
+//! `bench_ingest`. With
 //! `--csv`, each figure is also written to `experiments_csv/<id>.csv` for
 //! external plotting. `bench_lawa` additionally writes `BENCH_lawa.json`
 //! (memoized valuation + op throughput + arena contention + streaming) to
@@ -110,6 +111,11 @@ fn main() {
                 tp_bench::scaled(24).max(12),
                 &[1, 2, 4, 8],
             ),
+            ingest: experiments::ingest_index_bench(&[
+                tp_bench::scaled(2_000).max(512),
+                tp_bench::scaled(8_000).max(1_024),
+                tp_bench::scaled(24_000).max(2_048),
+            ]),
         };
         println!("{}", report.render());
         let path = std::path::Path::new("BENCH_lawa.json");
@@ -267,6 +273,60 @@ fn main() {
             "ok: batch-identical at every worker count ({speedup:.2}x at 4 workers on {} \
              hardware thread(s))",
             b.hardware_threads
+        );
+    }
+    if names.iter().any(|a| *a == "bench_ingest") {
+        // CI ingest-index-smoke job: the sort-vs-index ingestion curve at
+        // three sizes × three arrival orders (in-order, bounded-lateness
+        // shuffle, adversarial reverse). Hard gates: every point streams
+        // batch-identically on BOTH buffer kinds, and the index's gap
+        // occupancy stays plausible (0 < occ ≤ 1000‰ — zero means the
+        // index never held data, above 1000 means broken accounting). The
+        // wall speedup is hardware- and size-dependent and is reported
+        // informationally, like the other scaling benches.
+        let b = experiments::ingest_index_bench(&[
+            tp_bench::scaled(2_000).max(512),
+            tp_bench::scaled(8_000).max(1_024),
+            tp_bench::scaled(24_000).max(2_048),
+        ]);
+        println!("ingestion index: sort vs gapped learned index");
+        for p in &b.points {
+            println!(
+                "  {:<9} {:>8} tuples/side  legacy {:>8.1} ms  index {:>8.1} ms  ({:.2}x)  occ {:>4} permille  retrains {:<4} shift-p99 {:<3} batch_equal={}",
+                p.order,
+                p.tuples,
+                p.legacy_ms,
+                p.index_ms,
+                p.speedup(),
+                p.gap_occupancy_permille,
+                p.retrains,
+                p.shift_p99,
+                p.batch_equal,
+            );
+        }
+        if !b.batch_equal() {
+            eprintln!("FAIL: an ingest point diverges from batch LAWA");
+            std::process::exit(1);
+        }
+        for p in &b.points {
+            if p.gap_occupancy_permille == 0 || p.gap_occupancy_permille > 1000 {
+                eprintln!(
+                    "FAIL: implausible gap occupancy {} permille at {} ({} tuples/side)",
+                    p.gap_occupancy_permille, p.order, p.tuples
+                );
+                std::process::exit(1);
+            }
+        }
+        let speedup = b.speedup_at_largest();
+        if speedup < 1.0 {
+            eprintln!(
+                "WARN: index only {speedup:.2}x over sort-on-advance at the largest size \
+                 (informational — wall ratio is hardware- and size-dependent)"
+            );
+        }
+        println!(
+            "ok: batch-identical on both buffer kinds at every point, occupancy sane \
+             ({speedup:.2}x at largest size)"
         );
     }
     if names.iter().any(|a| *a == "bench_tenants") {

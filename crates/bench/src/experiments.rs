@@ -1305,6 +1305,209 @@ pub fn parallel_advance_bench(
     }
 }
 
+/// One measured point of the ingestion benchmark: one arrival order at one
+/// input size, the same replay run twice — legacy sorted-`Vec` buffer vs
+/// the gapped learned timestamp index — through otherwise identical
+/// engines.
+#[derive(Debug, Clone)]
+pub struct IngestPoint {
+    /// Arrival order of the replay: `in_order`, `shuffled` (bounded
+    /// lateness) or `reversed` (adversarial newest-first batches).
+    pub order: &'static str,
+    /// Tuples per input side.
+    pub tuples: usize,
+    /// Wall time of the full legacy replay (pushes + advances + finish —
+    /// ingestion cost surfaces as sorting inside `advance`).
+    pub legacy_ms: f64,
+    /// Wall time of the same replay on the gapped index (ingestion cost
+    /// surfaces as model-guided placement inside `push`).
+    pub index_ms: f64,
+    /// Highest pre-drain gap occupancy any advance observed, in permille
+    /// of allocated slots. Sane values sit in (0, 1000]; the CI smoke
+    /// hard-gates that range.
+    pub gap_occupancy_permille: u32,
+    /// Index rebuilds (re-spacing + model retrain) over the whole replay.
+    pub retrains: u64,
+    /// Worst per-advance p99 slot-shift distance over the replay.
+    pub shift_p99: u32,
+    /// Whether BOTH replays produced the batch LAWA results for all ops.
+    pub batch_equal: bool,
+}
+
+impl IngestPoint {
+    /// Legacy-over-index wall speedup (> 1 means the index wins).
+    pub fn speedup(&self) -> f64 {
+        self.legacy_ms / self.index_ms.max(1e-9)
+    }
+}
+
+/// Result of the `bench_ingest` experiment: the sort-vs-index ingestion
+/// curve — three arrival orders × the requested sizes, each point
+/// batch-verified on both buffer kinds.
+#[derive(Debug, Clone)]
+pub struct IngestBench {
+    /// Requested tuples-per-side sizes (ascending).
+    pub sizes: Vec<usize>,
+    /// One point per (size, arrival order), sizes outermost.
+    pub points: Vec<IngestPoint>,
+}
+
+impl IngestBench {
+    /// Whether every point of the curve matched batch LAWA on both kinds.
+    pub fn batch_equal(&self) -> bool {
+        self.points.iter().all(|p| p.batch_equal)
+    }
+
+    /// Mean legacy-over-index speedup across the arrival orders at the
+    /// largest measured size — the headline number of the history series.
+    pub fn speedup_at_largest(&self) -> f64 {
+        let largest = self.points.iter().map(|p| p.tuples).max().unwrap_or(0);
+        let at: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|p| p.tuples == largest)
+            .map(IngestPoint::speedup)
+            .collect();
+        if at.is_empty() {
+            return 0.0;
+        }
+        at.iter().sum::<f64>() / at.len() as f64
+    }
+}
+
+/// Replays `script` once end to end (pushes + advances + finish, all
+/// timed: the two buffer kinds pay their ingestion cost in different
+/// phases) and cross-checks the streamed result against batch LAWA.
+fn ingest_point_run(
+    w: &tp_workloads::StreamWorkload,
+    script: &tp_stream::StreamScript,
+    buffer: tp_stream::BufferKind,
+) -> (f64, u32, u64, u32, bool) {
+    use tp_core::ops::apply;
+    use tp_stream::{CollectingSink, EngineConfig, ReplayEvent, StreamEngine};
+
+    let mut engine = StreamEngine::new(EngineConfig {
+        buffer,
+        ..Default::default()
+    });
+    let mut sink = CollectingSink::new();
+    let (mut occ, mut retrains, mut shift_p99) = (0u32, 0u64, 0u32);
+    let t0 = std::time::Instant::now();
+    for event in &script.events {
+        match event {
+            ReplayEvent::Arrive(side, t) => {
+                engine.push(*side, t.clone());
+            }
+            ReplayEvent::Advance(wm) => {
+                let stats = engine.advance(*wm, &mut sink).expect("script monotone");
+                occ = occ.max(stats.gap_occupancy_permille);
+                retrains += stats.index_retrains;
+                shift_p99 = shift_p99.max(stats.shift_distance_p99);
+            }
+        }
+    }
+    engine.finish(&mut sink).expect("final advance");
+    let wall_ms = t0.elapsed().as_nanos() as f64 / 1e6;
+    let batch_equal = SetOp::ALL
+        .iter()
+        .all(|&op| sink.relation(op).canonicalized() == apply(op, &w.r, &w.s).canonicalized());
+    (wall_ms, occ, retrains, shift_p99, batch_equal)
+}
+
+/// Runs the sort-vs-index ingestion benchmark at each size in `sizes`:
+/// the same sliding pair replayed in order, with a bounded-lateness
+/// shuffle, and with every inter-advance batch reversed (adversarial:
+/// each insert lands at the buffer's front).
+pub fn ingest_index_bench(sizes: &[usize]) -> IngestBench {
+    use tp_stream::{BufferKind, ReplayConfig, ReplayEvent, StreamScript};
+    use tp_workloads::{sliding_synth_stream, SlidingConfig};
+
+    const STRIDE: i64 = 4096;
+    let mut points = Vec::new();
+    for (i, &size) in sizes.iter().enumerate() {
+        let epochs = 24usize;
+        let per_epoch = (size / epochs).max(8);
+        let mut vars = VarTable::new();
+        let w = sliding_synth_stream(
+            &SlidingConfig {
+                epochs,
+                per_epoch,
+                facts: 64,
+                stride: STRIDE,
+                seed: 37,
+            },
+            &mut vars,
+        );
+        let advance_every = (2 * per_epoch).max(16);
+        let in_order = StreamScript::from_pair(
+            &w.r,
+            &w.s,
+            &ReplayConfig {
+                lateness: 0,
+                advance_every,
+                seed: 1,
+            },
+        );
+        let shuffled = StreamScript::from_pair(
+            &w.r,
+            &w.s,
+            &ReplayConfig {
+                lateness: STRIDE / 2,
+                advance_every,
+                seed: 2,
+            },
+        );
+        // Adversarial: every inter-advance batch arrives newest-first, so
+        // each insert displaces the batch placed before it.
+        let reversed = {
+            let mut events = Vec::with_capacity(in_order.events.len());
+            let mut batch = Vec::new();
+            for ev in &in_order.events {
+                match ev {
+                    ReplayEvent::Arrive(..) => batch.push(ev.clone()),
+                    ReplayEvent::Advance(_) => {
+                        batch.reverse();
+                        events.append(&mut batch);
+                        events.push(ev.clone());
+                    }
+                }
+            }
+            batch.reverse();
+            events.append(&mut batch);
+            StreamScript { events }
+        };
+        if i == 0 {
+            // Warm-up (discarded): the first timed point must not pay
+            // allocator growth for everyone.
+            let _ = ingest_point_run(&w, &in_order, BufferKind::Legacy);
+            let _ = ingest_point_run(&w, &in_order, BufferKind::Sorted);
+        }
+        for (order, script) in [
+            ("in_order", &in_order),
+            ("shuffled", &shuffled),
+            ("reversed", &reversed),
+        ] {
+            let (legacy_ms, _, _, _, legacy_eq) = ingest_point_run(&w, script, BufferKind::Legacy);
+            let (index_ms, occ, retrains, shift_p99, index_eq) =
+                ingest_point_run(&w, script, BufferKind::Sorted);
+            points.push(IngestPoint {
+                order,
+                tuples: w.r.len(),
+                legacy_ms,
+                index_ms,
+                gap_occupancy_permille: occ,
+                retrains,
+                shift_p99,
+                batch_equal: legacy_eq && index_eq,
+            });
+        }
+    }
+    IngestBench {
+        sizes: sizes.to_vec(),
+        points,
+    }
+}
+
 /// The combined `BENCH_lawa.json` artifact: the memoized-valuation
 /// acceptance benchmark (top-level fields, unchanged schema) plus the
 /// per-operation throughput series, the arena-contention micro-benchmark
@@ -1325,6 +1528,8 @@ pub struct BenchReport {
     pub tenants: MultiTenantBench,
     /// Region-parallel single-tenant advance scaling (fat + skewed).
     pub parallel: ParallelAdvanceBench,
+    /// Sort-vs-index ingestion curve (gapped learned timestamp index).
+    pub ingest: IngestBench,
 }
 
 impl BenchReport {
@@ -1501,6 +1706,50 @@ impl BenchReport {
             curve(&self.parallel.fat),
             curve(&self.parallel.skewed),
         );
+        // The ingestion-index section is spliced in the same way.
+        let tail = out.rfind('}').expect("report JSON is an object");
+        out.truncate(tail);
+        while out.ends_with('\n') {
+            out.pop();
+        }
+        let mut curve = String::from("[");
+        for (i, p) in self.ingest.points.iter().enumerate() {
+            let _ = write!(
+                curve,
+                "{}\n      {{\"order\": \"{}\", \"tuples\": {}, \"legacy_ms\": {:.3}, \
+                 \"index_ms\": {:.3}, \"speedup\": {:.3}, \"gap_occupancy_permille\": {}, \
+                 \"retrains\": {}, \"shift_p99\": {}, \"batch_equal\": {}}}",
+                if i > 0 { "," } else { "" },
+                p.order,
+                p.tuples,
+                p.legacy_ms,
+                p.index_ms,
+                p.speedup(),
+                p.gap_occupancy_permille,
+                p.retrains,
+                p.shift_p99,
+                p.batch_equal,
+            );
+        }
+        curve.push_str("\n    ]");
+        let _ = write!(
+            out,
+            concat!(
+                ",\n  \"ingest_index\": {{\n",
+                "    \"speedup_at_largest\": {:.3},\n",
+                "    \"batch_equal\": {},\n",
+                "    \"curve\": {},\n",
+                "    \"note\": \"same replay, legacy sorted-Vec buffer vs gapped learned timestamp \
+                 index; wall time covers pushes + advances + finish so each kind pays its \
+                 ingestion cost where it actually lands; every point batch-verified on both \
+                 kinds (CI-gated); the wall speedup is informational\"\n",
+                "  }}\n",
+                "}}\n",
+            ),
+            self.ingest.speedup_at_largest(),
+            self.ingest.batch_equal(),
+            curve,
+        );
         out
     }
 
@@ -1514,7 +1763,8 @@ impl BenchReport {
                 "\"streaming_speedup\": {:.2}, \"union_mtuples_per_s\": {:.3}, ",
                 "\"contention_speedup\": {:.2}, \"memory_plateau_ratio\": {:.3}, ",
                 "\"memory_steady_nodes\": {}, \"tenant_var_plateau_ratio\": {:.3}, ",
-                "\"tenant_krows_per_s\": {:.3}, \"parallel_speedup_at_4\": {:.2}}}"
+                "\"tenant_krows_per_s\": {:.3}, \"parallel_speedup_at_4\": {:.2}, ",
+                "\"ingest_speedup_at_largest\": {:.3}}}"
             ),
             generated_unix,
             self.valuation.speedup(),
@@ -1530,6 +1780,7 @@ impl BenchReport {
             self.tenants.worst_var_ratio(),
             self.tenants.krows_per_s(),
             self.parallel.speedup_at(4),
+            self.ingest.speedup_at_largest(),
         )
     }
 
@@ -1675,6 +1926,30 @@ impl BenchReport {
             "  speedup at 4 workers: {:.2}x (wall scaling needs hardware threads)",
             self.parallel.speedup_at(4),
         );
+        let _ = writeln!(
+            out,
+            "\n== BENCH lawa: ingestion index (sort vs gapped learned index) =="
+        );
+        for p in &self.ingest.points {
+            let _ = writeln!(
+                out,
+                "  {:<9} {:>8} tuples/side  legacy {:>8.1} ms  index {:>8.1} ms  ({:.2}x)  occ {:>4}‰  retrains {:<4} shift-p99 {:<3} batch-equal: {}",
+                p.order,
+                p.tuples,
+                p.legacy_ms,
+                p.index_ms,
+                p.speedup(),
+                p.gap_occupancy_permille,
+                p.retrains,
+                p.shift_p99,
+                p.batch_equal,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  speedup at largest size: {:.2}x (informational; equality + occupancy are the gates)",
+            self.ingest.speedup_at_largest(),
+        );
         out
     }
 }
@@ -1811,6 +2086,26 @@ mod tests {
     }
 
     #[test]
+    fn ingest_bench_is_batch_equal_with_sane_occupancy() {
+        let b = ingest_index_bench(&[300, 600]);
+        assert_eq!(b.points.len(), 6); // 2 sizes × 3 arrival orders
+        assert!(b.batch_equal(), "an ingest point diverged from batch");
+        for p in &b.points {
+            assert!(
+                p.gap_occupancy_permille > 0 && p.gap_occupancy_permille <= 1000,
+                "{} @ {}: implausible gap occupancy {}‰",
+                p.order,
+                p.tuples,
+                p.gap_occupancy_permille
+            );
+            assert!(p.speedup().is_finite() && p.speedup() > 0.0);
+        }
+        // No wall-clock assertion: the speedup is hardware-dependent and
+        // reported informationally; CI gates equality + occupancy only.
+        assert!(b.speedup_at_largest() > 0.0);
+    }
+
+    #[test]
     fn bench_report_json_keeps_valuation_schema_and_adds_sections() {
         let report = BenchReport {
             valuation: lawa_valuation_bench(800, 8, 2),
@@ -1820,6 +2115,7 @@ mod tests {
             memory: memory_bounded_bench(16),
             tenants: multi_tenant_bench(2, 16, 2),
             parallel: parallel_advance_bench(64, 8, &[1, 2]),
+            ingest: ingest_index_bench(&[400]),
         };
         let json = report.to_json();
         // Existing top-level schema intact (CI's speedup gate reads these).
@@ -1835,6 +2131,7 @@ mod tests {
         assert!(json.contains("\"parallel_advance\""));
         assert!(json.contains("\"fat_tenant\""));
         assert!(json.contains("\"skewed\""));
+        assert!(json.contains("\"ingest_index\""));
         assert!(json.contains("\"batch_equal\": true"));
         // Balanced braces (hand-rolled JSON sanity).
         assert_eq!(
@@ -1853,6 +2150,7 @@ mod tests {
         // History round trip: a written file's entries are recovered and
         // extended, and the result stays balanced.
         let e1 = report.history_entry(1_000);
+        assert!(e1.contains("\"ingest_speedup_at_largest\""));
         let with_one = report.to_json_with_history(std::slice::from_ref(&e1));
         assert_eq!(extract_history(&with_one), vec![e1.clone()]);
         let e2 = report.history_entry(2_000);

@@ -346,6 +346,66 @@ impl RegionPlan {
         RegionPlan::from_cuts(cuts)
     }
 
+    /// A plan of up to `regions` regions with **exact** tuple-count
+    /// quantile cuts, read off two timestamp-sorted start-point arrays —
+    /// the streaming engine's gapped ingestion index hands them over for
+    /// free at drain time. The k-th cut is the `⌊k·n/regions⌋`-th smallest
+    /// merged start: the selection [`RegionPlan::balanced`] approximates by
+    /// sampling (and can get adversarially wrong when the arrival order
+    /// aliases with its sampling stride — see
+    /// `tests/region_parallel.rs`), computed here by one linear merge walk
+    /// with no sampling, no sort, no bias. Same degenerate-plan behavior
+    /// as [`RegionPlan::balanced`].
+    pub fn balanced_from_index(
+        r_starts: &[TimePoint],
+        s_starts: &[TimePoint],
+        regions: usize,
+    ) -> RegionPlan {
+        let regions = regions.max(1);
+        let total = r_starts.len() + s_starts.len();
+        if regions == 1 || total < regions {
+            return RegionPlan::sequential();
+        }
+        debug_assert!(r_starts.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(s_starts.windows(2).all(|w| w[0] <= w[1]));
+        // One merge walk over the two sorted arrays, collecting the start
+        // at each quantile rank. Ranks are strictly increasing (total ≥
+        // regions), so a single forward pass visits them all.
+        let mut targets = (1..regions).map(|k| (k * total / regions).min(total - 1));
+        let mut next_target = targets.next();
+        let mut cuts = Vec::with_capacity(regions - 1);
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut min_start: Option<TimePoint> = None;
+        for rank in 0..total {
+            let take_r = match (r_starts.get(i), s_starts.get(j)) {
+                (Some(&a), Some(&b)) => a <= b,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            let v = if take_r {
+                i += 1;
+                r_starts[i - 1]
+            } else {
+                j += 1;
+                s_starts[j - 1]
+            };
+            min_start.get_or_insert(v);
+            if next_target == Some(rank) {
+                // A cut at the smallest start can only produce an empty
+                // leading region — skip it (same suppression as the
+                // sampling planner).
+                if Some(v) > min_start {
+                    cuts.push(v);
+                }
+                next_target = targets.next();
+                if next_target.is_none() {
+                    break;
+                }
+            }
+        }
+        RegionPlan::from_cuts(cuts)
+    }
+
     /// The cut positions, strictly increasing.
     pub fn cuts(&self) -> &[TimePoint] {
         &self.cuts

@@ -70,6 +70,7 @@ use tp_core::tuple::TpTuple;
 use tp_core::window::{split_at_watermark, Lawa, LineageAwareWindow, RegionPlan};
 
 use crate::delta::{op_index, CollectingSink, Delta, StreamSink};
+use crate::gapped::{merge_by_sort_key, GappedBuffer, IndexEpochStats};
 
 /// Which input relation a tuple belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -113,6 +114,24 @@ pub enum WatermarkPolicy {
     /// time points; [`StreamEngine::poll`] advances to that bound. A tuple
     /// may arrive out of order by up to `lateness` without being dropped.
     BoundedLateness(i64),
+}
+
+/// Which ingest-buffer implementation backs [`StreamEngine::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BufferKind {
+    /// The gapped learned timestamp index ([`GappedBuffer`]): out-of-order
+    /// pushes land near their model-predicted slot in O(1) amortized, and
+    /// every advance drains an already-sorted closed prefix — the
+    /// per-advance comparison sort disappears from both the sequential and
+    /// the region-parallel sweep path, and the region planner reads exact
+    /// balanced cuts off the index. The default.
+    #[default]
+    Sorted,
+    /// The unsorted `Vec` with a per-advance comparison sort — kept for
+    /// differential testing against [`BufferKind::Sorted`] and for stream
+    /// shapes where a sort still wins (see `docs/streaming.md`,
+    /// "when the legacy buffer wins").
+    Legacy,
 }
 
 /// Bounded-memory operation: the engine hosts its lineage in a **private
@@ -225,6 +244,9 @@ pub struct EngineConfig {
     /// Region-parallel advance; see [`ParallelConfig`]. `None` (the
     /// default) sweeps every advance sequentially.
     pub parallel: Option<ParallelConfig>,
+    /// Ingest-buffer implementation; see [`BufferKind`]. Defaults to the
+    /// gapped learned index ([`BufferKind::Sorted`]).
+    pub buffer: BufferKind,
 }
 
 impl Default for EngineConfig {
@@ -235,6 +257,7 @@ impl Default for EngineConfig {
             verify_batch: false,
             reclaim: None,
             parallel: None,
+            buffer: BufferKind::default(),
         }
     }
 }
@@ -298,6 +321,21 @@ pub struct AdvanceStats {
     /// Tuple pieces across all regions — the closed pieces of the advance,
     /// including the extra clippings the plan's cuts introduced.
     pub region_tuples: usize,
+    /// Gap occupancy of the ingestion index at the start of the advance,
+    /// in permille of allocated slots (0 with [`BufferKind::Legacy`] or
+    /// empty buffers). Healthy steady state sits between the post-rebuild
+    /// floor (500‰ at `GAP_FACTOR` 2) and the rebuild ceiling (875‰).
+    pub gap_occupancy_permille: u32,
+    /// Ingestion-index rebuilds (layout re-spacing + model retrain) since
+    /// the previous advance.
+    pub index_retrains: u64,
+    /// Inserts whose model-predicted ε-window missed, falling back to a
+    /// full binary search, since the previous advance.
+    pub index_model_misses: u64,
+    /// 99th-percentile slot-shift distance of inserts since the previous
+    /// advance (0 = virtually all inserts landed in a free gap without
+    /// displacing neighbors).
+    pub shift_distance_p99: u32,
 }
 
 impl AdvanceStats {
@@ -314,6 +352,57 @@ impl AdvanceStats {
     }
 }
 
+/// One side's ingest buffer — the [`BufferKind`] dispatch point. The
+/// size gap between the variants is fine: exactly two instances exist
+/// per engine.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
+enum IngestBuffer {
+    Legacy(Vec<TpTuple>),
+    Sorted(GappedBuffer),
+}
+
+impl IngestBuffer {
+    fn new(kind: BufferKind) -> Self {
+        match kind {
+            BufferKind::Legacy => IngestBuffer::Legacy(Vec::new()),
+            BufferKind::Sorted => IngestBuffer::Sorted(GappedBuffer::new()),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            IngestBuffer::Legacy(v) => v.len(),
+            IngestBuffer::Sorted(b) => b.len(),
+        }
+    }
+
+    fn push(&mut self, tuple: TpTuple) {
+        match self {
+            IngestBuffer::Legacy(v) => v.push(tuple),
+            IngestBuffer::Sorted(b) => b.push(tuple),
+        }
+    }
+
+    /// Visits every buffered tuple (arbitrary order) — the reclaim
+    /// frontier probe.
+    fn for_each(&self, mut f: impl FnMut(&TpTuple)) {
+        match self {
+            IngestBuffer::Legacy(v) => v.iter().for_each(f),
+            IngestBuffer::Sorted(b) => b.iter().for_each(&mut f),
+        }
+    }
+
+    /// The highest interval end among buffered tuples — the
+    /// [`StreamEngine::finish`] target.
+    fn max_interval_end(&self) -> Option<TimePoint> {
+        match self {
+            IngestBuffer::Legacy(v) => v.iter().map(|t| t.interval.end()).max(),
+            IngestBuffer::Sorted(b) => b.max_interval_end(),
+        }
+    }
+}
+
 /// The open right edge of the latest output tuple of one fact (per op).
 struct Tail {
     end: TimePoint,
@@ -326,8 +415,8 @@ pub struct StreamEngine {
     watermark: TimePoint,
     /// Highest tuple start seen, for [`WatermarkPolicy::BoundedLateness`].
     event_high: TimePoint,
-    /// Out-of-order ingest buffers, unsorted.
-    pending: [Vec<TpTuple>; 2],
+    /// Out-of-order ingest buffers; see [`BufferKind`].
+    pending: [IngestBuffer; 2],
     /// Residuals of tuples split at the previous watermark (start ==
     /// watermark, original lineage).
     carry: [Vec<TpTuple>; 2],
@@ -386,11 +475,12 @@ impl StreamEngine {
             .reclaim
             .as_ref()
             .map(|rc| LineageArena::shared(rc.shards));
+        let pending = [IngestBuffer::new(cfg.buffer), IngestBuffer::new(cfg.buffer)];
         StreamEngine {
             cfg,
             watermark: TimePoint::MIN,
             event_high: TimePoint::MIN,
-            pending: [Vec::new(), Vec::new()],
+            pending,
             carry: [Vec::new(), Vec::new()],
             late: [0, 0],
             tails: Default::default(),
@@ -458,6 +548,42 @@ impl StreamEngine {
             self.pending[0].len() + self.carry[0].len(),
             self.pending[1].len() + self.carry[1].len(),
         ]
+    }
+
+    /// Estimated tuples an `advance(to)` would release, both sides
+    /// combined — the load gauge the `StreamServer`'s two-level scheduler
+    /// reads per tenant before a watermark wave. With the gapped index
+    /// ([`BufferKind::Sorted`]) this is `rank_below(to)` — an O(log n)
+    /// occupancy-scaled boundary estimate of tuples starting below `to`,
+    /// deterministic but approximate (gap slack); with the legacy buffer it
+    /// falls back to the total buffered count. Scheduling only — never
+    /// affects results.
+    pub fn buffered_load(&self, to: TimePoint) -> usize {
+        (0..2)
+            .map(|side| {
+                self.carry[side].len()
+                    + match &self.pending[side] {
+                        IngestBuffer::Legacy(v) => v.len(),
+                        IngestBuffer::Sorted(b) => b.rank_below(to),
+                    }
+            })
+            .sum()
+    }
+
+    /// Ingestion-index posture `(gap_occupancy_permille, lifetime
+    /// retrains)` across both sides — `(0, 0)` with
+    /// [`BufferKind::Legacy`]. The repl's `\index` gauge.
+    pub fn index_stats(&self) -> (u32, u64) {
+        let (mut len, mut slots, mut retrains) = (0usize, 0usize, 0u64);
+        for side in 0..2 {
+            if let IngestBuffer::Sorted(b) = &self.pending[side] {
+                len += b.len();
+                slots += b.slot_count();
+                retrains += b.retrains_total();
+            }
+        }
+        let occ = (len * 1000).checked_div(slots).unwrap_or(0) as u32;
+        (occ, retrains)
     }
 
     /// Ingests one tuple. Order of pushes is arbitrary; only the bounded-
@@ -530,38 +656,101 @@ impl StreamEngine {
 
         // Release: carried residuals + pending tuples starting below `to`,
         // split at the new watermark (prefix sweeps now, residual waits).
-        // The closed pieces stay unsorted here — the sequential path sorts
-        // once, the region-parallel path sorts per region inside workers.
+        //
+        // Legacy buffer: the closed pieces stay unsorted here — the
+        // sequential path sorts once below, the region-parallel path sorts
+        // per region inside workers.
+        //
+        // Gapped index: `drain_below` yields the closed prefix already in
+        // timestamp order; a hash regroup puts it in `(F, Ts)` order
+        // without comparison-sorting the bulk, and the carry — itself kept
+        // `(F, Ts)`-sorted across advances — merges in linearly. `ready`
+        // is then fully sorted and *stays sorted through region
+        // partitioning* ([`RegionPlan::partition`] preserves order), so
+        // neither sweep path sorts at all. The drain also hands back the
+        // ts-ordered start points, which the planner turns into exact
+        // balanced cuts (no sampling pass).
+        let prev_w = self.watermark;
         let mut ready: [Vec<TpTuple>; 2] = [Vec::new(), Vec::new()];
-        for (side, ready_slot) in ready.iter_mut().enumerate() {
-            let mut released: Vec<TpTuple> = std::mem::take(&mut self.carry[side]);
-            let pending = std::mem::take(&mut self.pending[side]);
-            let mut keep = Vec::with_capacity(pending.len());
-            for t in pending {
-                if t.interval.start() < to {
-                    released.push(t);
-                } else {
-                    keep.push(t);
+        // Ts-sorted start points of the closed pieces (index mode only),
+        // for exact region planning.
+        let mut cut_starts: Option<[Vec<TimePoint>; 2]> = None;
+        match self.cfg.buffer {
+            BufferKind::Legacy => {
+                for (side, ready_slot) in ready.iter_mut().enumerate() {
+                    let mut released: Vec<TpTuple> = std::mem::take(&mut self.carry[side]);
+                    let IngestBuffer::Legacy(pending) = &mut self.pending[side] else {
+                        unreachable!("legacy engines hold legacy buffers");
+                    };
+                    let pending = std::mem::take(pending);
+                    let mut keep = Vec::with_capacity(pending.len());
+                    for t in pending {
+                        if t.interval.start() < to {
+                            released.push(t);
+                        } else {
+                            keep.push(t);
+                        }
+                    }
+                    self.pending[side] = IngestBuffer::Legacy(keep);
+                    stats.released[side] = released.len();
+                    let (closed, residual) = split_at_watermark(released, to);
+                    stats.carried[side] = residual.len();
+                    self.carry[side] = residual;
+                    *ready_slot = closed;
                 }
             }
-            self.pending[side] = keep;
-            stats.released[side] = released.len();
-            let (closed, residual) = split_at_watermark(released, to);
-            stats.carried[side] = residual.len();
-            self.carry[side] = residual;
-            *ready_slot = closed;
+            BufferKind::Sorted => {
+                // Index gauges, measured before the drain perturbs layout.
+                let (occ, _) = self.index_stats();
+                stats.gap_occupancy_permille = occ;
+                let mut epoch = IndexEpochStats::default();
+                let mut starts: [Vec<TimePoint>; 2] = [Vec::new(), Vec::new()];
+                for (side, ready_slot) in ready.iter_mut().enumerate() {
+                    let IngestBuffer::Sorted(buf) = &mut self.pending[side] else {
+                        unreachable!("index engines hold gapped buffers");
+                    };
+                    let drained = buf.drain_below(to);
+                    epoch.absorb(&buf.take_epoch_stats());
+                    // Carried residuals all start exactly at the previous
+                    // watermark (they are split residuals of drained
+                    // pieces), so they precede every drained start.
+                    let carry_prev = std::mem::take(&mut self.carry[side]);
+                    stats.released[side] = carry_prev.len() + drained.tuples.len();
+                    starts[side] = Vec::with_capacity(carry_prev.len() + drained.starts.len());
+                    starts[side].extend(std::iter::repeat_n(prev_w, carry_prev.len()));
+                    starts[side].extend_from_slice(&drained.starts);
+                    let (carry_closed, carry_res) = split_at_watermark(carry_prev, to);
+                    let (drain_closed, drain_res) = split_at_watermark(drained.tuples, to);
+                    stats.carried[side] = carry_res.len() + drain_res.len();
+                    // Both residual lists are `(F, Ts)`-sorted (order-
+                    // preserving split of sorted inputs); the merge keeps
+                    // the carry invariant for the next advance.
+                    self.carry[side] = merge_by_sort_key(carry_res, drain_res);
+                    *ready_slot = merge_by_sort_key(carry_closed, drain_closed);
+                }
+                stats.index_retrains = epoch.retrains;
+                stats.index_model_misses = epoch.model_misses;
+                stats.shift_distance_p99 = epoch.shift_p99();
+                cut_starts = Some(starts);
+            }
         }
+        let presorted = self.cfg.buffer == BufferKind::Sorted;
 
         // One sweep, all ops. The sweep is either sequential or sharded
         // over worker threads by timeline region (`ParallelConfig`); both
         // feed the same window stream — stitched back to byte-identity in
         // the parallel case — through the same per-op emit stage below
         // (indexed loops: `emit` needs `&mut self`).
-        match self.region_plan(&ready) {
+        match self.region_plan(&ready, cut_starts.as_ref()) {
             None => {
-                for side in ready.iter_mut() {
-                    side.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+                if !presorted {
+                    for side in ready.iter_mut() {
+                        side.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+                    }
                 }
+                debug_assert!(ready
+                    .iter()
+                    .all(|side| side.windows(2).all(|w| w[0].sort_key() <= w[1].sort_key())));
                 stats.regions_used = 1;
                 stats.region_tuples = ready[0].len() + ready[1].len();
                 stats.region_max_tuples = stats.region_tuples;
@@ -579,7 +768,8 @@ impl StreamEngine {
             }
             Some(plan) => {
                 let workers = self.region_workers();
-                let swept = sweep_regions(&ready, &plan, &self.cfg.ops, workers, &mut stats);
+                let swept =
+                    sweep_regions(&ready, &plan, &self.cfg.ops, workers, presorted, &mut stats);
                 for (w, lineages) in swept {
                     stats.windows += 1;
                     let slots = lineages.into_iter().take(self.cfg.ops.len());
@@ -659,9 +849,7 @@ impl StreamEngine {
                 }
             };
             for side in 0..2 {
-                for t in &self.pending[side] {
-                    probe(&t.lineage);
-                }
+                self.pending[side].for_each(|t| probe(&t.lineage));
                 for t in &self.carry[side] {
                     probe(&t.lineage);
                 }
@@ -705,8 +893,16 @@ impl StreamEngine {
     /// Decides whether this advance's sweep is sharded by timeline region:
     /// `None` is the sequential sweep. Pinned cuts always shard (the
     /// differential-test hook); balanced planning requires a worker budget
-    /// above one and at least `min_tuples` closed pieces.
-    fn region_plan(&self, ready: &[Vec<TpTuple>; 2]) -> Option<RegionPlan> {
+    /// above one and at least `min_tuples` closed pieces. With the gapped
+    /// index, `starts` holds the ts-sorted start points the drain handed
+    /// back and the cuts are **exact** tuple-count quantiles
+    /// ([`RegionPlan::balanced_from_index`]); the legacy buffer keeps the
+    /// 2048-sample approximation.
+    fn region_plan(
+        &self,
+        ready: &[Vec<TpTuple>; 2],
+        starts: Option<&[Vec<TimePoint>; 2]>,
+    ) -> Option<RegionPlan> {
         let pc = self.cfg.parallel.as_ref()?;
         // The per-window lineage array is fixed-size (SetOp has three
         // members); exotic op lists fall back to the sequential sweep.
@@ -720,7 +916,10 @@ impl StreamEngine {
         if pc.workers <= 1 || total < pc.min_tuples.max(2) {
             return None;
         }
-        let plan = RegionPlan::balanced(&ready[0], &ready[1], pc.workers);
+        let plan = match starts {
+            Some(st) => RegionPlan::balanced_from_index(&st[0], &st[1], pc.workers),
+            None => RegionPlan::balanced(&ready[0], &ready[1], pc.workers),
+        };
         (plan.regions() > 1).then_some(plan)
     }
 
@@ -751,9 +950,8 @@ impl StreamEngine {
         let hi = self
             .pending
             .iter()
-            .chain(self.carry.iter())
-            .flatten()
-            .map(|t| t.interval.end())
+            .filter_map(IngestBuffer::max_interval_end)
+            .chain(self.carry.iter().flatten().map(|t| t.interval.end()))
             .max();
         match hi {
             Some(hi) if hi > self.watermark => self.advance(hi, sink),
@@ -859,18 +1057,23 @@ fn op_lineage(op: SetOp, w: &LineageAwareWindow) -> Option<Lineage> {
 /// Fans the per-region LAWA sub-sweeps over at most `workers` scoped
 /// threads (contiguous region blocks, so a pinned plan with more regions
 /// than budget — the differential-test hook — never over-spawns): each
-/// worker sorts its regions' pieces, sweeps them, and computes the per-op
-/// window lineages — interning into the propagated current arena, which is
-/// the engine's private arena in reclaim mode (the append path is
-/// lock-free, so workers never contend on node storage). The stitched
-/// stream equals the sequential sweep's byte for byte; the stitch itself
-/// is [`tp_core::window::stitch_annotated`] — the one implementation of
-/// the merge, shared with the core layer.
+/// worker sweeps its regions' pieces and computes the per-op window
+/// lineages — interning into the propagated current arena, which is the
+/// engine's private arena in reclaim mode (the append path is lock-free,
+/// so workers never contend on node storage). With `presorted` (the gapped
+/// ingestion index: `ready` is `(F, Ts)`-sorted, and
+/// [`RegionPlan::partition`] preserves that order within each region) the
+/// per-worker sorts are skipped entirely — the serial fraction PR 5 left
+/// inside each worker disappears. The stitched stream equals the
+/// sequential sweep's byte for byte; the stitch itself is
+/// [`tp_core::window::stitch_annotated`] — the one implementation of the
+/// merge, shared with the core layer.
 fn sweep_regions(
     ready: &[Vec<TpTuple>; 2],
     plan: &RegionPlan,
     ops: &[SetOp],
     workers: usize,
+    presorted: bool,
     stats: &mut AdvanceStats,
 ) -> Vec<(LineageAwareWindow, OpLineages)> {
     let r_regions = plan.partition(&ready[0]);
@@ -908,8 +1111,10 @@ fn sweep_regions(
                     block
                         .into_iter()
                         .map(|(mut r_i, mut s_i)| {
-                            r_i.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
-                            s_i.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+                            if !presorted {
+                                r_i.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+                                s_i.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+                            }
                             Lawa::new(&r_i, &s_i)
                                 .map(|w| {
                                     let mut lineages: OpLineages = [None; OP_SLOTS];

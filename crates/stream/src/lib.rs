@@ -24,6 +24,7 @@
 //! | module | content |
 //! |---|---|
 //! | [`engine`] | [`StreamEngine`]: ingestion, watermarks, incremental sweep (optionally sharded over workers by timeline region, byte-identical), delta emission |
+//! | [`gapped`] | [`GappedBuffer`]: the gapped learned timestamp index behind sort-free ingestion |
 //! | [`delta`] | [`Delta`], the [`StreamSink`] trait, collecting/counting sinks |
 //! | [`epoch`] | timeline-partitioned parallel executor + arena cache/storage release scopes |
 //! | [`replay`] | deterministic out-of-order replay scripts over batch relation pairs |
@@ -39,6 +40,7 @@
 pub mod delta;
 pub mod engine;
 pub mod epoch;
+pub mod gapped;
 pub mod replay;
 pub mod server;
 
@@ -46,9 +48,10 @@ pub use delta::{
     CollectingSink, CountingSink, Delta, MaterializedDelta, MaterializingSink, NullSink, StreamSink,
 };
 pub use engine::{
-    AdvanceStats, EngineConfig, IngestOutcome, ParallelConfig, ReclaimConfig, Side, StreamEngine,
-    StreamError, WatermarkPolicy,
+    AdvanceStats, BufferKind, EngineConfig, IngestOutcome, ParallelConfig, ReclaimConfig, Side,
+    StreamEngine, StreamError, WatermarkPolicy,
 };
 pub use epoch::{apply_epoched, EpochConfig, EpochScope, ReleasedStorage};
+pub use gapped::{Drained, GappedBuffer, IndexEpochStats};
 pub use replay::{ReplayConfig, ReplayEvent, ReplayTotals, StreamScript};
 pub use server::{ServerConfig, StreamServer, TenantId};

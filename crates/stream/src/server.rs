@@ -35,8 +35,8 @@ use tp_core::tuple::TpTuple;
 
 use crate::delta::StreamSink;
 use crate::engine::{
-    AdvanceStats, EngineConfig, IngestOutcome, ParallelConfig, ReclaimConfig, Side, StreamEngine,
-    StreamError, WatermarkPolicy,
+    AdvanceStats, BufferKind, EngineConfig, IngestOutcome, ParallelConfig, ReclaimConfig, Side,
+    StreamEngine, StreamError, WatermarkPolicy,
 };
 
 /// Identifier of one tenant stream within a [`StreamServer`]. Dense per
@@ -71,6 +71,13 @@ pub struct ServerConfig {
     /// ([`ParallelConfig::min_tuples`]): a tenant's advance only fans out
     /// when it releases at least this many tuple pieces.
     pub region_min_tuples: usize,
+    /// Ingest-buffer implementation of every tenant engine
+    /// ([`EngineConfig::buffer`]). With the default gapped index, the wave
+    /// scheduler additionally reads each tenant's *releasable* load for
+    /// the upcoming watermark straight off the index
+    /// ([`StreamEngine::buffered_load`]) instead of the total buffered
+    /// count.
+    pub buffer: BufferKind,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +92,7 @@ impl Default for ServerConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             region_min_tuples: parallel.min_tuples,
+            buffer: BufferKind::default(),
         }
     }
 }
@@ -159,6 +167,7 @@ impl<S: StreamSink + Send> StreamServer<S> {
                 min_tuples: self.cfg.region_min_tuples,
                 cuts: None,
             }),
+            buffer: self.cfg.buffer,
         });
         let sink = make_sink(&vars);
         self.tenants.push(Tenant {
@@ -263,18 +272,30 @@ impl<S: StreamSink + Send> StreamServer<S> {
     /// (`workers − min(workers, tenants)`) is distributed proportionally
     /// to each tenant's buffered load, so a hot tenant's advance shards
     /// its own timeline instead of pinning the whole wave to one core.
+    ///
+    /// The load gauge is watermark-aware when the wave target is known and
+    /// the tenant runs the gapped ingestion index: `buffered_load(to)`
+    /// estimates the tuples the advance will actually *release* with one
+    /// O(log n) index probe per side, so a tenant sitting on a mountain of
+    /// far-future arrivals no longer soaks up budget it cannot use this
+    /// wave. Legacy-buffer tenants (and `finish_all`, which has no single
+    /// target) fall back to the total buffered count.
+    ///
     /// Deterministic: the assignment never changes results (region
     /// parallelism is byte-identical by construction), only wall time.
     /// The budget is a soft cap — a tenant shard and its region workers
     /// overlap briefly, so momentary thread count can exceed it.
-    fn schedule_region_workers(&mut self) {
+    fn schedule_region_workers(&mut self, to: Option<TimePoint>) {
         let budget = self.cfg.workers.max(1);
         let outer = budget.min(self.tenants.len().max(1));
         let spare = budget - outer;
         let loads: Vec<usize> = self
             .tenants
             .iter()
-            .map(|t| t.engine.buffered().iter().sum())
+            .map(|t| match to {
+                Some(w) => t.engine.buffered_load(w),
+                None => t.engine.buffered().iter().sum(),
+            })
             .collect();
         let total: usize = loads.iter().sum::<usize>().max(1);
         for (tenant, load) in self.tenants.iter_mut().zip(loads) {
@@ -288,14 +309,14 @@ impl<S: StreamSink + Send> StreamServer<S> {
     /// Returns per-tenant results in tenant order; each tenant's outcome
     /// is identical to a serial [`StreamServer::advance`] call.
     pub fn advance_all(&mut self, to: TimePoint) -> Vec<Result<AdvanceStats, StreamError>> {
-        self.schedule_region_workers();
+        self.schedule_region_workers(Some(to));
         self.for_each_tenant(|t| t.advance(to))
     }
 
     /// Flushes every tenant ([`StreamEngine::finish`]), sharded and
     /// budget-split like [`StreamServer::advance_all`].
     pub fn finish_all(&mut self) -> Vec<Result<AdvanceStats, StreamError>> {
-        self.schedule_region_workers();
+        self.schedule_region_workers(None);
         self.for_each_tenant(|t| {
             let stats = t.engine.finish(&mut t.sink)?;
             t.last = stats;

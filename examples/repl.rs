@@ -12,6 +12,8 @@
 //! tp> \arena          -- lineage-arena statistics (segments, nodes, bytes)
 //! tp> \parallel a c 4 -- region-parallel streamed sweep of two relations,
 //!                        with per-advance region/balance gauges
+//! tp> \index a c      -- streamed sweep on the gapped learned timestamp
+//!                        index, with per-advance occupancy/retrain gauges
 //! tp> \q
 //! ```
 
@@ -105,8 +107,17 @@ fn handle_command(db: &mut Database, line: &str) -> Result<bool> {
                     .unwrap_or(4);
                 show_parallel_sweep(db, left, right, workers)?;
             }
+            Some("index") => {
+                let (Some(left), Some(right)) = (parts.next(), parts.next()) else {
+                    println!("usage: \\index <left> <right>");
+                    return Ok(true);
+                };
+                show_index_sweep(db, left, right)?;
+            }
             Some(other) => {
-                println!("unknown command \\{other} (try \\d, \\load, \\arena, \\parallel, \\q)")
+                println!(
+                    "unknown command \\{other} (try \\d, \\load, \\arena, \\parallel, \\index, \\q)"
+                )
             }
             None => {}
         }
@@ -183,6 +194,76 @@ fn show_parallel_sweep(db: &Database, left: &str, right: &str, workers: usize) -
     engine
         .finish(&mut sink)
         .expect("finish never regresses the watermark");
+    for op in [SetOp::Union, SetOp::Intersect, SetOp::Except] {
+        println!("-- {op}: {} result tuples", sink.len(op));
+    }
+    Ok(())
+}
+
+/// Streams `left`/`right` through an engine on the gapped learned
+/// timestamp index (advances at the quartiles of the time hull) and prints
+/// the ingestion-index gauges of every advance — gap occupancy, rebuilds,
+/// model misses and shift distances — plus the final index posture. The
+/// index twin of `\parallel`'s sharding gauges.
+fn show_index_sweep(db: &Database, left: &str, right: &str) -> Result<()> {
+    use tp_stream::{BufferKind, CollectingSink, EngineConfig, Side, StreamEngine};
+
+    let r = db.relation(left)?;
+    let s = db.relation(right)?;
+    let hull = match (r.time_range(), s.time_range()) {
+        (Some(a), Some(b)) => a.hull(&b),
+        (Some(h), None) | (None, Some(h)) => h,
+        (None, None) => {
+            println!("both relations are empty — nothing to sweep");
+            return Ok(());
+        }
+    };
+    let mut engine = StreamEngine::new(EngineConfig {
+        buffer: BufferKind::Sorted,
+        ..Default::default()
+    });
+    let mut sink = CollectingSink::new();
+    for t in r.iter() {
+        engine.push(Side::Left, t.clone());
+    }
+    for t in s.iter() {
+        engine.push(Side::Right, t.clone());
+    }
+    let (occ, _) = engine.index_stats();
+    println!(
+        "ingestion index over {left}/{right}: {} + {} tuples buffered, {} permille occupied:",
+        r.len(),
+        s.len(),
+        occ,
+    );
+    let span = (hull.end() - hull.start()).max(4);
+    for q in 1..=4i64 {
+        let w = hull.start() + span * q / 4 + i64::from(q == 4);
+        if w <= engine.watermark() {
+            continue;
+        }
+        let stats = engine
+            .advance(w, &mut sink)
+            .expect("quartile watermarks are monotone");
+        println!(
+            "  advance to {:>6}: occupancy {:>4} permille, {} rebuilds, {} model misses, shift p99 {}, {} inserts + {} extends",
+            stats.watermark,
+            stats.gap_occupancy_permille,
+            stats.index_retrains,
+            stats.index_model_misses,
+            stats.shift_distance_p99,
+            stats.inserts,
+            stats.extends,
+        );
+    }
+    engine
+        .finish(&mut sink)
+        .expect("finish never regresses the watermark");
+    let (occ, retrains) = engine.index_stats();
+    println!(
+        "  final posture: {} permille occupied, {} lifetime rebuilds",
+        occ, retrains,
+    );
     for op in [SetOp::Union, SetOp::Intersect, SetOp::Except] {
         println!("-- {op}: {} result tuples", sink.len(op));
     }

@@ -116,6 +116,7 @@ fn main() -> Result<()> {
     let mut peak_nodes = 0usize;
     let (mut windows, mut inserts, mut extends) = (0usize, 0u64, 0u64);
     let (mut max_regions, mut worst_balance) = (0usize, 0.0f64);
+    let (mut peak_occupancy, mut retrains, mut worst_shift_p99) = (0u32, 0u64, 0u32);
     for event in &workload.script.events {
         match event {
             ReplayEvent::Arrive(side, t) => {
@@ -128,6 +129,9 @@ fn main() -> Result<()> {
                 extends += stats.extends;
                 max_regions = max_regions.max(stats.regions_used);
                 worst_balance = worst_balance.max(stats.region_balance());
+                peak_occupancy = peak_occupancy.max(stats.gap_occupancy_permille);
+                retrains += stats.index_retrains;
+                worst_shift_p99 = worst_shift_p99.max(stats.shift_distance_p99);
                 peak_nodes = peak_nodes.max(engine.arena_stats().expect("reclaim mode").nodes);
             }
         }
@@ -157,6 +161,10 @@ fn main() -> Result<()> {
         max_regions,
         engine.region_workers(),
         worst_balance,
+    );
+    println!(
+        "ingestion index: peak gap occupancy {} permille, {} rebuilds, worst shift p99 {} slots",
+        peak_occupancy, retrains, worst_shift_p99,
     );
     println!(
         "alert deltas: {}, agreement deltas: {}, valuation cache {} entries after per-segment release",

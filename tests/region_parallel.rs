@@ -309,3 +309,119 @@ fn region_gauges_reflect_skew() {
     assert!(fat_advances > 0, "workload produced no fat advances");
     assert_stream_matches_batch(&sink, &w.r, &w.s, &vars);
 }
+
+/// The sampling-bias fix: `RegionPlan::balanced` step-samples at most 2048
+/// start points from the *arrival-ordered* buffer, so an arrival order that
+/// aliases with the sampling stride (here: even pushes in a hot cluster,
+/// odd pushes spread wide — stride 2 sees only the cluster) yields cuts
+/// that pile half the data into one region. The gapped index hands the
+/// planner the exact ts-sorted starts, so its cuts are true quantiles. Same
+/// pushes, same deltas — only the balance differs.
+#[test]
+fn index_cuts_dominate_aliased_sampled_cuts() {
+    let run = |buffer: tp_stream::BufferKind| {
+        let mut vars = VarTable::new();
+        let mut engine = StreamEngine::new(EngineConfig {
+            parallel: Some(ParallelConfig {
+                workers: 4,
+                min_tuples: 64,
+                cuts: None,
+            }),
+            buffer,
+            ..Default::default()
+        });
+        let mut sink = MaterializingSink::new();
+        for i in 0..6000i64 {
+            // Aliased arrival: even pushes land in the hot cluster
+            // [0, 3000), odd pushes spread over [100_000, 220_000).
+            let start = if i % 2 == 0 {
+                i / 2
+            } else {
+                100_000 + (i / 2) * 40
+            };
+            let id = vars.register(format!("t{i}"), 0.5).unwrap();
+            engine.push(
+                Side::Left,
+                TpTuple::new(
+                    Fact::single(i),
+                    Lineage::var(id),
+                    Interval::at(start, start + 1),
+                ),
+            );
+        }
+        let stats = engine.advance(300_000, &mut sink).unwrap();
+        (stats, sink)
+    };
+    let (legacy, legacy_log) = run(tp_stream::BufferKind::Legacy);
+    let (sorted, sorted_log) = run(tp_stream::BufferKind::Sorted);
+    assert_delta_logs_identical(&sorted_log, &legacy_log, "aliased arrival");
+    assert_eq!(sorted.regions_used, 4, "index plan filled the budget");
+    // Sampled cuts all land inside the hot cluster: the last region soaks
+    // up every spread tuple (~2.5× the mean). Index cuts are exact.
+    assert!(
+        legacy.region_balance() > 2.0,
+        "expected aliased sampling to skew, got balance {}",
+        legacy.region_balance()
+    );
+    assert!(
+        sorted.region_balance() < 1.2,
+        "index cuts should be near-perfect, got balance {}",
+        sorted.region_balance()
+    );
+}
+
+/// On the Zipf-hot skewed stream with advances fat enough to force the
+/// legacy planner into sampling (step > 1), the index's exact cuts must
+/// never balance *worse* than the sampled ones — and the delta logs stay
+/// byte-identical throughout.
+#[test]
+fn index_cuts_dominate_sampled_cuts_on_skewed_stream() {
+    let mut vars = VarTable::new();
+    let w = skewed_synth_stream(
+        &SkewedConfig {
+            epochs: 6,
+            per_epoch: 2400, // 4800 pieces per advance → sampling step 2
+            ..Default::default()
+        },
+        &mut vars,
+    );
+    let run = |buffer: tp_stream::BufferKind| {
+        let mut engine = StreamEngine::new(EngineConfig {
+            parallel: Some(ParallelConfig {
+                workers: 4,
+                min_tuples: 64,
+                cuts: None,
+            }),
+            buffer,
+            ..Default::default()
+        });
+        let mut sink = MaterializingSink::new();
+        let mut balances = Vec::new();
+        for event in &w.script.events {
+            match event {
+                tp_stream::ReplayEvent::Arrive(side, t) => {
+                    engine.push(*side, t.clone());
+                }
+                tp_stream::ReplayEvent::Advance(wm) => {
+                    let stats = engine.advance(*wm, &mut sink).unwrap();
+                    if stats.regions_used > 1 {
+                        balances.push(stats.region_balance());
+                    }
+                }
+            }
+        }
+        engine.finish(&mut sink).unwrap();
+        (balances, sink)
+    };
+    let (legacy_bal, legacy_log) = run(tp_stream::BufferKind::Legacy);
+    let (sorted_bal, sorted_log) = run(tp_stream::BufferKind::Sorted);
+    assert_delta_logs_identical(&sorted_log, &legacy_log, "skewed stream");
+    assert!(!sorted_bal.is_empty(), "no parallel advances happened");
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        avg(&sorted_bal) <= avg(&legacy_bal) + 0.05,
+        "index cuts balanced worse than sampled cuts: {} vs {}",
+        avg(&sorted_bal),
+        avg(&legacy_bal)
+    );
+}
