@@ -10,7 +10,7 @@
 //! Available experiment names: `table2`, `table3`, `table4`, `fig7`, `fig8`,
 //! `fig9a`, `fig9b`, `fig10`, `fig11`, `bench_lawa`, `bench_stream`,
 //! `bench_memory`, `bench_tenants`, `bench_parallel_advance`,
-//! `bench_ingest`. With
+//! `bench_ingest`, `bench_observability`. With
 //! `--csv`, each figure is also written to `experiments_csv/<id>.csv` for
 //! external plotting. `bench_lawa` additionally writes `BENCH_lawa.json`
 //! (memoized valuation + op throughput + arena contention + streaming) to
@@ -116,6 +116,7 @@ fn main() {
                 tp_bench::scaled(8_000).max(1_024),
                 tp_bench::scaled(24_000).max(2_048),
             ]),
+            observability: experiments::observability_bench(tuples, (2 * tuples / 64).max(1), 3),
         };
         println!("{}", report.render());
         let path = std::path::Path::new("BENCH_lawa.json");
@@ -327,6 +328,64 @@ fn main() {
         println!(
             "ok: batch-identical on both buffer kinds at every point, occupancy sane \
              ({speedup:.2}x at largest size)"
+        );
+    }
+    if names.iter().any(|a| *a == "bench_observability") {
+        // CI obs-overhead-smoke job: the same replay fully instrumented
+        // (metrics + stage spans, the default) vs force-disabled. Hard
+        // gates: byte-identical delta logs, well-formed Prometheus/JSON/
+        // chrome-trace exports, stage spans tiling ≥ 95 % of each advance,
+        // and instrumented wall within 1.10× of the baseline.
+        let tuples = tp_bench::scaled(20_000);
+        let b = experiments::observability_bench(tuples, (2 * tuples / 64).max(1), 3);
+        println!(
+            "observability smoke: {} tuples/rel, {} advances, instrumented {:.1} ms vs \
+             baseline {:.1} ms ({:.3}×, min of {} rounds)",
+            b.tuples,
+            b.advances,
+            b.instrumented_ms,
+            b.baseline_ms,
+            b.overhead_ratio(),
+            b.rounds,
+        );
+        println!(
+            "  logs_identical={} prometheus_ok={} json_ok={} trace_ok={} stage_coverage={:.1}%",
+            b.logs_identical,
+            b.prometheus_ok,
+            b.json_ok,
+            b.trace_ok,
+            b.stage_coverage * 100.0,
+        );
+        if !b.logs_identical {
+            eprintln!("FAIL: instrumented and uninstrumented runs emitted different delta logs");
+            std::process::exit(1);
+        }
+        if !b.prometheus_ok || !b.json_ok {
+            eprintln!("FAIL: metrics snapshot malformed or missing expected families");
+            std::process::exit(1);
+        }
+        if !b.trace_ok {
+            eprintln!("FAIL: chrome://tracing export empty or malformed");
+            std::process::exit(1);
+        }
+        if b.stage_coverage < 0.95 {
+            eprintln!(
+                "FAIL: stage spans cover only {:.1}% of advance wall time (gate: >= 95%)",
+                b.stage_coverage * 100.0
+            );
+            std::process::exit(1);
+        }
+        if b.overhead_ratio() > 1.10 {
+            eprintln!(
+                "FAIL: observability overhead {:.3}× (gate: <= 1.10×)",
+                b.overhead_ratio()
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "ok: byte-identical logs, exports well-formed, {:.1}% stage coverage, {:.3}× overhead",
+            b.stage_coverage * 100.0,
+            b.overhead_ratio()
         );
     }
     if names.iter().any(|a| *a == "bench_tenants") {

@@ -1508,6 +1508,194 @@ pub fn ingest_index_bench(sizes: &[usize]) -> IngestBench {
     }
 }
 
+/// Result of the `bench_observability` experiment: the cost and
+/// correctness of the always-on observability layer. The same replay runs
+/// fully instrumented (metrics + stage spans, the default) and with every
+/// instrumentation layer force-disabled; the gates are
+///
+/// * **byte-identity** — both runs produce the *identical* delta log
+///   (instrumentation must never touch engine logic),
+/// * **overhead** — instrumented wall within 1.10× of the baseline
+///   (min-of-rounds each, alternating),
+/// * **schema** — the Prometheus text and JSON snapshots and the
+///   chrome://tracing export are well-formed and carry the expected
+///   metric families,
+/// * **coverage** — stage spans tile ≥ 95 % of every advance span (1.0 by
+///   construction of the stage cursor).
+#[derive(Debug, Clone)]
+pub struct ObservabilityBench {
+    /// Tuples per input relation.
+    pub tuples: usize,
+    /// Watermark advances in the schedule.
+    pub advances: u64,
+    /// Timing rounds per variant (min taken).
+    pub rounds: usize,
+    /// Wall milliseconds of the instrumented replay (min of rounds).
+    pub instrumented_ms: f64,
+    /// Wall milliseconds of the uninstrumented replay (min of rounds).
+    pub baseline_ms: f64,
+    /// Whether both variants produced byte-identical delta logs.
+    pub logs_identical: bool,
+    /// Whether the Prometheus text snapshot carries the expected families.
+    pub prometheus_ok: bool,
+    /// Whether the JSON snapshot parses as well-formed JSON.
+    pub json_ok: bool,
+    /// Whether the chrome://tracing export parses and is non-empty.
+    pub trace_ok: bool,
+    /// Σ stage-span durations / Σ advance-span durations.
+    pub stage_coverage: f64,
+}
+
+impl ObservabilityBench {
+    /// Instrumented-over-baseline wall ratio (the CI gate is ≤ 1.10).
+    pub fn overhead_ratio(&self) -> f64 {
+        self.instrumented_ms / self.baseline_ms.max(1e-9)
+    }
+
+    /// All correctness gates except the overhead ratio (which the smoke
+    /// gate checks against its own threshold).
+    pub fn correct(&self) -> bool {
+        self.logs_identical
+            && self.prometheus_ok
+            && self.json_ok
+            && self.trace_ok
+            && self.stage_coverage >= 0.95
+    }
+}
+
+/// Runs the replay once and returns `(wall_ms, delta log)`. The engine
+/// covers the layers under measurement: reclaim mode (arena seal/retire
+/// gauges), region-parallel sweeps (worker sub-spans), and the gapped
+/// ingestion index (retrain spans, miss/shift metrics).
+fn observability_run(
+    script: &tp_stream::StreamScript,
+    obs: tp_stream::ObsConfig,
+) -> (f64, tp_stream::MaterializingSink) {
+    use tp_stream::{EngineConfig, MaterializingSink, ParallelConfig, ReclaimConfig};
+
+    let mut sink = MaterializingSink::new();
+    let cfg = EngineConfig {
+        reclaim: Some(ReclaimConfig::default()),
+        parallel: Some(ParallelConfig {
+            workers: 2,
+            min_tuples: 64,
+            cuts: None,
+        }),
+        obs,
+        ..Default::default()
+    };
+    let (ms, _) = crate::runner::time_ms(|| script.run_into(cfg.clone(), &mut sink));
+    (ms, sink)
+}
+
+/// Benchmarks the observability layer on the single-fact synthetic
+/// workload: `tuples` per relation, a watermark advance every
+/// `advance_every` arrivals, `rounds` alternating timing rounds per
+/// variant. See [`ObservabilityBench`] for the gates.
+pub fn observability_bench(
+    tuples: usize,
+    advance_every: usize,
+    rounds: usize,
+) -> ObservabilityBench {
+    use tp_stream::{ObsConfig, ReplayConfig, StreamScript};
+
+    let mut vars = VarTable::new();
+    let (r, s) = tp_workloads::synth::generate(&SynthConfig::single_fact(tuples, 91), &mut vars);
+    let script = StreamScript::from_pair(
+        &r,
+        &s,
+        &ReplayConfig {
+            lateness: 4,
+            advance_every,
+            seed: 23,
+        },
+    );
+
+    // Readings land in a private registry so the bench measures this run
+    // only; the span context is filtered by the unique tenant label below.
+    let registry = std::sync::Arc::new(tp_obs::MetricsRegistry::new());
+    let ctx_label = "bench-observability";
+    let instrumented_cfg = || ObsConfig {
+        enabled: true,
+        tenant: Some(ctx_label.to_string()),
+        registry: Some(std::sync::Arc::clone(&registry)),
+    };
+    let baseline_cfg = || ObsConfig {
+        enabled: false,
+        ..Default::default()
+    };
+
+    // Warm-up (discarded) + differential pass: both variants must produce
+    // byte-identical delta logs.
+    let (_, log_on) = observability_run(&script, instrumented_cfg());
+    tp_stream::set_obs_enabled(false);
+    let (_, log_off) = observability_run(&script, baseline_cfg());
+    tp_stream::set_obs_enabled(true);
+    let logs_identical = log_on.deltas == log_off.deltas;
+
+    // Alternating timed rounds, min per variant (steady-state cost; the
+    // min is robust against scheduler noise on shared runners).
+    let (mut instrumented_ms, mut baseline_ms) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..rounds.max(1) {
+        tp_obs::clear_trace();
+        let (on_ms, _) = observability_run(&script, instrumented_cfg());
+        instrumented_ms = instrumented_ms.min(on_ms);
+        tp_stream::set_obs_enabled(false);
+        let (off_ms, _) = observability_run(&script, baseline_cfg());
+        tp_stream::set_obs_enabled(true);
+        baseline_ms = baseline_ms.min(off_ms);
+    }
+
+    // Export gates, read off the final instrumented round (its spans are
+    // the only ones recorded since the last clear).
+    let text = registry.prometheus_text();
+    let prometheus_ok = [
+        "tp_advances_total",
+        "tp_advance_ns",
+        "tp_stage_ns",
+        "tp_windows_total",
+    ]
+    .iter()
+    .all(|name| text.contains(name));
+    let json_ok = tp_obs::json::validate(&registry.json()).is_ok();
+    let ctx = tp_obs::ctx_id(ctx_label);
+    let spans: Vec<_> = tp_obs::snapshot_spans()
+        .into_iter()
+        .filter(|e| e.ctx == ctx)
+        .collect();
+    let trace_ok =
+        !spans.is_empty() && tp_obs::json::validate(&tp_obs::chrome_trace_json(&spans)).is_ok();
+    let stage_sum: u64 = spans
+        .iter()
+        .filter(|e| e.cat == "stage")
+        .map(|e| e.dur_ns)
+        .sum();
+    let advance_sum: u64 = spans
+        .iter()
+        .filter(|e| e.cat == "advance")
+        .map(|e| e.dur_ns)
+        .sum();
+    let stage_coverage = stage_sum as f64 / advance_sum.max(1) as f64;
+
+    let advances = script
+        .events
+        .iter()
+        .filter(|e| matches!(e, tp_stream::ReplayEvent::Advance(_)))
+        .count() as u64;
+    ObservabilityBench {
+        tuples,
+        advances,
+        rounds: rounds.max(1),
+        instrumented_ms,
+        baseline_ms,
+        logs_identical,
+        prometheus_ok,
+        json_ok,
+        trace_ok,
+        stage_coverage,
+    }
+}
+
 /// The combined `BENCH_lawa.json` artifact: the memoized-valuation
 /// acceptance benchmark (top-level fields, unchanged schema) plus the
 /// per-operation throughput series, the arena-contention micro-benchmark
@@ -1530,6 +1718,8 @@ pub struct BenchReport {
     pub parallel: ParallelAdvanceBench,
     /// Sort-vs-index ingestion curve (gapped learned timestamp index).
     pub ingest: IngestBench,
+    /// Observability layer: instrumented-vs-uninstrumented cost + gates.
+    pub observability: ObservabilityBench,
 }
 
 impl BenchReport {
@@ -1750,6 +1940,46 @@ impl BenchReport {
             self.ingest.batch_equal(),
             curve,
         );
+        // The observability section is spliced in the same way.
+        let tail = out.rfind('}').expect("report JSON is an object");
+        out.truncate(tail);
+        while out.ends_with('\n') {
+            out.pop();
+        }
+        let _ = write!(
+            out,
+            concat!(
+                ",\n  \"observability\": {{\n",
+                "    \"tuples\": {},\n",
+                "    \"advances\": {},\n",
+                "    \"rounds\": {},\n",
+                "    \"instrumented_ms\": {:.3},\n",
+                "    \"baseline_ms\": {:.3},\n",
+                "    \"overhead_ratio\": {:.3},\n",
+                "    \"logs_identical\": {},\n",
+                "    \"prometheus_ok\": {},\n",
+                "    \"json_ok\": {},\n",
+                "    \"trace_ok\": {},\n",
+                "    \"stage_coverage\": {:.4},\n",
+                "    \"note\": \"same replay instrumented (metrics + stage spans, the default) vs \
+                 force-disabled; the delta logs must be byte-identical, stage spans must tile >= \
+                 95% of each advance, and the instrumented wall must stay within 1.10x \
+                 (CI-gated)\"\n",
+                "  }}\n",
+                "}}\n",
+            ),
+            self.observability.tuples,
+            self.observability.advances,
+            self.observability.rounds,
+            self.observability.instrumented_ms,
+            self.observability.baseline_ms,
+            self.observability.overhead_ratio(),
+            self.observability.logs_identical,
+            self.observability.prometheus_ok,
+            self.observability.json_ok,
+            self.observability.trace_ok,
+            self.observability.stage_coverage,
+        );
         out
     }
 
@@ -1764,7 +1994,7 @@ impl BenchReport {
                 "\"contention_speedup\": {:.2}, \"memory_plateau_ratio\": {:.3}, ",
                 "\"memory_steady_nodes\": {}, \"tenant_var_plateau_ratio\": {:.3}, ",
                 "\"tenant_krows_per_s\": {:.3}, \"parallel_speedup_at_4\": {:.2}, ",
-                "\"ingest_speedup_at_largest\": {:.3}}}"
+                "\"ingest_speedup_at_largest\": {:.3}, \"obs_overhead_ratio\": {:.3}}}"
             ),
             generated_unix,
             self.valuation.speedup(),
@@ -1781,6 +2011,7 @@ impl BenchReport {
             self.tenants.krows_per_s(),
             self.parallel.speedup_at(4),
             self.ingest.speedup_at_largest(),
+            self.observability.overhead_ratio(),
         )
     }
 
@@ -1950,6 +2181,25 @@ impl BenchReport {
             "  speedup at largest size: {:.2}x (informational; equality + occupancy are the gates)",
             self.ingest.speedup_at_largest(),
         );
+        let _ = writeln!(
+            out,
+            "\n== BENCH lawa: observability overhead ({} tuples/rel, {} advances, min of {} rounds) ==\n\
+             instrumented           {:>9.1} ms   (metrics + stage spans, the default)\n\
+             uninstrumented         {:>9.1} ms   (every layer force-disabled)\n\
+             overhead               {:>9.2}×   (gate <= 1.10)\n\
+             gates                  logs-identical: {}  prometheus: {}  json: {}  trace: {}  stage coverage: {:.1}%",
+            self.observability.tuples,
+            self.observability.advances,
+            self.observability.rounds,
+            self.observability.instrumented_ms,
+            self.observability.baseline_ms,
+            self.observability.overhead_ratio(),
+            self.observability.logs_identical,
+            self.observability.prometheus_ok,
+            self.observability.json_ok,
+            self.observability.trace_ok,
+            self.observability.stage_coverage * 100.0,
+        );
         out
     }
 }
@@ -2116,6 +2366,7 @@ mod tests {
             tenants: multi_tenant_bench(2, 16, 2),
             parallel: parallel_advance_bench(64, 8, &[1, 2]),
             ingest: ingest_index_bench(&[400]),
+            observability: observability_bench(400, 16, 1),
         };
         let json = report.to_json();
         // Existing top-level schema intact (CI's speedup gate reads these).
@@ -2132,6 +2383,8 @@ mod tests {
         assert!(json.contains("\"fat_tenant\""));
         assert!(json.contains("\"skewed\""));
         assert!(json.contains("\"ingest_index\""));
+        assert!(json.contains("\"observability\""));
+        assert!(json.contains("\"overhead_ratio\""));
         assert!(json.contains("\"batch_equal\": true"));
         // Balanced braces (hand-rolled JSON sanity).
         assert_eq!(

@@ -105,6 +105,55 @@ use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use crate::lineage::TupleId;
 
+/// Arena-level observability: lock-free counters/gauges in the global
+/// [`tp_obs`] registry, updated on the rare lifecycle operations (seal /
+/// retire) so the intern hot path stays untouched. The whole module is a
+/// no-op while disabled — benchmarks flip [`set_obs_enabled`] off to
+/// measure a genuinely uninstrumented baseline.
+mod arena_obs {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    static ENABLED: AtomicBool = AtomicBool::new(true);
+
+    /// Globally enables/disables arena metric recording (default: on).
+    pub fn set_enabled(on: bool) {
+        ENABLED.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether arena metric recording is currently enabled.
+    pub fn enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Registry handles, resolved once — recording never locks the registry.
+    pub(super) struct Handles {
+        pub seals: Arc<tp_obs::Counter>,
+        pub retires: Arc<tp_obs::Counter>,
+        pub retired_nodes: Arc<tp_obs::Counter>,
+        pub live_nodes: Arc<tp_obs::Gauge>,
+        pub live_segments: Arc<tp_obs::Gauge>,
+        pub resident_bytes: Arc<tp_obs::Gauge>,
+    }
+
+    pub(super) fn handles() -> &'static Handles {
+        static HANDLES: OnceLock<Handles> = OnceLock::new();
+        HANDLES.get_or_init(|| {
+            let reg = tp_obs::global();
+            Handles {
+                seals: reg.counter("tp_arena_seals_total", &[]),
+                retires: reg.counter("tp_arena_retired_segments_total", &[]),
+                retired_nodes: reg.counter("tp_arena_retired_nodes_total", &[]),
+                live_nodes: reg.gauge("tp_arena_live_nodes", &[]),
+                live_segments: reg.gauge("tp_arena_live_segments", &[]),
+                resident_bytes: reg.gauge("tp_arena_resident_bytes", &[]),
+            }
+        })
+    }
+}
+
+pub use arena_obs::{enabled as obs_enabled, set_enabled as set_obs_enabled};
+
 /// A minimal FxHash-style multiply hasher for the small `Copy` keys of the
 /// hot paths (`LineageRef`, node tuples). The default SipHash costs more
 /// than an entire arena node visit; this one is two arithmetic ops.
@@ -737,7 +786,12 @@ impl LineageArena {
         if self.segment(cur).len.load(Ordering::Acquire) == 0 {
             return None;
         }
-        Some(self.open_next(cur))
+        let sealed = self.open_next(cur);
+        if arena_obs::enabled() {
+            arena_obs::handles().seals.inc();
+            self.publish_obs_gauges();
+        }
+        Some(sealed)
     }
 
     /// Reclaims a sealed, unpinned segment's node storage. After success,
@@ -792,6 +846,12 @@ impl LineageArena {
             .write()
             .expect("arena stripe poisoned")
             .retain(|_, r| self.segment_live(r.segment().0));
+        if arena_obs::enabled() {
+            let h = arena_obs::handles();
+            h.retires.inc();
+            h.retired_nodes.add(nodes);
+            self.publish_obs_gauges();
+        }
         Ok(RetiredStorage {
             nodes,
             chunks: freed.len(),
@@ -983,6 +1043,52 @@ impl LineageArena {
                 return ArenaStamp { seg, len, total };
             }
         }
+    }
+
+    /// Live (resident, non-retired) node count from the monotone atomics —
+    /// O(1), cheap enough for per-advance gauges.
+    pub fn live_nodes(&self) -> u64 {
+        self.total_interned
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.retired_nodes.load(Ordering::Relaxed))
+    }
+
+    /// Segments still holding storage (open or sealed) — O(1).
+    pub fn live_segments(&self) -> usize {
+        let open = self.open.load(Ordering::Acquire) as usize;
+        open + 1 - self.retired_segments.load(Ordering::Relaxed) as usize
+    }
+
+    /// Resident bytes of chunk slot storage alone, skipping the per-node
+    /// variable-list walk of [`LineageArena::stats`]. O(live segments)
+    /// with logarithmically many chunks each — cheap enough to publish as
+    /// a gauge on every seal/retire.
+    pub fn resident_chunk_bytes(&self) -> usize {
+        let open = self.open.load(Ordering::Acquire);
+        let mut bytes = 0usize;
+        for id in self.scan_low.load(Ordering::Acquire)..=open {
+            let seg = self.segment(id);
+            if seg.state.load(Ordering::Acquire) == STATE_RETIRED {
+                continue;
+            }
+            let chunks = seg.chunks.read().expect("segment chunks poisoned");
+            for c in 0..chunks.len() {
+                bytes += chunk_capacity(c) * std::mem::size_of::<OnceLock<NodeMeta>>();
+            }
+        }
+        bytes
+    }
+
+    /// Publishes the O(1)/cheap gauges to the global metrics registry.
+    /// Called on seal/retire; callers may also invoke it after a batch.
+    pub fn publish_obs_gauges(&self) {
+        if !arena_obs::enabled() {
+            return;
+        }
+        let h = arena_obs::handles();
+        h.live_nodes.set(self.live_nodes() as i64);
+        h.live_segments.set(self.live_segments() as i64);
+        h.resident_bytes.set(self.resident_chunk_bytes() as i64);
     }
 
     /// Arena statistics. Counts are exact in quiescence and approximate

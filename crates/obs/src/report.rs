@@ -1,0 +1,103 @@
+//! The one gauge renderer shared by the repl and the example binaries.
+//!
+//! Before tp-obs, `\arena`, `\index`, `\parallel` and the
+//! `streaming_alerts` / `multi_tenant_alerts` summaries each hand-formatted
+//! `AdvanceStats` / `ArenaStats` with their own `println!` blocks — same
+//! numbers, four different layouts. A [`Section`] is the neutral
+//! key/value form those call sites now build, and [`Section::render`]
+//! is the single place alignment and layout live.
+
+/// One titled block of `label: value` rows, rendered with aligned columns.
+#[derive(Debug, Clone, Default)]
+pub struct Section {
+    title: String,
+    rows: Vec<(String, String)>,
+}
+
+impl Section {
+    /// Creates an empty section titled `title`.
+    pub fn new(title: impl Into<String>) -> Self {
+        Section {
+            title: title.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one `label: value` row; returns `self` for chaining.
+    pub fn row(mut self, label: impl Into<String>, value: impl ToString) -> Self {
+        self.rows.push((label.into(), value.to_string()));
+        self
+    }
+
+    /// Appends a row only when `value` is `Some`.
+    pub fn row_opt(self, label: impl Into<String>, value: Option<impl ToString>) -> Self {
+        match value {
+            Some(v) => self.row(label, v),
+            None => self,
+        }
+    }
+
+    /// The section title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The rows appended so far, in insertion order.
+    pub fn rows(&self) -> &[(String, String)] {
+        &self.rows
+    }
+
+    /// Renders the section as an aligned text block:
+    ///
+    /// ```text
+    /// -- title --
+    ///   label      value
+    ///   longer     value
+    /// ```
+    pub fn render(&self) -> String {
+        let width = self.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        out.push_str("-- ");
+        out.push_str(&self.title);
+        out.push_str(" --\n");
+        for (label, value) in &self.rows {
+            out.push_str(&format!("  {label:<width$}  {value}\n"));
+        }
+        out
+    }
+}
+
+/// Renders several sections separated by blank lines.
+pub fn render_all(sections: &[Section]) -> String {
+    sections
+        .iter()
+        .map(Section::render)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_rows() {
+        let s = Section::new("arena")
+            .row("nodes", 12)
+            .row("resident bytes", 4096)
+            .row_opt("skipped", None::<u64>)
+            .row_opt("kept", Some("yes"));
+        let out = s.render();
+        assert!(out.starts_with("-- arena --\n"));
+        assert!(out.contains("  nodes           12\n"), "{out}");
+        assert!(out.contains("  resident bytes  4096\n"), "{out}");
+        assert!(out.contains("  kept            yes\n"), "{out}");
+        assert!(!out.contains("skipped"));
+    }
+
+    #[test]
+    fn render_all_separates_with_blank_line() {
+        let out = render_all(&[Section::new("a").row("x", 1), Section::new("b").row("y", 2)]);
+        assert!(out.contains("\n\n-- b --"), "{out}");
+    }
+}

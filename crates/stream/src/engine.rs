@@ -71,6 +71,10 @@ use tp_core::window::{split_at_watermark, Lawa, LineageAwareWindow, RegionPlan};
 
 use crate::delta::{op_index, CollectingSink, Delta, StreamSink};
 use crate::gapped::{merge_by_sort_key, GappedBuffer, IndexEpochStats};
+use crate::obs::{
+    EngineObs, ObsConfig, StageCursor, STAGE_DRAIN, STAGE_FINALIZE, STAGE_PLAN, STAGE_SEAL_RETIRE,
+    STAGE_SWEEP, STAGE_VERIFY,
+};
 
 /// Which input relation a tuple belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -247,6 +251,11 @@ pub struct EngineConfig {
     /// Ingest-buffer implementation; see [`BufferKind`]. Defaults to the
     /// gapped learned index ([`BufferKind::Sorted`]).
     pub buffer: BufferKind,
+    /// Observability: stage spans + metrics per advance; see
+    /// [`ObsConfig`]. On by default — recording never changes results
+    /// (instrumented and uninstrumented runs emit byte-identical delta
+    /// logs) and the `observability` bench gates the overhead.
+    pub obs: ObsConfig,
 }
 
 impl Default for EngineConfig {
@@ -258,6 +267,7 @@ impl Default for EngineConfig {
             reclaim: None,
             parallel: None,
             buffer: BufferKind::default(),
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -336,6 +346,14 @@ pub struct AdvanceStats {
     /// advance (0 = virtually all inserts landed in a free gap without
     /// displacing neighbors).
     pub shift_distance_p99: u32,
+    /// Live nodes of the engine's **private** arena after this advance
+    /// (reclaim mode only; 0 when the engine shares the thread's current
+    /// arena, whose totals would depend on unrelated work).
+    pub arena_live_nodes: u64,
+    /// Resident chunk-storage bytes of the private arena after this
+    /// advance ([`LineageArena::resident_chunk_bytes`]; reclaim mode only,
+    /// 0 otherwise).
+    pub arena_resident_bytes: u64,
 }
 
 impl AdvanceStats {
@@ -449,6 +467,9 @@ pub struct StreamEngine {
     reclaimed_nodes: u64,
     /// Total variables released from the attached registry.
     reclaimed_vars: u64,
+    /// Cached observability handles ([`ObsConfig`]); `None` = disabled,
+    /// and every recording site is skipped (including the clock reads).
+    obs: Option<Arc<EngineObs>>,
 }
 
 /// One sealed-but-unretired arena segment of a reclaiming engine.
@@ -476,6 +497,7 @@ impl StreamEngine {
             .as_ref()
             .map(|rc| LineageArena::shared(rc.shards));
         let pending = [IngestBuffer::new(cfg.buffer), IngestBuffer::new(cfg.buffer)];
+        let obs = EngineObs::from_config(&cfg.obs);
         StreamEngine {
             cfg,
             watermark: TimePoint::MIN,
@@ -493,6 +515,7 @@ impl StreamEngine {
             reclaimed_segments: 0,
             reclaimed_nodes: 0,
             reclaimed_vars: 0,
+            obs,
         }
     }
 
@@ -596,6 +619,9 @@ impl StreamEngine {
     pub fn push(&mut self, side: Side, tuple: TpTuple) -> IngestOutcome {
         if tuple.interval.start() < self.watermark {
             self.late[side.idx()] += 1;
+            if let Some(obs) = &self.obs {
+                obs.record_late();
+            }
             return IngestOutcome::Late;
         }
         let tuple = match &self.arena {
@@ -649,6 +675,10 @@ impl StreamEngine {
         // emission, the sink's callbacks, the batch cross-check — runs
         // inside the engine's private arena scope.
         let _scope = self.arena.as_ref().map(LineageArena::enter);
+        // Clone the obs handle out of `self` so the stage cursor can live
+        // across the `&mut self` calls below (Arc clone, no allocation).
+        let obs = self.obs.clone();
+        let mut stages = StageCursor::start(obs.as_deref());
         let mut stats = AdvanceStats {
             watermark: to,
             ..Default::default()
@@ -735,13 +765,19 @@ impl StreamEngine {
             }
         }
         let presorted = self.cfg.buffer == BufferKind::Sorted;
+        stages.stage(STAGE_DRAIN, (stats.released[0] + stats.released[1]) as u64);
 
         // One sweep, all ops. The sweep is either sequential or sharded
         // over worker threads by timeline region (`ParallelConfig`); both
         // feed the same window stream — stitched back to byte-identity in
         // the parallel case — through the same per-op emit stage below
         // (indexed loops: `emit` needs `&mut self`).
-        match self.region_plan(&ready, cut_starts.as_ref()) {
+        let plan = self.region_plan(&ready, cut_starts.as_ref());
+        stages.stage(
+            STAGE_PLAN,
+            plan.as_ref().map(|p| p.regions() as u64).unwrap_or(1),
+        );
+        match plan {
             None => {
                 if !presorted {
                     for side in ready.iter_mut() {
@@ -768,8 +804,16 @@ impl StreamEngine {
             }
             Some(plan) => {
                 let workers = self.region_workers();
-                let swept =
-                    sweep_regions(&ready, &plan, &self.cfg.ops, workers, presorted, &mut stats);
+                let swept = sweep_regions(
+                    &ready,
+                    &plan,
+                    &self.cfg.ops,
+                    workers,
+                    presorted,
+                    &mut stats,
+                    obs.as_deref(),
+                );
+                let emit_t0 = obs.as_ref().map(|_| crate::obs::now_ns());
                 for (w, lineages) in swept {
                     stats.windows += 1;
                     let slots = lineages.into_iter().take(self.cfg.ops.len());
@@ -781,8 +825,17 @@ impl StreamEngine {
                         }
                     }
                 }
+                if let (Some(o), Some(t0)) = (obs.as_deref(), emit_t0) {
+                    o.sub_span(
+                        "emit",
+                        t0,
+                        crate::obs::now_ns() - t0,
+                        stats.inserts + stats.extends,
+                    );
+                }
             }
         }
+        stages.stage(STAGE_SWEEP, stats.region_tuples as u64);
 
         self.watermark = to;
         // A tail can only be matched by a future output starting exactly
@@ -800,12 +853,23 @@ impl StreamEngine {
         }
         sink.on_watermark(to);
         self.advance_count += 1;
+        stages.stage(STAGE_FINALIZE, stats.windows as u64);
         if self.cfg.reclaim.is_some() {
             self.reclaim_dead_segments(sink, &mut stats);
         }
+        stages.stage(STAGE_SEAL_RETIRE, stats.retired_segments);
         if self.cfg.verify_batch {
             self.verify_closed_region();
         }
+        stages.stage(STAGE_VERIFY, 0);
+        // Arena gauges of the advance — private arena only: the thread's
+        // shared arena moves with unrelated work, which would make these
+        // numbers (and `AdvanceStats` equality) nondeterministic.
+        if let Some(arena) = &self.arena {
+            stats.arena_live_nodes = arena.live_nodes();
+            stats.arena_resident_bytes = arena.resident_chunk_bytes() as u64;
+        }
+        stages.finish(&stats);
         Ok(stats)
     }
 
@@ -955,10 +1019,24 @@ impl StreamEngine {
             .max();
         match hi {
             Some(hi) if hi > self.watermark => self.advance(hi, sink),
-            _ => Ok(AdvanceStats {
-                watermark: self.watermark,
-                ..Default::default()
-            }),
+            _ => {
+                // No-op finish: nothing to sweep, but the posture gauges
+                // (index occupancy, carried residue, arena residency) are
+                // still live state — report them instead of zeros.
+                let mut stats = AdvanceStats {
+                    watermark: self.watermark,
+                    gap_occupancy_permille: self.index_stats().0,
+                    ..Default::default()
+                };
+                for side in 0..2 {
+                    stats.carried[side] = self.carry[side].len();
+                }
+                if let Some(arena) = &self.arena {
+                    stats.arena_live_nodes = arena.live_nodes();
+                    stats.arena_resident_bytes = arena.resident_chunk_bytes() as u64;
+                }
+                Ok(stats)
+            }
         }
     }
 
@@ -1075,6 +1153,7 @@ fn sweep_regions(
     workers: usize,
     presorted: bool,
     stats: &mut AdvanceStats,
+    obs: Option<&EngineObs>,
 ) -> Vec<(LineageAwareWindow, OpLineages)> {
     let r_regions = plan.partition(&ready[0]);
     let s_regions = plan.partition(&ready[1]);
@@ -1101,6 +1180,7 @@ fn sweep_regions(
     // Workers do not inherit the caller's thread-local arena scope:
     // propagate it so every op lineage lands in the engine's arena.
     let arena = LineageArena::current_shared();
+    let span_ctx = obs.map(|o| o.ctx);
     let per_region: Vec<Vec<(LineageAwareWindow, OpLineages)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = blocks
             .into_iter()
@@ -1108,7 +1188,9 @@ fn sweep_regions(
                 let arena = arena.clone();
                 scope.spawn(move || {
                     let _scope = arena.as_ref().map(LineageArena::enter);
-                    block
+                    let worker_t0 = span_ctx.map(|_| crate::obs::now_ns());
+                    let pieces: u64 = block.iter().map(|(r, s)| (r.len() + s.len()) as u64).sum();
+                    let out = block
                         .into_iter()
                         .map(|(mut r_i, mut s_i)| {
                             if !presorted {
@@ -1125,7 +1207,12 @@ fn sweep_regions(
                                 })
                                 .collect::<Vec<_>>()
                         })
-                        .collect::<Vec<_>>()
+                        .collect::<Vec<_>>();
+                    if let (Some(ctx), Some(t0)) = (span_ctx, worker_t0) {
+                        let dur = crate::obs::now_ns() - t0;
+                        crate::obs::record_sub_span("region", t0, dur, ctx, pieces);
+                    }
+                    out
                 })
             })
             .collect();
@@ -1134,7 +1221,13 @@ fn sweep_regions(
             .flat_map(|h| h.join().expect("region worker panicked"))
             .collect()
     });
-    tp_core::window::stitch_annotated(per_region)
+    let stitch_t0 = span_ctx.map(|_| crate::obs::now_ns());
+    let stitched = tp_core::window::stitch_annotated(per_region);
+    if let (Some(ctx), Some(t0)) = (span_ctx, stitch_t0) {
+        let dur = crate::obs::now_ns() - t0;
+        crate::obs::record_sub_span("stitch", t0, dur, ctx, stitched.len() as u64);
+    }
+    stitched
 }
 
 #[cfg(test)]

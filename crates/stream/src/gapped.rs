@@ -63,6 +63,86 @@ use tp_core::arena::FastMap;
 use tp_core::interval::TimePoint;
 use tp_core::tuple::TpTuple;
 
+/// Index-level observability: retrain/miss counters and the shift-distance
+/// histogram in the global [`tp_obs`] registry, plus a `retrain` sub-span
+/// timing each rebuild. Counters are one relaxed atomic each, cheap enough
+/// for the insert hot path; the module is a no-op while disabled (the
+/// `observability` bench's uninstrumented baseline —
+/// [`crate::obs::set_obs_enabled`] flips it together with the arena's
+/// flag).
+mod index_obs {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    static ENABLED: AtomicBool = AtomicBool::new(true);
+
+    /// Globally enables/disables index metric recording (default: on).
+    pub fn set_enabled(on: bool) {
+        ENABLED.store(on, Ordering::Relaxed);
+    }
+
+    pub(super) fn enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    struct Handles {
+        retrains: Arc<tp_obs::Counter>,
+        misses: Arc<tp_obs::Counter>,
+        shifts: Arc<tp_obs::Histogram>,
+        ctx: u32,
+    }
+
+    fn handles() -> &'static Handles {
+        static HANDLES: OnceLock<Handles> = OnceLock::new();
+        HANDLES.get_or_init(|| {
+            let reg = tp_obs::global();
+            Handles {
+                retrains: reg.counter("tp_index_retrains_total", &[]),
+                misses: reg.counter("tp_index_model_misses_total", &[]),
+                shifts: reg.histogram("tp_index_shift_distance", &[]),
+                ctx: tp_obs::ctx_id("index"),
+            }
+        })
+    }
+
+    /// Counts one ε-window escape (full binary-search fallback).
+    pub(super) fn record_miss() {
+        if enabled() {
+            handles().misses.inc();
+        }
+    }
+
+    /// Counts one insert that displaced `dist` occupied slots.
+    pub(super) fn record_shift(dist: usize) {
+        if enabled() {
+            handles().shifts.record(dist as u64);
+        }
+    }
+
+    /// Counts one rebuild and records its `retrain` sub-span (`arg` =
+    /// entries re-spaced).
+    pub(super) fn record_retrain(ts_ns: u64, dur_ns: u64, entries: u64) {
+        if enabled() {
+            let h = handles();
+            h.retrains.inc();
+            tp_obs::record_span("retrain", "sub", ts_ns, dur_ns, h.ctx, entries);
+        }
+    }
+
+    /// Nanosecond clock read, zero when disabled (rebuilds pass it back to
+    /// [`record_retrain`]).
+    pub(super) fn now_ns_if_enabled() -> u64 {
+        if enabled() {
+            tp_obs::now_ns()
+        } else {
+            0
+        }
+    }
+}
+
+/// Globally enables/disables gapped-index metric recording (default: on).
+pub use index_obs::set_enabled as set_obs_enabled;
+
 /// Maximum prediction error (in slots) the piecewise-linear model accepts
 /// at retrain time: every key's true slot is within ε of the model's
 /// prediction until inserts drift the layout.
@@ -400,6 +480,7 @@ impl GappedBuffer {
         }
         self.epoch.model_misses += 1;
         self.misses_since_retrain += 1;
+        index_obs::record_miss();
         self.lower_bound(ts, seq, self.head, self.tail)
     }
 
@@ -445,6 +526,7 @@ impl GappedBuffer {
                 };
                 self.occupy(idx, slot);
                 self.epoch.shifts[0] += 1;
+                index_obs::record_shift(0);
                 return true;
             }
             let floor = anchor.saturating_sub(MAX_SHIFT);
@@ -454,6 +536,7 @@ impl GappedBuffer {
             }
             self.occupy(run_lo + (anchor - run_lo) / 2, slot);
             self.epoch.shifts[0] += 1;
+            index_obs::record_shift(0);
             return true;
         }
         // `pos` and `pos − 1` are both occupied: shift the shorter run of
@@ -487,6 +570,7 @@ impl GappedBuffer {
         self.tail = self.tail.max(gap + 1);
         self.occupy(pos, slot);
         self.epoch.shifts[dist.min(MAX_SHIFT)] += 1;
+        index_obs::record_shift(dist);
     }
 
     /// Shifts occupied slots `(gap, pos)` one to the left (into `gap`) and
@@ -502,6 +586,7 @@ impl GappedBuffer {
         self.head = self.head.min(gap);
         self.occupy(pos - 1, slot);
         self.epoch.shifts[dist.min(MAX_SHIFT)] += 1;
+        index_obs::record_shift(dist);
     }
 
     fn occupy(&mut self, idx: usize, slot: Slot) {
@@ -516,6 +601,7 @@ impl GappedBuffer {
     /// its key position when given), re-spaces them at `GAP_FACTOR`× slack
     /// and fits a fresh ε-bounded piecewise-linear model.
     fn rebuild(&mut self, extra: Option<Slot>) {
+        let rebuild_t0 = index_obs::now_ns_if_enabled();
         let mut entries: Vec<Slot> = Vec::with_capacity(self.len + 1);
         let lo = self.head.min(self.slots.len());
         let hi = self.tail;
@@ -558,6 +644,11 @@ impl GappedBuffer {
         self.retrains_total += 1;
         self.epoch.retrains += 1;
         self.misses_since_retrain = 0;
+        index_obs::record_retrain(
+            rebuild_t0,
+            index_obs::now_ns_if_enabled().saturating_sub(rebuild_t0),
+            n as u64,
+        );
     }
 }
 

@@ -27,6 +27,7 @@
 //! | [`gapped`] | [`GappedBuffer`]: the gapped learned timestamp index behind sort-free ingestion |
 //! | [`delta`] | [`Delta`], the [`StreamSink`] trait, collecting/counting sinks |
 //! | [`epoch`] | timeline-partitioned parallel executor + arena cache/storage release scopes |
+//! | [`obs`] | stage-level tracing + lock-free metrics for the advance pipeline ([`tp_obs`] façade) |
 //! | [`replay`] | deterministic out-of-order replay scripts over batch relation pairs |
 //! | [`server`] | [`StreamServer`]: N isolated bounded-memory tenants behind one façade |
 //!
@@ -41,6 +42,7 @@ pub mod delta;
 pub mod engine;
 pub mod epoch;
 pub mod gapped;
+pub mod obs;
 pub mod replay;
 pub mod server;
 
@@ -53,5 +55,9 @@ pub use engine::{
 };
 pub use epoch::{apply_epoched, EpochConfig, EpochScope, ReleasedStorage};
 pub use gapped::{Drained, GappedBuffer, IndexEpochStats};
+pub use obs::{
+    advance_section, arena_section, metrics_json, metrics_text, render_all, set_obs_enabled,
+    trace_json, ObsConfig, Section, STAGES,
+};
 pub use replay::{ReplayConfig, ReplayEvent, ReplayTotals, StreamScript};
 pub use server::{ServerConfig, StreamServer, TenantId};

@@ -38,6 +38,8 @@ use crate::engine::{
     AdvanceStats, BufferKind, EngineConfig, IngestOutcome, ParallelConfig, ReclaimConfig, Side,
     StreamEngine, StreamError, WatermarkPolicy,
 };
+use crate::obs::ObsConfig;
+use tp_obs::{Gauge, Histogram, MetricsRegistry};
 
 /// Identifier of one tenant stream within a [`StreamServer`]. Dense per
 /// server, assigned by [`StreamServer::add_tenant`].
@@ -78,6 +80,11 @@ pub struct ServerConfig {
     /// ([`StreamEngine::buffered_load`]) instead of the total buffered
     /// count.
     pub buffer: BufferKind,
+    /// Observability template applied to every tenant engine: `enabled`
+    /// and `registry` carry over per tenant; the `tenant` label is always
+    /// overwritten with the tenant's name, so each tenant's metrics and
+    /// spans stay attributable within the shared registry.
+    pub obs: ObsConfig,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +100,7 @@ impl Default for ServerConfig {
                 .unwrap_or(1),
             region_min_tuples: parallel.min_tuples,
             buffer: BufferKind::default(),
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -110,11 +118,21 @@ struct Tenant<S> {
     /// registration (the engine's own `late_dropped` only sees rows that
     /// reached it).
     late_rejected: u64,
+    /// Wave-latency histogram (`tp_wave_advance_ns{tenant=…}`); `None`
+    /// when observability is off.
+    wave_ns: Option<Arc<Histogram>>,
+    /// Region-worker budget decisions of the two-level scheduler
+    /// (`tp_region_workers{tenant=…}`).
+    workers_gauge: Option<Arc<Gauge>>,
 }
 
 impl<S: StreamSink> Tenant<S> {
     fn advance(&mut self, to: TimePoint) -> Result<AdvanceStats, StreamError> {
+        let t0 = self.wave_ns.as_ref().map(|_| crate::obs::now_ns());
         let stats = self.engine.advance(to, &mut self.sink)?;
+        if let (Some(h), Some(t0)) = (&self.wave_ns, t0) {
+            h.record(crate::obs::now_ns() - t0);
+        }
         self.last = stats;
         Ok(stats)
     }
@@ -150,7 +168,25 @@ impl<S: StreamSink + Send> StreamServer<S> {
         name: impl Into<String>,
         make_sink: impl FnOnce(&Arc<VarTable>) -> S,
     ) -> TenantId {
+        let name = name.into();
         let vars = Arc::new(VarTable::new());
+        let obs = ObsConfig {
+            tenant: Some(name.clone()),
+            ..self.cfg.obs.clone()
+        };
+        let (wave_ns, workers_gauge) = if obs.enabled {
+            let reg: &MetricsRegistry = match &obs.registry {
+                Some(r) => r,
+                None => tp_obs::global(),
+            };
+            let labels = [("tenant", name.as_str())];
+            (
+                Some(reg.histogram("tp_wave_advance_ns", &labels)),
+                Some(reg.gauge("tp_region_workers", &labels)),
+            )
+        } else {
+            (None, None)
+        };
         let engine = StreamEngine::new(EngineConfig {
             ops: self.cfg.ops.clone(),
             policy: WatermarkPolicy::Manual,
@@ -168,16 +204,19 @@ impl<S: StreamSink + Send> StreamServer<S> {
                 cuts: None,
             }),
             buffer: self.cfg.buffer,
+            obs,
         });
         let sink = make_sink(&vars);
         self.tenants.push(Tenant {
-            name: name.into(),
+            name,
             engine,
             vars,
             sink,
             last: AdvanceStats::default(),
             pushed: 0,
             late_rejected: 0,
+            wave_ns,
+            workers_gauge,
         });
         TenantId(self.tenants.len() - 1)
     }
@@ -299,7 +338,11 @@ impl<S: StreamSink + Send> StreamServer<S> {
             .collect();
         let total: usize = loads.iter().sum::<usize>().max(1);
         for (tenant, load) in self.tenants.iter_mut().zip(loads) {
-            tenant.engine.set_region_workers(1 + spare * load / total);
+            let w = 1 + spare * load / total;
+            tenant.engine.set_region_workers(w);
+            if let Some(g) = &tenant.workers_gauge {
+                g.set(w as i64);
+            }
         }
     }
 

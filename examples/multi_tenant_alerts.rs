@@ -98,23 +98,52 @@ fn main() -> Result<()> {
         cities.len(),
     );
     println!("\nper-tenant bounded-memory gauges (live peaks over the whole run):");
-    for (k, &id) in ids.iter().enumerate() {
-        let stats = server.arena_stats(id);
-        let (segs, nodes) = server.engine(id).reclaimed();
-        println!(
-            "  {:<8} peak {:>4} lineage nodes / {:>3} live vars — retired {} nodes in {} segments, \
-             released {} of {} vars (final: {} nodes, {} vars)",
-            server.tenant_name(id),
-            peak_nodes[k],
-            peak_vars[k],
-            nodes,
-            segs,
-            server.engine(id).reclaimed_vars(),
-            server.pushed(id),
-            stats.nodes,
-            server.vars(id).live_vars(),
-        );
-    }
+    let tenant_sections: Vec<tp_stream::Section> = ids
+        .iter()
+        .enumerate()
+        .map(|(k, &id)| {
+            let stats = server.arena_stats(id);
+            let (segs, nodes) = server.engine(id).reclaimed();
+            // The server registered this histogram under the tenant's
+            // label; fetching the same (name, labels) returns that handle.
+            let wave_ns = tp_stream::obs::global()
+                .histogram("tp_wave_advance_ns", &[("tenant", server.tenant_name(id))]);
+            tp_stream::Section::new(server.tenant_name(id))
+                .row(
+                    "peaks",
+                    format!(
+                        "{} lineage nodes, {} live vars",
+                        peak_nodes[k], peak_vars[k]
+                    ),
+                )
+                .row(
+                    "retired",
+                    format!(
+                        "{nodes} nodes in {segs} segments, {} of {} vars released",
+                        server.engine(id).reclaimed_vars(),
+                        server.pushed(id),
+                    ),
+                )
+                .row(
+                    "final",
+                    format!(
+                        "{} nodes, {} vars",
+                        stats.nodes,
+                        server.vars(id).live_vars()
+                    ),
+                )
+                .row(
+                    "wave latency",
+                    format!(
+                        "p50 {} µs / p95 {} µs over {} waves",
+                        wave_ns.p50() / 1_000,
+                        wave_ns.p95() / 1_000,
+                        wave_ns.count(),
+                    ),
+                )
+        })
+        .collect();
+    println!("{}", tp_stream::render_all(&tenant_sections));
 
     println!("\nstrongest uncorroborated-forecast alerts seen live, per city:");
     for &id in &ids {
@@ -134,5 +163,17 @@ fn main() -> Result<()> {
     // tenant 0 retired long ago with its cohort.
     let err = server.vars(ids[0]).prob(TupleId(0)).unwrap_err();
     println!("\nprobe of a long-retired variable: {err}");
+
+    // TP_TRACE=<file>: dump every stage span the run recorded — one lane
+    // per worker thread, tenants distinguishable by their span context —
+    // as a chrome://tracing profile (open in Perfetto).
+    if let Ok(path) = std::env::var("TP_TRACE") {
+        let json = tp_stream::trace_json();
+        std::fs::write(&path, &json)?;
+        println!(
+            "wrote {} bytes of trace to {path} — open in chrome://tracing or https://ui.perfetto.dev",
+            json.len()
+        );
+    }
     Ok(())
 }

@@ -14,6 +14,10 @@
 //!                        with per-advance region/balance gauges
 //! tp> \index a c      -- streamed sweep on the gapped learned timestamp
 //!                        index, with per-advance occupancy/retrain gauges
+//! tp> \metrics        -- Prometheus-style snapshot of the metrics registry
+//!                        (\metrics json for the JSON snapshot)
+//! tp> \trace out.json -- dump recorded stage spans as a chrome://tracing
+//!                        profile (open in chrome://tracing or Perfetto)
 //! tp> \q
 //! ```
 
@@ -79,22 +83,11 @@ fn handle_command(db: &mut Database, line: &str) -> Result<bool> {
             }
             Some("arena") => {
                 let stats = LineageArena::global().stats();
-                println!(
-                    "lineage arena: {} live nodes ({} interned, {} retired) in {} segments \
-                     ({} live / {} retired), ~{} KiB resident, {} nodes with exact var lists",
-                    stats.nodes,
-                    stats.total_interned,
-                    stats.retired_nodes,
-                    stats.segments,
-                    stats.live_segments,
-                    stats.retired_segments,
-                    stats.resident_bytes / 1024,
-                    stats.with_var_list,
+                let section = tp_stream::arena_section(&stats).row(
+                    "valuation cache",
+                    format!("{} memoized marginals", db.vars().valuation_cache_len()),
                 );
-                println!(
-                    "valuation cache: {} memoized marginals",
-                    db.vars().valuation_cache_len()
-                );
+                println!("{}", section.render());
             }
             Some("parallel") => {
                 let (Some(left), Some(right)) = (parts.next(), parts.next()) else {
@@ -114,9 +107,26 @@ fn handle_command(db: &mut Database, line: &str) -> Result<bool> {
                 };
                 show_index_sweep(db, left, right)?;
             }
+            Some("metrics") => match parts.next() {
+                Some("json") => println!("{}", tp_stream::metrics_json()),
+                _ => print!("{}", tp_stream::metrics_text()),
+            },
+            Some("trace") => {
+                let Some(path) = parts.next() else {
+                    println!("usage: \\trace <file>");
+                    return Ok(true);
+                };
+                let json = tp_stream::trace_json();
+                std::fs::write(path, &json)?;
+                println!(
+                    "wrote {} bytes to {path} — open in chrome://tracing or https://ui.perfetto.dev",
+                    json.len()
+                );
+            }
             Some(other) => {
                 println!(
-                    "unknown command \\{other} (try \\d, \\load, \\arena, \\parallel, \\index, \\q)"
+                    "unknown command \\{other} (try \\d, \\load, \\arena, \\parallel, \\index, \
+                     \\metrics, \\trace, \\q)"
                 )
             }
             None => {}
@@ -180,16 +190,7 @@ fn show_parallel_sweep(db: &Database, left: &str, right: &str, workers: usize) -
         let stats = engine
             .advance(w, &mut sink)
             .expect("quartile watermarks are monotone");
-        println!(
-            "  advance to {:>6}: {} windows over {} regions ({} pieces, balance {:.2}), {} inserts + {} extends",
-            stats.watermark,
-            stats.windows,
-            stats.regions_used,
-            stats.region_tuples,
-            stats.region_balance(),
-            stats.inserts,
-            stats.extends,
-        );
+        println!("{}", tp_stream::advance_section(&stats).render());
     }
     engine
         .finish(&mut sink)
@@ -245,16 +246,7 @@ fn show_index_sweep(db: &Database, left: &str, right: &str) -> Result<()> {
         let stats = engine
             .advance(w, &mut sink)
             .expect("quartile watermarks are monotone");
-        println!(
-            "  advance to {:>6}: occupancy {:>4} permille, {} rebuilds, {} model misses, shift p99 {}, {} inserts + {} extends",
-            stats.watermark,
-            stats.gap_occupancy_permille,
-            stats.index_retrains,
-            stats.index_model_misses,
-            stats.shift_distance_p99,
-            stats.inserts,
-            stats.extends,
-        );
+        println!("{}", tp_stream::advance_section(&stats).render());
     }
     engine
         .finish(&mut sink)

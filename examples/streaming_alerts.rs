@@ -146,32 +146,44 @@ fn main() -> Result<()> {
     );
     let arena = engine.arena_stats().expect("reclaim mode");
     let (seg_retired, nodes_retired) = engine.reclaimed();
-    println!(
-        "bounded memory: peak {} live lineage nodes, final {} ({} KiB resident); \
-         {} nodes in {} segments retired along the way ({} seen by the monitor)",
-        peak_nodes,
-        arena.nodes,
-        arena.resident_bytes / 1024,
-        nodes_retired,
-        seg_retired,
-        monitor.retired_segments,
-    );
-    println!(
-        "region-parallel advance: up to {} regions per sweep (budget {}), worst balance {:.2} (1.0 = even)",
-        max_regions,
-        engine.region_workers(),
-        worst_balance,
-    );
-    println!(
-        "ingestion index: peak gap occupancy {} permille, {} rebuilds, worst shift p99 {} slots",
-        peak_occupancy, retrains, worst_shift_p99,
-    );
-    println!(
-        "alert deltas: {}, agreement deltas: {}, valuation cache {} entries after per-segment release",
-        monitor.alert_deltas,
-        monitor.agreement_deltas,
-        vars.valuation_cache_len(),
-    );
+    // tp_advance_ns is registered by the engine itself; fetching the same
+    // (name, labels) pair returns that handle, quantiles included.
+    let advance_ns = tp_stream::obs::global().histogram("tp_advance_ns", &[]);
+    let sections = [
+        tp_stream::arena_section(&arena)
+            .row("peak live nodes", peak_nodes)
+            .row(
+                "retired on the way",
+                format!(
+                    "{nodes_retired} nodes in {seg_retired} segments ({} seen by the monitor)",
+                    monitor.retired_segments
+                ),
+            ),
+        tp_stream::Section::new("region-parallel advance")
+            .row("max regions per sweep", max_regions)
+            .row("worker budget", engine.region_workers())
+            .row("worst balance", format!("{worst_balance:.2} (1.0 = even)")),
+        tp_stream::Section::new("ingestion index")
+            .row("peak gap occupancy", format!("{peak_occupancy}‰"))
+            .row("rebuilds", retrains)
+            .row("worst shift p99", format!("{worst_shift_p99} slots")),
+        tp_stream::Section::new("advance latency (tp_advance_ns)")
+            .row("advances", advance_ns.count())
+            .row("p50", format!("{} µs", advance_ns.p50() / 1_000))
+            .row("p95", format!("{} µs", advance_ns.p95() / 1_000))
+            .row("p99", format!("{} µs", advance_ns.p99() / 1_000)),
+        tp_stream::Section::new("alerts")
+            .row("alert deltas", monitor.alert_deltas)
+            .row("agreement deltas", monitor.agreement_deltas)
+            .row(
+                "valuation cache",
+                format!(
+                    "{} entries after per-segment release",
+                    vars.valuation_cache_len()
+                ),
+            ),
+    ];
+    println!("{}", tp_stream::render_all(&sections));
 
     println!("\nstrongest uncorroborated-forecast alerts seen live:");
     for (p, station, interval) in &monitor.top {
