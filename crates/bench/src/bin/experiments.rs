@@ -10,7 +10,7 @@
 //! Available experiment names: `table2`, `table3`, `table4`, `fig7`, `fig8`,
 //! `fig9a`, `fig9b`, `fig10`, `fig11`, `bench_lawa`, `bench_stream`,
 //! `bench_memory`, `bench_tenants`, `bench_parallel_advance`,
-//! `bench_ingest`, `bench_observability`. With
+//! `bench_ingest`, `bench_observability`, `bench_raw_speed`. With
 //! `--csv`, each figure is also written to `experiments_csv/<id>.csv` for
 //! external plotting. `bench_lawa` additionally writes `BENCH_lawa.json`
 //! (memoized valuation + op throughput + arena contention + streaming) to
@@ -117,6 +117,14 @@ fn main() {
                 tp_bench::scaled(24_000).max(2_048),
             ]),
             observability: experiments::observability_bench(tuples, (2 * tuples / 64).max(1), 3),
+            raw_speed: experiments::raw_speed_bench(
+                tuples,
+                32,
+                3,
+                tp_bench::scaled(1_500).max(1_024),
+                tp_bench::scaled(96).max(48),
+                &[1, 2, 4, 8],
+            ),
         };
         println!("{}", report.render());
         let path = std::path::Path::new("BENCH_lawa.json");
@@ -453,6 +461,87 @@ fn main() {
             b.min_advances(),
             b.worst_node_ratio(),
             b.worst_var_ratio(),
+        );
+    }
+    if names.iter().any(|a| *a == "bench_raw_speed") {
+        // CI raw-speed-smoke job: the three raw-speed claims, hard-gated
+        // on correctness only. (a) columnar marginal kernel ≡ per-root
+        // memoized walk to 1e-12 on a shared-subformula workload; (b) the
+        // pairwise stitch reduction is batch-identical at every worker
+        // count; (c) interior-segment reclamation actually fires under an
+        // immortal-facts stream and its steady-state residency sits
+        // strictly below the prefix-ordered baseline, batch-identically.
+        // Wall speedups are informational (1-core CI cannot gate them).
+        let tuples = tp_bench::scaled(20_000);
+        let b = experiments::raw_speed_bench(
+            tuples,
+            32,
+            3,
+            tp_bench::scaled(1_500).max(1_024),
+            tp_bench::scaled(96).max(48),
+            &[1, 2, 4, 8],
+        );
+        println!(
+            "raw speed: columnar {:.1} ms vs cold walk {:.1} ms ({:.2}×, {} tuples, max Δ {:.2e})",
+            b.columnar_ms,
+            b.memoized_cold_ms,
+            b.valuation_speedup(),
+            b.output_tuples,
+            b.max_delta,
+        );
+        for p in &b.stitch {
+            println!(
+                "  stitch: {} workers, {:.1} ms, depth<={}, batch_equal={}",
+                p.workers, p.wall_ms, p.depth_max, p.batch_equal,
+            );
+        }
+        println!(
+            "  immortal facts: interior {} B vs prefix {} B steady-state ({:.2}×), {} interior retires, batch_equal={}",
+            b.interior_steady_bytes,
+            b.prefix_steady_bytes,
+            b.residency_ratio(),
+            b.interior_retired_segments,
+            b.immortal_batch_equal,
+        );
+        if b.max_delta > 1e-12 {
+            eprintln!(
+                "FAIL: columnar kernel diverges from the per-root walk (max Δ {:.2e}, gate: 1e-12)",
+                b.max_delta
+            );
+            std::process::exit(1);
+        }
+        if !b.stitch_equal() {
+            eprintln!("FAIL: stitch reduction diverges from batch LAWA at some worker count");
+            std::process::exit(1);
+        }
+        if !b.immortal_batch_equal {
+            eprintln!("FAIL: an immortal-facts replay diverges from batch LAWA");
+            std::process::exit(1);
+        }
+        if b.interior_retired_segments == 0 {
+            eprintln!("FAIL: interior reclamation never fired under the immortal-facts stream");
+            std::process::exit(1);
+        }
+        if b.interior_steady_bytes >= b.prefix_steady_bytes {
+            eprintln!(
+                "FAIL: interior steady-state residency {} B not below prefix baseline {} B",
+                b.interior_steady_bytes, b.prefix_steady_bytes
+            );
+            std::process::exit(1);
+        }
+        if b.valuation_speedup() < 1.0 {
+            eprintln!(
+                "WARN: columnar kernel only {:.2}x over the cold walk (informational — \
+                 wall ratio is hardware-dependent)",
+                b.valuation_speedup()
+            );
+        }
+        println!(
+            "ok: kernel ≡ walk to {:.2e}, stitch batch-identical at every worker count, \
+             interior residency {:.2}x of prefix with {} interior retires",
+            b.max_delta,
+            b.residency_ratio(),
+            b.interior_retired_segments,
         );
     }
 }

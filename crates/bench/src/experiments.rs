@@ -517,18 +517,73 @@ impl LawaValuationBench {
 /// probabilities; the arena path valuates every *unique* interned node once
 /// across all tuples and all rounds.
 pub fn lawa_valuation_bench(tuples: usize, levels: usize, rounds: usize) -> LawaValuationBench {
+    use tp_core::lineage::LineageTree;
+
+    let (acc, vars) = shared_subformula_workload(tuples, levels);
+    let vars = &vars;
+    let output_tuples = acc.len();
+    let lineage_nodes: u64 = acc.iter().map(|t| t.lineage.size() as u64).sum();
+
+    // Legacy baseline: expand once (not timed), then walk per call.
+    let trees: Vec<LineageTree> = acc.iter().map(|t| t.lineage.to_tree()).collect();
+    let (tree_walker_ms, tree_sums) = crate::runner::time_ms(|| {
+        let mut sums = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let mut sum = 0.0;
+            for tree in &trees {
+                sum += tree.independent_prob(vars).expect("vars registered");
+            }
+            sums.push(sum);
+        }
+        sums
+    });
+
+    // Arena path: cold cache (freshly cleared), memoized across tuples and
+    // rounds.
+    vars.clear_valuation_cache();
+    let (arena_memoized_ms, arena_sums) = crate::runner::time_ms(|| {
+        let mut sums = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let mut sum = 0.0;
+            for t in acc.iter() {
+                sum += tp_core::prob::marginal(&t.lineage, vars).expect("vars registered");
+            }
+            sums.push(sum);
+        }
+        sums
+    });
+
+    let max_sum_delta = tree_sums
+        .iter()
+        .zip(&arena_sums)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+
+    LawaValuationBench {
+        tuples,
+        levels,
+        rounds,
+        output_tuples,
+        lineage_nodes,
+        tree_walker_ms,
+        arena_memoized_ms,
+        max_sum_delta,
+    }
+}
+
+/// Builds the paper's Fig. 4 motif at benchmark scale: per fact, one
+/// *long-lived* tuple per level (its lineage accumulates into a deep
+/// ∨-chain under repeated `∪Tp`), finally unioned with a stream of many
+/// *short* tuples. Every short tuple clips one LAWA window out of the
+/// long tuple's validity, so all `cells` windows of a fact carry the same
+/// deep chain as a shared subformula — exactly the repeated-lineage
+/// pattern both the memoized valuation and the columnar kernel exist for.
+/// Shared by `lawa_valuation_bench` and `raw_speed_bench`.
+fn shared_subformula_workload(tuples: usize, levels: usize) -> (TpRelation, VarTable) {
     use tp_core::fact::Fact;
     use tp_core::interval::Interval;
-    use tp_core::lineage::LineageTree;
     use tp_core::ops::union;
 
-    // The paper's Fig. 4 motif at benchmark scale: per fact, one
-    // *long-lived* tuple per level (its lineage accumulates into a deep
-    // ∨-chain under repeated `∪Tp`), finally unioned with a stream of many
-    // *short* tuples. Every short tuple clips one LAWA window out of the
-    // long tuple's validity, so all `cells` windows of a fact carry the same
-    // deep chain as a shared subformula — exactly the repeated-lineage
-    // pattern the memoized valuation exists for.
     let facts = (tuples / 100).clamp(1, 512);
     let cells = (tuples / facts).max(1);
     let granule = 10i64;
@@ -566,54 +621,7 @@ pub fn lawa_valuation_bench(tuples: usize, levels: usize, rounds: usize) -> Lawa
     }
     let grid = TpRelation::base("s", grid_rows, &mut vars).expect("grid is duplicate-free");
     acc = union(&acc, &grid);
-    let output_tuples = acc.len();
-    let lineage_nodes: u64 = acc.iter().map(|t| t.lineage.size() as u64).sum();
-
-    // Legacy baseline: expand once (not timed), then walk per call.
-    let trees: Vec<LineageTree> = acc.iter().map(|t| t.lineage.to_tree()).collect();
-    let (tree_walker_ms, tree_sums) = crate::runner::time_ms(|| {
-        let mut sums = Vec::with_capacity(rounds);
-        for _ in 0..rounds {
-            let mut sum = 0.0;
-            for tree in &trees {
-                sum += tree.independent_prob(&vars).expect("vars registered");
-            }
-            sums.push(sum);
-        }
-        sums
-    });
-
-    // Arena path: cold cache (freshly cleared), memoized across tuples and
-    // rounds.
-    vars.clear_valuation_cache();
-    let (arena_memoized_ms, arena_sums) = crate::runner::time_ms(|| {
-        let mut sums = Vec::with_capacity(rounds);
-        for _ in 0..rounds {
-            let mut sum = 0.0;
-            for t in acc.iter() {
-                sum += tp_core::prob::marginal(&t.lineage, &vars).expect("vars registered");
-            }
-            sums.push(sum);
-        }
-        sums
-    });
-
-    let max_sum_delta = tree_sums
-        .iter()
-        .zip(&arena_sums)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
-
-    LawaValuationBench {
-        tuples,
-        levels,
-        rounds,
-        output_tuples,
-        lineage_nodes,
-        tree_walker_ms,
-        arena_memoized_ms,
-        max_sum_delta,
-    }
+    (acc, vars)
 }
 
 /// One per-operation LAWA throughput measurement (the sweep itself, not
@@ -1696,6 +1704,295 @@ pub fn observability_bench(
     }
 }
 
+/// One stitch-scaling point of the raw-speed pass: the fat sliding stream
+/// replayed at one region-worker budget, stitched by pairwise tree
+/// reduction instead of the old k-way serial merge.
+#[derive(Debug, Clone)]
+pub struct RawStitchPoint {
+    /// Region-worker budget.
+    pub workers: usize,
+    /// Wall milliseconds over the advance/finish calls only (the path the
+    /// reduction parallelizes).
+    pub wall_ms: f64,
+    /// Deepest reduction tree any advance built (⌈log₂ regions⌉; 0 for the
+    /// sequential sweep).
+    pub depth_max: usize,
+    /// Whether the streamed result equals batch LAWA for all ops.
+    pub batch_equal: bool,
+}
+
+/// Result of the `bench_raw_speed` experiment: the three raw-speed claims
+/// in one artifact — the columnar marginal kernel vs the per-root memoized
+/// walk (both cold), stitch scaling by worker count under the pairwise
+/// tree reduction, and the resident-bytes curve of interior-segment
+/// reclamation vs the prefix-ordered baseline under an immortal-facts
+/// workload.
+#[derive(Debug, Clone)]
+pub struct RawSpeedBench {
+    /// Tuples per base relation of the valuation workload.
+    pub tuples: usize,
+    /// Chained `∪Tp` levels of the valuation workload.
+    pub levels: usize,
+    /// Cold valuation passes timed per path.
+    pub rounds: usize,
+    /// Output tuples valuated per pass.
+    pub output_tuples: usize,
+    /// Milliseconds for `rounds` cold passes of per-root
+    /// [`tp_core::prob::marginal`] (cache cleared before every pass).
+    pub memoized_cold_ms: f64,
+    /// Milliseconds for `rounds` cold passes of the columnar
+    /// [`tp_core::prob::marginal_batch`] (cache cleared before every pass).
+    pub columnar_ms: f64,
+    /// Largest |per-root delta| between the two paths (must be ≤ 1e-12;
+    /// the kernel is bit-identical where the scalar path is exact).
+    pub max_delta: f64,
+    /// Stitch scaling curve, one point per requested worker budget.
+    pub stitch: Vec<RawStitchPoint>,
+    /// Epochs of the immortal-facts residency replay.
+    pub immortal_epochs: usize,
+    /// Advances of the immortal-facts replay.
+    pub immortal_advances: u64,
+    /// Interior (non-prefix) segment retires the interior-mode run made.
+    pub interior_retired_segments: u64,
+    /// Steady-state peak resident arena bytes with interior reclamation.
+    pub interior_steady_bytes: usize,
+    /// Steady-state peak resident arena bytes with the prefix-ordered
+    /// baseline (`ReclaimConfig { interior: false }`).
+    pub prefix_steady_bytes: usize,
+    /// Whether BOTH immortal replays (interior and prefix) matched batch
+    /// LAWA for all ops.
+    pub immortal_batch_equal: bool,
+}
+
+impl RawSpeedBench {
+    /// `memoized_cold_ms / columnar_ms` (> 1 means the columnar kernel
+    /// wins; informational — wall ratios are hardware-dependent).
+    pub fn valuation_speedup(&self) -> f64 {
+        self.memoized_cold_ms / self.columnar_ms.max(1e-9)
+    }
+
+    /// `interior_steady_bytes / prefix_steady_bytes` — must stay < 1.0:
+    /// under immortal facts the prefix baseline cannot retire anything
+    /// behind the pinned segment, interior reclamation can.
+    pub fn residency_ratio(&self) -> f64 {
+        self.interior_steady_bytes as f64 / self.prefix_steady_bytes.max(1) as f64
+    }
+
+    /// Whether every stitch point matched batch LAWA.
+    pub fn stitch_equal(&self) -> bool {
+        self.stitch.iter().all(|p| p.batch_equal)
+    }
+
+    /// The acceptance predicate of the `raw-speed-smoke` CI job (wall
+    /// speedups are informational and not part of it).
+    pub fn pass(&self) -> bool {
+        self.max_delta <= 1e-12
+            && self.stitch_equal()
+            && self.immortal_batch_equal
+            && self.interior_retired_segments > 0
+            && self.interior_steady_bytes < self.prefix_steady_bytes
+    }
+}
+
+/// Replays one workload at one region-worker budget, timing the
+/// advance/finish calls (the path the stitch reduction sits on) and
+/// recording the deepest reduction tree; batch cross-check untimed.
+fn raw_stitch_point(w: &tp_workloads::StreamWorkload, workers: usize) -> RawStitchPoint {
+    use tp_core::ops::apply;
+    use tp_stream::{
+        CollectingSink, CountingSink, EngineConfig, ParallelConfig, ReplayEvent, StreamEngine,
+    };
+
+    let cfg = || EngineConfig {
+        parallel: (workers > 1).then_some(ParallelConfig {
+            workers,
+            min_tuples: 256,
+            cuts: None,
+        }),
+        ..Default::default()
+    };
+    let mut engine = StreamEngine::new(cfg());
+    let mut sink = CountingSink::new();
+    let mut advance_ns = 0u128;
+    let mut depth_max = 0usize;
+    for event in &w.script.events {
+        match event {
+            ReplayEvent::Arrive(side, t) => {
+                engine.push(*side, t.clone());
+            }
+            ReplayEvent::Advance(wm) => {
+                let t0 = std::time::Instant::now();
+                let stats = engine.advance(*wm, &mut sink).expect("script monotone");
+                advance_ns += t0.elapsed().as_nanos();
+                depth_max = depth_max.max(stats.stitch_depth);
+            }
+        }
+    }
+    let t0 = std::time::Instant::now();
+    engine.finish(&mut sink).expect("final advance");
+    advance_ns += t0.elapsed().as_nanos();
+    let mut verify = CollectingSink::new();
+    w.script.run_into(cfg(), &mut verify);
+    let batch_equal = SetOp::ALL
+        .iter()
+        .all(|&op| verify.relation(op).canonicalized() == apply(op, &w.r, &w.s).canonicalized());
+    RawStitchPoint {
+        workers,
+        wall_ms: advance_ns as f64 / 1e6,
+        depth_max,
+        batch_equal,
+    }
+}
+
+/// Replays the immortal-facts stream through a reclaiming engine in one
+/// retirement mode, sampling resident arena bytes after every advance.
+/// Returns `(per-advance resident bytes, interior retires, batch_equal)`.
+fn immortal_residency(w: &tp_workloads::StreamWorkload, interior: bool) -> (Vec<usize>, u64, bool) {
+    use tp_core::ops::apply;
+    use tp_stream::{EngineConfig, MaterializingSink, ReclaimConfig, ReplayEvent, StreamEngine};
+
+    let mut engine = StreamEngine::new(EngineConfig {
+        reclaim: Some(ReclaimConfig {
+            keep_epochs: 2,
+            interior,
+            ..Default::default()
+        }),
+        ..Default::default()
+    });
+    let mut sink = MaterializingSink::new();
+    let mut resident: Vec<usize> = Vec::new();
+    let mut interior_retired = 0u64;
+    for event in &w.script.events {
+        match event {
+            ReplayEvent::Arrive(side, t) => {
+                engine.push(*side, t.clone());
+            }
+            ReplayEvent::Advance(wm) => {
+                let stats = engine
+                    .advance(*wm, &mut sink)
+                    .expect("script watermarks monotone");
+                interior_retired += stats.interior_retired_segments;
+                resident.push(engine.arena_stats().expect("reclaim engine").resident_bytes);
+            }
+        }
+    }
+    let fin = engine.finish(&mut sink).expect("final advance");
+    interior_retired += fin.interior_retired_segments;
+    let streamed = sink.replay();
+    let batch_equal = SetOp::ALL
+        .iter()
+        .all(|&op| streamed.relation(op).canonicalized() == apply(op, &w.r, &w.s).canonicalized());
+    (resident, interior_retired, batch_equal)
+}
+
+/// Runs the raw-speed pass benchmark: columnar marginal kernel vs the
+/// per-root memoized walk (both cold, `rounds` passes each), pairwise
+/// stitch reduction scaling at every budget in `workers`, and the
+/// interior-vs-prefix resident-bytes comparison under the immortal-facts
+/// workload (`epochs.max(48)` epochs).
+pub fn raw_speed_bench(
+    tuples: usize,
+    levels: usize,
+    rounds: usize,
+    per_epoch: usize,
+    epochs: usize,
+    workers: &[usize],
+) -> RawSpeedBench {
+    use tp_workloads::{
+        immortal_facts_stream, sliding_synth_stream, ImmortalConfig, SlidingConfig,
+    };
+
+    let rounds = rounds.max(1);
+    // Columnar kernel vs per-root memoized walk, both cold: the kernel's
+    // claim is first-pass (post-advance / post-retire) valuation speed, so
+    // the memo cache is cleared before every timed pass on both paths. The
+    // whole comparison runs inside a private arena — the kernel walks the
+    // roots' segment range densely, so nodes interned by unrelated earlier
+    // work in the same process must not sit inside that range.
+    let (memoized_cold_ms, columnar_ms, max_delta, output_tuples) = {
+        let arena = tp_core::arena::LineageArena::shared(4);
+        let _scope = tp_core::arena::LineageArena::enter(&arena);
+        let (acc, vars) = shared_subformula_workload(tuples, levels);
+        let lineages: Vec<_> = acc.iter().map(|t| t.lineage).collect();
+        let (memoized_cold_ms, scalar) = crate::runner::time_ms(|| {
+            let mut out = Vec::new();
+            for _ in 0..rounds {
+                vars.clear_valuation_cache();
+                out = lineages
+                    .iter()
+                    .map(|l| tp_core::prob::marginal(l, &vars).expect("vars registered"))
+                    .collect();
+            }
+            out
+        });
+        let (columnar_ms, columnar) = crate::runner::time_ms(|| {
+            let mut out = Vec::new();
+            for _ in 0..rounds {
+                vars.clear_valuation_cache();
+                out = tp_core::prob::marginal_batch(&lineages, &vars).expect("vars registered");
+            }
+            out
+        });
+        let max_delta = scalar
+            .iter()
+            .zip(&columnar)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        (memoized_cold_ms, columnar_ms, max_delta, acc.len())
+    };
+
+    // Stitch scaling: the fat sliding stream at every worker budget, with
+    // a discarded warm-up replay (allocator growth must not bill the
+    // first measured point).
+    let mut svars = VarTable::new();
+    let fat = sliding_synth_stream(
+        &SlidingConfig {
+            epochs: (epochs / 4).max(8),
+            per_epoch: per_epoch.max(64),
+            facts: 64,
+            stride: 4096,
+            seed: 41,
+        },
+        &mut svars,
+    );
+    let _ = raw_stitch_point(&fat, 1);
+    let stitch: Vec<RawStitchPoint> = workers.iter().map(|&n| raw_stitch_point(&fat, n)).collect();
+
+    // Residency: the immortal-facts stream pins segment 0 for the whole
+    // run, so the prefix baseline cannot retire anything mid-run while
+    // interior reclamation punches holes behind the pin.
+    let mut ivars = VarTable::new();
+    let immortal = immortal_facts_stream(
+        &ImmortalConfig {
+            epochs: epochs.max(48),
+            ..Default::default()
+        },
+        &mut ivars,
+    );
+    let (interior_resident, interior_retired_segments, i_equal) =
+        immortal_residency(&immortal, true);
+    let (prefix_resident, _, p_equal) = immortal_residency(&immortal, false);
+    let (_, interior_steady_bytes) = peak_window(&interior_resident, 8);
+    let (_, prefix_steady_bytes) = peak_window(&prefix_resident, 8);
+
+    RawSpeedBench {
+        tuples,
+        levels,
+        rounds,
+        output_tuples,
+        memoized_cold_ms,
+        columnar_ms,
+        max_delta,
+        stitch,
+        immortal_epochs: epochs.max(48),
+        immortal_advances: interior_resident.len() as u64,
+        interior_retired_segments,
+        interior_steady_bytes,
+        prefix_steady_bytes,
+        immortal_batch_equal: i_equal && p_equal,
+    }
+}
+
 /// The combined `BENCH_lawa.json` artifact: the memoized-valuation
 /// acceptance benchmark (top-level fields, unchanged schema) plus the
 /// per-operation throughput series, the arena-contention micro-benchmark
@@ -1720,6 +2017,9 @@ pub struct BenchReport {
     pub ingest: IngestBench,
     /// Observability layer: instrumented-vs-uninstrumented cost + gates.
     pub observability: ObservabilityBench,
+    /// Raw-speed pass: columnar kernel, stitch reduction, interior
+    /// reclamation.
+    pub raw_speed: RawSpeedBench,
 }
 
 impl BenchReport {
@@ -1980,6 +2280,71 @@ impl BenchReport {
             self.observability.trace_ok,
             self.observability.stage_coverage,
         );
+        // The raw-speed section is spliced in the same way.
+        let tail = out.rfind('}').expect("report JSON is an object");
+        out.truncate(tail);
+        while out.ends_with('\n') {
+            out.pop();
+        }
+        let mut curve = String::from("[");
+        for (i, p) in self.raw_speed.stitch.iter().enumerate() {
+            let _ = write!(
+                curve,
+                "{}\n      {{\"workers\": {}, \"wall_ms\": {:.3}, \"depth_max\": {}, \
+                 \"batch_equal\": {}}}",
+                if i > 0 { "," } else { "" },
+                p.workers,
+                p.wall_ms,
+                p.depth_max,
+                p.batch_equal,
+            );
+        }
+        curve.push_str("\n    ]");
+        let _ = write!(
+            out,
+            concat!(
+                ",\n  \"raw_speed\": {{\n",
+                "    \"tuples\": {},\n",
+                "    \"levels\": {},\n",
+                "    \"rounds\": {},\n",
+                "    \"output_tuples\": {},\n",
+                "    \"memoized_cold_ms\": {:.3},\n",
+                "    \"columnar_ms\": {:.3},\n",
+                "    \"valuation_speedup\": {:.3},\n",
+                "    \"max_delta\": {:.3e},\n",
+                "    \"stitch\": {},\n",
+                "    \"immortal_epochs\": {},\n",
+                "    \"immortal_advances\": {},\n",
+                "    \"interior_retired_segments\": {},\n",
+                "    \"interior_steady_bytes\": {},\n",
+                "    \"prefix_steady_bytes\": {},\n",
+                "    \"residency_ratio\": {:.3},\n",
+                "    \"batch_equal\": {},\n",
+                "    \"note\": \"columnar marginal kernel vs per-root memoized walk (both cold; \
+                 equality <= 1e-12 CI-gated); pairwise stitch reduction batch-verified at every \
+                 worker count (CI-gated); immortal-facts residency: interior steady state must \
+                 stay strictly below the prefix-ordered baseline (CI-gated); wall speedups are \
+                 informational\"\n",
+                "  }}\n",
+                "}}\n",
+            ),
+            self.raw_speed.tuples,
+            self.raw_speed.levels,
+            self.raw_speed.rounds,
+            self.raw_speed.output_tuples,
+            self.raw_speed.memoized_cold_ms,
+            self.raw_speed.columnar_ms,
+            self.raw_speed.valuation_speedup(),
+            self.raw_speed.max_delta,
+            curve,
+            self.raw_speed.immortal_epochs,
+            self.raw_speed.immortal_advances,
+            self.raw_speed.interior_retired_segments,
+            self.raw_speed.interior_steady_bytes,
+            self.raw_speed.prefix_steady_bytes,
+            self.raw_speed.residency_ratio(),
+            self.raw_speed.immortal_batch_equal,
+        );
         out
     }
 
@@ -1994,7 +2359,8 @@ impl BenchReport {
                 "\"contention_speedup\": {:.2}, \"memory_plateau_ratio\": {:.3}, ",
                 "\"memory_steady_nodes\": {}, \"tenant_var_plateau_ratio\": {:.3}, ",
                 "\"tenant_krows_per_s\": {:.3}, \"parallel_speedup_at_4\": {:.2}, ",
-                "\"ingest_speedup_at_largest\": {:.3}, \"obs_overhead_ratio\": {:.3}}}"
+                "\"ingest_speedup_at_largest\": {:.3}, \"obs_overhead_ratio\": {:.3}, ",
+                "\"raw_valuation_speedup\": {:.2}, \"raw_residency_ratio\": {:.3}}}"
             ),
             generated_unix,
             self.valuation.speedup(),
@@ -2012,6 +2378,8 @@ impl BenchReport {
             self.parallel.speedup_at(4),
             self.ingest.speedup_at_largest(),
             self.observability.overhead_ratio(),
+            self.raw_speed.valuation_speedup(),
+            self.raw_speed.residency_ratio(),
         )
     }
 
@@ -2200,6 +2568,33 @@ impl BenchReport {
             self.observability.trace_ok,
             self.observability.stage_coverage * 100.0,
         );
+        let _ = writeln!(
+            out,
+            "\n== BENCH lawa: raw-speed pass ==\n\
+             columnar kernel        {:>9.1} ms   vs per-root cold walk {:.1} ms ({:.2}×, {} tuples, max Δ {:.2e})",
+            self.raw_speed.columnar_ms,
+            self.raw_speed.memoized_cold_ms,
+            self.raw_speed.valuation_speedup(),
+            self.raw_speed.output_tuples,
+            self.raw_speed.max_delta,
+        );
+        for p in &self.raw_speed.stitch {
+            let _ = writeln!(
+                out,
+                "  stitch reduction: {:>2} workers {:>9.1} ms  depth<={}  batch-equal: {}",
+                p.workers, p.wall_ms, p.depth_max, p.batch_equal,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  immortal facts:   interior {} B vs prefix {} B steady-state ({:.2}×, {} interior retires over {} advances, batch-equal: {})",
+            self.raw_speed.interior_steady_bytes,
+            self.raw_speed.prefix_steady_bytes,
+            self.raw_speed.residency_ratio(),
+            self.raw_speed.interior_retired_segments,
+            self.raw_speed.immortal_advances,
+            self.raw_speed.immortal_batch_equal,
+        );
         out
     }
 }
@@ -2367,6 +2762,7 @@ mod tests {
             parallel: parallel_advance_bench(64, 8, &[1, 2]),
             ingest: ingest_index_bench(&[400]),
             observability: observability_bench(400, 16, 1),
+            raw_speed: raw_speed_bench(800, 8, 1, 64, 16, &[1, 2]),
         };
         let json = report.to_json();
         // Existing top-level schema intact (CI's speedup gate reads these).
@@ -2385,6 +2781,8 @@ mod tests {
         assert!(json.contains("\"ingest_index\""));
         assert!(json.contains("\"observability\""));
         assert!(json.contains("\"overhead_ratio\""));
+        assert!(json.contains("\"raw_speed\""));
+        assert!(json.contains("\"interior_steady_bytes\""));
         assert!(json.contains("\"batch_equal\": true"));
         // Balanced braces (hand-rolled JSON sanity).
         assert_eq!(
@@ -2399,11 +2797,13 @@ mod tests {
         assert!(rendered.contains("bounded-memory streaming"));
         assert!(rendered.contains("multi-tenant server"));
         assert!(rendered.contains("region-parallel advance"));
+        assert!(rendered.contains("raw-speed pass"));
 
         // History round trip: a written file's entries are recovered and
         // extended, and the result stays balanced.
         let e1 = report.history_entry(1_000);
         assert!(e1.contains("\"ingest_speedup_at_largest\""));
+        assert!(e1.contains("\"raw_valuation_speedup\""));
         let with_one = report.to_json_with_history(std::slice::from_ref(&e1));
         assert_eq!(extract_history(&with_one), vec![e1.clone()]);
         let e2 = report.history_entry(2_000);

@@ -130,7 +130,9 @@ mod arena_obs {
     pub(super) struct Handles {
         pub seals: Arc<tp_obs::Counter>,
         pub retires: Arc<tp_obs::Counter>,
+        pub interior_retires: Arc<tp_obs::Counter>,
         pub retired_nodes: Arc<tp_obs::Counter>,
+        pub batched_nodes: Arc<tp_obs::Counter>,
         pub live_nodes: Arc<tp_obs::Gauge>,
         pub live_segments: Arc<tp_obs::Gauge>,
         pub resident_bytes: Arc<tp_obs::Gauge>,
@@ -143,15 +145,26 @@ mod arena_obs {
             Handles {
                 seals: reg.counter("tp_arena_seals_total", &[]),
                 retires: reg.counter("tp_arena_retired_segments_total", &[]),
+                interior_retires: reg.counter("tp_arena_interior_retires_total", &[]),
                 retired_nodes: reg.counter("tp_arena_retired_nodes_total", &[]),
+                batched_nodes: reg.counter("tp_valuation_batched_nodes_total", &[]),
                 live_nodes: reg.gauge("tp_arena_live_nodes", &[]),
                 live_segments: reg.gauge("tp_arena_live_segments", &[]),
                 resident_bytes: reg.gauge("tp_arena_resident_bytes", &[]),
             }
         })
     }
+
+    /// Counts nodes valuated by the columnar batch kernel
+    /// (`tp_core::prob::marginal_batch`) — `tp_valuation_batched_nodes_total`.
+    pub(crate) fn record_batched_nodes(n: u64) {
+        if enabled() && n > 0 {
+            handles().batched_nodes.add(n);
+        }
+    }
 }
 
+pub(crate) use arena_obs::record_batched_nodes;
 pub use arena_obs::{enabled as obs_enabled, set_enabled as set_obs_enabled};
 
 /// A minimal FxHash-style multiply hasher for the small `Copy` keys of the
@@ -427,6 +440,11 @@ pub struct RetiredStorage {
     pub nodes: u64,
     /// Chunk allocations released.
     pub chunks: usize,
+    /// Whether the retirement punched a **hole**: at least one segment
+    /// with a smaller id was still resident when this one retired.
+    /// Interior retires are what free a stream whose oldest facts never
+    /// die from pinning every later segment in RAM.
+    pub interior: bool,
 }
 
 /// The segmented hash-consing store. Obtain the process-wide instance with
@@ -823,6 +841,10 @@ impl LineageArena {
             seg.state.store(STATE_SEALED, Ordering::SeqCst);
             return Err(RetireError::Pinned(pins));
         }
+        // Interior retire: `scan_low` is the lowest non-retired segment
+        // (exact — it only moves under the lifecycle lock we hold), so a
+        // higher id means a lower segment is still resident.
+        let interior = id.0 > self.scan_low.load(Ordering::Acquire);
         let freed = {
             let mut chunks = seg.chunks.write().expect("segment chunks poisoned");
             std::mem::take(&mut *chunks)
@@ -849,12 +871,16 @@ impl LineageArena {
         if arena_obs::enabled() {
             let h = arena_obs::handles();
             h.retires.inc();
+            if interior {
+                h.interior_retires.inc();
+            }
             h.retired_nodes.add(nodes);
             self.publish_obs_gauges();
         }
         Ok(RetiredStorage {
             nodes,
             chunks: freed.len(),
+            interior,
         })
     }
 
@@ -862,25 +888,56 @@ impl LineageArena {
     /// [`RetireError::Pinned`] while any pin is held). Panics if the
     /// segment is already retired.
     pub fn pin(&self, id: SegmentId) -> SegmentPin<'_> {
-        let seg = self
-            .segment_if_opened(id.0)
-            .unwrap_or_else(|| panic!("pin of unopened segment {id}"));
+        match self.try_pin(id) {
+            Ok(pin) => pin,
+            Err(RetireError::Unknown) => panic!("pin of unopened segment {id}"),
+            Err(_) => panic!("lineage use-after-retire: segment {id} was retired"),
+        }
+    }
+
+    /// [`LineageArena::pin`], returning the failure instead of panicking —
+    /// the probe callers that treat a retired segment as "skip" rather
+    /// than "bug" (the columnar valuation walk over a segment range with
+    /// interior holes) use this.
+    pub fn try_pin(&self, id: SegmentId) -> Result<SegmentPin<'_>, RetireError> {
+        let seg = self.segment_if_opened(id.0).ok_or(RetireError::Unknown)?;
         seg.pins.fetch_add(1, Ordering::SeqCst);
         // Counterpart of `retire`'s handshake: RETIRED observed here is
         // either a retire that is about to roll back because it sees our
         // pin (spin briefly — it holds the lifecycle lock for a few
         // atomics only), or a genuinely committed retirement (the state
-        // never leaves RETIRED again — panic after the grace spins).
+        // never leaves RETIRED again — fail after the grace spins).
         let mut spins = 0u32;
         while seg.state.load(Ordering::SeqCst) == STATE_RETIRED {
             if spins >= 128 {
                 seg.pins.fetch_sub(1, Ordering::SeqCst);
-                panic!("lineage use-after-retire: segment {id} was retired");
+                return Err(RetireError::AlreadyRetired);
             }
             spins += 1;
             std::thread::yield_now();
         }
-        SegmentPin { seg, id }
+        Ok(SegmentPin { seg, id })
+    }
+
+    /// A pinned snapshot of one segment's dense slot array for columnar
+    /// walks ([`crate::prob::marginal_batch`]): the published prefix is
+    /// iterated by **slot index**, and children are always interned no
+    /// later than their parents, so a single in-order pass sees every
+    /// child before its first parent. Returns `None` for retired or
+    /// never-opened segments (interior-reclamation holes in a batch's
+    /// segment range are skipped, not errors). The pin is held for the
+    /// snapshot's lifetime, so a racing retire fails `Pinned` instead of
+    /// invalidating the walk.
+    pub(crate) fn snapshot_segment(&self, id: SegmentId) -> Option<SegmentSnapshot<'_>> {
+        let pin = self.try_pin(id).ok()?;
+        let seg = self.segment(id.0);
+        let len = seg.nodes();
+        let chunks = seg.chunks.read().expect("segment chunks poisoned").clone();
+        Some(SegmentSnapshot {
+            _pin: pin,
+            chunks,
+            len,
+        })
     }
 
     /// Reads a node's metadata. Lock-free on the node side; the segment's
@@ -1155,6 +1212,32 @@ impl SegmentPin<'_> {
 impl Drop for SegmentPin<'_> {
     fn drop(&mut self) {
         self.seg.pins.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A pinned per-segment slot-array snapshot for columnar walks; see
+/// [`LineageArena::snapshot_segment`].
+pub(crate) struct SegmentSnapshot<'a> {
+    _pin: SegmentPin<'a>,
+    chunks: Vec<Arc<Chunk>>,
+    len: u32,
+}
+
+impl SegmentSnapshot<'_> {
+    /// Slots claimed at snapshot time; `node_at` is defined for
+    /// `0..len()`.
+    pub(crate) fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// The node shape and 1OF flag at `slot`, or `None` while the slot's
+    /// publication is still in flight (a concurrent intern claimed it
+    /// after our length read — never the case for sealed segments).
+    #[inline]
+    pub(crate) fn node_at(&self, slot: u32) -> Option<(LineageNode, bool)> {
+        let (c, off) = chunk_of(slot);
+        let meta = self.chunks.get(c)?.slots.get(off)?.get()?;
+        Some((meta.node, meta.one_of))
     }
 }
 

@@ -33,7 +33,7 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use crate::arena::{ArenaView, FastMap, LineageArena, LineageNode, LineageRef};
+use crate::arena::{ArenaView, FastMap, LineageArena, LineageNode, LineageRef, SegmentId};
 use crate::error::Result;
 use crate::lineage::{Lineage, LineageTree, TupleId};
 use crate::relation::VarTable;
@@ -358,6 +358,125 @@ pub fn marginal(lineage: &Lineage, vars: &VarTable) -> Result<f64> {
     }
 }
 
+/// Batch marginal valuation with a **columnar kernel**: instead of chasing
+/// each root's `LineageRef`s through the memo map one node at a time, the
+/// kernel walks the dense slot arrays of every arena segment the batch can
+/// reach **in slot order**, writing each node's probability into a
+/// per-segment flat `Vec<f64>`. Children are interned no later than their
+/// parents (the arena's `min_seg` invariant), so a single in-order pass
+/// sees every operand before its first consumer: resolving a child is one
+/// array index — same-segment refs hit the column being filled, earlier
+/// segments hit an already-completed column — with no hashing and no
+/// recursion.
+///
+/// The kernel covers 1OF roots (the guaranteed case for non-repeating TP
+/// set queries, Corollary 1), where the independence-assumption value *is*
+/// the exact marginal; every subformula of a 1OF formula is 1OF, so the
+/// whole reachable cone valuates columnar. Non-1OF roots, roots whose vars
+/// fail to resolve mid-column (e.g. released cohorts), and calls without a
+/// current arena fall back to [`marginal`] per root — bit-identical
+/// results by construction, since the column applies the same f64
+/// operations in the same operand order as [`independent`]'s recursion
+/// (`Var → p`, `Not → 1−p`, `And → p_a·p_b`, `Or → 1−(1−p_a)(1−p_b)`),
+/// and each unique node is computed exactly once on both paths. Interior
+/// reclamation holes in the batch's segment range are skipped; a live
+/// root never resolves into one.
+///
+/// Nodes valuated columnar are counted in
+/// `tp_valuation_batched_nodes_total`.
+pub fn marginal_batch(lineages: &[Lineage], vars: &VarTable) -> Result<Vec<f64>> {
+    if lineages.is_empty() {
+        return Ok(Vec::new());
+    }
+    LineageArena::with_current(|arena| {
+        // Scope of the columnar pass: the union of `[min_seg, seg]` ranges
+        // of the batched (1OF) roots. Everything else falls back.
+        let mut lo = u32::MAX;
+        let mut hi = 0u32;
+        let mut batched = vec![false; lineages.len()];
+        for (i, l) in lineages.iter().enumerate() {
+            let r = l.node_ref();
+            if arena.one_of(r) {
+                batched[i] = true;
+                lo = lo.min(arena.min_segment(r).0);
+                hi = hi.max(r.segment().0);
+            }
+        }
+        let mut cols: FastMap<u32, Vec<f64>> = FastMap::default();
+        let mut batched_nodes = 0u64;
+        if lo <= hi {
+            let probs = vars.prob_reader();
+            for seg in lo..=hi {
+                let Some(snap) = arena.snapshot_segment(SegmentId(seg)) else {
+                    continue; // interior hole or never-opened id
+                };
+                let len = snap.len() as usize;
+                let mut col = vec![f64::NAN; len];
+                for slot in 0..snap.len() {
+                    let Some((node, one_of)) = snap.node_at(slot) else {
+                        continue;
+                    };
+                    if !one_of {
+                        continue; // non-1OF cones go through `marginal`
+                    }
+                    let p = match node {
+                        LineageNode::Var(id) => probs.prob(id).unwrap_or(f64::NAN),
+                        LineageNode::Not(c) => 1.0 - col_prob(&col, &cols, seg, c),
+                        LineageNode::And(a, b) => {
+                            col_prob(&col, &cols, seg, a) * col_prob(&col, &cols, seg, b)
+                        }
+                        LineageNode::Or(a, b) => {
+                            let pa = col_prob(&col, &cols, seg, a);
+                            let pb = col_prob(&col, &cols, seg, b);
+                            1.0 - (1.0 - pa) * (1.0 - pb)
+                        }
+                    };
+                    col[slot as usize] = p;
+                    batched_nodes += 1;
+                }
+                cols.insert(seg, col);
+            }
+        }
+        crate::arena::record_batched_nodes(batched_nodes);
+        let mut out = Vec::with_capacity(lineages.len());
+        for (i, l) in lineages.iter().enumerate() {
+            let p = if batched[i] {
+                col_prob(&[], &cols, u32::MAX, l.node_ref())
+            } else {
+                f64::NAN
+            };
+            if p.is_nan() {
+                // Non-1OF root, unresolved var, or a column miss: the
+                // memoized evaluator is the single source of truth for
+                // every case the kernel does not cover (including the
+                // error it should report).
+                out.push(marginal(l, vars)?);
+            } else {
+                out.push(p);
+            }
+        }
+        Ok(out)
+    })
+}
+
+/// Resolves a child ref during the columnar walk: the column being filled
+/// for same-segment refs, a completed column otherwise; `NaN` for anything
+/// absent (propagates through the arithmetic and routes the root to the
+/// fallback).
+#[inline]
+fn col_prob(col: &[f64], cols: &FastMap<u32, Vec<f64>>, seg: u32, r: LineageRef) -> f64 {
+    let s = r.segment().0;
+    let column: &[f64] = if s == seg {
+        col
+    } else {
+        match cols.get(&s) {
+            Some(c) => c,
+            None => return f64::NAN,
+        }
+    };
+    column.get(r.slot() as usize).copied().unwrap_or(f64::NAN)
+}
+
 /// Anytime approximation: draws samples until the two-sided 95% Hoeffding
 /// half-width falls below `epsilon` (or `max_samples` is reached), in the
 /// spirit of the anytime algorithms the paper cites (\[25\], \[29\]).
@@ -457,6 +576,43 @@ mod tests {
         let vars = vt(&[0.3, 0.6]);
         let p = independent(&Lineage::or(&v(0), &v(1)), &vars).unwrap();
         assert!((p - 0.72).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_batch_matches_marginal_bitwise() {
+        // Mixed batch: 1OF roots (columnar) and a repeating root
+        // (fallback) must both equal the memoized evaluator exactly.
+        let vars = vt(&[0.3, 0.6, 0.7, 0.45]);
+        let one_of = vec![
+            Lineage::and_not(&v(2), Some(&Lineage::or(&v(0), &v(1)))),
+            Lineage::or(&v(0), &v(3)),
+            v(1),
+            Lineage::and(&v(2), &v(3)),
+        ];
+        let repeating = Lineage::and(&Lineage::or(&v(0), &v(1)), &Lineage::or(&v(0), &v(2)));
+        let mut batch = one_of.clone();
+        batch.push(repeating);
+        let got = marginal_batch(&batch, &vars).unwrap();
+        for (l, p) in batch.iter().zip(&got) {
+            let expect = marginal(l, &vars).unwrap();
+            assert_eq!(expect.to_bits(), p.to_bits(), "{expect} vs {p}");
+        }
+    }
+
+    #[test]
+    fn marginal_batch_spans_sealed_segments() {
+        // Children in an earlier (sealed) segment resolve from a
+        // completed column, not the open one.
+        let arena = LineageArena::shared(1);
+        let _scope = LineageArena::enter(&arena);
+        let vars = vt(&[0.3, 0.6]);
+        let a = v(0);
+        let b = v(1);
+        arena.seal();
+        let root = Lineage::or(&a, &b);
+        assert_ne!(root.node_ref().segment(), a.node_ref().segment());
+        let got = marginal_batch(std::slice::from_ref(&root), &vars).unwrap();
+        assert!((got[0] - 0.72).abs() < 1e-15, "got {}", got[0]);
     }
 
     #[test]

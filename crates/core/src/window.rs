@@ -444,7 +444,8 @@ impl RegionPlan {
 
 /// Merges per-region window streams (region/timeline order, each stream in
 /// the sweep's `(F, winTs)` order) back into the **sequential** window
-/// stream: a k-way merge by `(fact, winTs)` re-establishes the global
+/// stream: a pairwise tree reduction of two-way merges by `(fact, winTs)`
+/// ([`stitch_pair`]) re-establishes the global
 /// order, and adjacent same-fact windows with *identical* λ handles on both
 /// sides — which, for inputs in the model's standard regime, occur exactly
 /// at the plan's artificial cuts — are re-joined into one window.
@@ -470,42 +471,89 @@ pub fn stitch_windows(regions: Vec<Vec<LineageAwareWindow>>) -> Vec<LineageAware
 /// payload (e.g. the per-op output lineages a parallel sweep precomputed).
 /// This is the single implementation of the merge: there is exactly one
 /// place the `(fact, winTs)` comparator and the cut-re-join condition
-/// live. The payloads of a re-joined cut pair must agree — identical λ
-/// inputs derive identical data — and debug builds assert it.
+/// live ([`stitch_pair`]). The payloads of a re-joined cut pair must agree
+/// — identical λ inputs derive identical data — and debug builds assert
+/// it.
 ///
-/// The merge moves every window exactly once (each region is reversed and
-/// popped from its tail), so the coordinator's serial stitch pays no
-/// clones.
+/// The merge is a **pairwise tree reduction**: rounds of adjacent-pair
+/// two-way merges ([`stitch_pair`]), `⌈log₂ k⌉` deep ([`stitch_depth`]),
+/// instead of the old serial k-way scan. The output is byte-identical to
+/// the k-way merge for any plan, by two facts. First, the `(fact, winTs)`
+/// comparator is a *strict* total order across regions — a window's start
+/// determines its region (region spans partition the timeline), so two
+/// windows of the same fact in different regions never share a start —
+/// and any merge discipline produces the same sorted sequence. Second,
+/// the cut re-join is confluent: a joined window keeps the fact, λ
+/// handles, and right edge of its last constituent, so joinability of the
+/// next window is unchanged by earlier joins, and no window of a third
+/// region can sort *between* a joinable pair (it would have to start
+/// inside the left half's interval, hence inside the left half's region).
+/// Hierarchical greedy coalescing therefore equals one flat left-to-right
+/// pass. The rounds are independent per pair, which is what lets the
+/// engine fan them over workers (`tp-stream`); this function is the
+/// deterministic single-threaded reduction.
 pub fn stitch_annotated<T: PartialEq + std::fmt::Debug>(
-    mut regions: Vec<Vec<(LineageAwareWindow, T)>>,
+    regions: Vec<Vec<(LineageAwareWindow, T)>>,
 ) -> Vec<(LineageAwareWindow, T)> {
-    let total: usize = regions.iter().map(Vec::len).sum();
-    let mut out: Vec<(LineageAwareWindow, T)> = Vec::with_capacity(total);
-    for region in &mut regions {
-        region.reverse(); // pop() now yields windows in stream order
+    let mut layer = regions;
+    if layer.len() == 1 {
+        // Single region: still run the coalesce pass (the k-way merge
+        // applied the re-join check to consecutive outputs even within
+        // one region).
+        return stitch_pair(layer.pop().expect("len checked"), Vec::new());
     }
-    loop {
-        // The k-way merge head: the region whose next window is smallest
-        // in (fact, winTs). Region count is small (the worker budget), so
-        // a linear scan beats a heap.
-        let mut best: Option<usize> = None;
-        for (k, windows) in regions.iter().enumerate() {
-            let Some((w, _)) = windows.last() else {
-                continue;
-            };
-            let better = match best {
-                None => true,
-                Some(b) => {
-                    let (cur, _) = regions[b].last().expect("best region has a head");
-                    (&w.fact, w.interval.start()) < (&cur.fact, cur.interval.start())
-                }
-            };
-            if better {
-                best = Some(k);
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        let mut it = layer.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(stitch_pair(a, b)),
+                None => next.push(a),
             }
         }
-        let Some(k) = best else { break };
-        let (w, payload) = regions[k].pop().expect("head just probed");
+        layer = next;
+    }
+    layer.pop().unwrap_or_default()
+}
+
+/// The number of pairwise-reduction rounds [`stitch_annotated`] runs over
+/// `regions` region streams: `⌈log₂ regions⌉` (0 for a single region).
+pub fn stitch_depth(regions: usize) -> usize {
+    let mut rounds = 0;
+    let mut n = regions.max(1);
+    while n > 1 {
+        n = n.div_ceil(2);
+        rounds += 1;
+    }
+    rounds
+}
+
+/// Merges two window streams (each in `(F, winTs)` order) into one,
+/// re-joining adjacent same-fact windows with identical λ handles on both
+/// sides — the artificial region cuts. This is the two-way step of the
+/// tree reduction and the single home of the comparator and the re-join
+/// condition. Every window moves exactly once (streams are reversed and
+/// popped from their tails), so a full reduction moves each window once
+/// per round.
+pub fn stitch_pair<T: PartialEq + std::fmt::Debug>(
+    mut a: Vec<(LineageAwareWindow, T)>,
+    mut b: Vec<(LineageAwareWindow, T)>,
+) -> Vec<(LineageAwareWindow, T)> {
+    let mut out: Vec<(LineageAwareWindow, T)> = Vec::with_capacity(a.len() + b.len());
+    a.reverse(); // pop() now yields windows in stream order
+    b.reverse();
+    loop {
+        let take_a = match (a.last(), b.last()) {
+            (Some((wa, _)), Some((wb, _))) => {
+                (&wa.fact, wa.interval.start()) < (&wb.fact, wb.interval.start())
+            }
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        let (w, payload) = if take_a { &mut a } else { &mut b }
+            .pop()
+            .expect("head just probed");
         if let Some((last, last_payload)) = out.last_mut() {
             if last.fact == w.fact
                 && last.interval.end() == w.interval.start()

@@ -175,6 +175,15 @@ pub struct ReclaimConfig {
     /// variables to the first cohort and release them while their tuples
     /// are still in flight. `None` keeps the table append-only.
     pub vars: Option<Arc<VarTable>>,
+    /// Interior-segment reclamation (default: on). Every aged-out sealed
+    /// segment that no live ref can reach retires, **wherever it sits in
+    /// the seal order** — a few immortal facts pin only their own
+    /// segments, not every later one. `false` restores the prefix-ordered
+    /// schedule (retirement stops at the first kept segment), the
+    /// baseline the `raw_speed` bench compares residency against.
+    /// Liveness is judged the same way in both modes, and retirement
+    /// never affects emitted deltas — only resident memory.
+    pub interior: bool,
 }
 
 impl Default for ReclaimConfig {
@@ -183,6 +192,7 @@ impl Default for ReclaimConfig {
             keep_epochs: 2,
             shards: MAX_SHARDS,
             vars: None,
+            interior: true,
         }
     }
 }
@@ -312,8 +322,12 @@ pub struct AdvanceStats {
     pub released: [usize; 2],
     /// Residual tuples carried into the next advance `[left, right]`.
     pub carried: [usize; 2],
-    /// Arena segments retired by this advance (reclaim mode only).
+    /// Arena segments retired by this advance (reclaim mode only) —
+    /// prefix **and** interior retires.
     pub retired_segments: u64,
+    /// Of those, segments retired out of prefix order (a lower segment
+    /// was still resident — the interior-reclamation holes).
+    pub interior_retired_segments: u64,
     /// Interned nodes whose storage those retirements released.
     pub retired_nodes: u64,
     /// Variables released from the attached sliding var registry
@@ -331,6 +345,9 @@ pub struct AdvanceStats {
     /// Tuple pieces across all regions — the closed pieces of the advance,
     /// including the extra clippings the plan's cuts introduced.
     pub region_tuples: usize,
+    /// Pairwise-reduction rounds the stitch of a sharded sweep ran
+    /// (`⌈log₂ regions⌉`; 0 for a sequential sweep).
+    pub stitch_depth: usize,
     /// Gap occupancy of the ingestion index at the start of the advance,
     /// in permille of allocated slots (0 with [`BufferKind::Legacy`] or
     /// empty buffers). Healthy steady state sits between the post-rebuild
@@ -459,6 +476,11 @@ pub struct StreamEngine {
     /// counter at seal time (for the `keep_epochs` grace window) and the
     /// var cohort sealed alongside, if a registry is attached.
     sealed: VecDeque<SealedSegment>,
+    /// Var cohorts of *retired* segments whose release is still held back:
+    /// [`VarTable::release_vars_before`] is a prefix drop, so an interior
+    /// retire's cohort waits here (epoch order) until every older cohort's
+    /// segment has retired too.
+    pending_var_release: Vec<VarEpoch>,
     /// Watermark advances executed (drives the grace window).
     advance_count: u64,
     /// Total segments retired over the engine's lifetime.
@@ -511,6 +533,7 @@ impl StreamEngine {
             verify_mirror,
             arena,
             sealed: VecDeque::new(),
+            pending_var_release: Vec::new(),
             advance_count: 0,
             reclaimed_segments: 0,
             reclaimed_nodes: 0,
@@ -874,14 +897,19 @@ impl StreamEngine {
     }
 
     /// Seals the segment of the just-finalized advance and retires every
-    /// sealed segment below the live frontier (and past the `keep_epochs`
-    /// grace window). The frontier is the smallest arena segment reachable
-    /// from any ref the engine still holds — pending arrivals, carried
-    /// residuals and (under `verify_batch`) the accepted history. Tail
-    /// entries are deliberately *not* part of the frontier: they are only
-    /// ever ref-compared, never dereferenced, and a tail whose segment
-    /// died cannot be continued anyway (its residual would have kept the
-    /// segment alive).
+    /// aged-out sealed segment that no live ref can reach. A held lineage
+    /// keeps every segment in `[min_segment, segment]` resident (its
+    /// reachable set is contained in that range — the arena invariant);
+    /// the live refs are the pending arrivals, carried residuals and
+    /// (under `verify_batch`) the accepted history. With
+    /// [`ReclaimConfig::interior`] (the default) dead segments retire
+    /// **wherever they sit** in the seal order — a long-lived fact pins
+    /// its own segments only, not every later one; `interior: false`
+    /// restores the prefix-ordered schedule (retirement stops at the
+    /// first kept segment). Tail entries are deliberately *not* part of
+    /// the frontier: they are only ever ref-compared, never dereferenced,
+    /// and a tail whose segment died cannot be continued anyway (its
+    /// residual would have kept the segment alive).
     fn reclaim_dead_segments(&mut self, sink: &mut impl StreamSink, stats: &mut AdvanceStats) {
         let rc = self.cfg.reclaim.clone().expect("reclaim mode");
         let arena = Arc::clone(self.arena.as_ref().expect("reclaim implies arena"));
@@ -904,13 +932,14 @@ impl StreamEngine {
                 var_epoch,
             });
         }
-        let mut live_low = arena.open_segment();
+        // Live coverage: the union of `[min_segment, segment]` ranges over
+        // every ref the engine still holds, merged into disjoint
+        // intervals so the per-segment probe is a binary search.
+        let mut ranges: Vec<(u32, u32)> = Vec::new();
         {
             let mut probe = |l: &Lineage| {
-                let m = arena.min_segment(l.node_ref());
-                if m < live_low {
-                    live_low = m;
-                }
+                let r = l.node_ref();
+                ranges.push((arena.min_segment(r).0, r.segment().0));
             };
             for side in 0..2 {
                 self.pending[side].for_each(|t| probe(&t.lineage));
@@ -922,34 +951,71 @@ impl StreamEngine {
                 }
             }
         }
-        while let Some(entry) = self.sealed.front() {
-            let (seg, sealed_at) = (entry.seg, entry.sealed_at);
-            let aged_out = self.advance_count.saturating_sub(sealed_at) >= rc.keep_epochs as u64;
-            if seg >= live_low || !aged_out {
-                break;
+        ranges.sort_unstable();
+        let mut live: Vec<(u32, u32)> = Vec::new();
+        for (lo, hi) in ranges {
+            match live.last_mut() {
+                Some((_, last_hi)) if lo <= last_hi.saturating_add(1) => {
+                    *last_hi = (*last_hi).max(hi);
+                }
+                _ => live.push((lo, hi)),
             }
-            match arena.retire(seg) {
+        }
+        let covered = |seg: SegmentId| -> bool {
+            let idx = live.partition_point(|&(lo, _)| lo <= seg.0);
+            idx > 0 && live[idx - 1].1 >= seg.0
+        };
+        let mut kept: VecDeque<SealedSegment> = VecDeque::with_capacity(self.sealed.len());
+        for entry in std::mem::take(&mut self.sealed) {
+            let aged_out =
+                self.advance_count.saturating_sub(entry.sealed_at) >= rc.keep_epochs as u64;
+            // Prefix mode: nothing retires past the first kept segment.
+            let keep = (!rc.interior && !kept.is_empty()) || !aged_out || covered(entry.seg);
+            if keep {
+                kept.push_back(entry);
+                continue;
+            }
+            match arena.retire(entry.seg) {
                 Ok(freed) => {
-                    let entry = self.sealed.pop_front().expect("front just probed");
                     self.reclaimed_segments += 1;
                     self.reclaimed_nodes += freed.nodes;
                     stats.retired_segments += 1;
                     stats.retired_nodes += freed.nodes;
-                    // Retire the var cohorts of the same advance window:
-                    // nothing live reaches the segment anymore, so nothing
-                    // live references the variables whose Var nodes it
-                    // held. Probabilities, labels and the bound segments'
-                    // marginal-cache rows are dropped together.
-                    if let (Some(vars), Some(epoch)) = (rc.vars.as_ref(), entry.var_epoch) {
-                        let released = vars.release_vars_before(epoch.next());
-                        self.reclaimed_vars += released.vars;
-                        stats.released_vars += released.vars;
+                    if freed.interior {
+                        stats.interior_retired_segments += 1;
                     }
-                    sink.on_retire(seg);
+                    // The cohort's vars are dead with the segment (nothing
+                    // live reaches their Var nodes), but the release
+                    // itself is a prefix drop — hold it back until every
+                    // older cohort's segment has retired too.
+                    if let Some(epoch) = entry.var_epoch {
+                        self.pending_var_release.push(epoch);
+                    }
+                    sink.on_retire(entry.seg);
                 }
                 // Pinned by a consumer-held view: back off, retry on the
                 // next advance.
-                Err(_) => break,
+                Err(_) => kept.push_back(entry),
+            }
+        }
+        self.sealed = kept;
+        // Release the var cohorts whose whole prefix is now retired:
+        // probabilities, labels and the bound segments' marginal-cache
+        // rows are dropped together, in epoch order.
+        if let Some(vars) = rc.vars.as_ref() {
+            if !self.pending_var_release.is_empty() {
+                let frontier = self.sealed.iter().find_map(|e| e.var_epoch);
+                let n = match frontier {
+                    Some(f) => self.pending_var_release.partition_point(|e| e.0 < f.0),
+                    None => self.pending_var_release.len(),
+                };
+                if n > 0 {
+                    let upto = self.pending_var_release[n - 1];
+                    let released = vars.release_vars_before(upto.next());
+                    self.reclaimed_vars += released.vars;
+                    stats.released_vars += released.vars;
+                    self.pending_var_release.drain(..n);
+                }
             }
         }
     }
@@ -1114,6 +1180,9 @@ const OP_SLOTS: usize = 3;
 
 /// Per-window op lineages, aligned with `EngineConfig::ops`.
 type OpLineages = [Option<Lineage>; OP_SLOTS];
+/// One region's annotated window stream, as produced by a sub-sweep and
+/// consumed by the pairwise stitch reduction.
+type RegionStream = Vec<(LineageAwareWindow, OpLineages)>;
 
 /// The λ-filter/λ-function of Algorithms 2–4 for one window — shared by
 /// the sequential sweep loop and the region workers, so there is exactly
@@ -1143,9 +1212,10 @@ fn op_lineage(op: SetOp, w: &LineageAwareWindow) -> Option<Lineage> {
 /// [`RegionPlan::partition`] preserves that order within each region) the
 /// per-worker sorts are skipped entirely — the serial fraction PR 5 left
 /// inside each worker disappears. The stitched stream equals the
-/// sequential sweep's byte for byte; the stitch itself is
-/// [`tp_core::window::stitch_annotated`] — the one implementation of the
-/// merge, shared with the core layer.
+/// sequential sweep's byte for byte; the stitch runs as a pairwise tree
+/// reduction over [`tp_core::window::stitch_pair`] (the same primitive
+/// [`tp_core::window::stitch_annotated`] is built from), so merge work no
+/// longer serializes at high worker counts.
 fn sweep_regions(
     ready: &[Vec<TpTuple>; 2],
     plan: &RegionPlan,
@@ -1221,13 +1291,68 @@ fn sweep_regions(
             .flat_map(|h| h.join().expect("region worker panicked"))
             .collect()
     });
-    let stitch_t0 = span_ctx.map(|_| crate::obs::now_ns());
-    let stitched = tp_core::window::stitch_annotated(per_region);
-    if let (Some(ctx), Some(t0)) = (span_ctx, stitch_t0) {
-        let dur = crate::obs::now_ns() - t0;
-        crate::obs::record_sub_span("stitch", t0, dur, ctx, stitched.len() as u64);
+    // Pairwise tree reduction replaces the coordinator's serial k-way
+    // merge: each round halves the stream count and merges its pairs
+    // concurrently, so ⌈log₂ k⌉ rounds remain where a k-stream merge
+    // serialized. `stitch_pair` only compares lineage *handles* (O(1),
+    // no dereference), so the reduction threads skip the arena scope.
+    let mut layer = per_region;
+    let mut depth = 0usize;
+    if layer.len() == 1 {
+        // Single-region plans (a pinned cut set) still get the coalesce
+        // pass the merge applies within one stream.
+        let round_t0 = span_ctx.map(|_| crate::obs::now_ns());
+        let only = tp_core::window::stitch_pair(layer.pop().expect("len checked"), Vec::new());
+        if let (Some(ctx), Some(t0)) = (span_ctx, round_t0) {
+            let dur = crate::obs::now_ns() - t0;
+            crate::obs::record_sub_span("stitch_reduce", t0, dur, ctx, only.len() as u64);
+        }
+        layer = vec![only];
     }
-    stitched
+    while layer.len() > 1 {
+        depth += 1;
+        let round_t0 = span_ctx.map(|_| crate::obs::now_ns());
+        let mut pairs: Vec<(RegionStream, Option<RegionStream>)> =
+            Vec::with_capacity(layer.len().div_ceil(2));
+        let mut it = layer.into_iter();
+        while let Some(a) = it.next() {
+            pairs.push((a, it.next()));
+        }
+        let reduce = |(a, b): (RegionStream, Option<RegionStream>)| match b {
+            Some(b) => tp_core::window::stitch_pair(a, b),
+            None => a,
+        };
+        layer = if pairs.len() > 1 && workers > 1 {
+            let threads = workers.clamp(1, pairs.len());
+            let per_thread = pairs.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let mut chunks = Vec::with_capacity(threads);
+                let mut it = pairs.into_iter();
+                loop {
+                    let chunk: Vec<_> = it.by_ref().take(per_thread).collect();
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    chunks.push(
+                        scope.spawn(move || chunk.into_iter().map(reduce).collect::<Vec<_>>()),
+                    );
+                }
+                chunks
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("stitch worker panicked"))
+                    .collect()
+            })
+        } else {
+            pairs.into_iter().map(reduce).collect()
+        };
+        if let (Some(ctx), Some(t0)) = (span_ctx, round_t0) {
+            let dur = crate::obs::now_ns() - t0;
+            let merged: u64 = layer.iter().map(|l| l.len() as u64).sum();
+            crate::obs::record_sub_span("stitch_reduce", t0, dur, ctx, merged);
+        }
+    }
+    stats.stitch_depth = depth;
+    layer.pop().unwrap_or_default()
 }
 
 #[cfg(test)]

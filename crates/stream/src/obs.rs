@@ -19,11 +19,12 @@
 //!
 //! **Sub-spans** (category `"sub"`) overlap their parent stage and are
 //! excluded from the tiling sum: `region` (one per worker block of a
-//! parallel sweep, recorded on the worker's own thread), `stitch` (the
-//! coordinator merge), `emit` (the delta-emission loop of a parallel
-//! advance), and `retrain` (a gapped-index rebuild, recorded in
-//! [`crate::gapped`]). A whole-advance span (category `"advance"`) wraps
-//! the stages. All spans of one engine share an interned context label
+//! parallel sweep, recorded on the worker's own thread), `stitch_reduce`
+//! (one per round of the pairwise stitch reduction), `emit` (the
+//! delta-emission loop of a parallel advance), `retrain` (a gapped-index
+//! rebuild, recorded in [`crate::gapped`]), and `valuate_batch` (the
+//! columnar marginal kernel, recorded by [`valuate_batch`]). A
+//! whole-advance span (category `"advance"`) wraps the stages. All spans of one engine share an interned context label
 //! ([`tp_obs::ctx_id`]) — the tenant name under a [`StreamServer`]
 //! (crate::StreamServer), `"engine"` otherwise — so exports and tests can
 //! filter one run out of the process-wide ring buffers.
@@ -40,7 +41,7 @@ pub use tp_obs::{
     chrome_trace_json, ctx_label, global, now_ns, render_all, snapshot_spans, MetricsRegistry,
     Section, SpanEvent,
 };
-use tp_obs::{ctx_id, record_span, Counter, Histogram};
+use tp_obs::{ctx_id, record_span, Counter, Gauge, Histogram};
 
 use crate::engine::AdvanceStats;
 
@@ -129,6 +130,9 @@ pub(crate) struct EngineObs {
     late: Arc<Counter>,
     advance_ns: Arc<Histogram>,
     stage_ns: Vec<Arc<Histogram>>,
+    /// Pairwise-reduction rounds of the latest sharded stitch (0 while
+    /// the engine sweeps sequentially).
+    stitch_depth: Arc<Gauge>,
 }
 
 impl EngineObs {
@@ -164,6 +168,7 @@ impl EngineObs {
             late: reg.counter("tp_late_dropped_total", &labels),
             advance_ns: reg.histogram("tp_advance_ns", &labels),
             stage_ns,
+            stitch_depth: reg.gauge("tp_stitch_depth", &labels),
         }))
     }
 
@@ -237,7 +242,35 @@ impl<'a> StageCursor<'a> {
         obs.extends.add(stats.extends);
         obs.released
             .add((stats.released[0] + stats.released[1]) as u64);
+        obs.stitch_depth.set(stats.stitch_depth as i64);
     }
+}
+
+/// Batch-valuates marginals through the columnar kernel
+/// ([`tp_core::prob::marginal_batch`]), recording a `valuate_batch`
+/// sub-span (category `"sub"`, so the stage tiling is untouched) under
+/// the shared `"valuation"` context with the batch size as payload. The
+/// kernel itself also bumps `tp_valuation_batched_nodes_total` for every
+/// node it resolves columnar-side. This is the instrumented valuation
+/// entry point shared by the repl, the examples and the bench harness;
+/// callers that want raw access use `tp_core::prob::marginal_batch`
+/// directly.
+pub fn valuate_batch(
+    lineages: &[tp_core::lineage::Lineage],
+    vars: &tp_core::relation::VarTable,
+) -> tp_core::error::Result<Vec<f64>> {
+    let t0 = now_ns();
+    let out = tp_core::prob::marginal_batch(lineages, vars);
+    let dur = now_ns() - t0;
+    record_span(
+        "valuate_batch",
+        "sub",
+        t0,
+        dur,
+        ctx_id("valuation"),
+        lineages.len() as u64,
+    );
+    out
 }
 
 /// Renders one advance's [`AdvanceStats`] as a [`Section`] — the single
@@ -267,6 +300,10 @@ pub fn advance_section(stats: &AdvanceStats) -> Section {
                 stats.region_balance()
             ),
         )
+        .row_opt(
+            "stitch depth",
+            (stats.stitch_depth > 0).then(|| format!("{} rounds", stats.stitch_depth)),
+        )
         .row(
             "gap occupancy",
             format!("{}‰", stats.gap_occupancy_permille),
@@ -282,8 +319,11 @@ pub fn advance_section(stats: &AdvanceStats) -> Section {
             "retired",
             (stats.retired_segments > 0 || stats.retired_nodes > 0).then(|| {
                 format!(
-                    "{} segments / {} nodes, {} vars released",
-                    stats.retired_segments, stats.retired_nodes, stats.released_vars
+                    "{} segments ({} interior) / {} nodes, {} vars released",
+                    stats.retired_segments,
+                    stats.interior_retired_segments,
+                    stats.retired_nodes,
+                    stats.released_vars
                 )
             }),
         )

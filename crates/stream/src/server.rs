@@ -195,6 +195,7 @@ impl<S: StreamSink + Send> StreamServer<S> {
                 keep_epochs: self.cfg.keep_epochs,
                 shards: self.cfg.shards,
                 vars: Some(Arc::clone(&vars)),
+                interior: true,
             }),
             // One region worker until the wave scheduler hands the tenant
             // a share of the spare budget (`schedule_region_workers`).

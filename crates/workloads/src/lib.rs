@@ -39,8 +39,8 @@ pub use multi_tenant::{
     multi_tenant_stream, replay_waves, MultiTenantConfig, TenantEvent, TenantScript,
 };
 pub use replay::{
-    meteo_stream, skewed_synth_stream, sliding_synth_stream, synth_stream, webkit_stream,
-    zipf_slot_counts, SkewedConfig, SlidingConfig, StreamWorkload,
+    immortal_facts_stream, meteo_stream, skewed_synth_stream, sliding_synth_stream, synth_stream,
+    webkit_stream, zipf_slot_counts, ImmortalConfig, SkewedConfig, SlidingConfig, StreamWorkload,
 };
 pub use shift::shifted_copy;
 pub use stats::DatasetStats;

@@ -141,6 +141,103 @@ pub fn sliding_synth_stream(cfg: &SlidingConfig, vars: &mut VarTable) -> StreamW
     )
 }
 
+/// Parameters of the immortal-facts stream ([`immortal_facts_stream`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ImmortalConfig {
+    /// Watermark advances (epochs) to generate.
+    pub epochs: usize,
+    /// Tuples per side per epoch in the sliding body.
+    pub per_epoch: usize,
+    /// Distinct facts the body tuples rotate over.
+    pub facts: usize,
+    /// Facts whose single tuple spans the **whole** timeline: their
+    /// residuals stay carried (hence their arena segment stays live)
+    /// until the final watermark.
+    pub immortals: usize,
+    /// Time points per epoch.
+    pub stride: i64,
+    /// Seed for the per-tuple probability jitter.
+    pub seed: u64,
+}
+
+impl Default for ImmortalConfig {
+    fn default() -> Self {
+        ImmortalConfig {
+            epochs: 64,
+            per_epoch: 16,
+            facts: 8,
+            immortals: 2,
+            stride: 64,
+            seed: 31,
+        }
+    }
+}
+
+/// A sliding-window stream with a small **immortal cohort**: `immortals`
+/// facts contribute one tuple per side spanning the entire timeline, so
+/// their residuals are carried — and their arena segment stays live —
+/// for the whole run, while the body behaves exactly like
+/// [`sliding_synth_stream`]. This is the adversarial shape for
+/// **prefix-ordered** segment retirement: the immortal cohort's segment
+/// sits at the front of the seal order and pins every later segment,
+/// so residency grows linearly with `epochs`. Interior reclamation
+/// ([`tp_stream::ReclaimConfig::interior`]) retires the dead body
+/// segments around the pinned one and plateaus instead — the contrast
+/// the `raw_speed` bench section measures.
+pub fn immortal_facts_stream(cfg: &ImmortalConfig, vars: &mut VarTable) -> StreamWorkload {
+    use tp_core::fact::Fact;
+    use tp_core::interval::Interval;
+
+    let facts = cfg.facts.max(1) as i64;
+    let stride = cfg.stride.max(8);
+    let horizon = cfg.epochs.max(1) as i64 * stride;
+    let copies = ((cfg.per_epoch as i64 / facts).max(1)).min(stride / 4);
+    let sub = stride / copies;
+    let span = (sub / 2).max(1);
+    let jitter = |x: i64| 0.25 + 0.5 * (((cfg.seed as i64 + x).rem_euclid(97)) as f64 / 97.0);
+    let mut rows_r = Vec::new();
+    let mut rows_s = Vec::new();
+    // The immortal cohort: facts 0..immortals, one whole-timeline tuple
+    // per side (offset by one point so the pair overlaps rather than
+    // coincides). Arriving at t=0, they land in the earliest arena
+    // segment a reclaiming engine ever seals.
+    for i in 0..cfg.immortals as i64 {
+        let fact = Fact::single(i);
+        rows_r.push((fact.clone(), Interval::at(0, horizon), jitter(i)));
+        rows_s.push((fact, Interval::at(1, horizon + 1), jitter(i + 1)));
+    }
+    // The sliding body, on facts disjoint from the immortal cohort.
+    for e in 0..cfg.epochs as i64 {
+        for f in 0..facts {
+            for c in 0..copies {
+                let fact = Fact::single(cfg.immortals as i64 + f);
+                let base = e * stride + c * sub;
+                rows_r.push((
+                    fact.clone(),
+                    Interval::at(base, base + span),
+                    jitter(base + f),
+                ));
+                rows_s.push((
+                    fact,
+                    Interval::at(base + span / 3, base + span / 3 + span),
+                    jitter(base + f + 1),
+                ));
+            }
+        }
+    }
+    let r = TpRelation::base("r", rows_r, vars).expect("immortal rows are duplicate-free");
+    let s = TpRelation::base("s", rows_s, vars).expect("immortal rows are duplicate-free");
+    StreamWorkload::new(
+        r,
+        s,
+        &ReplayConfig {
+            lateness: stride / 4,
+            advance_every: (2 * facts * copies) as usize,
+            seed: cfg.seed,
+        },
+    )
+}
+
 /// Parameters of the skew-hot synthetic stream ([`skewed_synth_stream`]).
 #[derive(Debug, Clone, Copy)]
 pub struct SkewedConfig {
@@ -332,6 +429,30 @@ mod tests {
         // Advances scale with epochs (the bounded live set per advance is
         // what the reclaiming engine turns into a memory plateau).
         assert!(long.script.advances() >= 2 * short.script.advances() - 2);
+    }
+
+    #[test]
+    fn immortal_stream_is_duplicate_free_and_matches_batch() {
+        let mut vars = VarTable::new();
+        let cfg = ImmortalConfig {
+            epochs: 12,
+            ..Default::default()
+        };
+        let w = immortal_facts_stream(&cfg, &mut vars);
+        w.r.check_duplicate_free().unwrap();
+        w.s.check_duplicate_free().unwrap();
+        // The cohort really is immortal: per side, `immortals` tuples
+        // span the whole timeline.
+        let horizon = cfg.epochs as i64 * cfg.stride;
+        let immortal = |rel: &TpRelation| {
+            rel.iter()
+                .filter(|t| t.interval.start() <= 1 && t.interval.end() >= horizon)
+                .count()
+        };
+        assert_eq!(immortal(&w.r), cfg.immortals);
+        assert_eq!(immortal(&w.s), cfg.immortals);
+        assert!(w.script.advances() >= cfg.epochs / 2);
+        assert_stream_equals_batch(&w);
     }
 
     #[test]

@@ -116,6 +116,7 @@ fn main() -> Result<()> {
     let mut peak_nodes = 0usize;
     let (mut windows, mut inserts, mut extends) = (0usize, 0u64, 0u64);
     let (mut max_regions, mut worst_balance) = (0usize, 0.0f64);
+    let (mut max_stitch_depth, mut interior_retired) = (0usize, 0u64);
     let (mut peak_occupancy, mut retrains, mut worst_shift_p99) = (0u32, 0u64, 0u32);
     for event in &workload.script.events {
         match event {
@@ -129,6 +130,8 @@ fn main() -> Result<()> {
                 extends += stats.extends;
                 max_regions = max_regions.max(stats.regions_used);
                 worst_balance = worst_balance.max(stats.region_balance());
+                max_stitch_depth = max_stitch_depth.max(stats.stitch_depth);
+                interior_retired += stats.interior_retired_segments;
                 peak_occupancy = peak_occupancy.max(stats.gap_occupancy_permille);
                 retrains += stats.index_retrains;
                 worst_shift_p99 = worst_shift_p99.max(stats.shift_distance_p99);
@@ -158,11 +161,19 @@ fn main() -> Result<()> {
                     "{nodes_retired} nodes in {seg_retired} segments ({} seen by the monitor)",
                     monitor.retired_segments
                 ),
+            )
+            .row(
+                "interior retires",
+                format!("{interior_retired} segments freed behind the live frontier"),
             ),
         tp_stream::Section::new("region-parallel advance")
             .row("max regions per sweep", max_regions)
             .row("worker budget", engine.region_workers())
-            .row("worst balance", format!("{worst_balance:.2} (1.0 = even)")),
+            .row("worst balance", format!("{worst_balance:.2} (1.0 = even)"))
+            .row(
+                "stitch depth",
+                format!("{max_stitch_depth} reduction rounds at the widest sweep"),
+            ),
         tp_stream::Section::new("ingestion index")
             .row("peak gap occupancy", format!("{peak_occupancy}‰"))
             .row("rebuilds", retrains)

@@ -63,15 +63,20 @@ fn main() -> Result<()> {
     }
 
     // Agreement periods: both streams predict, joint confidence = P(λr ∧ λs).
+    // One columnar batch pass over all sampled roots (recorded as a
+    // `valuate_batch` sub-span + `tp_valuation_batched_nodes_total`).
     let agree = intersect(&forecast, &confirmed);
     println!("\nforecast ∩Tp confirmed: {} agreement tuples", agree.len());
-    let avg: f64 = agree
-        .iter()
-        .take(1_000)
-        .map(|t| prob::marginal(&t.lineage, &vars).expect("vars registered"))
-        .sum::<f64>()
-        / agree.len().min(1_000) as f64;
+    let sample: Vec<_> = agree.iter().take(1_000).map(|t| t.lineage).collect();
+    let joint = tp_stream::obs::valuate_batch(&sample, &vars)?;
+    let avg: f64 = joint.iter().sum::<f64>() / joint.len().max(1) as f64;
     println!("average joint confidence over the first 1000: {avg:.3}");
+    println!(
+        "columnar kernel: {} arena nodes valuated in one batch pass",
+        tp_stream::obs::global()
+            .counter("tp_valuation_batched_nodes_total", &[])
+            .get()
+    );
 
     // Model invariants hold on derived data, too.
     assert!(alerts.check_duplicate_free().is_ok());
