@@ -10,7 +10,8 @@
 //! Available experiment names: `table2`, `table3`, `table4`, `fig7`, `fig8`,
 //! `fig9a`, `fig9b`, `fig10`, `fig11`, `bench_lawa`, `bench_stream`,
 //! `bench_memory`, `bench_tenants`, `bench_parallel_advance`,
-//! `bench_ingest`, `bench_observability`, `bench_raw_speed`. With
+//! `bench_ingest`, `bench_observability`, `bench_raw_speed`,
+//! `bench_pipeline`. With
 //! `--csv`, each figure is also written to `experiments_csv/<id>.csv` for
 //! external plotting. `bench_lawa` additionally writes `BENCH_lawa.json`
 //! (memoized valuation + op throughput + arena contention + streaming) to
@@ -124,6 +125,12 @@ fn main() {
                 tp_bench::scaled(1_500).max(1_024),
                 tp_bench::scaled(96).max(48),
                 &[1, 2, 4, 8],
+            ),
+            pipeline: experiments::pipeline_bench(
+                tp_bench::scaled(800).max(240),
+                tp_bench::scaled(64).max(24),
+                32,
+                tp_bench::scaled(120).max(48),
             ),
         };
         println!("{}", report.render());
@@ -463,6 +470,81 @@ fn main() {
             b.worst_var_ratio(),
         );
     }
+    if names.iter().any(|a| *a == "bench_pipeline") {
+        // CI streaming-plans-smoke job: a compiled join + grouped-aggregate
+        // alert rule running as a standing incremental pipeline over two
+        // replayed streams, vs re-executing the batch plan over the closed
+        // region at every watermark. Hard gates: the standing view must
+        // equal batch at finish, and under an extend-dominated
+        // immortal-facts stream with reclamation the pipeline's operator
+        // state must plateau (steady-state peak <= warm-up peak) while
+        // segments actually retire underneath it, batch-identically. The
+        // wall speedup is informational (1-core CI cannot gate it).
+        let b = experiments::pipeline_bench(
+            tp_bench::scaled(800).max(240),
+            tp_bench::scaled(64).max(24),
+            32,
+            tp_bench::scaled(120).max(48),
+        );
+        println!(
+            "standing plans: {} tuples/side over {} keys, {} advances, pipeline {:.1} ms vs \
+             naive re-plan {:.1} ms ({:.2}×, {} operator deltas, {} view rows), batch_equal={}",
+            b.tuples,
+            b.facts,
+            b.advances,
+            b.incremental_ms,
+            b.naive_rebatch_ms,
+            b.speedup(),
+            b.pipeline_deltas,
+            b.output_rows,
+            b.batch_equal,
+        );
+        println!(
+            "  reclaim-mode plateau: {} → {} state rows over {} epochs ({:.2}×), {} segments \
+             retired, batch_equal={}",
+            b.warmup_state_rows,
+            b.steady_state_rows,
+            b.plateau_epochs,
+            b.plateau_ratio(),
+            b.retired_segments,
+            b.plateau_batch_equal,
+        );
+        if !b.batch_equal {
+            eprintln!("FAIL: standing pipeline view diverges from the batch plan");
+            std::process::exit(1);
+        }
+        if !b.plateau_batch_equal {
+            eprintln!("FAIL: reclaim-mode pipeline view diverges from the batch plan");
+            std::process::exit(1);
+        }
+        if b.retired_segments == 0 {
+            eprintln!("FAIL: reclamation never fired under the pipeline; the plateau is vacuous");
+            std::process::exit(1);
+        }
+        if b.steady_state_rows > b.warmup_state_rows {
+            eprintln!(
+                "FAIL: pipeline state did not plateau — steady-state {} vs warm-up {} rows \
+                 (gate: <= 1.0×)",
+                b.steady_state_rows, b.warmup_state_rows
+            );
+            std::process::exit(1);
+        }
+        if b.speedup() < 1.0 {
+            eprintln!(
+                "WARN: standing pipeline only {:.2}x over naive re-plan (informational — \
+                 wall ratio is hardware- and size-dependent)",
+                b.speedup()
+            );
+        }
+        println!(
+            "ok: standing view ≡ batch plan, state plateaued at {:.2}x over {} epochs with {} \
+             retires ({:.2}x over naive re-plan)",
+            b.plateau_ratio(),
+            b.plateau_epochs,
+            b.retired_segments,
+            b.speedup(),
+        );
+    }
     if names.iter().any(|a| *a == "bench_raw_speed") {
         // CI raw-speed-smoke job: the three raw-speed claims, hard-gated
         // on correctness only. (a) columnar marginal kernel ≡ per-root
@@ -503,6 +585,12 @@ fn main() {
             b.interior_retired_segments,
             b.immortal_batch_equal,
         );
+        println!(
+            "  registry: interior {} vs prefix {} steady-state live vars ({:.2}×)",
+            b.interior_steady_live_vars,
+            b.prefix_steady_live_vars,
+            b.live_vars_ratio(),
+        );
         if b.max_delta > 1e-12 {
             eprintln!(
                 "FAIL: columnar kernel diverges from the per-root walk (max Δ {:.2e}, gate: 1e-12)",
@@ -526,6 +614,14 @@ fn main() {
             eprintln!(
                 "FAIL: interior steady-state residency {} B not below prefix baseline {} B",
                 b.interior_steady_bytes, b.prefix_steady_bytes
+            );
+            std::process::exit(1);
+        }
+        if b.interior_steady_live_vars >= b.prefix_steady_live_vars {
+            eprintln!(
+                "FAIL: interior steady-state live_vars {} not below prefix baseline {} \
+                 (cohort-granular release not observable)",
+                b.interior_steady_live_vars, b.prefix_steady_live_vars
             );
             std::process::exit(1);
         }

@@ -33,7 +33,9 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use crate::arena::{ArenaView, FastMap, LineageArena, LineageNode, LineageRef, SegmentId};
+use crate::arena::{
+    ArenaView, FastMap, LineageArena, LineageNode, LineageRef, SegmentId, SegmentSnapshot,
+};
 use crate::error::Result;
 use crate::lineage::{Lineage, LineageTree, TupleId};
 use crate::relation::VarTable;
@@ -378,9 +380,16 @@ pub fn marginal(lineage: &Lineage, vars: &VarTable) -> Result<f64> {
 /// results by construction, since the column applies the same f64
 /// operations in the same operand order as [`independent`]'s recursion
 /// (`Var → p`, `Not → 1−p`, `And → p_a·p_b`, `Or → 1−(1−p_a)(1−p_b)`),
-/// and each unique node is computed exactly once on both paths. Interior
-/// reclamation holes in the batch's segment range are skipped; a live
-/// root never resolves into one.
+/// and each unique node is computed exactly once on both paths.
+///
+/// The walk is **pruned to the roots' reachable cones**: a mark pass
+/// first flags exactly the slots the batch can reach, and the columnar
+/// pass then valuates only marked slots, still in ascending
+/// `(segment, slot)` order (children are interned no later than their
+/// consumers, so the order is a valid schedule). Unrelated resident
+/// nodes — the common case in a shared arena carrying other queries'
+/// lineage — cost nothing. Interior reclamation holes are skipped; a
+/// live root never resolves into one.
 ///
 /// Nodes valuated columnar are counted in
 /// `tp_valuation_batched_nodes_total`.
@@ -389,30 +398,67 @@ pub fn marginal_batch(lineages: &[Lineage], vars: &VarTable) -> Result<Vec<f64>>
         return Ok(Vec::new());
     }
     LineageArena::with_current(|arena| {
-        // Scope of the columnar pass: the union of `[min_seg, seg]` ranges
-        // of the batched (1OF) roots. Everything else falls back.
-        let mut lo = u32::MAX;
-        let mut hi = 0u32;
         let mut batched = vec![false; lineages.len()];
+        let mut stack: Vec<LineageRef> = Vec::new();
         for (i, l) in lineages.iter().enumerate() {
             let r = l.node_ref();
             if arena.one_of(r) {
                 batched[i] = true;
-                lo = lo.min(arena.min_segment(r).0);
-                hi = hi.max(r.segment().0);
+                stack.push(r);
             }
         }
+        // Mark pass: flag the slots reachable from the batched roots.
+        // Snapshots are taken once per touched segment and pinned for the
+        // whole call, so the compute pass below reads the same state.
+        let mut snaps: FastMap<u32, Option<SegmentSnapshot<'_>>> = FastMap::default();
+        let mut marks: FastMap<u32, Vec<bool>> = FastMap::default();
+        while let Some(r) = stack.pop() {
+            let seg = r.segment().0;
+            let snap = snaps
+                .entry(seg)
+                .or_insert_with(|| arena.snapshot_segment(SegmentId(seg)));
+            let Some(snap) = snap.as_ref() else {
+                continue; // interior hole or never-opened id
+            };
+            let slot = r.slot() as usize;
+            let mark = marks
+                .entry(seg)
+                .or_insert_with(|| vec![false; snap.len() as usize]);
+            if slot >= mark.len() || mark[slot] {
+                continue;
+            }
+            mark[slot] = true;
+            let Some((node, one_of)) = snap.node_at(r.slot()) else {
+                continue;
+            };
+            if !one_of {
+                continue; // non-1OF cones go through `marginal`
+            }
+            match node {
+                LineageNode::Var(_) => {}
+                LineageNode::Not(c) => stack.push(c),
+                LineageNode::And(a, b) | LineageNode::Or(a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+            }
+        }
+        let mut segs: Vec<u32> = marks.keys().copied().collect();
+        segs.sort_unstable();
         let mut cols: FastMap<u32, Vec<f64>> = FastMap::default();
         let mut batched_nodes = 0u64;
-        if lo <= hi {
+        if !segs.is_empty() {
             let probs = vars.prob_reader();
-            for seg in lo..=hi {
-                let Some(snap) = arena.snapshot_segment(SegmentId(seg)) else {
-                    continue; // interior hole or never-opened id
+            for seg in segs {
+                let Some(snap) = snaps.get(&seg).and_then(Option::as_ref) else {
+                    continue;
                 };
-                let len = snap.len() as usize;
-                let mut col = vec![f64::NAN; len];
+                let mark = marks.get(&seg).expect("marked segment has a bitmap");
+                let mut col = vec![f64::NAN; snap.len() as usize];
                 for slot in 0..snap.len() {
+                    if !mark[slot as usize] {
+                        continue; // unreachable from the batch: skip
+                    }
                     let Some((node, one_of)) = snap.node_at(slot) else {
                         continue;
                     };

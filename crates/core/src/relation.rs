@@ -214,6 +214,14 @@ struct VarCohort {
     /// Arena segments bound to this cohort; their marginal-cache rows are
     /// dropped together with the cohort's probabilities and labels.
     segments: Vec<SegmentId>,
+    /// Released **in place** ([`VarTable::release_cohort`]): storage is
+    /// gone, lookups error, but the cohort still occupies its deque slot so
+    /// the dense id ↦ cohort mapping of the *later* cohorts stays intact.
+    released: bool,
+    /// Variable count at release time (`probs.len()` before the storage was
+    /// dropped) — needed to migrate the count from `interior_released` into
+    /// `floor` when a released cohort is compacted off the front.
+    released_len: u64,
 }
 
 /// Cohort storage of a [`VarTable`]: live cohorts oldest-first, the last
@@ -226,9 +234,14 @@ struct VarStore {
     floor: u64,
     /// Next id to assign (= total variables ever registered).
     next: u64,
-    /// Epoch id of the oldest live cohort (front of the deque); the open
+    /// Epoch id of the oldest cohort still in the deque (front); the open
     /// cohort's epoch is `front_epoch + cohorts.len() - 1`.
     front_epoch: u64,
+    /// Variables released **in place** by [`VarTable::release_cohort`]
+    /// while their cohort still sits interior in the deque (not yet counted
+    /// by `floor`). Migrates into `floor` when the cohort compacts off the
+    /// front.
+    interior_released: u64,
 }
 
 impl Default for VarStore {
@@ -238,6 +251,7 @@ impl Default for VarStore {
             floor: 0,
             next: 0,
             front_epoch: 0,
+            interior_released: 0,
         }
     }
 }
@@ -267,7 +281,24 @@ impl VarStore {
             return Err(Error::ReleasedVariable(id));
         }
         let cohort = self.cohort_of(id);
+        // An interior cohort released in place still occupies its deque
+        // slot; its ids error exactly like a prefix-released id would.
+        if cohort.released {
+            return Err(Error::ReleasedVariable(id));
+        }
         Ok((cohort, (id - cohort.base) as usize))
+    }
+
+    /// Pops fully-released cohorts off the front, folding their counts
+    /// from `interior_released` into `floor` (both gauges stay exact and
+    /// the deque stays short).
+    fn compact_released_prefix(&mut self) {
+        while self.cohorts.len() > 1 && self.cohorts.front().expect("non-empty").released {
+            let dead = self.cohorts.pop_front().expect("len checked");
+            self.front_epoch += 1;
+            self.interior_released -= dead.released_len;
+            self.floor = self.cohorts.front().expect("open cohort remains").base;
+        }
     }
 }
 
@@ -286,10 +317,14 @@ impl VarStore {
 /// [`VarTable::release_vars_before`] drops every sealed cohort below an
 /// epoch in O(cohorts dropped) — probabilities, labels, and the marginal-
 /// cache rows of any arena segments bound to them
-/// ([`VarTable::bind_cohort_segment`]) go together. A lookup of a released
-/// variable returns [`Error::ReleasedVariable`] — a *detectable* error,
-/// never a silently wrong probability. A table that is never sealed keeps
-/// the classic append-only behavior (one open cohort, no releases).
+/// ([`VarTable::bind_cohort_segment`]) go together.
+/// [`VarTable::release_cohort`] is the **cohort-granular** form matching
+/// interior segment retirement: one sealed cohort releases in place the
+/// moment its bound segment retires, even while older cohorts are still
+/// live. A lookup of a released variable returns
+/// [`Error::ReleasedVariable`] — a *detectable* error, never a silently
+/// wrong probability. A table that is never sealed keeps the classic
+/// append-only behavior (one open cohort, no releases).
 ///
 /// The release **contract** matches the arena's: the caller must prove no
 /// live lineage still references the released variables. The streaming
@@ -415,6 +450,13 @@ impl VarTable {
         }
         let idx = (epoch.0 - front) as usize;
         if let Some(cohort) = store.cohorts.get_mut(idx) {
+            if cohort.released {
+                // The cohort already released in place: evict the rows now
+                // instead of parking the segment on a dead cohort.
+                drop(store);
+                self.release_marginals_for_segment(seg);
+                return;
+            }
             cohort.segments.push(seg);
         }
     }
@@ -445,13 +487,73 @@ impl VarTable {
             let mut store = self.store.write().expect("var store poisoned");
             while store.cohorts.len() > 1 && store.front_epoch < before.0 {
                 let dead = store.cohorts.pop_front().expect("len checked");
-                released.cohorts += 1;
-                released.vars += dead.probs.len() as u64;
-                segments.extend(dead.segments);
+                if dead.released {
+                    // Already released in place by `release_cohort`; its
+                    // count migrates from the interior gauge into `floor`,
+                    // contributing nothing to *this* call's tally.
+                    store.interior_released -= dead.released_len;
+                } else {
+                    released.cohorts += 1;
+                    released.vars += dead.probs.len() as u64;
+                    segments.extend(dead.segments);
+                }
                 store.front_epoch += 1;
                 store.floor = store.cohorts.front().expect("open cohort remains").base;
             }
         }
+        if !segments.is_empty() {
+            released.cache_segments = segments.len();
+            let mut cache = self.marginal_cache.lock().expect("cache lock poisoned");
+            for seg in segments {
+                cache.release_segment(seg);
+            }
+        }
+        released
+    }
+
+    /// Releases **one** sealed cohort in place, wherever it sits in the
+    /// deque — the cohort-granular twin of [`VarTable::release_vars_before`]
+    /// matching *interior* arena-segment retirement
+    /// (`tp-stream`'s coverage-interval reclamation): a var cohort drops the
+    /// moment its bound segment retires, even while older cohorts are still
+    /// pinned live. Probabilities and labels are dropped immediately, the
+    /// cached marginals of every bound arena segment are evicted, lookups of
+    /// the cohort's ids return [`Error::ReleasedVariable`], and a
+    /// fully-released prefix run compacts off the deque. Releasing the open
+    /// cohort, an unknown epoch, or an already-released epoch is a no-op.
+    ///
+    /// Caller contract is the same as for [`VarTable::release_vars_before`]:
+    /// no live lineage may still reference the cohort's variables — which
+    /// the engine guarantees by releasing exactly when the cohort's bound
+    /// segment leaves the merged live-ref coverage intervals.
+    pub fn release_cohort(&self, epoch: VarEpoch) -> ReleasedVars {
+        let mut released = ReleasedVars::default();
+        let mut store = self.store.write().expect("var store poisoned");
+        let front = store.front_epoch;
+        if epoch.0 < front {
+            return released; // already compacted away
+        }
+        let idx = (epoch.0 - front) as usize;
+        let open = store.cohorts.len() - 1;
+        if idx >= open {
+            return released; // open (or future) cohort never releases
+        }
+        let cohort = &mut store.cohorts[idx];
+        if cohort.released {
+            return released;
+        }
+        cohort.released = true;
+        cohort.released_len = cohort.probs.len() as u64;
+        released.cohorts = 1;
+        released.vars = cohort.released_len;
+        let segments = std::mem::take(&mut cohort.segments);
+        // Drop the storage now (not just truncate): the whole point is
+        // that the memory goes the moment the segment retires.
+        cohort.probs = Vec::new();
+        cohort.labels = Vec::new();
+        store.interior_released += released.vars;
+        store.compact_released_prefix();
+        drop(store);
         if !segments.is_empty() {
             released.cache_segments = segments.len();
             let mut cache = self.marginal_cache.lock().expect("cache lock poisoned");
@@ -470,15 +572,19 @@ impl VarTable {
     }
 
     /// Number of variables currently resident (registered minus released)
-    /// — the bounded-memory gauge of the sliding registry.
+    /// — the bounded-memory gauge of the sliding registry. Counts both the
+    /// compacted prefix and cohorts released in place
+    /// ([`VarTable::release_cohort`]).
     pub fn live_vars(&self) -> usize {
         let store = self.store.read().expect("var store poisoned");
-        (store.next - store.floor) as usize
+        (store.next - store.floor - store.interior_released) as usize
     }
 
-    /// Number of variables whose storage was released.
+    /// Number of variables whose storage was released (prefix floor plus
+    /// interior cohorts released in place).
     pub fn released_vars(&self) -> u64 {
-        self.store.read().expect("var store poisoned").floor
+        let store = self.store.read().expect("var store poisoned");
+        store.floor + store.interior_released
     }
 
     /// Cached exact marginal of an interned lineage node, if present.
@@ -988,6 +1094,75 @@ mod tests {
             vt.prob(TupleId(99)),
             Err(Error::UnknownVariable(99))
         ));
+    }
+
+    #[test]
+    fn var_registry_interior_cohort_release() {
+        // Cohort 1 releases *in place* while cohort 0 is still live — the
+        // cohort-granular path interior segment retirement takes. Gauges
+        // stay exact, live lookups stay intact, released ids error.
+        let mut vt = VarTable::new();
+        let a = vt.register("a1", 0.3).unwrap();
+        let e0 = vt.seal_vars().unwrap();
+        let b = vt.register("b1", 0.4).unwrap();
+        let b2 = vt.register("b2", 0.45).unwrap();
+        let e1 = vt.seal_vars().unwrap();
+        let c = vt.register("c1", 0.5).unwrap();
+        let e2 = vt.seal_vars().unwrap();
+
+        let released = vt.release_cohort(e1);
+        assert_eq!(released.cohorts, 1);
+        assert_eq!(released.vars, 2);
+        assert!(matches!(vt.prob(b), Err(Error::ReleasedVariable(_))));
+        assert!(matches!(vt.prob(b2), Err(Error::ReleasedVariable(_))));
+        assert_eq!(vt.prob(a).unwrap(), 0.3, "older cohort must stay live");
+        assert_eq!(vt.prob(c).unwrap(), 0.5, "newer cohort must stay live");
+        assert_eq!(vt.live_vars(), 2);
+        assert_eq!(vt.released_vars(), 2);
+        // Idempotent; the open cohort and unknown epochs are no-ops.
+        assert_eq!(vt.release_cohort(e1).vars, 0);
+        assert_eq!(vt.release_cohort(vt.open_var_epoch()).vars, 0);
+        assert_eq!(vt.release_cohort(VarEpoch(99)).vars, 0);
+
+        // Releasing cohort 0 compacts the dead prefix run [e0, e1] off the
+        // deque: floor absorbs both, the interior gauge returns to zero.
+        let released = vt.release_cohort(e0);
+        assert_eq!(released.vars, 1);
+        assert_eq!(vt.live_vars(), 1);
+        assert_eq!(vt.released_vars(), 3);
+        assert!(matches!(vt.prob(a), Err(Error::ReleasedVariable(0))));
+        assert_eq!(vt.prob(c).unwrap(), 0.5);
+        // A later prefix release over the same range double-counts nothing.
+        assert_eq!(vt.release_vars_before(e2.next()).vars, 1); // cohort 2
+        assert_eq!(vt.released_vars(), 4);
+        assert_eq!(vt.live_vars(), 0);
+    }
+
+    #[test]
+    fn var_registry_interior_release_drops_bound_cache_rows() {
+        // An in-place release of an *interior* cohort (older cohort still
+        // live, so no prefix compaction) evicts the bound segment's cache
+        // rows, and a late bind to the released cohort evicts immediately.
+        let mut vt = VarTable::new();
+        let a = vt.register("a1", 0.5).unwrap();
+        vt.seal_vars().unwrap();
+        let b = vt.register("b1", 0.6).unwrap();
+        let e1 = vt.seal_vars().unwrap();
+        let la = Lineage::var(a);
+        let lb = Lineage::var(b);
+        vt.store_marginal(la.node_ref(), 0.5);
+        vt.store_marginal(lb.node_ref(), 0.6);
+        vt.bind_cohort_segment(e1, lb.node_ref().segment());
+        let released = vt.release_cohort(e1);
+        assert_eq!(released.cache_segments, 1);
+        // Both lineages share the global arena's open segment here, so the
+        // eviction drops the whole segment's rows — soundness over
+        // precision, same as the prefix path.
+        assert_eq!(vt.valuation_cache_len(), 0);
+        assert_eq!(vt.prob(a).unwrap(), 0.5, "older cohort untouched");
+        vt.store_marginal(lb.node_ref(), 0.6);
+        vt.bind_cohort_segment(e1, lb.node_ref().segment());
+        assert_eq!(vt.valuation_cache_len(), 0, "late bind must evict");
     }
 
     #[test]

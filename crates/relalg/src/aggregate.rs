@@ -22,7 +22,10 @@ pub enum AggFn {
 }
 
 impl AggFn {
-    fn name(&self) -> String {
+    /// The output column name of the aggregate (`count`, `sum_<col>`, ...),
+    /// shared by [`group_by`] and the incremental aggregate operator so
+    /// both produce identical schemas.
+    pub fn name(&self) -> String {
         match self {
             AggFn::Count => "count".into(),
             AggFn::Sum(c) => format!("sum_{c}"),
@@ -31,7 +34,10 @@ impl AggFn {
         }
     }
 
-    fn finish(&self, rows: &[&Row]) -> Value {
+    /// Computes the aggregate over one group's member rows. Public so the
+    /// streaming pipeline's dirty-key recompute runs the *same* fold as
+    /// batch [`group_by`] — value-identical output by construction.
+    pub fn finish(&self, rows: &[&Row]) -> Value {
         match self {
             AggFn::Count => Value::int(rows.len() as i64),
             AggFn::Sum(c) => {

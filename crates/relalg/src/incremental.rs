@@ -1,0 +1,378 @@
+//! Lowering a batch [`Plan`] into a topologically ordered operator DAG —
+//! the compile step of the streaming pipeline (`tp-stream::pipeline`).
+//!
+//! The batch executor materializes every intermediate; a standing query
+//! cannot. [`lower`] flattens a plan tree into [`Lowered`]: a vector of
+//! [`LoweredNode`]s in **topological order** (every node's inputs precede
+//! it), with each [`Plan::Values`] leaf replaced by a [`LoweredOp::Source`]
+//! placeholder numbered in left-to-right (preorder) encounter order. The
+//! runtime feeds those sources from live delta streams; the leaf's inline
+//! rows are ignored, only its schema is kept (it fixes the source arity).
+//!
+//! [`bind_sources`] is the inverse hook for differential testing: it
+//! substitutes concrete relations back into the `Values` leaves (same
+//! preorder numbering), so the *same* plan object can run batch over the
+//! stream's closed region and be compared against the standing pipeline's
+//! materialized output.
+//!
+//! `Sort` does not lower: a standing operator maintains an unordered
+//! multiset, and ordering is a presentation concern — callers sort the
+//! materialized snapshot instead. [`lower`] rejects it explicitly.
+
+use std::fmt;
+
+use crate::aggregate::AggFn;
+use crate::plan::Plan;
+use crate::predicate::Predicate;
+use crate::relation::{Relation, Schema};
+
+/// Why a plan does not lower to a standing pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// The plan contains a `Sort` node — ordering is a presentation
+    /// concern; sort the materialized snapshot instead.
+    Sort,
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::Sort => write!(
+                f,
+                "Sort does not lower to a standing operator; \
+                 sort the materialized snapshot instead"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// One standing operator kind, carrying exactly the parameters its batch
+/// twin uses — the incremental semantics are defined relative to those.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoweredOp {
+    /// The `i`-th `Values` leaf (preorder), fed from a live delta stream.
+    Source(usize),
+    /// σ with the batch predicate.
+    Select(Predicate),
+    /// π onto the given columns (bag semantics).
+    Project(Vec<usize>),
+    /// Nested-loop theta join; the predicate addresses the concatenated
+    /// `left ++ right` row.
+    NlJoin(Predicate),
+    /// Hash equi-join on the key columns.
+    HashJoin {
+        /// Left key columns.
+        l_cols: Vec<usize>,
+        /// Right key columns.
+        r_cols: Vec<usize>,
+    },
+    /// Bag union of two equal-arity inputs.
+    UnionAll,
+    /// Duplicate elimination (multiset support counting).
+    Distinct,
+    /// γ with dirty-key recompute through [`AggFn::finish`].
+    Aggregate {
+        /// Grouping key columns.
+        keys: Vec<usize>,
+        /// Aggregates, one output column each.
+        aggs: Vec<AggFn>,
+    },
+}
+
+impl LoweredOp {
+    /// Stable short name of the operator kind — the metric label and span
+    /// name of the runtime's per-operator instrumentation.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LoweredOp::Source(_) => "source",
+            LoweredOp::Select(_) => "select",
+            LoweredOp::Project(_) => "project",
+            LoweredOp::NlJoin(_) => "nl_join",
+            LoweredOp::HashJoin { .. } => "hash_join",
+            LoweredOp::UnionAll => "union_all",
+            LoweredOp::Distinct => "distinct",
+            LoweredOp::Aggregate { .. } => "aggregate",
+        }
+    }
+}
+
+/// One node of the lowered DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoweredNode {
+    /// The operator.
+    pub op: LoweredOp,
+    /// Indices of the upstream nodes, in port order (joins and union:
+    /// `[left, right]`). Always smaller than this node's own index.
+    pub inputs: Vec<usize>,
+    /// The operator's output schema.
+    pub schema: Schema,
+}
+
+/// A lowered plan: operators in topological order (the last node is the
+/// root) plus the schemas the sources were declared with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lowered {
+    /// The operators; every node's `inputs` point at earlier entries.
+    pub nodes: Vec<LoweredNode>,
+    /// Schema of each source, in preorder numbering.
+    pub source_schemas: Vec<Schema>,
+}
+
+impl Lowered {
+    /// Index of the root node (the plan's output operator).
+    pub fn root(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Number of sources the runtime must feed.
+    pub fn source_count(&self) -> usize {
+        self.source_schemas.len()
+    }
+
+    /// The root's output schema.
+    pub fn root_schema(&self) -> &Schema {
+        &self.nodes[self.root()].schema
+    }
+}
+
+/// Lowers a plan into the topo-ordered operator DAG. See the module docs
+/// for the `Values`-leaf convention and the `Sort` restriction.
+pub fn lower(plan: &Plan) -> Result<Lowered, LowerError> {
+    let mut out = Lowered {
+        nodes: Vec::new(),
+        source_schemas: Vec::new(),
+    };
+    rec(plan, &mut out)?;
+    Ok(out)
+}
+
+fn rec(plan: &Plan, out: &mut Lowered) -> Result<usize, LowerError> {
+    let (op, inputs, schema) = match plan {
+        Plan::Values(rel) => {
+            let idx = out.source_schemas.len();
+            out.source_schemas.push(rel.schema.clone());
+            (LoweredOp::Source(idx), Vec::new(), rel.schema.clone())
+        }
+        Plan::Select { input, pred } => {
+            let i = rec(input, out)?;
+            let schema = out.nodes[i].schema.clone();
+            (LoweredOp::Select(pred.clone()), vec![i], schema)
+        }
+        Plan::Project { input, cols } => {
+            let i = rec(input, out)?;
+            let schema = out.nodes[i].schema.project(cols);
+            (LoweredOp::Project(cols.clone()), vec![i], schema)
+        }
+        Plan::NlJoin { left, right, pred } => {
+            let l = rec(left, out)?;
+            let r = rec(right, out)?;
+            let schema = out.nodes[l].schema.concat(&out.nodes[r].schema);
+            (LoweredOp::NlJoin(pred.clone()), vec![l, r], schema)
+        }
+        Plan::HashJoin {
+            left,
+            right,
+            l_cols,
+            r_cols,
+        } => {
+            let l = rec(left, out)?;
+            let r = rec(right, out)?;
+            let schema = out.nodes[l].schema.concat(&out.nodes[r].schema);
+            (
+                LoweredOp::HashJoin {
+                    l_cols: l_cols.clone(),
+                    r_cols: r_cols.clone(),
+                },
+                vec![l, r],
+                schema,
+            )
+        }
+        Plan::UnionAll { left, right } => {
+            let l = rec(left, out)?;
+            let r = rec(right, out)?;
+            let schema = out.nodes[l].schema.clone();
+            (LoweredOp::UnionAll, vec![l, r], schema)
+        }
+        Plan::Distinct { input } => {
+            let i = rec(input, out)?;
+            let schema = out.nodes[i].schema.clone();
+            (LoweredOp::Distinct, vec![i], schema)
+        }
+        Plan::Aggregate { input, keys, aggs } => {
+            let i = rec(input, out)?;
+            let in_schema = &out.nodes[i].schema;
+            let mut columns: Vec<String> = keys
+                .iter()
+                .map(|&k| in_schema.columns()[k].clone())
+                .collect();
+            columns.extend(aggs.iter().map(AggFn::name));
+            (
+                LoweredOp::Aggregate {
+                    keys: keys.clone(),
+                    aggs: aggs.clone(),
+                },
+                vec![i],
+                Schema::new(columns),
+            )
+        }
+        Plan::Sort { .. } => return Err(LowerError::Sort),
+    };
+    out.nodes.push(LoweredNode { op, inputs, schema });
+    Ok(out.nodes.len() - 1)
+}
+
+/// Substitutes concrete relations into the plan's `Values` leaves, in the
+/// same preorder numbering [`lower`] assigns sources — the differential-
+/// oracle hook: run the substituted plan batch, compare with the pipeline.
+///
+/// Panics if `tables` does not match the number of leaves, or a table's
+/// arity differs from its leaf's declared schema.
+pub fn bind_sources(plan: &Plan, tables: &[Relation]) -> Plan {
+    fn rec(plan: &Plan, tables: &[Relation], next: &mut usize) -> Plan {
+        match plan {
+            Plan::Values(rel) => {
+                let i = *next;
+                *next += 1;
+                assert!(
+                    i < tables.len(),
+                    "bind_sources: plan has more Values leaves than tables"
+                );
+                assert_eq!(
+                    tables[i].schema.arity(),
+                    rel.schema.arity(),
+                    "bind_sources: table {i} arity differs from the leaf schema"
+                );
+                Plan::Values(tables[i].clone())
+            }
+            Plan::Select { input, pred } => Plan::Select {
+                input: Box::new(rec(input, tables, next)),
+                pred: pred.clone(),
+            },
+            Plan::Project { input, cols } => Plan::Project {
+                input: Box::new(rec(input, tables, next)),
+                cols: cols.clone(),
+            },
+            Plan::NlJoin { left, right, pred } => Plan::NlJoin {
+                left: Box::new(rec(left, tables, next)),
+                right: Box::new(rec(right, tables, next)),
+                pred: pred.clone(),
+            },
+            Plan::HashJoin {
+                left,
+                right,
+                l_cols,
+                r_cols,
+            } => Plan::HashJoin {
+                left: Box::new(rec(left, tables, next)),
+                right: Box::new(rec(right, tables, next)),
+                l_cols: l_cols.clone(),
+                r_cols: r_cols.clone(),
+            },
+            Plan::UnionAll { left, right } => Plan::UnionAll {
+                left: Box::new(rec(left, tables, next)),
+                right: Box::new(rec(right, tables, next)),
+            },
+            Plan::Distinct { input } => Plan::Distinct {
+                input: Box::new(rec(input, tables, next)),
+            },
+            Plan::Aggregate { input, keys, aggs } => Plan::Aggregate {
+                input: Box::new(rec(input, tables, next)),
+                keys: keys.clone(),
+                aggs: aggs.clone(),
+            },
+            Plan::Sort { input, cols } => Plan::Sort {
+                input: Box::new(rec(input, tables, next)),
+                cols: cols.clone(),
+            },
+        }
+    }
+    let mut next = 0usize;
+    let out = rec(plan, tables, &mut next);
+    assert_eq!(
+        next,
+        tables.len(),
+        "bind_sources: plan has fewer Values leaves than tables"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+    use tp_core::value::Value;
+
+    fn rel(cols: &[&str], rows: Vec<Vec<i64>>) -> Relation {
+        Relation::new(
+            Schema::new(cols.iter().copied()),
+            rows.into_iter()
+                .map(|r| r.into_iter().map(Value::int).collect())
+                .collect(),
+        )
+    }
+
+    fn placeholder(cols: &[&str]) -> Relation {
+        Relation::empty(Schema::new(cols.iter().copied()))
+    }
+
+    #[test]
+    fn lowering_is_topo_ordered_and_numbers_sources_preorder() {
+        let plan = Plan::values(placeholder(&["k", "ts", "te"]))
+            .hash_join(
+                Plan::values(placeholder(&["k", "ts", "te"])),
+                vec![0],
+                vec![0],
+            )
+            .select(Predicate::col_const(CmpOp::Ge, 1, Value::int(0)))
+            .aggregate(vec![0], vec![AggFn::Count]);
+        let lowered = lower(&plan).unwrap();
+        assert_eq!(lowered.source_count(), 2);
+        assert_eq!(lowered.nodes.len(), 5);
+        for (i, node) in lowered.nodes.iter().enumerate() {
+            assert!(node.inputs.iter().all(|&j| j < i), "inputs precede node");
+        }
+        assert_eq!(lowered.nodes[0].op, LoweredOp::Source(0));
+        assert_eq!(lowered.nodes[1].op, LoweredOp::Source(1));
+        assert_eq!(lowered.root(), 4);
+        assert_eq!(lowered.root_schema().columns(), &["l.k", "count"]);
+    }
+
+    #[test]
+    fn join_schema_concats_and_aggregate_names_follow_batch() {
+        let plan = Plan::values(placeholder(&["k", "v"]))
+            .nl_join(Plan::values(placeholder(&["k", "w"])), Predicate::True)
+            .aggregate(vec![1], vec![AggFn::Sum(3), AggFn::Max(3)]);
+        let lowered = lower(&plan).unwrap();
+        let join = &lowered.nodes[2];
+        assert_eq!(join.schema.columns(), &["l.k", "v", "r.k", "w"]);
+        assert_eq!(lowered.root_schema().columns(), &["v", "sum_3", "max_3"]);
+    }
+
+    #[test]
+    fn sort_is_rejected() {
+        let plan = Plan::values(placeholder(&["x"])).sort(vec![0]);
+        assert_eq!(lower(&plan), Err(LowerError::Sort));
+        assert!(LowerError::Sort.to_string().contains("Sort"));
+    }
+
+    #[test]
+    fn bind_sources_substitutes_in_preorder_and_executes() {
+        let plan = Plan::values(placeholder(&["k", "v"]))
+            .hash_join(Plan::values(placeholder(&["k", "w"])), vec![0], vec![0])
+            .project(vec![1, 3]);
+        let l = rel(&["k", "v"], vec![vec![1, 10], vec![2, 20]]);
+        let r = rel(&["k", "w"], vec![vec![2, 7]]);
+        let bound = bind_sources(&plan, &[l, r]);
+        let out = bound.execute();
+        assert_eq!(out.rows, vec![vec![Value::int(20), Value::int(7)]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more Values leaves")]
+    fn bind_sources_panics_on_missing_tables() {
+        let plan = Plan::values(placeholder(&["x"])).union_all(Plan::values(placeholder(&["x"])));
+        bind_sources(&plan, &[rel(&["x"], vec![])]);
+    }
+}

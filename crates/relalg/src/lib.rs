@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod incremental;
 pub mod ops;
 pub mod optimize;
 pub mod plan;
@@ -24,6 +25,7 @@ pub mod predicate;
 pub mod relation;
 
 pub use aggregate::{group_by, AggFn};
+pub use incremental::{bind_sources, lower, LowerError, Lowered, LoweredNode, LoweredOp};
 pub use ops::{
     distinct, hash_join, left_outer_join_pairs, nested_loop_join, nested_loop_join_pairs, project,
     select, sort_by, sort_merge_join, union_all,

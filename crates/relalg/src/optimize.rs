@@ -53,6 +53,11 @@ pub fn optimize(plan: Plan) -> Plan {
         Plan::Distinct { input } => Plan::Distinct {
             input: Box::new(optimize(*input)),
         },
+        Plan::Aggregate { input, keys, aggs } => Plan::Aggregate {
+            input: Box::new(optimize(*input)),
+            keys,
+            aggs,
+        },
         Plan::Sort { input, cols } => Plan::Sort {
             input: Box::new(optimize(*input)),
             cols,
@@ -106,6 +111,7 @@ pub fn plan_size(plan: &Plan) -> usize {
         Plan::Select { input, .. }
         | Plan::Project { input, .. }
         | Plan::Distinct { input }
+        | Plan::Aggregate { input, .. }
         | Plan::Sort { input, .. } => 1 + plan_size(input),
         Plan::NlJoin { left, right, .. }
         | Plan::HashJoin { left, right, .. }

@@ -8,6 +8,7 @@
 
 use std::fmt;
 
+use crate::aggregate::{group_by, AggFn};
 use crate::ops;
 use crate::predicate::Predicate;
 use crate::relation::Relation;
@@ -62,6 +63,15 @@ pub enum Plan {
     Distinct {
         /// Input plan.
         input: Box<Plan>,
+    },
+    /// γ: group-by + aggregates ([`group_by`]).
+    Aggregate {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Grouping key columns.
+        keys: Vec<usize>,
+        /// Aggregates, one output column each.
+        aggs: Vec<AggFn>,
     },
     /// Sort by columns.
     Sort {
@@ -128,6 +138,15 @@ impl Plan {
         }
     }
 
+    /// γ builder.
+    pub fn aggregate(self, keys: Vec<usize>, aggs: Vec<AggFn>) -> Plan {
+        Plan::Aggregate {
+            input: Box::new(self),
+            keys,
+            aggs,
+        }
+    }
+
     /// Sort builder.
     pub fn sort(self, cols: Vec<usize>) -> Plan {
         Plan::Sort {
@@ -154,6 +173,7 @@ impl Plan {
             } => ops::hash_join(&left.execute(), &right.execute(), l_cols, r_cols),
             Plan::UnionAll { left, right } => ops::union_all(&left.execute(), &right.execute()),
             Plan::Distinct { input } => ops::distinct(&input.execute()),
+            Plan::Aggregate { input, keys, aggs } => group_by(&input.execute(), keys, aggs),
             Plan::Sort { input, cols } => ops::sort_by(&input.execute(), cols),
         }
     }
@@ -192,6 +212,11 @@ impl Plan {
             }
             Plan::Distinct { input } => {
                 writeln!(f, "{pad}Distinct")?;
+                input.explain_rec(f, indent + 1)
+            }
+            Plan::Aggregate { input, keys, aggs } => {
+                let names: Vec<String> = aggs.iter().map(AggFn::name).collect();
+                writeln!(f, "{pad}Aggregate by {keys:?} → [{}]", names.join(", "))?;
                 input.explain_rec(f, indent + 1)
             }
             Plan::Sort { input, cols } => {

@@ -310,6 +310,134 @@ impl StreamSink for MaterializingSink {
     }
 }
 
+/// One sink-side valuated insert: the probability of an output tuple the
+/// moment its `Insert` delta's advance closed, stored as plain values so
+/// the record outlives arena retirement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValuatedDelta {
+    /// The operation the insert belongs to.
+    pub op: SetOp,
+    /// The fact.
+    pub fact: Fact,
+    /// The inserted tuple's interval (as of the insert; later `Extend`s
+    /// grow the tuple without changing its lineage, hence without
+    /// changing this probability).
+    pub interval: Interval,
+    /// Exact marginal probability of the tuple's lineage.
+    pub p: f64,
+}
+
+/// A decorator that valuates every `Insert` delta **in one batched pass
+/// per watermark advance** through [`crate::obs::valuate_batch`] — the
+/// columnar kernel — instead of paying the cold per-root walk inside
+/// `on_delta` the way naive monitoring sinks do. Inserts are buffered as
+/// they arrive and valuated in `on_watermark`, which the engine calls
+/// inside the same arena scope *before* seal/retire, so the buffered
+/// handles are still live even in reclaim mode.
+///
+/// All callbacks forward to the wrapped sink (a [`CollectingSink`], a
+/// [`MaterializingSink`], an alerting monitor, ...), so the decorator
+/// composes with any consumer. On segment retirement it also evicts the
+/// registry's memoized marginals for that segment
+/// ([`tp_core::relation::VarTable::release_marginals_for_segment`]) — the
+/// valuation cache it populates is its responsibility to trim.
+///
+/// `V` is anything that borrows the registry: `&VarTable` for
+/// caller-owned monitors, `Arc<VarTable>` for server-owned per-tenant
+/// sinks whose registry is shared with the engine.
+pub struct ValuatingSink<V, S> {
+    inner: S,
+    vars: V,
+    /// Ops to valuate (`SetOp::ALL` order); others pass through untouched.
+    ops: [bool; 3],
+    /// Inserts buffered since the last watermark.
+    pending: Vec<(SetOp, TpTuple)>,
+    valuated: Vec<ValuatedDelta>,
+}
+
+impl<V: std::borrow::Borrow<tp_core::relation::VarTable>, S: StreamSink> ValuatingSink<V, S> {
+    /// Wraps `inner`, valuating inserts of every op against `vars`.
+    pub fn new(inner: S, vars: V) -> Self {
+        ValuatingSink {
+            inner,
+            vars,
+            ops: [true; 3],
+            pending: Vec::new(),
+            valuated: Vec::new(),
+        }
+    }
+
+    /// Restricts valuation to `ops` (e.g. only `Except` for alert rules);
+    /// other ops' deltas still forward to the inner sink.
+    pub fn with_ops(mut self, ops: &[SetOp]) -> Self {
+        self.ops = [false; 3];
+        for &op in ops {
+            self.ops[op_index(op)] = true;
+        }
+        self
+    }
+
+    /// Valuated inserts accumulated so far (advance granularity).
+    pub fn valuated(&self) -> &[ValuatedDelta] {
+        &self.valuated
+    }
+
+    /// Takes the accumulated valuated inserts, leaving the buffer empty.
+    pub fn drain_valuated(&mut self) -> Vec<ValuatedDelta> {
+        std::mem::take(&mut self.valuated)
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The wrapped sink, mutably.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    /// Unwraps the decorator.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<V: std::borrow::Borrow<tp_core::relation::VarTable>, S: StreamSink> StreamSink
+    for ValuatingSink<V, S>
+{
+    fn on_delta(&mut self, op: SetOp, delta: &Delta) {
+        if self.ops[op_index(op)] {
+            if let Delta::Insert(t) = delta {
+                self.pending.push((op, t.clone()));
+            }
+        }
+        self.inner.on_delta(op, delta);
+    }
+
+    fn on_watermark(&mut self, w: TimePoint) {
+        if !self.pending.is_empty() {
+            let lineages: Vec<Lineage> = self.pending.iter().map(|(_, t)| t.lineage).collect();
+            let ps = crate::obs::valuate_batch(&lineages, self.vars.borrow())
+                .expect("sink-side valuation: inserted tuples' variables are registered");
+            for ((op, t), p) in self.pending.drain(..).zip(ps) {
+                self.valuated.push(ValuatedDelta {
+                    op,
+                    fact: t.fact,
+                    interval: t.interval,
+                    p,
+                });
+            }
+        }
+        self.inner.on_watermark(w);
+    }
+
+    fn on_retire(&mut self, seg: SegmentId) {
+        self.vars.borrow().release_marginals_for_segment(seg);
+        self.inner.on_retire(seg);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,6 +518,84 @@ mod tests {
             sink.relation(SetOp::Union).tuples()[0].interval,
             Interval::at(4, 9)
         );
+    }
+
+    #[test]
+    fn valuating_sink_batches_and_matches_per_root_path() {
+        use crate::engine::{EngineConfig, Side, StreamEngine};
+        use tp_core::relation::VarTable;
+
+        let mut vars = VarTable::new();
+        let ids: Vec<_> = (0..40i64)
+            .map(|k| {
+                vars.register(format!("v{k}"), 0.1 + 0.02 * (k % 40) as f64)
+                    .unwrap()
+            })
+            .collect();
+        let mut engine = StreamEngine::new(EngineConfig::default());
+        let mut sink = ValuatingSink::new(CollectingSink::new(), &vars);
+        for k in 0..40i64 {
+            let side = if k % 2 == 0 { Side::Left } else { Side::Right };
+            let t = TpTuple::new(
+                Fact::single(k % 5),
+                Lineage::var(ids[k as usize]),
+                Interval::at(k, k + 6),
+            );
+            engine.push(side, t);
+        }
+        for w in [10, 21, 33] {
+            engine.advance(w, &mut sink).unwrap();
+        }
+        engine.finish(&mut sink).unwrap();
+        // Every output tuple got exactly one valuated insert (its later
+        // Extends keep the lineage handle, hence the probability), and the
+        // batched value matches the per-root memoized path to 1e-12.
+        let recs = sink.valuated().to_vec();
+        let inner = sink.into_inner();
+        let mut matched = 0usize;
+        for op in SetOp::ALL {
+            for t in inner.relation(op).iter() {
+                let rec = recs
+                    .iter()
+                    .find(|r| {
+                        r.op == op && r.fact == t.fact && r.interval.start() == t.interval.start()
+                    })
+                    .expect("every output tuple was valuated at insert time");
+                let expect = tp_core::prob::marginal(&t.lineage, &vars).unwrap();
+                assert!(
+                    (rec.p - expect).abs() <= 1e-12,
+                    "{op}: batched {} vs per-root {expect}",
+                    rec.p
+                );
+                matched += 1;
+            }
+        }
+        assert!(matched > 10, "vacuous: only {matched} valuated tuples");
+    }
+
+    #[test]
+    fn valuating_sink_op_filter_and_drain() {
+        use crate::engine::{Side, StreamEngine};
+        use tp_core::relation::VarTable;
+
+        let mut vars = VarTable::new();
+        let id = vars.register("only", 0.4).unwrap();
+        let mut engine = StreamEngine::default();
+        let mut sink = ValuatingSink::new(CountingSink::new(), &vars).with_ops(&[SetOp::Except]);
+        engine.push(
+            Side::Left,
+            TpTuple::new("f", Lineage::var(id), Interval::at(0, 5)),
+        );
+        engine.finish(&mut sink).unwrap();
+        // Left-only input inserts into Union and Except; only Except is
+        // valuated, everything still reaches the inner sink.
+        assert_eq!(sink.valuated().len(), 1);
+        assert_eq!(sink.valuated()[0].op, SetOp::Except);
+        assert!((sink.valuated()[0].p - 0.4).abs() <= 1e-12);
+        assert_eq!(sink.inner().inserts(SetOp::Union), 1);
+        let drained = sink.drain_valuated();
+        assert_eq!(drained.len(), 1);
+        assert!(sink.valuated().is_empty());
     }
 
     #[test]

@@ -75,6 +75,7 @@ use crate::obs::{
     EngineObs, ObsConfig, StageCursor, STAGE_DRAIN, STAGE_FINALIZE, STAGE_PLAN, STAGE_SEAL_RETIRE,
     STAGE_SWEEP, STAGE_VERIFY,
 };
+use crate::pipeline::{Pipeline, PipelineError};
 
 /// Which input relation a tuple belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -371,6 +372,10 @@ pub struct AdvanceStats {
     /// advance ([`LineageArena::resident_chunk_bytes`]; reclaim mode only,
     /// 0 otherwise).
     pub arena_resident_bytes: u64,
+    /// Deltas the attached standing pipeline's operators processed in
+    /// this advance's propagation pass (0 without
+    /// [`StreamEngine::with_plan`]).
+    pub pipeline_deltas: u64,
 }
 
 impl AdvanceStats {
@@ -476,11 +481,6 @@ pub struct StreamEngine {
     /// counter at seal time (for the `keep_epochs` grace window) and the
     /// var cohort sealed alongside, if a registry is attached.
     sealed: VecDeque<SealedSegment>,
-    /// Var cohorts of *retired* segments whose release is still held back:
-    /// [`VarTable::release_vars_before`] is a prefix drop, so an interior
-    /// retire's cohort waits here (epoch order) until every older cohort's
-    /// segment has retired too.
-    pending_var_release: Vec<VarEpoch>,
     /// Watermark advances executed (drives the grace window).
     advance_count: u64,
     /// Total segments retired over the engine's lifetime.
@@ -492,6 +492,9 @@ pub struct StreamEngine {
     /// Cached observability handles ([`ObsConfig`]); `None` = disabled,
     /// and every recording site is skipped (including the clock reads).
     obs: Option<Arc<EngineObs>>,
+    /// The standing incremental pipeline ([`StreamEngine::with_plan`]),
+    /// fed from the delta streams and advanced once per watermark.
+    pipeline: Option<Pipeline>,
 }
 
 /// One sealed-but-unretired arena segment of a reclaiming engine.
@@ -533,13 +536,47 @@ impl StreamEngine {
             verify_mirror,
             arena,
             sealed: VecDeque::new(),
-            pending_var_release: Vec::new(),
             advance_count: 0,
             reclaimed_segments: 0,
             reclaimed_nodes: 0,
             reclaimed_vars: 0,
             obs,
+            pipeline: None,
         }
+    }
+
+    /// Creates an engine with a standing incremental pipeline attached:
+    /// `plan` is compiled ([`Pipeline::compile`]) and its `i`-th source is
+    /// fed from the engine's `taps[i]` delta stream. The pipeline shares
+    /// the engine's watermark clock (one propagation pass per advance) and
+    /// its arena discipline (operator state stores owned lineage trees, so
+    /// reclamation never invalidates it); read the standing view through
+    /// [`StreamEngine::pipeline`].
+    pub fn with_plan(
+        cfg: EngineConfig,
+        plan: &tp_relalg::Plan,
+        taps: &[SetOp],
+    ) -> Result<Self, PipelineError> {
+        for &tap in taps {
+            if !cfg.ops.contains(&tap) {
+                return Err(PipelineError::TapNotMaintained(tap));
+            }
+        }
+        let mut pipeline = Pipeline::compile(plan, taps)?;
+        pipeline.init_obs(&cfg.obs);
+        let mut engine = Self::new(cfg);
+        engine.pipeline = Some(pipeline);
+        Ok(engine)
+    }
+
+    /// The attached standing pipeline, if any.
+    pub fn pipeline(&self) -> Option<&Pipeline> {
+        self.pipeline.as_ref()
+    }
+
+    /// Mutable access to the attached standing pipeline, if any.
+    pub fn pipeline_mut(&mut self) -> Option<&mut Pipeline> {
+        self.pipeline.as_mut()
     }
 
     /// The current watermark (`TimePoint::MIN` before the first advance).
@@ -874,6 +911,12 @@ impl StreamEngine {
             let live: usize = self.tails.iter().map(|m| m.len()).sum();
             self.tails_prune_at = (2 * live).max(1024);
         }
+        // One propagation pass of the standing pipeline, still inside the
+        // arena scope and before the sink observes the watermark, so a
+        // sink callback reads the already-consistent materialized view.
+        if let Some(p) = self.pipeline.as_mut() {
+            stats.pipeline_deltas = p.on_advance(obs.as_deref());
+        }
         sink.on_watermark(to);
         self.advance_count += 1;
         stages.stage(STAGE_FINALIZE, stats.windows as u64);
@@ -985,11 +1028,16 @@ impl StreamEngine {
                         stats.interior_retired_segments += 1;
                     }
                     // The cohort's vars are dead with the segment (nothing
-                    // live reaches their Var nodes), but the release
-                    // itself is a prefix drop — hold it back until every
-                    // older cohort's segment has retired too.
+                    // live reaches their Var nodes): release them right
+                    // here, cohort-granular, so an interior retire drops
+                    // its registry slice immediately instead of waiting
+                    // for every older cohort's segment to retire too.
                     if let Some(epoch) = entry.var_epoch {
-                        self.pending_var_release.push(epoch);
+                        if let Some(vars) = rc.vars.as_ref() {
+                            let released = vars.release_cohort(epoch);
+                            self.reclaimed_vars += released.vars;
+                            stats.released_vars += released.vars;
+                        }
                     }
                     sink.on_retire(entry.seg);
                 }
@@ -999,25 +1047,6 @@ impl StreamEngine {
             }
         }
         self.sealed = kept;
-        // Release the var cohorts whose whole prefix is now retired:
-        // probabilities, labels and the bound segments' marginal-cache
-        // rows are dropped together, in epoch order.
-        if let Some(vars) = rc.vars.as_ref() {
-            if !self.pending_var_release.is_empty() {
-                let frontier = self.sealed.iter().find_map(|e| e.var_epoch);
-                let n = match frontier {
-                    Some(f) => self.pending_var_release.partition_point(|e| e.0 < f.0),
-                    None => self.pending_var_release.len(),
-                };
-                if n > 0 {
-                    let upto = self.pending_var_release[n - 1];
-                    let released = vars.release_vars_before(upto.next());
-                    self.reclaimed_vars += released.vars;
-                    stats.released_vars += released.vars;
-                    self.pending_var_release.drain(..n);
-                }
-            }
-        }
     }
 
     /// Decides whether this advance's sweep is sharded by timeline region:
@@ -1143,6 +1172,9 @@ impl StreamEngine {
         };
         if let Some(mirror) = self.verify_mirror.as_mut() {
             mirror.on_delta(op, &delta);
+        }
+        if let Some(p) = self.pipeline.as_mut() {
+            p.offer(op, &delta);
         }
         sink.on_delta(op, &delta);
     }

@@ -28,6 +28,7 @@
 //! | [`delta`] | [`Delta`], the [`StreamSink`] trait, collecting/counting sinks |
 //! | [`epoch`] | timeline-partitioned parallel executor + arena cache/storage release scopes |
 //! | [`obs`] | stage-level tracing + lock-free metrics for the advance pipeline ([`tp_obs`] façade) |
+//! | [`pipeline`] | [`Pipeline`]: a compiled [`tp_relalg::Plan`] running as standing incremental operators over the delta streams |
 //! | [`replay`] | deterministic out-of-order replay scripts over batch relation pairs |
 //! | [`server`] | [`StreamServer`]: N isolated bounded-memory tenants behind one façade |
 //!
@@ -43,11 +44,13 @@ pub mod engine;
 pub mod epoch;
 pub mod gapped;
 pub mod obs;
+pub mod pipeline;
 pub mod replay;
 pub mod server;
 
 pub use delta::{
-    CollectingSink, CountingSink, Delta, MaterializedDelta, MaterializingSink, NullSink, StreamSink,
+    CollectingSink, CountingSink, Delta, MaterializedDelta, MaterializingSink, NullSink,
+    StreamSink, ValuatedDelta, ValuatingSink,
 };
 pub use engine::{
     AdvanceStats, BufferKind, EngineConfig, IngestOutcome, ParallelConfig, ReclaimConfig, Side,
@@ -59,5 +62,6 @@ pub use obs::{
     advance_section, arena_section, metrics_json, metrics_text, render_all, set_obs_enabled,
     trace_json, ObsConfig, Section, STAGES,
 };
+pub use pipeline::{encode_relation, encode_row, PipeTuple, Pipeline, PipelineError};
 pub use replay::{ReplayConfig, ReplayEvent, ReplayTotals, StreamScript};
 pub use server::{ServerConfig, StreamServer, TenantId};

@@ -1,0 +1,1055 @@
+//! Standing incremental pipelines: a compiled [`tp_relalg::Plan`] running
+//! continuously over the engine's delta streams.
+//!
+//! [`Pipeline::compile`] lowers a batch plan through
+//! [`tp_relalg::incremental::lower`] into a topo-ordered DAG of standing
+//! operators, then the engine drives it: every output delta of a tapped
+//! set operation feeds a [`LoweredOp::Source`], and one propagation pass
+//! per watermark advance pushes the resulting `Ins`/`Del` changes through
+//! the DAG — select/project filter and rewrite rows, joins keep per-side
+//! hash state and emit the conjunction of the matching tuples' lineages,
+//! distinct and aggregate maintain support-counted groups with dirty-key
+//! recompute through the *batch* [`tp_relalg::AggFn::finish`] fold — one
+//! republish per dirty group per advance, nothing when the batch left a
+//! group's output unchanged. The root's
+//! multiset is the standing materialized view; [`Pipeline::materialized`]
+//! snapshots it as a canonically sorted [`Relation`] that is row-identical
+//! to running the batch plan over the closed region (the differential
+//! contract `tests/streaming_plans.rs` proves for arbitrary arrival
+//! permutations and watermark schedules).
+//!
+//! ## Clock, arena, reclamation
+//!
+//! The whole DAG shares the engine's clock: sources buffer deltas as the
+//! sweep emits them, and the engine runs exactly one propagation pass per
+//! advance (inside its arena scope), so every operator observes the same
+//! watermark frontier. Operator state stores each tuple's lineage as an
+//! owned [`LineageTree`] — expanded at the source, inside the arena scope,
+//! exactly like [`crate::MaterializingSink`] records deltas — so standing
+//! state never holds arena references and segment retirement in reclaim
+//! mode can never invalidate it. Derived lineage (join conjunctions,
+//! distinct/aggregate disjunction folds) is built over those owned trees.
+//!
+//! ## Source encoding
+//!
+//! A source row is the tuple's fact attributes followed by the interval
+//! bounds: `fact.values() ++ [Int(ts), Int(te)]` ([`encode_row`]). An
+//! `Insert` delta inserts the encoded row; an `Extend` — which by the
+//! delta contract grows the *latest* output tuple of the fact and keeps
+//! its lineage handle — is a `Del` of the previous encoding plus an `Ins`
+//! of the grown one, mirroring how [`crate::CollectingSink`] applies it
+//! (including the attach-mid-stream case where the `Extend` piece
+//! materializes as a fresh row). For workloads whose facts grow
+//! contiguously, this keeps one standing row per fact and operator state
+//! **plateaus** no matter how long the stream runs.
+
+use std::fmt;
+use std::sync::Arc;
+
+use tp_core::arena::FastMap;
+use tp_core::fact::Fact;
+use tp_core::interval::Interval;
+use tp_core::lineage::LineageTree;
+use tp_core::ops::SetOp;
+use tp_core::relation::TpRelation;
+use tp_core::value::Value;
+use tp_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use tp_relalg::incremental::{lower, LowerError, LoweredOp};
+use tp_relalg::plan::Plan;
+use tp_relalg::relation::{Relation, Row, Schema};
+
+use crate::delta::Delta;
+use crate::obs::{global, now_ns, EngineObs, ObsConfig};
+
+/// Why a plan cannot be attached to an engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The plan does not lower (see [`LowerError`]).
+    Lower(LowerError),
+    /// `taps.len()` differs from the plan's `Values`-leaf count.
+    TapCount {
+        /// Sources the lowered plan declares.
+        sources: usize,
+        /// Taps the caller supplied.
+        taps: usize,
+    },
+    /// A tapped operation is not maintained by the engine config.
+    TapNotMaintained(SetOp),
+    /// A source schema has fewer than three columns (at least one fact
+    /// attribute plus the `ts`/`te` interval bounds).
+    SourceArity {
+        /// The offending source (preorder index).
+        source: usize,
+        /// Its declared arity.
+        arity: usize,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Lower(e) => write!(f, "plan does not lower: {e}"),
+            PipelineError::TapCount { sources, taps } => write!(
+                f,
+                "plan declares {sources} sources but {taps} taps were supplied"
+            ),
+            PipelineError::TapNotMaintained(op) => {
+                write!(f, "tapped operation {op} is not maintained by the engine")
+            }
+            PipelineError::SourceArity { source, arity } => write!(
+                f,
+                "source {source} declares arity {arity}; need fact attributes plus ts, te"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<LowerError> for PipelineError {
+    fn from(e: LowerError) -> Self {
+        PipelineError::Lower(e)
+    }
+}
+
+/// One standing tuple instance: a flat row plus its (owned) lineage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipeTuple {
+    /// The encoded row.
+    pub row: Row,
+    /// Lineage of the instance, arena-independent.
+    pub lineage: LineageTree,
+}
+
+/// An internal change notification between operators.
+#[derive(Debug, Clone)]
+enum PipeDelta {
+    Ins(PipeTuple),
+    Del(PipeTuple),
+}
+
+impl PipeDelta {
+    fn tuple(&self) -> &PipeTuple {
+        match self {
+            PipeDelta::Ins(t) | PipeDelta::Del(t) => t,
+        }
+    }
+}
+
+/// Encodes a TP tuple as a pipeline source row:
+/// `fact.values() ++ [Int(ts), Int(te)]`.
+pub fn encode_row(fact: &Fact, interval: Interval) -> Row {
+    let mut row: Row = fact.values().to_vec();
+    row.push(Value::int(interval.start()));
+    row.push(Value::int(interval.end()));
+    row
+}
+
+/// Encodes a materialized TP relation with the given source schema — the
+/// batch side of the differential oracle: feed the closed-region output of
+/// a [`crate::CollectingSink`] through this and
+/// [`tp_relalg::incremental::bind_sources`], execute, and compare with
+/// [`Pipeline::materialized`].
+///
+/// Panics if a tuple's fact arity plus the two interval columns does not
+/// match the schema.
+pub fn encode_relation(rel: &TpRelation, schema: &Schema) -> Relation {
+    let rows: Vec<Row> = rel
+        .iter()
+        .map(|t| {
+            assert_eq!(
+                t.fact.arity() + 2,
+                schema.arity(),
+                "tuple fact arity does not match the source schema"
+            );
+            encode_row(&t.fact, t.interval)
+        })
+        .collect();
+    Relation::new(schema.clone(), rows)
+}
+
+/// Per-operator standing state.
+enum OpState {
+    /// Source, select, project, union-all: no standing rows.
+    Stateless,
+    /// Nested-loop join: both sides' full instance lists.
+    NlJoin([Vec<PipeTuple>; 2]),
+    /// Hash join: per-side instances bucketed by join key.
+    HashJoin([FastMap<Vec<Value>, Vec<PipeTuple>>; 2]),
+    /// Distinct: instance lineages per distinct row (support counting).
+    Distinct(FastMap<Row, Vec<LineageTree>>),
+    /// Aggregate: member instances per group key, in arrival order.
+    Aggregate(FastMap<Vec<Value>, Vec<PipeTuple>>),
+}
+
+impl OpState {
+    fn for_op(op: &LoweredOp) -> OpState {
+        match op {
+            LoweredOp::NlJoin(_) => OpState::NlJoin([Vec::new(), Vec::new()]),
+            LoweredOp::HashJoin { .. } => {
+                OpState::HashJoin([FastMap::default(), FastMap::default()])
+            }
+            LoweredOp::Distinct => OpState::Distinct(FastMap::default()),
+            LoweredOp::Aggregate { .. } => OpState::Aggregate(FastMap::default()),
+            _ => OpState::Stateless,
+        }
+    }
+
+    /// Standing instances held by this operator.
+    fn rows(&self) -> usize {
+        match self {
+            OpState::Stateless => 0,
+            OpState::NlJoin(sides) => sides.iter().map(Vec::len).sum(),
+            OpState::HashJoin(sides) => sides
+                .iter()
+                .map(|m| m.values().map(Vec::len).sum::<usize>())
+                .sum(),
+            OpState::Distinct(m) => m.values().map(Vec::len).sum(),
+            OpState::Aggregate(m) => m.values().map(Vec::len).sum(),
+        }
+    }
+}
+
+/// Left-associative ∨-fold of instance lineages, in stored order — the
+/// deterministic lineage of a support-counted output row.
+fn or_fold(trees: &[LineageTree]) -> LineageTree {
+    let mut it = trees.iter();
+    let first = it.next().expect("folds run over non-empty groups").clone();
+    it.fold(first, |acc, t| {
+        LineageTree::Or(Box::new(acc), Box::new(t.clone()))
+    })
+}
+
+fn joined(l: &PipeTuple, r: &PipeTuple) -> PipeTuple {
+    let mut row = l.row.clone();
+    row.extend(r.row.iter().cloned());
+    PipeTuple {
+        row,
+        lineage: LineageTree::And(Box::new(l.lineage.clone()), Box::new(r.lineage.clone())),
+    }
+}
+
+/// One DAG node: the operator, its standing state, and the deltas buffered
+/// for the next propagation pass.
+struct Node {
+    op: LoweredOp,
+    state: OpState,
+    inbox: Vec<(usize, PipeDelta)>,
+    /// Deltas this operator emitted over its lifetime.
+    emitted: u64,
+}
+
+impl Node {
+    /// Applies one upstream delta, appending this operator's own deltas.
+    fn apply(&mut self, port: usize, delta: PipeDelta, out: &mut Vec<PipeDelta>) {
+        match (&self.op, &mut self.state) {
+            (LoweredOp::Source(_), _) | (LoweredOp::UnionAll, _) => out.push(delta),
+            (LoweredOp::Select(pred), _) => {
+                if pred.eval(&delta.tuple().row) {
+                    out.push(delta);
+                }
+            }
+            (LoweredOp::Project(cols), _) => {
+                let map = |t: PipeTuple| PipeTuple {
+                    row: cols.iter().map(|&c| t.row[c].clone()).collect(),
+                    lineage: t.lineage,
+                };
+                out.push(match delta {
+                    PipeDelta::Ins(t) => PipeDelta::Ins(map(t)),
+                    PipeDelta::Del(t) => PipeDelta::Del(map(t)),
+                });
+            }
+            (LoweredOp::NlJoin(pred), OpState::NlJoin(sides)) => {
+                let pair = |own: &PipeTuple, other: &PipeTuple| {
+                    if port == 0 {
+                        joined(own, other)
+                    } else {
+                        joined(other, own)
+                    }
+                };
+                let hit = |own: &PipeTuple, other: &PipeTuple| {
+                    if port == 0 {
+                        pred.eval_pair(&own.row, &other.row)
+                    } else {
+                        pred.eval_pair(&other.row, &own.row)
+                    }
+                };
+                match delta {
+                    PipeDelta::Ins(t) => {
+                        for o in &sides[1 - port] {
+                            if hit(&t, o) {
+                                out.push(PipeDelta::Ins(pair(&t, o)));
+                            }
+                        }
+                        sides[port].push(t);
+                    }
+                    PipeDelta::Del(t) => {
+                        let at = sides[port]
+                            .iter()
+                            .position(|x| *x == t)
+                            .expect("Del retracts a standing join instance");
+                        sides[port].remove(at);
+                        for o in &sides[1 - port] {
+                            if hit(&t, o) {
+                                out.push(PipeDelta::Del(pair(&t, o)));
+                            }
+                        }
+                    }
+                }
+            }
+            (LoweredOp::HashJoin { l_cols, r_cols }, OpState::HashJoin(sides)) => {
+                let own_cols = if port == 0 { l_cols } else { r_cols };
+                let key: Vec<Value> = own_cols
+                    .iter()
+                    .map(|&c| delta.tuple().row[c].clone())
+                    .collect();
+                let (head, tail) = sides.split_at_mut(1);
+                let (own, other) = if port == 0 {
+                    (&mut head[0], &tail[0])
+                } else {
+                    (&mut tail[0], &head[0])
+                };
+                let pair = |own_t: &PipeTuple, other_t: &PipeTuple| {
+                    if port == 0 {
+                        joined(own_t, other_t)
+                    } else {
+                        joined(other_t, own_t)
+                    }
+                };
+                match delta {
+                    PipeDelta::Ins(t) => {
+                        if let Some(matches) = other.get(&key) {
+                            for o in matches {
+                                out.push(PipeDelta::Ins(pair(&t, o)));
+                            }
+                        }
+                        own.entry(key).or_default().push(t);
+                    }
+                    PipeDelta::Del(t) => {
+                        let bucket = own
+                            .get_mut(&key)
+                            .expect("Del retracts a standing join instance");
+                        let at = bucket
+                            .iter()
+                            .position(|x| *x == t)
+                            .expect("Del retracts a standing join instance");
+                        bucket.remove(at);
+                        if bucket.is_empty() {
+                            own.remove(&key);
+                        }
+                        if let Some(matches) = other.get(&key) {
+                            for o in matches {
+                                out.push(PipeDelta::Del(pair(&t, o)));
+                            }
+                        }
+                    }
+                }
+            }
+            (LoweredOp::Distinct, _) | (LoweredOp::Aggregate { .. }, _) => {
+                unreachable!("grouped operators drain through apply_grouped")
+            }
+            _ => unreachable!("operator state matches its op kind by construction"),
+        }
+    }
+
+    /// Applies one advance's worth of deltas to a support-counted operator
+    /// (distinct, aggregate) with **dirty-key recompute**: member lists are
+    /// updated first, then every dirty group is republished exactly once —
+    /// one `Del` of its pre-batch output, one `Ins` of its post-batch
+    /// output. A group hit by many deltas in one advance (the
+    /// retract-and-regrow traffic of `Extend`-dominated streams) pays one
+    /// lineage refold instead of one per delta, and groups whose output is
+    /// net-unchanged emit nothing.
+    fn apply_grouped(&mut self, inbox: Vec<(usize, PipeDelta)>, out: &mut Vec<PipeDelta>) {
+        match (&self.op, &mut self.state) {
+            (LoweredOp::Distinct, OpState::Distinct(groups)) => {
+                // Phase 1: update supports, snapshotting each row's
+                // pre-batch output the first time it is touched.
+                let mut dirty: Vec<Row> = Vec::new();
+                let mut old: FastMap<Row, Option<LineageTree>> = FastMap::default();
+                for (_port, delta) in inbox {
+                    match delta {
+                        PipeDelta::Ins(t) => {
+                            let instances = groups.entry(t.row.clone()).or_default();
+                            old.entry(t.row.clone()).or_insert_with(|| {
+                                dirty.push(t.row.clone());
+                                (!instances.is_empty()).then(|| or_fold(instances))
+                            });
+                            instances.push(t.lineage);
+                        }
+                        PipeDelta::Del(t) => {
+                            let instances = groups
+                                .get_mut(&t.row)
+                                .expect("Del retracts a standing distinct instance");
+                            old.entry(t.row.clone()).or_insert_with(|| {
+                                dirty.push(t.row.clone());
+                                Some(or_fold(instances))
+                            });
+                            let at = instances
+                                .iter()
+                                .position(|x| *x == t.lineage)
+                                .expect("Del retracts a standing distinct instance");
+                            instances.remove(at);
+                            if instances.is_empty() {
+                                groups.remove(&t.row);
+                            }
+                        }
+                    }
+                }
+                // Phase 2: republish changed rows, in first-touch order.
+                for row in dirty {
+                    let old_fold = old.remove(&row).expect("snapshotted in phase 1");
+                    let new_fold = groups.get(&row).map(|instances| or_fold(instances));
+                    push_republish(
+                        out,
+                        old_fold.map(|lineage| PipeTuple {
+                            row: row.clone(),
+                            lineage,
+                        }),
+                        new_fold.map(|lineage| PipeTuple { row, lineage }),
+                    );
+                }
+            }
+            (LoweredOp::Aggregate { keys, aggs }, OpState::Aggregate(groups)) => {
+                let output = |key: &[Value], members: &[PipeTuple]| {
+                    let rows: Vec<&Row> = members.iter().map(|m| &m.row).collect();
+                    let mut row: Row = key.to_vec();
+                    row.extend(aggs.iter().map(|a| a.finish(&rows)));
+                    let mut it = members.iter();
+                    let first = it
+                        .next()
+                        .expect("folds run over non-empty groups")
+                        .lineage
+                        .clone();
+                    let lineage = it.fold(first, |acc, m| {
+                        LineageTree::Or(Box::new(acc), Box::new(m.lineage.clone()))
+                    });
+                    PipeTuple { row, lineage }
+                };
+                let mut dirty: Vec<Vec<Value>> = Vec::new();
+                let mut old: FastMap<Vec<Value>, Option<PipeTuple>> = FastMap::default();
+                for (_port, delta) in inbox {
+                    let key: Vec<Value> =
+                        keys.iter().map(|&k| delta.tuple().row[k].clone()).collect();
+                    match delta {
+                        PipeDelta::Ins(t) => {
+                            let members = groups.entry(key.clone()).or_default();
+                            old.entry(key.clone()).or_insert_with(|| {
+                                dirty.push(key.clone());
+                                (!members.is_empty()).then(|| output(&key, members))
+                            });
+                            members.push(t);
+                        }
+                        PipeDelta::Del(t) => {
+                            let members = groups
+                                .get_mut(&key)
+                                .expect("Del retracts a standing group member");
+                            old.entry(key.clone()).or_insert_with(|| {
+                                dirty.push(key.clone());
+                                Some(output(&key, members))
+                            });
+                            let at = members
+                                .iter()
+                                .position(|x| *x == t)
+                                .expect("Del retracts a standing group member");
+                            members.remove(at);
+                            if members.is_empty() {
+                                groups.remove(&key);
+                            }
+                        }
+                    }
+                }
+                for key in dirty {
+                    let old_out = old.remove(&key).expect("snapshotted in phase 1");
+                    let new_out = groups.get(&key).map(|members| output(&key, members));
+                    push_republish(out, old_out, new_out);
+                }
+            }
+            _ => unreachable!("apply_grouped only drains distinct/aggregate"),
+        }
+    }
+}
+
+/// Emits the republication deltas of one dirty group: retract the
+/// pre-batch output, insert the post-batch one, and emit nothing when the
+/// batch left the output unchanged (row-compare first, so the deep lineage
+/// comparison only runs when the rows already agree).
+fn push_republish(out: &mut Vec<PipeDelta>, old: Option<PipeTuple>, new: Option<PipeTuple>) {
+    match (old, new) {
+        (None, Some(new)) => out.push(PipeDelta::Ins(new)),
+        (Some(old), None) => out.push(PipeDelta::Del(old)),
+        (Some(old), Some(new)) => {
+            if old != new {
+                out.push(PipeDelta::Del(old));
+                out.push(PipeDelta::Ins(new));
+            }
+        }
+        (None, None) => {}
+    }
+}
+
+/// Metric handles of an instrumented pipeline (`tp_pipeline_*`).
+struct PipelineObs {
+    advance_ns: Arc<Histogram>,
+    state_rows: Arc<Gauge>,
+    /// Per node, labeled with the operator kind.
+    node_deltas: Vec<Arc<Counter>>,
+}
+
+/// A compiled standing pipeline. Create with [`Pipeline::compile`], attach
+/// via [`crate::StreamEngine::with_plan`] (or per tenant through
+/// [`crate::StreamServer::add_tenant_with_plan`]); the engine feeds and
+/// advances it, callers read [`Pipeline::materialized`].
+pub struct Pipeline {
+    nodes: Vec<Node>,
+    /// Producer → `[(consumer, port)]` edges.
+    consumers: Vec<Vec<(usize, usize)>>,
+    /// Engine op feeding each source.
+    taps: Vec<SetOp>,
+    /// Source index → node index.
+    source_nodes: Vec<usize>,
+    /// Declared fact arity per source (schema arity minus ts/te).
+    fact_arity: Vec<usize>,
+    /// Per source: the latest standing encoding per fact (the row an
+    /// `Extend` delta retracts and regrows).
+    last_run: Vec<FastMap<Fact, PipeTuple>>,
+    root_schema: Schema,
+    /// The standing materialized view: instance lineages per row.
+    root_rows: FastMap<Row, Vec<LineageTree>>,
+    /// Total root instances (multiplicity sum).
+    root_len: usize,
+    advances: u64,
+    deltas_total: u64,
+    obs: Option<PipelineObs>,
+}
+
+impl Pipeline {
+    /// Compiles a plan into a standing pipeline whose `i`-th source is fed
+    /// from the engine's `taps[i]` delta stream.
+    pub fn compile(plan: &Plan, taps: &[SetOp]) -> Result<Pipeline, PipelineError> {
+        let lowered = lower(plan)?;
+        if lowered.source_count() != taps.len() {
+            return Err(PipelineError::TapCount {
+                sources: lowered.source_count(),
+                taps: taps.len(),
+            });
+        }
+        for (i, schema) in lowered.source_schemas.iter().enumerate() {
+            if schema.arity() < 3 {
+                return Err(PipelineError::SourceArity {
+                    source: i,
+                    arity: schema.arity(),
+                });
+            }
+        }
+        let root_schema = lowered.root_schema().clone();
+        let mut consumers: Vec<Vec<(usize, usize)>> = vec![Vec::new(); lowered.nodes.len()];
+        let mut source_nodes = vec![usize::MAX; lowered.source_count()];
+        let mut nodes = Vec::with_capacity(lowered.nodes.len());
+        for (i, n) in lowered.nodes.iter().enumerate() {
+            for (port, &input) in n.inputs.iter().enumerate() {
+                consumers[input].push((i, port));
+            }
+            if let LoweredOp::Source(s) = n.op {
+                source_nodes[s] = i;
+            }
+            nodes.push(Node {
+                state: OpState::for_op(&n.op),
+                op: n.op.clone(),
+                inbox: Vec::new(),
+                emitted: 0,
+            });
+        }
+        let fact_arity = lowered
+            .source_schemas
+            .iter()
+            .map(|s| s.arity() - 2)
+            .collect();
+        Ok(Pipeline {
+            nodes,
+            consumers,
+            taps: taps.to_vec(),
+            last_run: vec![FastMap::default(); source_nodes.len()],
+            source_nodes,
+            fact_arity,
+            root_schema,
+            root_rows: FastMap::default(),
+            root_len: 0,
+            advances: 0,
+            deltas_total: 0,
+            obs: None,
+        })
+    }
+
+    /// Resolves the `tp_pipeline_*` metric handles (no-op when disabled).
+    pub(crate) fn init_obs(&mut self, cfg: &ObsConfig) {
+        if !cfg.enabled {
+            return;
+        }
+        let reg: &MetricsRegistry = match &cfg.registry {
+            Some(r) => r,
+            None => global(),
+        };
+        let tenant = cfg.tenant.as_deref();
+        let base: Vec<(&str, &str)> = match tenant {
+            Some(t) => vec![("tenant", t)],
+            None => Vec::new(),
+        };
+        let node_deltas = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let mut labels = base.clone();
+                labels.push(("op", n.op.name()));
+                reg.counter("tp_pipeline_deltas_total", &labels)
+            })
+            .collect();
+        self.obs = Some(PipelineObs {
+            advance_ns: reg.histogram("tp_pipeline_advance_ns", &base),
+            state_rows: reg.gauge("tp_pipeline_state_rows", &base),
+            node_deltas,
+        });
+    }
+
+    /// Buffers one engine delta into every source tapping `op`. Called by
+    /// the engine inside its arena scope (the lineage expansion below
+    /// dereferences the handle).
+    pub(crate) fn offer(&mut self, op: SetOp, delta: &Delta) {
+        for s in 0..self.taps.len() {
+            if self.taps[s] != op {
+                continue;
+            }
+            let node = self.source_nodes[s];
+            match delta {
+                Delta::Insert(t) => {
+                    assert_eq!(
+                        t.fact.arity(),
+                        self.fact_arity[s],
+                        "stream fact arity does not match source {s}'s schema"
+                    );
+                    let pt = PipeTuple {
+                        row: encode_row(&t.fact, t.interval),
+                        lineage: t.lineage.to_tree(),
+                    };
+                    self.last_run[s].insert(t.fact.clone(), pt.clone());
+                    self.nodes[node].inbox.push((0, PipeDelta::Ins(pt)));
+                }
+                Delta::Extend {
+                    fact,
+                    lineage,
+                    from,
+                    to,
+                } => match self.last_run[s].get_mut(fact) {
+                    Some(prev) => {
+                        // The contract: an Extend grows the fact's latest
+                        // output tuple and keeps its lineage handle, so
+                        // the standing encoding is retracted and regrown
+                        // with the identical lineage tree.
+                        let mut grown = prev.clone();
+                        let te = grown.row.len() - 1;
+                        debug_assert_eq!(grown.row[te], Value::int(*from), "Extend boundary");
+                        grown.row[te] = Value::int(*to);
+                        let old = std::mem::replace(prev, grown.clone());
+                        self.nodes[node].inbox.push((0, PipeDelta::Del(old)));
+                        self.nodes[node].inbox.push((0, PipeDelta::Ins(grown)));
+                    }
+                    None => {
+                        // Attached mid-stream: materialize the extension
+                        // piece as a fresh row (CollectingSink's rule).
+                        assert_eq!(
+                            fact.arity(),
+                            self.fact_arity[s],
+                            "stream fact arity does not match source {s}'s schema"
+                        );
+                        let pt = PipeTuple {
+                            row: encode_row(fact, Interval::at(*from, *to)),
+                            lineage: lineage.to_tree(),
+                        };
+                        self.last_run[s].insert(fact.clone(), pt.clone());
+                        self.nodes[node].inbox.push((0, PipeDelta::Ins(pt)));
+                    }
+                },
+            }
+        }
+    }
+
+    /// One propagation pass: drains every inbox in topological order,
+    /// applies the root's deltas to the materialized view, and records the
+    /// per-operator sub-spans and `tp_pipeline_*` metrics. Returns the
+    /// number of deltas operators processed. Called by the engine once per
+    /// watermark advance, after the sweep emitted its deltas.
+    pub(crate) fn on_advance(&mut self, engine_obs: Option<&EngineObs>) -> u64 {
+        let instrumented = self.obs.is_some() || engine_obs.is_some();
+        let t0 = if instrumented { now_ns() } else { 0 };
+        let mut processed = 0u64;
+        let root = self.nodes.len() - 1;
+        for i in 0..self.nodes.len() {
+            let inbox = std::mem::take(&mut self.nodes[i].inbox);
+            if inbox.is_empty() {
+                continue;
+            }
+            let node_t0 = if instrumented { now_ns() } else { 0 };
+            let mut out = Vec::new();
+            processed += inbox.len() as u64;
+            if matches!(
+                self.nodes[i].op,
+                LoweredOp::Distinct | LoweredOp::Aggregate { .. }
+            ) {
+                self.nodes[i].apply_grouped(inbox, &mut out);
+            } else {
+                for (port, delta) in inbox {
+                    self.nodes[i].apply(port, delta, &mut out);
+                }
+            }
+            self.nodes[i].emitted += out.len() as u64;
+            if instrumented {
+                let dur = now_ns() - node_t0;
+                if let Some(obs) = engine_obs {
+                    obs.sub_span(self.nodes[i].op.name(), node_t0, dur, out.len() as u64);
+                }
+                if let Some(p) = &self.obs {
+                    p.node_deltas[i].add(out.len() as u64);
+                }
+            }
+            if i == root {
+                for delta in out {
+                    self.apply_root(delta);
+                }
+            } else if let [(consumer, port)] = self.consumers[i][..] {
+                // Sole consumer: hand the deltas over without cloning.
+                for delta in out {
+                    self.nodes[consumer].inbox.push((port, delta));
+                }
+            } else {
+                for &(consumer, port) in &self.consumers[i] {
+                    for delta in &out {
+                        self.nodes[consumer].inbox.push((port, delta.clone()));
+                    }
+                }
+            }
+        }
+        self.advances += 1;
+        self.deltas_total += processed;
+        if let Some(p) = &self.obs {
+            p.advance_ns.record(now_ns() - t0);
+            p.state_rows.set(self.state_rows() as i64);
+        }
+        processed
+    }
+
+    fn apply_root(&mut self, delta: PipeDelta) {
+        match delta {
+            PipeDelta::Ins(t) => {
+                self.root_rows.entry(t.row).or_default().push(t.lineage);
+                self.root_len += 1;
+            }
+            PipeDelta::Del(t) => {
+                let instances = self
+                    .root_rows
+                    .get_mut(&t.row)
+                    .expect("Del retracts a standing output row");
+                let at = instances
+                    .iter()
+                    .position(|x| *x == t.lineage)
+                    .expect("Del retracts a standing output row");
+                instances.remove(at);
+                self.root_len -= 1;
+                if instances.is_empty() {
+                    self.root_rows.remove(&t.row);
+                }
+            }
+        }
+    }
+
+    /// Snapshot of the standing materialized view as a canonically sorted
+    /// relation (bag semantics: a row appears once per instance).
+    pub fn materialized(&self) -> Relation {
+        let mut rows: Vec<Row> = Vec::with_capacity(self.root_len);
+        for (row, instances) in &self.root_rows {
+            for _ in 0..instances.len() {
+                rows.push(row.clone());
+            }
+        }
+        rows.sort();
+        Relation::new(self.root_schema.clone(), rows)
+    }
+
+    /// The distinct output rows with their ∨-folded lineage, sorted by
+    /// row — the hook alert rules valuate (re-intern the tree inside an
+    /// arena scope, then [`crate::obs::valuate_batch`]).
+    pub fn materialized_lineage(&self) -> Vec<(Row, LineageTree)> {
+        let mut out: Vec<(Row, LineageTree)> = self
+            .root_rows
+            .iter()
+            .map(|(row, instances)| (row.clone(), or_fold(instances)))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// The root's output schema.
+    pub fn schema(&self) -> &Schema {
+        &self.root_schema
+    }
+
+    /// The engine ops feeding the sources, in source order.
+    pub fn taps(&self) -> &[SetOp] {
+        &self.taps
+    }
+
+    /// Standing instances across all operators (source run maps, join
+    /// sides, distinct/aggregate groups, the materialized root) — the
+    /// bounded-state gauge: under contiguous-growth workloads it plateaus.
+    pub fn state_rows(&self) -> usize {
+        let ops: usize = self.nodes.iter().map(|n| n.state.rows()).sum();
+        let runs: usize = self.last_run.iter().map(FastMap::len).sum();
+        ops + runs + self.root_len
+    }
+
+    /// Propagation passes executed (one per engine advance).
+    pub fn advances(&self) -> u64 {
+        self.advances
+    }
+
+    /// Total deltas operators processed over the pipeline's lifetime.
+    pub fn deltas_total(&self) -> u64 {
+        self.deltas_total
+    }
+
+    /// Per-operator `(name, emitted)` delta counts, in topological order.
+    pub fn operator_deltas(&self) -> Vec<(&'static str, u64)> {
+        self.nodes
+            .iter()
+            .map(|n| (n.op.name(), n.emitted))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::CollectingSink;
+    use crate::engine::{EngineConfig, Side, StreamEngine};
+    use tp_core::lineage::{Lineage, TupleId};
+    use tp_core::tuple::TpTuple;
+    use tp_relalg::aggregate::AggFn;
+    use tp_relalg::incremental::bind_sources;
+    use tp_relalg::predicate::{CmpOp, Predicate};
+
+    fn placeholder(cols: &[&str]) -> Relation {
+        Relation::empty(Schema::new(cols.iter().copied()))
+    }
+
+    /// join(Except, Intersect on fact key) → aggregate count per key.
+    fn alert_plan() -> Plan {
+        Plan::values(placeholder(&["k", "ts", "te"]))
+            .hash_join(
+                Plan::values(placeholder(&["k", "ts", "te"])),
+                vec![0],
+                vec![0],
+            )
+            .aggregate(vec![0], vec![AggFn::Count, AggFn::Max(2)])
+    }
+
+    /// Duplicate-free two-sided workload: per step one tuple per side of
+    /// the same fact, right shifted by one — every op has output (Except
+    /// the left-only sliver, Intersect the overlap).
+    fn push_workload(engine: &mut StreamEngine, n: i64) {
+        for k in 0..n {
+            let fact = Fact::single(k % 4);
+            engine.push(
+                Side::Left,
+                TpTuple::new(
+                    fact.clone(),
+                    Lineage::var(TupleId(2 * k as u64)),
+                    Interval::at(2 * k, 2 * k + 3),
+                ),
+            );
+            engine.push(
+                Side::Right,
+                TpTuple::new(
+                    fact,
+                    Lineage::var(TupleId(2 * k as u64 + 1)),
+                    Interval::at(2 * k + 1, 2 * k + 4),
+                ),
+            );
+        }
+    }
+
+    fn batch_rows(plan: &Plan, sink: &CollectingSink, taps: &[SetOp], schema: &Schema) -> Vec<Row> {
+        let tables: Vec<Relation> = taps
+            .iter()
+            .map(|&op| encode_relation(&sink.relation(op), schema))
+            .collect();
+        let mut rows = bind_sources(plan, &tables).execute().rows;
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn compiled_pipeline_matches_batch_execute() {
+        let plan = alert_plan();
+        let taps = [SetOp::Except, SetOp::Intersect];
+        let mut engine = StreamEngine::with_plan(EngineConfig::default(), &plan, &taps).unwrap();
+        let mut sink = CollectingSink::new();
+        push_workload(&mut engine, 40);
+        for w in [9, 17, 30] {
+            engine.advance(w, &mut sink).unwrap();
+        }
+        engine.finish(&mut sink).unwrap();
+        let schema = Schema::new(["k", "ts", "te"]);
+        let expect = batch_rows(&plan, &sink, &taps, &schema);
+        let got = engine.pipeline().unwrap().materialized();
+        assert!(!expect.is_empty(), "vacuous: batch output is empty");
+        assert_eq!(got.rows, expect);
+        assert_eq!(got.schema.columns(), &["l.k", "count", "max_2"]);
+    }
+
+    #[test]
+    fn select_project_distinct_union_pipeline_matches_batch() {
+        let leaf = || Plan::values(placeholder(&["k", "ts", "te"]));
+        let plan = leaf()
+            .select(Predicate::col_const(CmpOp::Ge, 1, Value::int(4)))
+            .union_all(leaf().project(vec![0, 1, 2]))
+            .project(vec![0])
+            .distinct();
+        let taps = [SetOp::Union, SetOp::Except];
+        let mut engine = StreamEngine::with_plan(EngineConfig::default(), &plan, &taps).unwrap();
+        let mut sink = CollectingSink::new();
+        push_workload(&mut engine, 30);
+        for w in [7, 15, 22] {
+            engine.advance(w, &mut sink).unwrap();
+        }
+        engine.finish(&mut sink).unwrap();
+        let schema = Schema::new(["k", "ts", "te"]);
+        let expect = batch_rows(&plan, &sink, &taps, &schema);
+        let got = engine.pipeline().unwrap().materialized();
+        assert!(!expect.is_empty());
+        assert_eq!(got.rows, expect);
+    }
+
+    #[test]
+    fn nl_join_theta_pipeline_matches_batch() {
+        let leaf = || Plan::values(placeholder(&["k", "ts", "te"]));
+        // Interval-overlap theta join: the paper's inequality-join shape.
+        let plan = leaf().nl_join(leaf(), Predicate::overlap(1, 2, 4, 5));
+        let taps = [SetOp::Except, SetOp::Intersect];
+        let mut engine = StreamEngine::with_plan(EngineConfig::default(), &plan, &taps).unwrap();
+        let mut sink = CollectingSink::new();
+        push_workload(&mut engine, 24);
+        for w in [11, 19] {
+            engine.advance(w, &mut sink).unwrap();
+        }
+        engine.finish(&mut sink).unwrap();
+        let schema = Schema::new(["k", "ts", "te"]);
+        let expect = batch_rows(&plan, &sink, &taps, &schema);
+        let got = engine.pipeline().unwrap().materialized();
+        assert_eq!(got.rows, expect);
+    }
+
+    #[test]
+    fn join_lineage_is_conjunction_of_matching_instances() {
+        let leaf = || Plan::values(placeholder(&["k", "ts", "te"]));
+        let plan = leaf().hash_join(leaf(), vec![0], vec![0]);
+        let taps = [SetOp::Except, SetOp::Intersect];
+        let mut engine = StreamEngine::with_plan(EngineConfig::default(), &plan, &taps).unwrap();
+        let mut sink = CollectingSink::new();
+        // One left-only tuple and one both-sides fact: Except carries the
+        // left-only output, Intersect the conjunction output.
+        engine.push(
+            Side::Left,
+            TpTuple::new("a", Lineage::var(TupleId(1)), Interval::at(0, 10)),
+        );
+        engine.push(
+            Side::Left,
+            TpTuple::new("b", Lineage::var(TupleId(2)), Interval::at(0, 10)),
+        );
+        engine.push(
+            Side::Right,
+            TpTuple::new("b", Lineage::var(TupleId(3)), Interval::at(0, 10)),
+        );
+        engine.finish(&mut sink).unwrap();
+        let out = engine.pipeline().unwrap().materialized_lineage();
+        // 'a' is Except-only (no Intersect partner): no join output for it;
+        // 'b' appears on both taps and joins.
+        assert_eq!(out.len(), 1);
+        let (row, lineage) = &out[0];
+        assert_eq!(row[0], Value::str("b"));
+        assert!(
+            matches!(lineage, LineageTree::And(_, _)),
+            "join output lineage must be a conjunction, got {lineage:?}"
+        );
+    }
+
+    #[test]
+    fn extends_keep_state_bounded_and_match_batch() {
+        // Immortal facts cut by the watermark: every advance re-emits each
+        // fact's output as an Extend (same lineage handle across the
+        // split), so each operator only retracts-and-regrows its standing
+        // rows — state_rows plateaus while the watermark runs on.
+        let plan = alert_plan();
+        let taps = [SetOp::Union, SetOp::Intersect];
+        let mut engine = StreamEngine::with_plan(EngineConfig::default(), &plan, &taps).unwrap();
+        let mut sink = CollectingSink::new();
+        for f in 0..4i64 {
+            for (side, off) in [(Side::Left, 0), (Side::Right, 1)] {
+                let t = TpTuple::new(
+                    Fact::single(f),
+                    Lineage::var(TupleId((f * 2 + off) as u64)),
+                    Interval::at(0, 300),
+                );
+                engine.push(side, t);
+            }
+        }
+        let mut state = Vec::new();
+        for epoch in 0..30i64 {
+            engine.advance((epoch + 1) * 10, &mut sink).unwrap();
+            state.push(engine.pipeline().unwrap().state_rows());
+        }
+        engine.finish(&mut sink).unwrap();
+        let schema = Schema::new(["k", "ts", "te"]);
+        let expect = batch_rows(&plan, &sink, &taps, &schema);
+        let got = engine.pipeline().unwrap().materialized();
+        assert_eq!(got.rows, expect);
+        // Plateau: the second half of the run adds no standing state.
+        let mid = state[state.len() / 2];
+        let end = *state.last().unwrap();
+        assert_eq!(mid, end, "state kept growing: {state:?}");
+        assert!(end > 0);
+    }
+
+    #[test]
+    fn compile_rejects_bad_taps_and_sort() {
+        let plan = alert_plan();
+        assert!(matches!(
+            Pipeline::compile(&plan, &[SetOp::Union]),
+            Err(PipelineError::TapCount {
+                sources: 2,
+                taps: 1
+            })
+        ));
+        let sorted = Plan::values(placeholder(&["k", "ts", "te"])).sort(vec![0]);
+        assert!(matches!(
+            Pipeline::compile(&sorted, &[SetOp::Union]),
+            Err(PipelineError::Lower(LowerError::Sort))
+        ));
+        let thin = Plan::values(placeholder(&["ts", "te"]));
+        assert!(matches!(
+            Pipeline::compile(&thin, &[SetOp::Union]),
+            Err(PipelineError::SourceArity {
+                source: 0,
+                arity: 2
+            })
+        ));
+        // A tap outside the engine's maintained ops is rejected at attach.
+        let cfg = EngineConfig {
+            ops: vec![SetOp::Union],
+            ..Default::default()
+        };
+        let leaf = Plan::values(placeholder(&["k", "ts", "te"]));
+        assert!(matches!(
+            StreamEngine::with_plan(cfg, &leaf, &[SetOp::Except]),
+            Err(PipelineError::TapNotMaintained(SetOp::Except))
+        ));
+    }
+}

@@ -39,6 +39,7 @@ use crate::engine::{
     StreamEngine, StreamError, WatermarkPolicy,
 };
 use crate::obs::ObsConfig;
+use crate::pipeline::PipelineError;
 use tp_obs::{Gauge, Histogram, MetricsRegistry};
 
 /// Identifier of one tenant stream within a [`StreamServer`]. Dense per
@@ -169,13 +170,69 @@ impl<S: StreamSink + Send> StreamServer<S> {
         make_sink: impl FnOnce(&Arc<VarTable>) -> S,
     ) -> TenantId {
         let name = name.into();
+        let (cfg, vars) = self.tenant_engine_config(&name);
+        let engine = StreamEngine::new(cfg);
+        self.push_tenant(name, engine, vars, make_sink)
+    }
+
+    /// Adds a tenant with a **standing pipeline** compiled from `plan` and
+    /// fed from the tenant's `taps[i]` delta streams
+    /// ([`StreamEngine::with_plan`]): the tenant continuously maintains
+    /// the plan's materialized view next to its delta sink, under the same
+    /// bounded-memory regime as every other tenant. Read it back through
+    /// [`StreamServer::engine`] → [`StreamEngine::pipeline`].
+    pub fn add_tenant_with_plan(
+        &mut self,
+        name: impl Into<String>,
+        plan: &tp_relalg::Plan,
+        taps: &[SetOp],
+        make_sink: impl FnOnce(&Arc<VarTable>) -> S,
+    ) -> Result<TenantId, PipelineError> {
+        let name = name.into();
+        let (cfg, vars) = self.tenant_engine_config(&name);
+        let engine = StreamEngine::with_plan(cfg, plan, taps)?;
+        Ok(self.push_tenant(name, engine, vars, make_sink))
+    }
+
+    /// The per-tenant engine configuration: fresh private arena + sliding
+    /// var registry, manual watermarks, one region worker until the wave
+    /// scheduler hands out the spare budget (`schedule_region_workers`).
+    fn tenant_engine_config(&self, name: &str) -> (EngineConfig, Arc<VarTable>) {
         let vars = Arc::new(VarTable::new());
         let obs = ObsConfig {
-            tenant: Some(name.clone()),
+            tenant: Some(name.to_string()),
             ..self.cfg.obs.clone()
         };
-        let (wave_ns, workers_gauge) = if obs.enabled {
-            let reg: &MetricsRegistry = match &obs.registry {
+        let cfg = EngineConfig {
+            ops: self.cfg.ops.clone(),
+            policy: WatermarkPolicy::Manual,
+            verify_batch: false,
+            reclaim: Some(ReclaimConfig {
+                keep_epochs: self.cfg.keep_epochs,
+                shards: self.cfg.shards,
+                vars: Some(Arc::clone(&vars)),
+                interior: true,
+            }),
+            parallel: Some(ParallelConfig {
+                workers: 1,
+                min_tuples: self.cfg.region_min_tuples,
+                cuts: None,
+            }),
+            buffer: self.cfg.buffer,
+            obs,
+        };
+        (cfg, vars)
+    }
+
+    fn push_tenant(
+        &mut self,
+        name: String,
+        engine: StreamEngine,
+        vars: Arc<VarTable>,
+        make_sink: impl FnOnce(&Arc<VarTable>) -> S,
+    ) -> TenantId {
+        let (wave_ns, workers_gauge) = if self.cfg.obs.enabled {
+            let reg: &MetricsRegistry = match &self.cfg.obs.registry {
                 Some(r) => r,
                 None => tp_obs::global(),
             };
@@ -187,26 +244,6 @@ impl<S: StreamSink + Send> StreamServer<S> {
         } else {
             (None, None)
         };
-        let engine = StreamEngine::new(EngineConfig {
-            ops: self.cfg.ops.clone(),
-            policy: WatermarkPolicy::Manual,
-            verify_batch: false,
-            reclaim: Some(ReclaimConfig {
-                keep_epochs: self.cfg.keep_epochs,
-                shards: self.cfg.shards,
-                vars: Some(Arc::clone(&vars)),
-                interior: true,
-            }),
-            // One region worker until the wave scheduler hands the tenant
-            // a share of the spare budget (`schedule_region_workers`).
-            parallel: Some(ParallelConfig {
-                workers: 1,
-                min_tuples: self.cfg.region_min_tuples,
-                cuts: None,
-            }),
-            buffer: self.cfg.buffer,
-            obs,
-        });
         let sink = make_sink(&vars);
         self.tenants.push(Tenant {
             name,

@@ -16,41 +16,47 @@
 
 use std::sync::Arc;
 
-use tp_stream::{Delta, ServerConfig, StreamServer, StreamSink};
+use tp_stream::{Delta, ServerConfig, StreamServer, StreamSink, ValuatingSink};
 use tp_workloads::{multi_tenant_stream, replay_waves, MultiTenantConfig};
 use tpdb::prelude::*;
 
-/// Per-tenant monitor: counts deltas, valuates every `−Tp` insert the
-/// moment it arrives (inside the tenant's arena scope, against the
-/// tenant's live var registry — the reclaim-mode consumption contract),
-/// and keeps the strongest alerts as plain values so nothing holds dead
-/// lineage or released variables afterwards.
+/// Per-tenant monitor: counts deltas and keeps the strongest alerts as
+/// plain values so nothing holds dead lineage or released variables
+/// afterwards. Valuation is not done here tuple-by-tuple: each tenant's
+/// monitor is wrapped in a [`ValuatingSink`] over the tenant's shared
+/// `Arc<VarTable>`, which batches every `−Tp` insert of a wave into one
+/// columnar pass (inside the tenant's arena scope, against the tenant's
+/// live var registry — the reclaim-mode consumption contract).
 struct AlertMonitor {
-    vars: Arc<VarTable>,
     alert_deltas: u64,
     agreement_deltas: u64,
     top: Vec<(f64, String, Interval)>,
 }
 
+impl AlertMonitor {
+    /// Folds freshly valuated alert inserts into the running top-3.
+    fn keep_top(&mut self, batch: Vec<tp_stream::ValuatedDelta>) {
+        for v in batch {
+            self.top.push((v.p, v.fact.to_string(), v.interval));
+        }
+        self.top
+            .sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        self.top.truncate(3);
+    }
+}
+
 impl StreamSink for AlertMonitor {
-    fn on_delta(&mut self, op: SetOp, delta: &Delta) {
+    fn on_delta(&mut self, op: SetOp, _delta: &Delta) {
         match op {
-            SetOp::Except => {
-                self.alert_deltas += 1;
-                if let Delta::Insert(t) = delta {
-                    let p =
-                        prob::marginal(&t.lineage, &self.vars).expect("vars live at delta time");
-                    self.top.push((p, t.fact.to_string(), t.interval));
-                    self.top
-                        .sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
-                    self.top.truncate(3);
-                }
-            }
+            SetOp::Except => self.alert_deltas += 1,
             SetOp::Intersect => self.agreement_deltas += 1,
             SetOp::Union => {}
         }
     }
 }
+
+/// The full per-tenant sink: batched valuation decorating the monitor.
+type TenantSink = ValuatingSink<Arc<VarTable>, AlertMonitor>;
 
 fn main() -> Result<()> {
     let cities = ["zurich", "bern", "geneva", "basel", "lugano", "chur"];
@@ -63,16 +69,21 @@ fn main() -> Result<()> {
         facts: 6,
         ..Default::default()
     });
-    let mut server: StreamServer<AlertMonitor> = StreamServer::new(ServerConfig::default());
+    let mut server: StreamServer<TenantSink> = StreamServer::new(ServerConfig::default());
     let ids: Vec<_> = cities
         .iter()
         .zip(&scripts)
         .map(|(city, _)| {
-            server.add_tenant_with(*city, |vars| AlertMonitor {
-                vars: Arc::clone(vars),
-                alert_deltas: 0,
-                agreement_deltas: 0,
-                top: Vec::new(),
+            server.add_tenant_with(*city, |vars| {
+                ValuatingSink::new(
+                    AlertMonitor {
+                        alert_deltas: 0,
+                        agreement_deltas: 0,
+                        top: Vec::new(),
+                    },
+                    Arc::clone(vars),
+                )
+                .with_ops(&[SetOp::Except])
             })
         })
         .collect();
@@ -90,6 +101,14 @@ fn main() -> Result<()> {
         }
     });
     server.finish_all();
+    // Fold every wave's batched alert valuations into the per-tenant top
+    // lists. Each record is plain values (valuated inside its wave's arena
+    // scope), so folding after the fact is safe even in reclaim mode.
+    for &id in &ids {
+        let sink = server.sink_mut(id);
+        let batch = sink.drain_valuated();
+        sink.inner_mut().keep_top(batch);
+    }
     let ms = t0.elapsed().as_secs_f64() * 1e3;
 
     let total_rows: u64 = ids.iter().map(|&id| server.pushed(id)).sum();
@@ -147,7 +166,7 @@ fn main() -> Result<()> {
 
     println!("\nstrongest uncorroborated-forecast alerts seen live, per city:");
     for &id in &ids {
-        let monitor = server.sink(id);
+        let monitor = server.sink(id).inner();
         println!(
             "  {:<8} ({} alert deltas, {} agreement deltas)",
             server.tenant_name(id),

@@ -18,47 +18,33 @@
 
 use tp_stream::{
     Delta, EngineConfig, ParallelConfig, ReclaimConfig, ReplayConfig, ReplayEvent, StreamEngine,
-    StreamSink,
+    StreamSink, ValuatingSink,
 };
 use tp_workloads::{meteo_stream, MeteoConfig};
 use tpdb::prelude::*;
 
-/// A monitoring sink: counts deltas per op, valuates the probability of
-/// every *alert* insert the moment it appears (inside the engine's arena
-/// scope — the reclaim-mode consumption contract), and remembers the most
-/// probable alerts seen so far as plain values, so nothing holds dead
-/// lineage handles after retirement.
-struct AlertMonitor<'a> {
-    vars: &'a VarTable,
+/// A monitoring sink: counts deltas per op and retired segments. Alert
+/// valuation is *not* done here tuple-by-tuple — the monitor is wrapped in
+/// a [`ValuatingSink`] which batches every alert insert of an advance into
+/// one columnar `valuate_batch` pass (inside the engine's arena scope — the
+/// reclaim-mode consumption contract) and also owns the per-segment
+/// valuation-cache eviction on retire.
+struct AlertMonitor {
     alert_deltas: u64,
     agreement_deltas: u64,
     retired_segments: u64,
-    /// `(probability, station, interval)` of the strongest alerts.
-    top: Vec<(f64, String, Interval)>,
 }
 
-impl StreamSink for AlertMonitor<'_> {
-    fn on_delta(&mut self, op: SetOp, delta: &Delta) {
+impl StreamSink for AlertMonitor {
+    fn on_delta(&mut self, op: SetOp, _delta: &Delta) {
         match op {
-            SetOp::Except => {
-                self.alert_deltas += 1;
-                if let Delta::Insert(t) = delta {
-                    let p = prob::marginal(&t.lineage, self.vars).expect("vars registered");
-                    self.top.push((p, t.fact.to_string(), t.interval));
-                    self.top
-                        .sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
-                    self.top.truncate(5);
-                }
-            }
+            SetOp::Except => self.alert_deltas += 1,
             SetOp::Intersect => self.agreement_deltas += 1,
             SetOp::Union => {}
         }
     }
 
-    fn on_retire(&mut self, seg: SegmentId) {
-        // The O(1) per-segment eviction hook: marginals memoized for
-        // retired lineage can never be queried again.
-        self.vars.release_marginals_for_segment(seg);
+    fn on_retire(&mut self, _seg: SegmentId) {
         self.retired_segments += 1;
     }
 }
@@ -89,12 +75,27 @@ fn main() -> Result<()> {
         workload.script.advances(),
     );
 
-    let mut monitor = AlertMonitor {
-        vars: &vars,
-        alert_deltas: 0,
-        agreement_deltas: 0,
-        retired_segments: 0,
-        top: Vec::new(),
+    // Batched sink-side valuation: every alert insert of an advance is
+    // valuated in one columnar pass instead of one memoized walk per root.
+    let mut monitor = ValuatingSink::new(
+        AlertMonitor {
+            alert_deltas: 0,
+            agreement_deltas: 0,
+            retired_segments: 0,
+        },
+        &vars,
+    )
+    .with_ops(&[SetOp::Except]);
+    // `(probability, station, interval)` of the strongest alerts, kept as
+    // plain values so nothing holds dead lineage handles after retirement.
+    let mut top: Vec<(f64, String, Interval)> = Vec::new();
+    let keep_top = |top: &mut Vec<(f64, String, Interval)>,
+                    batch: Vec<tp_stream::ValuatedDelta>| {
+        for v in batch {
+            top.push((v.p, v.fact.to_string(), v.interval));
+        }
+        top.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        top.truncate(5);
     };
     // Reclaim mode: private arena, one sealed segment per advance,
     // retirement once the live window moves past a segment. Fat advances
@@ -125,6 +126,7 @@ fn main() -> Result<()> {
             }
             ReplayEvent::Advance(w) => {
                 let stats = engine.advance(*w, &mut monitor).expect("monotone script");
+                keep_top(&mut top, monitor.drain_valuated());
                 windows += stats.windows;
                 inserts += stats.inserts;
                 extends += stats.extends;
@@ -140,6 +142,8 @@ fn main() -> Result<()> {
         }
     }
     engine.finish(&mut monitor).expect("final advance");
+    keep_top(&mut top, monitor.drain_valuated());
+    let monitor = monitor.into_inner();
     let ms = t0.elapsed().as_secs_f64() * 1e3;
 
     println!(
@@ -197,7 +201,7 @@ fn main() -> Result<()> {
     println!("{}", tp_stream::render_all(&sections));
 
     println!("\nstrongest uncorroborated-forecast alerts seen live:");
-    for (p, station, interval) in &monitor.top {
+    for (p, station, interval) in &top {
         println!("  station {station} over {interval} with probability {p:.3}");
     }
 

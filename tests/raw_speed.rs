@@ -303,6 +303,96 @@ fn interior_reclaim_is_delta_identical_and_beats_prefix_residency() {
     common::oracle::assert_plateau(&interior_resident, 8, 2.0, "interior reclaim");
 }
 
+/// Replays the immortal-facts script through a reclaiming engine with an
+/// **attached var registry**, re-registering every arriving tuple's
+/// variable into the engine's own table (the push-time registration
+/// contract of `ReclaimConfig::vars`). Returns per-advance `live_vars`
+/// samples plus the registry and the engine's released-var total.
+fn run_immortal_with_registry(
+    w: &StreamWorkload,
+    src: &VarTable,
+    interior: bool,
+) -> (Vec<usize>, u64, std::sync::Arc<VarTable>) {
+    let vars = std::sync::Arc::new(VarTable::new());
+    let mut engine = StreamEngine::new(EngineConfig {
+        reclaim: Some(ReclaimConfig {
+            keep_epochs: 2,
+            interior,
+            vars: Some(std::sync::Arc::clone(&vars)),
+            ..Default::default()
+        }),
+        ..Default::default()
+    });
+    let mut sink = MaterializingSink::new();
+    let mut live = Vec::new();
+    let mut n = 0u64;
+    for event in &w.script.events {
+        match event {
+            ReplayEvent::Arrive(side, t) => {
+                // Base tuples carry a single-var lineage, so the marginal
+                // against the generator's table IS the tuple probability.
+                let p = prob::marginal(&t.lineage, src).unwrap();
+                let id = vars.register_shared(format!("v{n}"), p).unwrap();
+                n += 1;
+                let scope = engine.enter_arena();
+                let fresh = TpTuple::new(t.fact.clone(), Lineage::var(id), t.interval);
+                engine.push(*side, fresh);
+                drop(scope);
+            }
+            ReplayEvent::Advance(wm) => {
+                engine.advance(*wm, &mut sink).unwrap();
+                live.push(vars.live_vars());
+            }
+        }
+    }
+    engine.finish(&mut sink).unwrap();
+    (live, engine.reclaimed_vars(), vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The cohort-granular release property: under the immortal-facts
+    /// workload the pinned first cohort must NOT hold every later var
+    /// cohort resident — interior mode's steady-state `live_vars` stays
+    /// strictly below the prefix-release baseline and plateaus, for any
+    /// probability seed and immortal-cohort size.
+    #[test]
+    fn interior_cohort_release_keeps_live_vars_below_prefix_baseline(
+        seed in 0u64..1024,
+        immortals in 1usize..4,
+    ) {
+        let mut src = VarTable::new();
+        let w = immortal_facts_stream(
+            &ImmortalConfig {
+                epochs: 40,
+                immortals,
+                seed,
+                ..Default::default()
+            },
+            &mut src,
+        );
+        let (interior_live, interior_released, ivars) =
+            run_immortal_with_registry(&w, &src, true);
+        let (prefix_live, _, _) = run_immortal_with_registry(&w, &src, false);
+        prop_assert_eq!(interior_live.len(), prefix_live.len());
+        let steady =
+            |samples: &[usize]| samples[samples.len() / 2..].iter().copied().max().unwrap();
+        let (si, sp) = (steady(&interior_live), steady(&prefix_live));
+        prop_assert!(
+            si < sp,
+            "interior steady-state live_vars {} not below prefix baseline {} \
+             (interior {:?} prefix {:?})",
+            si, sp, interior_live, prefix_live
+        );
+        // Interior live_vars plateaus despite the immortal pin...
+        common::oracle::assert_plateau(&interior_live, 8, 2.0, "interior live_vars");
+        // ...and the engine's release counter agrees with the registry.
+        prop_assert!(interior_released > 0, "interior mode released no vars");
+        prop_assert_eq!(interior_released, ivars.released_vars());
+    }
+}
+
 /// One live formula tracked through the interleaving: the reclaiming-arena
 /// handle plus the tree shape it must keep agreeing with.
 struct LiveFormula {

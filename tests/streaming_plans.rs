@@ -1,0 +1,296 @@
+//! Differential tests of the standing incremental pipelines
+//! (`tp_stream::pipeline`): a compiled `tp_relalg::Plan` maintained over
+//! the engine's delta streams must produce a materialized view
+//! **row-identical** to executing the batch plan over the closed region —
+//! for every plan shape (select/project/join/union/distinct/aggregate),
+//! every arrival permutation within the lateness bound, every watermark
+//! schedule, sequential and region-parallel sweeps, reclaim mode on and
+//! off. In reclaim mode, operator state must additionally **plateau**
+//! under extend-dominated workloads (the bounded-memory claim).
+//!
+//! The batch twin is constructed with `encode_relation` over the closed
+//! output of a `CollectingSink` (the proven delta-apply semantics) and
+//! `bind_sources` + `Plan::execute` — so both sides share exactly one
+//! source encoding and one batch executor.
+
+mod common;
+
+use common::oracle::assert_plateau;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tp_relalg::{bind_sources, AggFn, CmpOp, Plan, Predicate, Relation, Row, Schema};
+use tp_stream::{
+    encode_relation, CollectingSink, EngineConfig, ParallelConfig, ReclaimConfig, ReplayConfig,
+    ReplayEvent, Side, StreamEngine, StreamScript,
+};
+use tp_workloads::SynthConfig;
+use tpdb::prelude::*;
+
+/// The source schema every plan below reads: synth facts are single-value,
+/// so an encoded row is `[k, ts, te]`.
+fn source_schema() -> Schema {
+    Schema::new(["k", "ts", "te"])
+}
+
+fn leaf() -> Plan {
+    Plan::values(Relation::empty(source_schema()))
+}
+
+/// The four engine configurations of the sweep matrix.
+fn engine_config(parallel: bool, reclaim: bool) -> EngineConfig {
+    EngineConfig {
+        parallel: parallel.then_some(ParallelConfig {
+            workers: 3,
+            min_tuples: 8,
+            cuts: None,
+        }),
+        reclaim: reclaim.then(|| ReclaimConfig {
+            keep_epochs: 2,
+            ..Default::default()
+        }),
+        ..Default::default()
+    }
+}
+
+/// Plan shapes under test, each with its taps. Every shape exercises a
+/// different operator mix; together they cover all eight lowered ops.
+fn plan_cases() -> Vec<(&'static str, Plan, Vec<SetOp>)> {
+    vec![
+        (
+            "hash_join+aggregate",
+            leaf()
+                .hash_join(leaf(), vec![0], vec![0])
+                .aggregate(vec![0], vec![AggFn::Count, AggFn::Max(2), AggFn::Min(1)]),
+            vec![SetOp::Union, SetOp::Intersect],
+        ),
+        (
+            "select+union_all+project+distinct",
+            leaf()
+                .select(Predicate::col_const(
+                    CmpOp::Ge,
+                    1,
+                    tp_core::value::Value::int(0),
+                ))
+                .union_all(leaf())
+                .project(vec![0])
+                .distinct(),
+            vec![SetOp::Except, SetOp::Union],
+        ),
+        (
+            "nl_join(key+overlap)+select",
+            // Key equality inside the theta predicate keeps the join
+            // output linear (pure overlap is quadratic in stream pieces —
+            // fine for the batch executor, pathological for a standing
+            // view); the trailing select then trims by time.
+            leaf()
+                .nl_join(
+                    leaf(),
+                    Predicate::col_eq(0, 3).and(Predicate::overlap(1, 2, 4, 5)),
+                )
+                .select(Predicate::col_const(
+                    CmpOp::Ge,
+                    1,
+                    tp_core::value::Value::int(2),
+                )),
+            vec![SetOp::Union, SetOp::Except],
+        ),
+    ]
+}
+
+/// Executes the batch plan over the closed-region output of the sink's
+/// tapped relations, canonically sorted.
+fn batch_rows(plan: &Plan, sink: &CollectingSink, taps: &[SetOp]) -> Vec<Row> {
+    let schema = source_schema();
+    let tables: Vec<Relation> = taps
+        .iter()
+        .map(|&op| encode_relation(&sink.relation(op), &schema))
+        .collect();
+    let mut rows = bind_sources(plan, &tables).execute().rows;
+    rows.sort();
+    rows
+}
+
+/// Replays a script through an engine with the plan attached and returns
+/// `(materialized pipeline rows, batch twin rows, advances)`.
+fn run_case(
+    plan: &Plan,
+    taps: &[SetOp],
+    script: &StreamScript,
+    cfg: EngineConfig,
+) -> (Vec<Row>, Vec<Row>, usize) {
+    let mut engine = StreamEngine::with_plan(cfg, plan, taps).expect("plan compiles");
+    let mut sink = CollectingSink::new();
+    let mut advances = 0usize;
+    for event in &script.events {
+        match event {
+            ReplayEvent::Arrive(side, t) => {
+                engine.push(*side, t.clone());
+            }
+            ReplayEvent::Advance(wm) => {
+                engine.advance(*wm, &mut sink).unwrap();
+                advances += 1;
+            }
+        }
+    }
+    engine.finish(&mut sink).unwrap();
+    assert_eq!(engine.late_dropped(), [0, 0], "scripts never drop");
+    let got = engine.pipeline().unwrap().materialized().rows;
+    let expect = batch_rows(plan, &sink, taps);
+    (got, expect, advances)
+}
+
+#[test]
+fn pipelines_match_batch_across_plans_and_engine_matrix() {
+    // The full matrix: 3 plan shapes × sequential/parallel × reclaim
+    // on/off, each over a fresh random input and replay schedule.
+    let mut rng = StdRng::seed_from_u64(0x51A9_0001);
+    for (case, (name, plan, taps)) in plan_cases().into_iter().enumerate() {
+        for parallel in [false, true] {
+            for reclaim in [false, true] {
+                let mut vars = VarTable::new();
+                // Keys spread over enough facts to keep per-key piece
+                // counts small: IVM join/aggregate maintenance is
+                // O(per-key state) per delta, so a few hot keys over many
+                // tuples is the pathological shape, not the realistic one.
+                let tuples = rng.random_range(60..180usize);
+                let facts = rng.random_range(5..12usize);
+                let (r, s) = tp_workloads::synth::generate(
+                    &SynthConfig::with_facts(tuples, facts, 900 + case as u64),
+                    &mut vars,
+                );
+                let script = StreamScript::from_pair(
+                    &r,
+                    &s,
+                    &ReplayConfig {
+                        lateness: rng.random_range(0..8i64),
+                        advance_every: rng.random_range(1..48usize),
+                        seed: 70 + case as u64,
+                    },
+                );
+                let (got, expect, _) =
+                    run_case(&plan, &taps, &script, engine_config(parallel, reclaim));
+                assert_eq!(
+                    got, expect,
+                    "{name}: pipeline != batch (parallel={parallel}, reclaim={reclaim})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn arrival_permutations_and_watermark_schedules_are_invisible() {
+    // The same input under different arrival permutations and watermark
+    // schedules must materialize the *identical* view — the pipeline's
+    // output is a function of the closed region, not of the replay.
+    let mut vars = VarTable::new();
+    let (r, s) = tp_workloads::synth::generate(&SynthConfig::with_facts(100, 8, 3111), &mut vars);
+    let (name, plan, taps) = plan_cases().remove(0);
+    let mut views: Vec<Vec<Row>> = Vec::new();
+    for (perm_seed, advance_every) in [(1u64, 1usize), (2, 17), (3, 10_000)] {
+        let script = StreamScript::from_pair(
+            &r,
+            &s,
+            &ReplayConfig {
+                lateness: 6,
+                advance_every,
+                seed: perm_seed,
+            },
+        );
+        let (got, expect, _) = run_case(&plan, &taps, &script, engine_config(false, false));
+        assert_eq!(
+            got, expect,
+            "{name}: schedule ({perm_seed},{advance_every})"
+        );
+        views.push(got);
+    }
+    assert!(!views[0].is_empty(), "vacuous: empty view proves nothing");
+    assert!(
+        views.windows(2).all(|w| w[0] == w[1]),
+        "materialized view varied across replay schedules"
+    );
+}
+
+#[test]
+fn reclaiming_pipeline_state_plateaus_on_extend_dominated_streams() {
+    // Immortal facts cut by the watermark: after warm-up every advance
+    // re-emits each fact's output as an Extend, so pipeline operators only
+    // retract-and-regrow standing rows. With interior reclamation on, the
+    // engine retires history underneath the pipeline — whose state stores
+    // owned lineage trees and must neither dangle nor grow.
+    let (_, plan, taps) = plan_cases().remove(0);
+    let epochs = 60i64;
+    let mut engine =
+        StreamEngine::with_plan(engine_config(false, true), &plan, &taps).expect("plan compiles");
+    let mut sink = CollectingSink::new();
+    for f in 0..5i64 {
+        for (side, off) in [(Side::Left, 0u64), (Side::Right, 1)] {
+            engine.push(
+                side,
+                TpTuple::new(
+                    Fact::single(f),
+                    Lineage::var(TupleId(f as u64 * 2 + off)),
+                    Interval::at(0, epochs * 10),
+                ),
+            );
+        }
+    }
+    let mut state_samples = Vec::new();
+    for epoch in 0..epochs {
+        engine.advance((epoch + 1) * 10, &mut sink).unwrap();
+        state_samples.push(engine.pipeline().unwrap().state_rows());
+    }
+    engine.finish(&mut sink).unwrap();
+    // History actually retired underneath the standing state.
+    let (retired_segments, _) = engine.reclaimed();
+    assert!(
+        retired_segments > 0,
+        "reclaim never fired; the plateau would be vacuous"
+    );
+    assert_plateau(&state_samples, 4, 1.0, "pipeline operator state");
+    // And the view still matches batch over the full closed region.
+    let got = engine.pipeline().unwrap().materialized().rows;
+    let expect = batch_rows(&plan, &sink, &taps);
+    assert!(!expect.is_empty());
+    assert_eq!(got, expect, "reclaiming pipeline != batch");
+}
+
+#[test]
+fn pipeline_stats_and_metadata_are_live() {
+    let (_, plan, taps) = plan_cases().remove(0);
+    let mut vars = VarTable::new();
+    let (r, s) = tp_workloads::synth::generate(&SynthConfig::with_facts(80, 3, 77), &mut vars);
+    let script = StreamScript::from_pair(
+        &r,
+        &s,
+        &ReplayConfig {
+            lateness: 4,
+            advance_every: 16,
+            seed: 5,
+        },
+    );
+    let mut engine =
+        StreamEngine::with_plan(engine_config(false, false), &plan, &taps).expect("compiles");
+    let mut sink = CollectingSink::new();
+    let mut pipeline_deltas = 0u64;
+    for event in &script.events {
+        match event {
+            ReplayEvent::Arrive(side, t) => {
+                engine.push(*side, t.clone());
+            }
+            ReplayEvent::Advance(wm) => {
+                pipeline_deltas += engine.advance(*wm, &mut sink).unwrap().pipeline_deltas;
+            }
+        }
+    }
+    pipeline_deltas += engine.finish(&mut sink).unwrap().pipeline_deltas;
+    let p = engine.pipeline().unwrap();
+    assert_eq!(p.taps(), &taps[..]);
+    assert_eq!(p.schema().columns(), &["l.k", "count", "max_2", "min_1"]);
+    assert_eq!(p.deltas_total(), pipeline_deltas);
+    assert!(p.advances() > 0);
+    // Every operator of the plan saw traffic.
+    for (op_name, emitted) in p.operator_deltas() {
+        assert!(emitted > 0, "operator {op_name} never emitted");
+    }
+}
