@@ -383,13 +383,25 @@ pub fn marginal(lineage: &Lineage, vars: &VarTable) -> Result<f64> {
 /// and each unique node is computed exactly once on both paths.
 ///
 /// The walk is **pruned to the roots' reachable cones**: a mark pass
-/// first flags exactly the slots the batch can reach, and the columnar
-/// pass then valuates only marked slots, still in ascending
-/// `(segment, slot)` order (children are interned no later than their
-/// consumers, so the order is a valid schedule). Unrelated resident
-/// nodes — the common case in a shared arena carrying other queries'
-/// lineage — cost nothing. Interior reclamation holes are skipped; a
-/// live root never resolves into one.
+/// first flags exactly the slots the batch can reach in per-segment block
+/// bitmaps, and the columnar pass then touches only marked blocks, still
+/// in ascending `(segment, slot)` order (children are interned no later
+/// than their consumers, so the order is a valid schedule). Unrelated
+/// resident nodes — the common case in a shared arena carrying other
+/// queries' lineage — cost nothing: no dense per-segment column is ever
+/// allocated, storage is packed per reachable block
+/// ([`LaneColumn`]). Interior reclamation holes are skipped; a live root
+/// never resolves into one.
+///
+/// The columns are **lane-blocked**: slots are grouped into fixed
+/// [`LANE_COUNT`]-lane `[f64; 8]` blocks with per-block validity masks.
+/// Each block valuates in two sub-passes — leaves (`Var`) first, then
+/// interior operators in ascending lane order — over plain fixed-size
+/// arrays, so the inner loops carry no hashing, no recursion, and no
+/// data-dependent allocation, and stable rustc can unroll/autovectorize
+/// them. Lane validity is blended branch-free from the mask byte; invalid
+/// lanes hold `NaN`, which propagates through the arithmetic and routes
+/// the affected root to the fallback.
 ///
 /// Nodes valuated columnar are counted in
 /// `tp_valuation_batched_nodes_total`.
@@ -407,11 +419,12 @@ pub fn marginal_batch(lineages: &[Lineage], vars: &VarTable) -> Result<Vec<f64>>
                 stack.push(r);
             }
         }
-        // Mark pass: flag the slots reachable from the batched roots.
-        // Snapshots are taken once per touched segment and pinned for the
-        // whole call, so the compute pass below reads the same state.
+        // Mark pass: flag the slots reachable from the batched roots, one
+        // mask byte per 8-slot block. Snapshots are taken once per touched
+        // segment and pinned for the whole call, so the compute pass below
+        // reads the same state.
         let mut snaps: FastMap<u32, Option<SegmentSnapshot<'_>>> = FastMap::default();
-        let mut marks: FastMap<u32, Vec<bool>> = FastMap::default();
+        let mut marks: FastMap<u32, Vec<u8>> = FastMap::default();
         while let Some(r) = stack.pop() {
             let seg = r.segment().0;
             let snap = snaps
@@ -423,11 +436,12 @@ pub fn marginal_batch(lineages: &[Lineage], vars: &VarTable) -> Result<Vec<f64>>
             let slot = r.slot() as usize;
             let mark = marks
                 .entry(seg)
-                .or_insert_with(|| vec![false; snap.len() as usize]);
-            if slot >= mark.len() || mark[slot] {
+                .or_insert_with(|| vec![0u8; (snap.len() as usize).div_ceil(LANE_COUNT)]);
+            let (block, lane) = (slot / LANE_COUNT, slot % LANE_COUNT);
+            if block >= mark.len() || mark[block] >> lane & 1 == 1 {
                 continue;
             }
-            mark[slot] = true;
+            mark[block] |= 1 << lane;
             let Some((node, one_of)) = snap.node_at(r.slot()) else {
                 continue;
             };
@@ -445,7 +459,7 @@ pub fn marginal_batch(lineages: &[Lineage], vars: &VarTable) -> Result<Vec<f64>>
         }
         let mut segs: Vec<u32> = marks.keys().copied().collect();
         segs.sort_unstable();
-        let mut cols: FastMap<u32, Vec<f64>> = FastMap::default();
+        let mut cols: FastMap<u32, LaneColumn> = FastMap::default();
         let mut batched_nodes = 0u64;
         if !segs.is_empty() {
             let probs = vars.prob_reader();
@@ -454,31 +468,65 @@ pub fn marginal_batch(lineages: &[Lineage], vars: &VarTable) -> Result<Vec<f64>>
                     continue;
                 };
                 let mark = marks.get(&seg).expect("marked segment has a bitmap");
-                let mut col = vec![f64::NAN; snap.len() as usize];
-                for slot in 0..snap.len() {
-                    if !mark[slot as usize] {
-                        continue; // unreachable from the batch: skip
+                let mut col = LaneColumn::with_marks(mark);
+                for (b, &m) in mark.iter().enumerate() {
+                    if m == 0 {
+                        continue; // block unreachable from the batch
                     }
-                    let Some((node, one_of)) = snap.node_at(slot) else {
-                        continue;
-                    };
-                    if !one_of {
-                        continue; // non-1OF cones go through `marginal`
+                    let base = (b * LANE_COUNT) as u32;
+                    let mut block = [f64::NAN; LANE_COUNT];
+                    let mut done = 0u8;
+                    // Sub-pass 1 — leaves: Var lanes have no operands, so
+                    // they fill in any order.
+                    for (lane, slot) in block.iter_mut().enumerate() {
+                        if m >> lane & 1 == 0 {
+                            continue;
+                        }
+                        let Some((node, one_of)) = snap.node_at(base + lane as u32) else {
+                            continue;
+                        };
+                        if !one_of {
+                            continue;
+                        }
+                        if let LineageNode::Var(id) = node {
+                            *slot = probs.prob(id).unwrap_or(f64::NAN);
+                            done |= 1 << lane;
+                            batched_nodes += 1;
+                        }
                     }
-                    let p = match node {
-                        LineageNode::Var(id) => probs.prob(id).unwrap_or(f64::NAN),
-                        LineageNode::Not(c) => 1.0 - col_prob(&col, &cols, seg, c),
-                        LineageNode::And(a, b) => {
-                            col_prob(&col, &cols, seg, a) * col_prob(&col, &cols, seg, b)
+                    // Sub-pass 2 — interior operators, ascending lane
+                    // order: a child lives at a strictly smaller slot, so
+                    // it is either an earlier lane of this block (read
+                    // from `block` directly), an earlier block of this
+                    // segment, or a completed segment column.
+                    for lane in 0..LANE_COUNT {
+                        if m >> lane & 1 == 0 || done >> lane & 1 == 1 {
+                            continue;
                         }
-                        LineageNode::Or(a, b) => {
-                            let pa = col_prob(&col, &cols, seg, a);
-                            let pb = col_prob(&col, &cols, seg, b);
-                            1.0 - (1.0 - pa) * (1.0 - pb)
+                        let Some((node, one_of)) = snap.node_at(base + lane as u32) else {
+                            continue;
+                        };
+                        if !one_of {
+                            continue;
                         }
-                    };
-                    col[slot as usize] = p;
-                    batched_nodes += 1;
+                        let p = match node {
+                            LineageNode::Var(_) => unreachable!("vars filled in sub-pass 1"),
+                            LineageNode::Not(c) => 1.0 - lane_prob(&block, b, &col, &cols, seg, c),
+                            LineageNode::And(a, b2) => {
+                                lane_prob(&block, b, &col, &cols, seg, a)
+                                    * lane_prob(&block, b, &col, &cols, seg, b2)
+                            }
+                            LineageNode::Or(a, b2) => {
+                                let pa = lane_prob(&block, b, &col, &cols, seg, a);
+                                let pb = lane_prob(&block, b, &col, &cols, seg, b2);
+                                1.0 - (1.0 - pa) * (1.0 - pb)
+                            }
+                        };
+                        block[lane] = p;
+                        done |= 1 << lane;
+                        batched_nodes += 1;
+                    }
+                    col.store(b, block, done);
                 }
                 cols.insert(seg, col);
             }
@@ -487,7 +535,9 @@ pub fn marginal_batch(lineages: &[Lineage], vars: &VarTable) -> Result<Vec<f64>>
         let mut out = Vec::with_capacity(lineages.len());
         for (i, l) in lineages.iter().enumerate() {
             let p = if batched[i] {
-                col_prob(&[], &cols, u32::MAX, l.node_ref())
+                let r = l.node_ref();
+                cols.get(&r.segment().0)
+                    .map_or(f64::NAN, |c| c.get(r.slot()))
             } else {
                 f64::NAN
             };
@@ -505,22 +555,100 @@ pub fn marginal_batch(lineages: &[Lineage], vars: &VarTable) -> Result<Vec<f64>>
     })
 }
 
-/// Resolves a child ref during the columnar walk: the column being filled
-/// for same-segment refs, a completed column otherwise; `NaN` for anything
-/// absent (propagates through the arithmetic and routes the root to the
+/// Lanes per block of a [`LaneColumn`] — one cache-line-sized `[f64; 8]`
+/// unit, the granularity the batch kernel's inner loops run over.
+const LANE_COUNT: usize = 8;
+
+/// A lane-blocked, block-sparse probability column of one arena segment:
+/// slots are grouped into fixed [`LANE_COUNT`]-lane blocks, and only
+/// blocks reachable from the batch (nonzero mark byte) are resident — a
+/// dense block→position index plus packed `[f64; 8]` lane blocks with
+/// per-block validity masks.
+struct LaneColumn {
+    /// Dense block index → packed position, `u32::MAX` for untouched
+    /// blocks (one `u32` per 8 slots — 32× smaller than a dense `f64`
+    /// column over an unrelated cohort).
+    index: Vec<u32>,
+    /// Packed lane blocks, ascending block order.
+    lanes: Vec<[f64; LANE_COUNT]>,
+    /// Per packed block: bit `i` set iff lane `i` holds a computed value.
+    masks: Vec<u8>,
+}
+
+impl LaneColumn {
+    /// Allocates packed storage for exactly the marked blocks.
+    fn with_marks(marks: &[u8]) -> LaneColumn {
+        let mut index = vec![u32::MAX; marks.len()];
+        let mut pos = 0u32;
+        for (b, &m) in marks.iter().enumerate() {
+            if m != 0 {
+                index[b] = pos;
+                pos += 1;
+            }
+        }
+        LaneColumn {
+            index,
+            lanes: vec![[f64::NAN; LANE_COUNT]; pos as usize],
+            masks: vec![0u8; pos as usize],
+        }
+    }
+
+    /// Commits a computed block and its validity mask.
+    #[inline]
+    fn store(&mut self, block: usize, lanes: [f64; LANE_COUNT], mask: u8) {
+        let p = self.index[block] as usize;
+        self.lanes[p] = lanes;
+        self.masks[p] = mask;
+    }
+
+    /// The probability at `slot`, `NaN` when absent. Lane validity blends
+    /// branch-free from the mask byte.
+    #[inline]
+    fn get(&self, slot: u32) -> f64 {
+        let (block, lane) = (slot as usize / LANE_COUNT, slot as usize % LANE_COUNT);
+        match self.index.get(block) {
+            Some(&p) if p != u32::MAX => {
+                let p = p as usize;
+                let valid = (self.masks[p] >> lane & 1) as u64;
+                // valid = 0 selects the NaN payload, 1 the lane value —
+                // no data-dependent branch.
+                f64::from_bits(
+                    self.lanes[p][lane].to_bits() * valid + f64::NAN.to_bits() * (1 - valid),
+                )
+            }
+            _ => f64::NAN,
+        }
+    }
+}
+
+/// Resolves a child ref during the lane-blocked walk: the block being
+/// filled for same-block refs, this segment's packed column for earlier
+/// blocks, a completed column otherwise; `NaN` for anything absent
+/// (propagates through the arithmetic and routes the root to the
 /// fallback).
 #[inline]
-fn col_prob(col: &[f64], cols: &FastMap<u32, Vec<f64>>, seg: u32, r: LineageRef) -> f64 {
+fn lane_prob(
+    block: &[f64; LANE_COUNT],
+    b: usize,
+    col: &LaneColumn,
+    cols: &FastMap<u32, LaneColumn>,
+    seg: u32,
+    r: LineageRef,
+) -> f64 {
     let s = r.segment().0;
-    let column: &[f64] = if s == seg {
-        col
+    let slot = r.slot() as usize;
+    if s == seg {
+        if slot / LANE_COUNT == b {
+            block[slot % LANE_COUNT]
+        } else {
+            col.get(r.slot())
+        }
     } else {
         match cols.get(&s) {
-            Some(c) => c,
-            None => return f64::NAN,
+            Some(c) => c.get(r.slot()),
+            None => f64::NAN,
         }
-    };
-    column.get(r.slot() as usize).copied().unwrap_or(f64::NAN)
+    }
 }
 
 /// Anytime approximation: draws samples until the two-sided 95% Hoeffding

@@ -30,7 +30,7 @@ pub use ops::{
     distinct, hash_join, left_outer_join_pairs, nested_loop_join, nested_loop_join_pairs, project,
     select, sort_by, sort_merge_join, union_all,
 };
-pub use optimize::{optimize, plan_size};
+pub use optimize::{optimize, plan_size, reoptimize, RateProfile, SourceStats};
 pub use plan::Plan;
 pub use predicate::{CmpOp, Expr, Predicate};
 pub use relation::{Relation, Row, Schema};

@@ -14,7 +14,7 @@ use crate::predicate::Predicate;
 use crate::relation::Relation;
 
 /// A physical plan node.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Plan {
     /// An inline (already materialized) table.
     Values(Relation),

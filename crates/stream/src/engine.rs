@@ -267,6 +267,14 @@ pub struct EngineConfig {
     /// (instrumented and uninstrumented runs emit byte-identical delta
     /// logs) and the `observability` bench gates the overhead.
     pub obs: ObsConfig,
+    /// Attached-pipeline re-optimization cadence: every `n` advances the
+    /// engine asks the pipeline to re-plan against its observed delta
+    /// rates and hot-swap the lowered DAG ([`Pipeline::reoptimize`]).
+    /// `None` (the default) freezes the compiled plan. Swaps happen at
+    /// the watermark boundary, after the propagation pass, and are gated
+    /// on the rebuilt views matching the standing ones — delta logs and
+    /// materialized views are unchanged by construction.
+    pub reopt_every: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -279,6 +287,7 @@ impl Default for EngineConfig {
             parallel: None,
             buffer: BufferKind::default(),
             obs: ObsConfig::default(),
+            reopt_every: None,
         }
     }
 }
@@ -563,6 +572,32 @@ impl StreamEngine {
             }
         }
         let mut pipeline = Pipeline::compile(plan, taps)?;
+        pipeline.init_obs(&cfg.obs);
+        let mut engine = Self::new(cfg);
+        engine.pipeline = Some(pipeline);
+        Ok(engine)
+    }
+
+    /// Multi-plan variant of [`StreamEngine::with_plan`]: compiles all
+    /// `plans` into one shared pipeline ([`Pipeline::compile_shared`]) —
+    /// structurally identical sub-DAGs with the same tap bindings run as
+    /// one physical operator fanned out to every consumer, so K alert
+    /// rules over the same join pay its state and maintenance once.
+    /// `taps[p]` feeds plan `p`'s sources; read plan `p`'s standing view
+    /// through [`Pipeline::materialized_view`].
+    pub fn with_plans(
+        cfg: EngineConfig,
+        plans: &[tp_relalg::Plan],
+        taps: &[Vec<SetOp>],
+    ) -> Result<Self, PipelineError> {
+        for plan_taps in taps {
+            for &tap in plan_taps {
+                if !cfg.ops.contains(&tap) {
+                    return Err(PipelineError::TapNotMaintained(tap));
+                }
+            }
+        }
+        let mut pipeline = Pipeline::compile_shared(plans, taps)?;
         pipeline.init_obs(&cfg.obs);
         let mut engine = Self::new(cfg);
         engine.pipeline = Some(pipeline);
@@ -916,6 +951,13 @@ impl StreamEngine {
         // sink callback reads the already-consistent materialized view.
         if let Some(p) = self.pipeline.as_mut() {
             stats.pipeline_deltas = p.on_advance(obs.as_deref());
+            // Rate-aware re-optimization at the watermark boundary: every
+            // inbox is drained, so the swap replays only standing state.
+            if let Some(every) = self.cfg.reopt_every {
+                if every > 0 && p.advances() % every == 0 {
+                    p.reoptimize();
+                }
+            }
         }
         sink.on_watermark(to);
         self.advance_count += 1;

@@ -55,6 +55,7 @@ use tp_core::relation::TpRelation;
 use tp_core::value::Value;
 use tp_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use tp_relalg::incremental::{lower, LowerError, LoweredOp};
+use tp_relalg::optimize::{RateProfile, SourceStats};
 use tp_relalg::plan::Plan;
 use tp_relalg::relation::{Relation, Row, Schema};
 
@@ -237,6 +238,11 @@ struct Node {
     inbox: Vec<(usize, PipeDelta)>,
     /// Deltas this operator emitted over its lifetime.
     emitted: u64,
+    /// EWMA of deltas emitted per advance (the observed delta rate).
+    rate: f64,
+    /// Number of attached plans whose DAG contains this operator (>1 ⇒ the
+    /// operator and its state are shared).
+    shared_by: u32,
 }
 
 impl Node {
@@ -496,30 +502,67 @@ struct PipelineObs {
     node_deltas: Vec<Arc<Counter>>,
 }
 
-/// A compiled standing pipeline. Create with [`Pipeline::compile`], attach
-/// via [`crate::StreamEngine::with_plan`] (or per tenant through
+/// The standing materialized view of one attached plan: instance lineages
+/// per output row, plus the plan's root schema.
+struct RootView {
+    schema: Schema,
+    rows: FastMap<Row, Vec<LineageTree>>,
+    /// Total instances (multiplicity sum).
+    len: usize,
+}
+
+/// EWMA smoothing factor for the per-node and per-source delta rates.
+const RATE_ALPHA: f64 = 0.25;
+
+/// A compiled standing pipeline. Create with [`Pipeline::compile`] (one
+/// plan) or [`Pipeline::compile_shared`] (several plans over one physical
+/// DAG), attach via [`crate::StreamEngine::with_plan`] /
+/// [`crate::StreamEngine::with_plans`] (or per tenant through
 /// [`crate::StreamServer::add_tenant_with_plan`]); the engine feeds and
 /// advances it, callers read [`Pipeline::materialized`].
 pub struct Pipeline {
     nodes: Vec<Node>,
     /// Producer → `[(consumer, port)]` edges.
     consumers: Vec<Vec<(usize, usize)>>,
-    /// Engine op feeding each source.
+    /// Node → views fed by its output (non-empty for plan roots only).
+    node_views: Vec<Vec<usize>>,
+    /// Engine op feeding each physical source.
     taps: Vec<SetOp>,
-    /// Source index → node index.
+    /// Physical source index → node index.
     source_nodes: Vec<usize>,
-    /// Declared fact arity per source (schema arity minus ts/te).
+    /// Declared fact arity per physical source (schema arity minus ts/te).
     fact_arity: Vec<usize>,
-    /// Per source: the latest standing encoding per fact (the row an
-    /// `Extend` delta retracts and regrows).
+    /// Per physical source: the latest standing encoding per fact (the row
+    /// an `Extend` delta retracts and regrows).
     last_run: Vec<FastMap<Fact, PipeTuple>>,
-    root_schema: Schema,
-    /// The standing materialized view: instance lineages per row.
-    root_rows: FastMap<Row, Vec<LineageTree>>,
-    /// Total root instances (multiplicity sum).
-    root_len: usize,
+    /// Per physical source: the full standing input multiset (a fact can
+    /// hold several disjoint-interval rows; `last_run` keeps only the
+    /// latest). This is the replay source [`Pipeline::reoptimize`] rebuilds
+    /// a swapped DAG's operator state from.
+    standing: Vec<FastMap<Row, Vec<LineageTree>>>,
+    /// Per physical source: deltas buffered since the last advance.
+    source_offered: Vec<u64>,
+    /// Per physical source: EWMA deltas per advance.
+    source_rates: Vec<f64>,
+    /// The plans as originally attached — the re-optimizer's baseline.
+    plans: Vec<Plan>,
+    /// The currently compiled plans (diverge from `plans` after a swap).
+    current: Vec<Plan>,
+    /// Per-plan tap bindings, preorder source numbering.
+    plan_taps: Vec<Vec<SetOp>>,
+    /// Per plan: preorder source index → physical source index.
+    plan_sources: Vec<Vec<usize>>,
+    /// Per plan: its root node.
+    roots: Vec<usize>,
+    /// Per plan: its standing materialized view.
+    views: Vec<RootView>,
+    /// Operators referenced by more than one plan.
+    shared_nodes: usize,
     advances: u64,
     deltas_total: u64,
+    /// Plan swaps executed by [`Pipeline::reoptimize`].
+    reopts: u64,
+    obs_cfg: Option<ObsConfig>,
     obs: Option<PipelineObs>,
 }
 
@@ -527,58 +570,152 @@ impl Pipeline {
     /// Compiles a plan into a standing pipeline whose `i`-th source is fed
     /// from the engine's `taps[i]` delta stream.
     pub fn compile(plan: &Plan, taps: &[SetOp]) -> Result<Pipeline, PipelineError> {
-        let lowered = lower(plan)?;
-        if lowered.source_count() != taps.len() {
-            return Err(PipelineError::TapCount {
-                sources: lowered.source_count(),
-                taps: taps.len(),
-            });
-        }
-        for (i, schema) in lowered.source_schemas.iter().enumerate() {
-            if schema.arity() < 3 {
-                return Err(PipelineError::SourceArity {
-                    source: i,
-                    arity: schema.arity(),
-                });
-            }
-        }
-        let root_schema = lowered.root_schema().clone();
-        let mut consumers: Vec<Vec<(usize, usize)>> = vec![Vec::new(); lowered.nodes.len()];
-        let mut source_nodes = vec![usize::MAX; lowered.source_count()];
-        let mut nodes = Vec::with_capacity(lowered.nodes.len());
-        for (i, n) in lowered.nodes.iter().enumerate() {
-            for (port, &input) in n.inputs.iter().enumerate() {
-                consumers[input].push((i, port));
-            }
-            if let LoweredOp::Source(s) = n.op {
-                source_nodes[s] = i;
-            }
-            nodes.push(Node {
-                state: OpState::for_op(&n.op),
-                op: n.op.clone(),
-                inbox: Vec::new(),
-                emitted: 0,
-            });
-        }
-        let fact_arity = lowered
-            .source_schemas
-            .iter()
-            .map(|s| s.arity() - 2)
-            .collect();
-        Ok(Pipeline {
-            nodes,
-            consumers,
-            taps: taps.to_vec(),
-            last_run: vec![FastMap::default(); source_nodes.len()],
-            source_nodes,
-            fact_arity,
-            root_schema,
-            root_rows: FastMap::default(),
-            root_len: 0,
+        Self::compile_shared(std::slice::from_ref(plan), &[taps.to_vec()])
+    }
+
+    /// Compiles several plans into **one** physical pipeline, hash-consing
+    /// structurally identical lowered sub-DAGs: two plans whose subtrees
+    /// lower to the same operators over the same tap bindings run them
+    /// once, fanned out to every downstream consumer — K alert rules over
+    /// the same join pay its state and maintenance a single time (the
+    /// sub-additive `tp_pipeline_state_rows` claim the `adaptive_pipeline`
+    /// bench gates). Each plan keeps its own materialized view; read them
+    /// through [`Pipeline::materialized_view`].
+    ///
+    /// `taps[p][i]` names the engine delta stream feeding plan `p`'s
+    /// `i`-th source (preorder). Panics if `plans` is empty or the outer
+    /// lengths differ; per-plan validation errors mirror
+    /// [`Pipeline::compile`].
+    pub fn compile_shared(plans: &[Plan], taps: &[Vec<SetOp>]) -> Result<Pipeline, PipelineError> {
+        assert!(!plans.is_empty(), "compile_shared needs at least one plan");
+        assert_eq!(
+            plans.len(),
+            taps.len(),
+            "one tap binding list per plan required"
+        );
+        let mut p = Pipeline {
+            nodes: Vec::new(),
+            consumers: Vec::new(),
+            node_views: Vec::new(),
+            taps: Vec::new(),
+            source_nodes: Vec::new(),
+            fact_arity: Vec::new(),
+            last_run: Vec::new(),
+            standing: Vec::new(),
+            source_offered: Vec::new(),
+            source_rates: Vec::new(),
+            plans: plans.to_vec(),
+            current: plans.to_vec(),
+            plan_taps: taps.to_vec(),
+            plan_sources: Vec::new(),
+            roots: Vec::new(),
+            views: Vec::new(),
+            shared_nodes: 0,
             advances: 0,
             deltas_total: 0,
+            reopts: 0,
+            obs_cfg: None,
             obs: None,
-        })
+        };
+        // Structural interning: a node's identity is its operator plus the
+        // identities of its inputs; a source's identity is its tap binding
+        // plus arity. Identical sub-DAGs across (or within) plans therefore
+        // collapse onto one physical operator.
+        let mut interned: FastMap<String, usize> = FastMap::default();
+        let mut node_plan_count: Vec<u32> = Vec::new();
+        for (pi, plan) in plans.iter().enumerate() {
+            let lowered = lower(plan)?;
+            if lowered.source_count() != taps[pi].len() {
+                return Err(PipelineError::TapCount {
+                    sources: lowered.source_count(),
+                    taps: taps[pi].len(),
+                });
+            }
+            for (i, schema) in lowered.source_schemas.iter().enumerate() {
+                if schema.arity() < 3 {
+                    return Err(PipelineError::SourceArity {
+                        source: i,
+                        arity: schema.arity(),
+                    });
+                }
+            }
+            let mut global = vec![usize::MAX; lowered.nodes.len()];
+            let mut sources = vec![usize::MAX; lowered.source_count()];
+            for (i, n) in lowered.nodes.iter().enumerate() {
+                let inputs: Vec<usize> = n.inputs.iter().map(|&j| global[j]).collect();
+                let key = match n.op {
+                    LoweredOp::Source(s) => {
+                        format!("source|{:?}|{}", taps[pi][s], n.schema.arity())
+                    }
+                    ref op => format!("{op:?}|{inputs:?}"),
+                };
+                let g = match interned.get(&key) {
+                    Some(&g) => g,
+                    None => {
+                        let g = p.nodes.len();
+                        let op = match n.op {
+                            LoweredOp::Source(s) => {
+                                let phys = p.taps.len();
+                                p.taps.push(taps[pi][s]);
+                                p.fact_arity.push(n.schema.arity() - 2);
+                                p.last_run.push(FastMap::default());
+                                p.standing.push(FastMap::default());
+                                p.source_offered.push(0);
+                                p.source_rates.push(0.0);
+                                p.source_nodes.push(g);
+                                LoweredOp::Source(phys)
+                            }
+                            ref op => op.clone(),
+                        };
+                        p.nodes.push(Node {
+                            state: OpState::for_op(&op),
+                            op,
+                            inbox: Vec::new(),
+                            emitted: 0,
+                            rate: 0.0,
+                            shared_by: 0,
+                        });
+                        p.consumers.push(Vec::new());
+                        node_plan_count.push(0);
+                        for (port, &input) in inputs.iter().enumerate() {
+                            p.consumers[input].push((g, port));
+                        }
+                        interned.insert(key, g);
+                        g
+                    }
+                };
+                global[i] = g;
+                if let LoweredOp::Source(s) = n.op {
+                    if let LoweredOp::Source(phys) = p.nodes[g].op {
+                        sources[s] = phys;
+                    }
+                }
+            }
+            // Count each node once per plan that references it.
+            let mut seen = vec![false; p.nodes.len()];
+            for &g in &global {
+                if !seen[g] {
+                    seen[g] = true;
+                    node_plan_count[g] += 1;
+                }
+            }
+            p.roots.push(global[lowered.nodes.len() - 1]);
+            p.plan_sources.push(sources);
+            p.views.push(RootView {
+                schema: lowered.root_schema().clone(),
+                rows: FastMap::default(),
+                len: 0,
+            });
+        }
+        for (g, node) in p.nodes.iter_mut().enumerate() {
+            node.shared_by = node_plan_count[g];
+        }
+        p.shared_nodes = node_plan_count.iter().filter(|&&c| c > 1).count();
+        p.node_views = vec![Vec::new(); p.nodes.len()];
+        for (v, &root) in p.roots.iter().enumerate() {
+            p.node_views[root].push(v);
+        }
+        Ok(p)
     }
 
     /// Resolves the `tp_pipeline_*` metric handles (no-op when disabled).
@@ -586,6 +723,7 @@ impl Pipeline {
         if !cfg.enabled {
             return;
         }
+        self.obs_cfg = Some(cfg.clone());
         let reg: &MetricsRegistry = match &cfg.registry {
             Some(r) => r,
             None => global(),
@@ -620,6 +758,7 @@ impl Pipeline {
                 continue;
             }
             let node = self.source_nodes[s];
+            self.source_offered[s] += 1;
             match delta {
                 Delta::Insert(t) => {
                     assert_eq!(
@@ -632,6 +771,10 @@ impl Pipeline {
                         lineage: t.lineage.to_tree(),
                     };
                     self.last_run[s].insert(t.fact.clone(), pt.clone());
+                    self.standing[s]
+                        .entry(pt.row.clone())
+                        .or_default()
+                        .push(pt.lineage.clone());
                     self.nodes[node].inbox.push((0, PipeDelta::Ins(pt)));
                 }
                 Delta::Extend {
@@ -650,6 +793,18 @@ impl Pipeline {
                         debug_assert_eq!(grown.row[te], Value::int(*from), "Extend boundary");
                         grown.row[te] = Value::int(*to);
                         let old = std::mem::replace(prev, grown.clone());
+                        if let Some(instances) = self.standing[s].get_mut(&old.row) {
+                            if let Some(at) = instances.iter().position(|x| *x == old.lineage) {
+                                instances.remove(at);
+                            }
+                            if instances.is_empty() {
+                                self.standing[s].remove(&old.row);
+                            }
+                        }
+                        self.standing[s]
+                            .entry(grown.row.clone())
+                            .or_default()
+                            .push(grown.lineage.clone());
                         self.nodes[node].inbox.push((0, PipeDelta::Del(old)));
                         self.nodes[node].inbox.push((0, PipeDelta::Ins(grown)));
                     }
@@ -666,6 +821,10 @@ impl Pipeline {
                             lineage: lineage.to_tree(),
                         };
                         self.last_run[s].insert(fact.clone(), pt.clone());
+                        self.standing[s]
+                            .entry(pt.row.clone())
+                            .or_default()
+                            .push(pt.lineage.clone());
                         self.nodes[node].inbox.push((0, PipeDelta::Ins(pt)));
                     }
                 },
@@ -674,49 +833,85 @@ impl Pipeline {
     }
 
     /// One propagation pass: drains every inbox in topological order,
-    /// applies the root's deltas to the materialized view, and records the
-    /// per-operator sub-spans and `tp_pipeline_*` metrics. Returns the
-    /// number of deltas operators processed. Called by the engine once per
-    /// watermark advance, after the sweep emitted its deltas.
+    /// applies each root's deltas to its materialized view, updates the
+    /// EWMA delta rates, and records the per-operator sub-spans and
+    /// `tp_pipeline_*` metrics. Returns the number of deltas operators
+    /// processed. Called by the engine once per watermark advance, after
+    /// the sweep emitted its deltas.
     pub(crate) fn on_advance(&mut self, engine_obs: Option<&EngineObs>) -> u64 {
         let instrumented = self.obs.is_some() || engine_obs.is_some();
         let t0 = if instrumented { now_ns() } else { 0 };
+        let processed = self.propagate(engine_obs, true);
+        for s in 0..self.source_offered.len() {
+            let offered = std::mem::take(&mut self.source_offered[s]) as f64;
+            self.source_rates[s] += RATE_ALPHA * (offered - self.source_rates[s]);
+        }
+        self.advances += 1;
+        self.deltas_total += processed;
+        if let Some(p) = &self.obs {
+            p.advance_ns.record(now_ns() - t0);
+            p.state_rows.set(self.state_rows() as i64);
+        }
+        processed
+    }
+
+    /// Drains every inbox in topological order, routing each node's output
+    /// to the views it feeds and to its downstream consumers. `live` passes
+    /// update rate EWMAs and instrumentation; the swap-rebuild replay runs
+    /// with `live = false` so reconstruction neither skews the observed
+    /// rates nor records spans.
+    fn propagate(&mut self, engine_obs: Option<&EngineObs>, live: bool) -> u64 {
+        let instrumented = live && (self.obs.is_some() || engine_obs.is_some());
         let mut processed = 0u64;
-        let root = self.nodes.len() - 1;
         for i in 0..self.nodes.len() {
             let inbox = std::mem::take(&mut self.nodes[i].inbox);
-            if inbox.is_empty() {
+            let mut out = Vec::new();
+            if !inbox.is_empty() {
+                let node_t0 = if instrumented { now_ns() } else { 0 };
+                processed += inbox.len() as u64;
+                if matches!(
+                    self.nodes[i].op,
+                    LoweredOp::Distinct | LoweredOp::Aggregate { .. }
+                ) {
+                    self.nodes[i].apply_grouped(inbox, &mut out);
+                } else {
+                    for (port, delta) in inbox {
+                        self.nodes[i].apply(port, delta, &mut out);
+                    }
+                }
+                self.nodes[i].emitted += out.len() as u64;
+                if instrumented {
+                    let dur = now_ns() - node_t0;
+                    if let Some(obs) = engine_obs {
+                        obs.sub_span(self.nodes[i].op.name(), node_t0, dur, out.len() as u64);
+                    }
+                    if let Some(p) = &self.obs {
+                        p.node_deltas[i].add(out.len() as u64);
+                    }
+                }
+            }
+            if live {
+                let rate = &mut self.nodes[i].rate;
+                *rate += RATE_ALPHA * (out.len() as f64 - *rate);
+            }
+            if out.is_empty() {
                 continue;
             }
-            let node_t0 = if instrumented { now_ns() } else { 0 };
-            let mut out = Vec::new();
-            processed += inbox.len() as u64;
-            if matches!(
-                self.nodes[i].op,
-                LoweredOp::Distinct | LoweredOp::Aggregate { .. }
-            ) {
-                self.nodes[i].apply_grouped(inbox, &mut out);
-            } else {
-                for (port, delta) in inbox {
-                    self.nodes[i].apply(port, delta, &mut out);
+            // A node can be a plan root and an interior operator at once
+            // (one plan's output is another's subexpression): feed every
+            // view first, then forward downstream.
+            for vi in 0..self.node_views[i].len() {
+                let v = self.node_views[i][vi];
+                for delta in &out {
+                    self.apply_view(v, delta.clone());
                 }
             }
-            self.nodes[i].emitted += out.len() as u64;
-            if instrumented {
-                let dur = now_ns() - node_t0;
-                if let Some(obs) = engine_obs {
-                    obs.sub_span(self.nodes[i].op.name(), node_t0, dur, out.len() as u64);
-                }
-                if let Some(p) = &self.obs {
-                    p.node_deltas[i].add(out.len() as u64);
-                }
-            }
-            if i == root {
-                for delta in out {
-                    self.apply_root(delta);
-                }
-            } else if let [(consumer, port)] = self.consumers[i][..] {
-                // Sole consumer: hand the deltas over without cloning.
+            if let ([(consumer, port)], true) =
+                (&self.consumers[i][..], self.node_views[i].is_empty())
+            {
+                // Sole consumer, no view: hand the deltas over without
+                // cloning.
+                let (consumer, port) = (*consumer, *port);
                 for delta in out {
                     self.nodes[consumer].inbox.push((port, delta));
                 }
@@ -728,24 +923,19 @@ impl Pipeline {
                 }
             }
         }
-        self.advances += 1;
-        self.deltas_total += processed;
-        if let Some(p) = &self.obs {
-            p.advance_ns.record(now_ns() - t0);
-            p.state_rows.set(self.state_rows() as i64);
-        }
         processed
     }
 
-    fn apply_root(&mut self, delta: PipeDelta) {
+    fn apply_view(&mut self, v: usize, delta: PipeDelta) {
+        let view = &mut self.views[v];
         match delta {
             PipeDelta::Ins(t) => {
-                self.root_rows.entry(t.row).or_default().push(t.lineage);
-                self.root_len += 1;
+                view.rows.entry(t.row).or_default().push(t.lineage);
+                view.len += 1;
             }
             PipeDelta::Del(t) => {
-                let instances = self
-                    .root_rows
+                let instances = view
+                    .rows
                     .get_mut(&t.row)
                     .expect("Del retracts a standing output row");
                 let at = instances
@@ -753,33 +943,48 @@ impl Pipeline {
                     .position(|x| *x == t.lineage)
                     .expect("Del retracts a standing output row");
                 instances.remove(at);
-                self.root_len -= 1;
+                view.len -= 1;
                 if instances.is_empty() {
-                    self.root_rows.remove(&t.row);
+                    view.rows.remove(&t.row);
                 }
             }
         }
     }
 
-    /// Snapshot of the standing materialized view as a canonically sorted
-    /// relation (bag semantics: a row appears once per instance).
+    /// Snapshot of the first plan's standing materialized view as a
+    /// canonically sorted relation (bag semantics: a row appears once per
+    /// instance). For multi-plan pipelines see
+    /// [`Pipeline::materialized_view`].
     pub fn materialized(&self) -> Relation {
-        let mut rows: Vec<Row> = Vec::with_capacity(self.root_len);
-        for (row, instances) in &self.root_rows {
+        self.materialized_view(0)
+    }
+
+    /// Snapshot of plan `p`'s standing materialized view, canonically
+    /// sorted.
+    pub fn materialized_view(&self, p: usize) -> Relation {
+        let view = &self.views[p];
+        let mut rows: Vec<Row> = Vec::with_capacity(view.len);
+        for (row, instances) in &view.rows {
             for _ in 0..instances.len() {
                 rows.push(row.clone());
             }
         }
         rows.sort();
-        Relation::new(self.root_schema.clone(), rows)
+        Relation::new(view.schema.clone(), rows)
     }
 
-    /// The distinct output rows with their ∨-folded lineage, sorted by
-    /// row — the hook alert rules valuate (re-intern the tree inside an
-    /// arena scope, then [`crate::obs::valuate_batch`]).
+    /// The first plan's distinct output rows with their ∨-folded lineage,
+    /// sorted by row — the hook alert rules valuate (re-intern the tree
+    /// inside an arena scope, then [`crate::obs::valuate_batch`]).
     pub fn materialized_lineage(&self) -> Vec<(Row, LineageTree)> {
-        let mut out: Vec<(Row, LineageTree)> = self
-            .root_rows
+        self.materialized_lineage_view(0)
+    }
+
+    /// Plan `p`'s distinct output rows with their ∨-folded lineage, sorted
+    /// by row (see [`Pipeline::materialized_lineage`]).
+    pub fn materialized_lineage_view(&self, p: usize) -> Vec<(Row, LineageTree)> {
+        let mut out: Vec<(Row, LineageTree)> = self.views[p]
+            .rows
             .iter()
             .map(|(row, instances)| (row.clone(), or_fold(instances)))
             .collect();
@@ -787,23 +992,41 @@ impl Pipeline {
         out
     }
 
-    /// The root's output schema.
+    /// The first plan's output schema (see [`Pipeline::view_schema`]).
     pub fn schema(&self) -> &Schema {
-        &self.root_schema
+        &self.views[0].schema
     }
 
-    /// The engine ops feeding the sources, in source order.
+    /// Plan `p`'s output schema.
+    pub fn view_schema(&self, p: usize) -> &Schema {
+        &self.views[p].schema
+    }
+
+    /// Number of plans this pipeline maintains.
+    pub fn plan_count(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Physical operators referenced by more than one attached plan.
+    pub fn shared_operators(&self) -> usize {
+        self.shared_nodes
+    }
+
+    /// The engine ops feeding the physical sources, in source order.
     pub fn taps(&self) -> &[SetOp] {
         &self.taps
     }
 
     /// Standing instances across all operators (source run maps, join
-    /// sides, distinct/aggregate groups, the materialized root) — the
-    /// bounded-state gauge: under contiguous-growth workloads it plateaus.
+    /// sides, distinct/aggregate groups, the materialized views) — the
+    /// bounded-state gauge: under contiguous-growth workloads it plateaus,
+    /// and under shared compilation it grows sub-additively in the number
+    /// of plans.
     pub fn state_rows(&self) -> usize {
         let ops: usize = self.nodes.iter().map(|n| n.state.rows()).sum();
         let runs: usize = self.last_run.iter().map(FastMap::len).sum();
-        ops + runs + self.root_len
+        let views: usize = self.views.iter().map(|v| v.len).sum();
+        ops + runs + views
     }
 
     /// Propagation passes executed (one per engine advance).
@@ -816,6 +1039,11 @@ impl Pipeline {
         self.deltas_total
     }
 
+    /// Plan swaps [`Pipeline::reoptimize`] has executed.
+    pub fn reopts(&self) -> u64 {
+        self.reopts
+    }
+
     /// Per-operator `(name, emitted)` delta counts, in topological order.
     pub fn operator_deltas(&self) -> Vec<(&'static str, u64)> {
         self.nodes
@@ -823,6 +1051,172 @@ impl Pipeline {
             .map(|n| (n.op.name(), n.emitted))
             .collect()
     }
+
+    /// Per-operator `(name, state_rows, ewma_rate, shared_by)` statistics,
+    /// in topological order — the observability surface behind the repl's
+    /// `\plan` command and the re-optimizer's inputs.
+    pub fn operator_stats(&self) -> Vec<(&'static str, usize, f64, u32)> {
+        self.nodes
+            .iter()
+            .map(|n| (n.op.name(), n.state.rows(), n.rate, n.shared_by))
+            .collect()
+    }
+
+    /// Observed per-source statistics of plan `p`, in that plan's preorder
+    /// source numbering — the [`RateProfile`] the re-optimizer plans
+    /// against.
+    pub fn rate_profile(&self, p: usize) -> RateProfile {
+        RateProfile {
+            sources: self.plan_sources[p]
+                .iter()
+                .map(|&s| SourceStats {
+                    rows: self.last_run[s].len() as f64,
+                    rate: self.source_rates[s],
+                })
+                .collect(),
+        }
+    }
+
+    /// Re-plans every attached plan against the observed delta rates and
+    /// state sizes ([`tp_relalg::reoptimize`]) and — when the cost model
+    /// picks a different physical plan — **hot-swaps** the lowered DAG:
+    /// a fresh DAG is compiled, its operator state rebuilt by replaying
+    /// every source's standing rows, and the rebuilt views are checked
+    /// row-identical against the standing ones before the swap commits
+    /// (on mismatch the old DAG stays and `false` is returned). Call at a
+    /// watermark boundary (the engine does, after the propagation pass),
+    /// when no deltas are buffered.
+    ///
+    /// Returns `true` iff a swap was executed. The engine's own delta log
+    /// is untouched by construction — the pipeline only consumes engine
+    /// deltas — and the differential suite additionally proves the
+    /// materialized views byte-identical across swaps.
+    pub fn reoptimize(&mut self) -> bool {
+        let new_plans: Vec<Plan> = (0..self.plans.len())
+            .map(|p| tp_relalg::reoptimize(&self.plans[p], &self.rate_profile(p)))
+            .collect();
+        if new_plans == self.current {
+            return false;
+        }
+        let Ok(mut next) = Pipeline::compile_shared(&new_plans, &self.plan_taps) else {
+            debug_assert!(false, "re-optimized plan failed to compile");
+            return false;
+        };
+        // Rebuild operator state: replay each physical source's standing
+        // rows as inserts through the new DAG, in deterministic row order.
+        // Physical sources are keyed by (tap, arity) on both sides.
+        for s_new in 0..next.taps.len() {
+            let Some(s_old) = (0..self.taps.len()).find(|&s| {
+                self.taps[s] == next.taps[s_new] && self.fact_arity[s] == next.fact_arity[s_new]
+            }) else {
+                debug_assert!(false, "swap changed the source set");
+                return false;
+            };
+            let node = next.source_nodes[s_new];
+            let mut rows: Vec<&Row> = self.standing[s_old].keys().collect();
+            rows.sort();
+            for row in rows {
+                for lineage in &self.standing[s_old][row] {
+                    let pt = PipeTuple {
+                        row: row.clone(),
+                        lineage: lineage.clone(),
+                    };
+                    next.nodes[node].inbox.push((0, PipeDelta::Ins(pt)));
+                }
+            }
+            next.last_run[s_new] = self.last_run[s_old].clone();
+            next.standing[s_new] = self.standing[s_old].clone();
+            next.source_rates[s_new] = self.source_rates[s_old];
+            next.source_offered[s_new] = self.source_offered[s_old];
+        }
+        next.propagate(None, false);
+        // Differential gate: the rebuilt views must match the standing
+        // ones row-for-row (lineage *shapes* may differ after join
+        // reassociation; rows and their multiplicities may not).
+        for (v, view) in next.views.iter().enumerate() {
+            if view_row_multiset(view) != view_row_multiset(&self.views[v]) {
+                debug_assert!(false, "rebuilt view {v} diverged from the standing view");
+                return false;
+            }
+        }
+        next.plans = std::mem::take(&mut self.plans);
+        next.current = new_plans;
+        next.advances = self.advances;
+        next.deltas_total = self.deltas_total;
+        next.reopts = self.reopts + 1;
+        if let Some(cfg) = self.obs_cfg.take() {
+            next.init_obs(&cfg);
+        }
+        *self = next;
+        true
+    }
+
+    /// Human-readable dump of the lowered DAG: per operator its inputs,
+    /// live state rows, observed EWMA delta rate, and sharing annotation —
+    /// the repl's `\plan` surface.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "plans: {}   operators: {} ({} shared)   advances: {}   re-optimizations: {}",
+            self.plan_count(),
+            self.nodes.len(),
+            self.shared_nodes,
+            self.advances,
+            self.reopts,
+        );
+        for (i, node) in self.nodes.iter().enumerate() {
+            let detail = match &node.op {
+                LoweredOp::Source(s) => format!("tap={:?}", self.taps[*s]),
+                LoweredOp::Select(p) => format!("pred={p:?}"),
+                LoweredOp::Project(cols) => format!("cols={cols:?}"),
+                LoweredOp::NlJoin(p) => format!("pred={p:?}"),
+                LoweredOp::HashJoin { l_cols, r_cols } => {
+                    format!("keys={l_cols:?}={r_cols:?}")
+                }
+                LoweredOp::UnionAll => String::new(),
+                LoweredOp::Distinct => String::new(),
+                LoweredOp::Aggregate { keys, aggs } => {
+                    format!("keys={keys:?} aggs={}", aggs.len())
+                }
+            };
+            let inputs: Vec<usize> = self
+                .consumers
+                .iter()
+                .enumerate()
+                .flat_map(|(j, cs)| cs.iter().filter(|(c, _)| *c == i).map(move |_| j))
+                .collect();
+            let _ = write!(
+                out,
+                "[{i:>2}] {:<9} {:<28} rows={:<6} rate={:<8.2} in={inputs:?}",
+                node.op.name(),
+                detail,
+                node.state.rows(),
+                node.rate,
+            );
+            if node.shared_by > 1 {
+                let _ = write!(out, " shared(x{})", node.shared_by);
+            }
+            for &v in &self.node_views[i] {
+                let _ = write!(out, " -> view #{v} [{:?}]", self.views[v].schema);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// Sorted `(row, multiplicity)` fingerprint of a view — the swap gate's
+/// comparison key.
+fn view_row_multiset(view: &RootView) -> Vec<(Row, usize)> {
+    let mut rows: Vec<(Row, usize)> = view
+        .rows
+        .iter()
+        .map(|(row, instances)| (row.clone(), instances.len()))
+        .collect();
+    rows.sort();
+    rows
 }
 
 #[cfg(test)]
@@ -1051,5 +1445,194 @@ mod tests {
             StreamEngine::with_plan(cfg, &leaf, &[SetOp::Except]),
             Err(PipelineError::TapNotMaintained(SetOp::Except))
         ));
+    }
+
+    #[test]
+    fn compile_shared_merges_identical_subdags() {
+        // Two plans over the identical hash join; only the tops differ.
+        let join = || {
+            Plan::values(placeholder(&["k", "ts", "te"])).hash_join(
+                Plan::values(placeholder(&["k", "ts", "te"])),
+                vec![0],
+                vec![0],
+            )
+        };
+        let a = join().aggregate(vec![0], vec![AggFn::Count]);
+        let b = join().distinct();
+        let taps = vec![
+            vec![SetOp::Except, SetOp::Intersect],
+            vec![SetOp::Except, SetOp::Intersect],
+        ];
+        let shared = Pipeline::compile_shared(&[a.clone(), b.clone()], &taps).unwrap();
+        // Two sources + one join shared; aggregate and distinct private.
+        assert_eq!(shared.plan_count(), 2);
+        assert_eq!(shared.shared_operators(), 3);
+        assert_eq!(shared.nodes.len(), 5);
+        // Different tap bindings must NOT merge.
+        let other_taps = vec![
+            vec![SetOp::Except, SetOp::Intersect],
+            vec![SetOp::Union, SetOp::Intersect],
+        ];
+        let split = Pipeline::compile_shared(&[a, b], &other_taps).unwrap();
+        assert_eq!(split.shared_operators(), 1); // only the Intersect source
+        assert_eq!(split.nodes.len(), 7);
+    }
+
+    #[test]
+    fn shared_pipeline_matches_per_plan_views_and_is_subadditive() {
+        let join = || {
+            Plan::values(placeholder(&["k", "ts", "te"])).hash_join(
+                Plan::values(placeholder(&["k", "ts", "te"])),
+                vec![0],
+                vec![0],
+            )
+        };
+        let plans = [
+            join().aggregate(vec![0], vec![AggFn::Count, AggFn::Max(2)]),
+            join().project(vec![0]).distinct(),
+        ];
+        let taps = vec![
+            vec![SetOp::Except, SetOp::Intersect],
+            vec![SetOp::Except, SetOp::Intersect],
+        ];
+        let mut shared = StreamEngine::with_plans(EngineConfig::default(), &plans, &taps).unwrap();
+        let mut solo: Vec<StreamEngine> = plans
+            .iter()
+            .map(|p| StreamEngine::with_plan(EngineConfig::default(), p, &taps[0]).unwrap())
+            .collect();
+        let mut sink = CollectingSink::new();
+        push_workload(&mut shared, 40);
+        for e in &mut solo {
+            push_workload(e, 40);
+        }
+        for w in [9, 17, 30] {
+            shared.advance(w, &mut sink).unwrap();
+            for e in &mut solo {
+                e.advance(w, &mut CollectingSink::new()).unwrap();
+            }
+        }
+        shared.finish(&mut sink).unwrap();
+        for e in &mut solo {
+            e.finish(&mut CollectingSink::new()).unwrap();
+        }
+        let sp = shared.pipeline().unwrap();
+        let schema = Schema::new(["k", "ts", "te"]);
+        for (i, e) in solo.iter().enumerate() {
+            let expect = batch_rows(&plans[i], &sink, &taps[i], &schema);
+            assert!(!expect.is_empty());
+            assert_eq!(sp.materialized_view(i).rows, expect);
+            assert_eq!(
+                e.pipeline().unwrap().materialized().rows,
+                sp.materialized_view(i).rows
+            );
+        }
+        // Sub-additive state: the shared join is paid for once.
+        let duplicated: usize = solo
+            .iter()
+            .map(|e| e.pipeline().unwrap().state_rows())
+            .sum();
+        assert!(
+            sp.state_rows() < duplicated,
+            "shared {} !< duplicated {duplicated}",
+            sp.state_rows()
+        );
+    }
+
+    #[test]
+    fn reoptimize_swaps_plan_and_preserves_views() {
+        // Keyed NlJoin: the re-optimizer turns it into a HashJoin once it
+        // sees any rates, so the swap always fires.
+        let plan = Plan::values(placeholder(&["k", "ts", "te"]))
+            .nl_join(
+                Plan::values(placeholder(&["k", "ts", "te"])),
+                Predicate::col_eq(0, 3),
+            )
+            .aggregate(vec![0], vec![AggFn::Count]);
+        let taps = [SetOp::Except, SetOp::Intersect];
+        let mut engine = StreamEngine::with_plan(EngineConfig::default(), &plan, &taps).unwrap();
+        let mut sink = CollectingSink::new();
+        push_workload(&mut engine, 40);
+        for w in [9, 17] {
+            engine.advance(w, &mut sink).unwrap();
+        }
+        let before = engine.pipeline().unwrap().materialized();
+        let stats_before = engine.pipeline().unwrap().operator_deltas();
+        assert!(
+            stats_before.iter().any(|(n, _)| *n == "nl_join"),
+            "precondition: frozen plan runs the nested-loop join"
+        );
+        assert!(engine.pipeline_mut().unwrap().reoptimize());
+        let after_swap = engine.pipeline().unwrap();
+        assert_eq!(after_swap.reopts(), 1);
+        assert!(
+            after_swap
+                .operator_deltas()
+                .iter()
+                .any(|(n, _)| *n == "hash_join"),
+            "swap should have installed the hash join"
+        );
+        assert_eq!(after_swap.materialized().rows, before.rows);
+        // The swapped pipeline keeps maintaining correctly.
+        engine.advance(30, &mut sink).unwrap();
+        engine.finish(&mut sink).unwrap();
+        let schema = Schema::new(["k", "ts", "te"]);
+        let expect = batch_rows(&plan, &sink, &taps, &schema);
+        assert!(!expect.is_empty());
+        assert_eq!(engine.pipeline().unwrap().materialized().rows, expect);
+        // Idempotent: re-running against the same profile is a no-op.
+        assert!(!engine.pipeline_mut().unwrap().reoptimize());
+    }
+
+    #[test]
+    fn engine_reopt_cadence_triggers_swaps() {
+        let plan = Plan::values(placeholder(&["k", "ts", "te"]))
+            .nl_join(
+                Plan::values(placeholder(&["k", "ts", "te"])),
+                Predicate::col_eq(0, 3),
+            )
+            .distinct();
+        let taps = [SetOp::Except, SetOp::Intersect];
+        let cfg = EngineConfig {
+            reopt_every: Some(2),
+            ..Default::default()
+        };
+        let mut engine = StreamEngine::with_plan(cfg, &plan, &taps).unwrap();
+        let mut sink = CollectingSink::new();
+        push_workload(&mut engine, 40);
+        for w in [9, 17, 30] {
+            engine.advance(w, &mut sink).unwrap();
+        }
+        engine.finish(&mut sink).unwrap();
+        assert!(engine.pipeline().unwrap().reopts() >= 1);
+        let schema = Schema::new(["k", "ts", "te"]);
+        let expect = batch_rows(&plan, &sink, &taps, &schema);
+        assert!(!expect.is_empty());
+        assert_eq!(engine.pipeline().unwrap().materialized().rows, expect);
+    }
+
+    #[test]
+    fn describe_reports_sharing_rates_and_views() {
+        let join = || {
+            Plan::values(placeholder(&["k", "ts", "te"])).hash_join(
+                Plan::values(placeholder(&["k", "ts", "te"])),
+                vec![0],
+                vec![0],
+            )
+        };
+        let plans = [join().distinct(), join().project(vec![0])];
+        let taps = vec![
+            vec![SetOp::Except, SetOp::Intersect],
+            vec![SetOp::Except, SetOp::Intersect],
+        ];
+        let mut engine = StreamEngine::with_plans(EngineConfig::default(), &plans, &taps).unwrap();
+        let mut sink = CollectingSink::new();
+        push_workload(&mut engine, 20);
+        engine.advance(15, &mut sink).unwrap();
+        let text = engine.pipeline().unwrap().describe();
+        assert!(text.contains("plans: 2"), "{text}");
+        assert!(text.contains("shared(x2)"), "{text}");
+        assert!(text.contains("-> view #0"), "{text}");
+        assert!(text.contains("-> view #1"), "{text}");
+        assert!(text.contains("rate="), "{text}");
     }
 }

@@ -86,6 +86,10 @@ pub struct ServerConfig {
     /// overwritten with the tenant's name, so each tenant's metrics and
     /// spans stay attributable within the shared registry.
     pub obs: ObsConfig,
+    /// Pipeline re-optimization cadence applied to every tenant engine
+    /// ([`EngineConfig::reopt_every`]). `None` (the default) freezes each
+    /// tenant's compiled plans.
+    pub reopt_every: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -102,6 +106,7 @@ impl Default for ServerConfig {
             region_min_tuples: parallel.min_tuples,
             buffer: BufferKind::default(),
             obs: ObsConfig::default(),
+            reopt_every: None,
         }
     }
 }
@@ -194,6 +199,24 @@ impl<S: StreamSink + Send> StreamServer<S> {
         Ok(self.push_tenant(name, engine, vars, make_sink))
     }
 
+    /// Adds a tenant with **several standing plans** compiled into one
+    /// shared pipeline ([`StreamEngine::with_plans`]): structurally
+    /// identical sub-DAGs with the same tap bindings run once and fan out,
+    /// so a tenant's K alert rules over the same join pay for its operator
+    /// state a single time. `taps[p]` feeds plan `p`'s sources.
+    pub fn add_tenant_with_plans(
+        &mut self,
+        name: impl Into<String>,
+        plans: &[tp_relalg::Plan],
+        taps: &[Vec<SetOp>],
+        make_sink: impl FnOnce(&Arc<VarTable>) -> S,
+    ) -> Result<TenantId, PipelineError> {
+        let name = name.into();
+        let (cfg, vars) = self.tenant_engine_config(&name);
+        let engine = StreamEngine::with_plans(cfg, plans, taps)?;
+        Ok(self.push_tenant(name, engine, vars, make_sink))
+    }
+
     /// The per-tenant engine configuration: fresh private arena + sliding
     /// var registry, manual watermarks, one region worker until the wave
     /// scheduler hands out the spare budget (`schedule_region_workers`).
@@ -220,6 +243,7 @@ impl<S: StreamSink + Send> StreamServer<S> {
             }),
             buffer: self.cfg.buffer,
             obs,
+            reopt_every: self.cfg.reopt_every,
         };
         (cfg, vars)
     }

@@ -14,6 +14,10 @@
 //!                        with per-advance region/balance gauges
 //! tp> \index a c      -- streamed sweep on the gapped learned timestamp
 //!                        index, with per-advance occupancy/retrain gauges
+//! tp> \plan a c       -- stream two relations through a tenant's standing
+//!                        plans (a shared join under two alert rules) and
+//!                        print the lowered DAG: per-operator state rows,
+//!                        observed delta rates, sharing annotations
 //! tp> \metrics        -- Prometheus-style snapshot of the metrics registry
 //!                        (\metrics json for the JSON snapshot)
 //! tp> \trace out.json -- dump recorded stage spans as a chrome://tracing
@@ -107,6 +111,13 @@ fn handle_command(db: &mut Database, line: &str) -> Result<bool> {
                 };
                 show_index_sweep(db, left, right)?;
             }
+            Some("plan") => {
+                let (Some(left), Some(right)) = (parts.next(), parts.next()) else {
+                    println!("usage: \\plan <left> <right>");
+                    return Ok(true);
+                };
+                show_standing_plans(db, left, right)?;
+            }
             Some("metrics") => match parts.next() {
                 Some("json") => println!("{}", tp_stream::metrics_json()),
                 _ => print!("{}", tp_stream::metrics_text()),
@@ -126,7 +137,7 @@ fn handle_command(db: &mut Database, line: &str) -> Result<bool> {
             Some(other) => {
                 println!(
                     "unknown command \\{other} (try \\d, \\load, \\arena, \\parallel, \\index, \
-                     \\metrics, \\trace, \\q)"
+                     \\plan, \\metrics, \\trace, \\q)"
                 )
             }
             None => {}
@@ -258,6 +269,71 @@ fn show_index_sweep(db: &Database, left: &str, right: &str) -> Result<()> {
     );
     for op in [SetOp::Union, SetOp::Intersect, SetOp::Except] {
         println!("-- {op}: {} result tuples", sink.len(op));
+    }
+    Ok(())
+}
+
+/// Streams `left`/`right` through an engine carrying **two standing
+/// plans over one shared hash join** (a keyed-count rule and a distinct
+/// rule, both over `Except ⋈ Intersect` on the fact key) and prints the
+/// lowered DAG after every advance: per-operator live state rows, the
+/// observed EWMA delta rates, `shared(xK)` annotations, and each plan's
+/// view — the introspection surface of the adaptive pipeline layer.
+fn show_standing_plans(db: &Database, left: &str, right: &str) -> Result<()> {
+    use tp_relalg::{AggFn, Plan, Relation, Schema};
+    use tp_stream::{CollectingSink, EngineConfig, Side, StreamEngine};
+
+    let r = db.relation(left)?;
+    let s = db.relation(right)?;
+    let hull = match (r.time_range(), s.time_range()) {
+        (Some(a), Some(b)) => a.hull(&b),
+        (Some(h), None) | (None, Some(h)) => h,
+        (None, None) => {
+            println!("both relations are empty — nothing to maintain");
+            return Ok(());
+        }
+    };
+    let leaf = || Plan::values(Relation::empty(Schema::new(["k", "ts", "te"])));
+    let join = || leaf().hash_join(leaf(), vec![0], vec![0]);
+    let plans = [
+        join().aggregate(vec![0], vec![AggFn::Count]),
+        join().project(vec![0]).distinct(),
+    ];
+    let taps = vec![
+        vec![SetOp::Except, SetOp::Intersect],
+        vec![SetOp::Except, SetOp::Intersect],
+    ];
+    let mut engine = StreamEngine::with_plans(EngineConfig::default(), &plans, &taps)
+        .expect("demo plans compile");
+    let mut sink = CollectingSink::new();
+    for t in r.iter() {
+        engine.push(Side::Left, t.clone());
+    }
+    for t in s.iter() {
+        engine.push(Side::Right, t.clone());
+    }
+    println!(
+        "standing plans over {left} op {right}: count-per-key and distinct-keys rules \
+         sharing one Except ⋈ Intersect join"
+    );
+    let span = (hull.end() - hull.start()).max(4);
+    for q in 1..=4i64 {
+        let w = hull.start() + span * q / 4 + i64::from(q == 4);
+        if w <= engine.watermark() {
+            continue;
+        }
+        engine
+            .advance(w, &mut sink)
+            .expect("quartile watermarks are monotone");
+    }
+    engine
+        .finish(&mut sink)
+        .expect("finish never regresses the watermark");
+    let pipeline = engine.pipeline().expect("plans attached above");
+    print!("{}", pipeline.describe());
+    for p in 0..pipeline.plan_count() {
+        let view = pipeline.materialized_view(p);
+        println!("-- view #{p}: {} standing rows", view.len());
     }
     Ok(())
 }
